@@ -1,0 +1,61 @@
+//! Criterion bench: Link Evaluator throughput vs fleet size.
+//!
+//! The paper notes candidate evaluation "was highly parallelizable and
+//! distributed across many tasks in a data center" (§3.1); this bench
+//! measures what one core of this reproduction does per solve cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tssdn_core::{EvaluatorConfig, LinkEvaluator, NetworkModel, WeatherSource};
+use tssdn_geo::TrajectorySample;
+use tssdn_link::Transceiver;
+use tssdn_sim::{Fleet, FleetConfig, PlatformKind, RngStreams, SimTime};
+
+fn build_model(n: usize) -> NetworkModel {
+    let streams = RngStreams::new(42);
+    let mut cfg = FleetConfig::kenya(n);
+    cfg.spawn_radius_m = 300_000.0;
+    let fleet = Fleet::generate(cfg, &streams);
+    let mut model = NetworkModel::new(WeatherSource::Itu(tssdn_rf::ItuSeasonal::tropical_wet()));
+    for (id, kind) in fleet.platform_ids() {
+        let xs: Vec<Transceiver> = match kind {
+            PlatformKind::Balloon => (0..3).map(|i| Transceiver::balloon(id, i)).collect(),
+            PlatformKind::GroundStation => (0..2)
+                .map(|i| {
+                    Transceiver::ground_station(id, i, tssdn_geo::FieldOfRegard::ground_station(2.0))
+                })
+                .collect(),
+        };
+        model.add_platform(id, kind, xs);
+        model.report_position(
+            id,
+            TrajectorySample {
+                t_ms: 0,
+                pos: fleet.position(id),
+                vel_east_mps: 0.0,
+                vel_north_mps: 0.0,
+                vel_up_mps: 0.0,
+            },
+        );
+        model.report_power(id, true);
+    }
+    model
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_evaluator");
+    for n in [10usize, 20, 40] {
+        let model = build_model(n);
+        let evaluator = LinkEvaluator::new(EvaluatorConfig::default());
+        group.bench_with_input(BenchmarkId::new("candidate_graph", n), &n, |b, _| {
+            b.iter(|| evaluator.evaluate(&model, SimTime::from_mins(3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_evaluator
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: the geometric kernels the evaluator calls per
+//! candidate pair — coordinate conversion, line of sight, pointing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tssdn_geo::{line_of_sight_clear, GeoPoint, PointingSolution};
+
+fn bench_geometry(c: &mut Criterion) {
+    let a = GeoPoint::new(-1.0, 36.8, 18_000.0);
+    let b = GeoPoint::new(0.5, 39.2, 17_200.0);
+
+    c.bench_function("geo/ecef_conversion", |bch| bch.iter(|| a.to_ecef()));
+    c.bench_function("geo/slant_range", |bch| bch.iter(|| a.slant_range_m(&b)));
+    c.bench_function("geo/line_of_sight", |bch| {
+        bch.iter(|| line_of_sight_clear(&a, &b, 100.0))
+    });
+    c.bench_function("geo/pointing_solution", |bch| {
+        bch.iter(|| PointingSolution::between(&a, &b))
+    });
+
+    // The composite per-pair geometric check the evaluator performs.
+    c.bench_function("geo/full_pair_check", |bch| {
+        bch.iter(|| {
+            let range = a.slant_range_m(&b);
+            let los = line_of_sight_clear(&a, &b, 100.0);
+            let p1 = PointingSolution::between(&a, &b);
+            let p2 = PointingSolution::between(&b, &a);
+            (range, los, p1, p2)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(100);
+    targets = bench_geometry
+}
+criterion_main!(benches);

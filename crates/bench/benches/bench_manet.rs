@@ -1,0 +1,71 @@
+//! Criterion bench: per-simulated-second cost of each MANET protocol
+//! on a Loon-sized mesh (15 nodes, ~20 links).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tssdn_manet::{Aodv, Batman, Dsdv, Harness, ManetProtocol, Olsr};
+use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
+
+fn mesh_edges() -> Vec<(u32, u32)> {
+    // A fixed 15-node mesh: 12 balloons ring-ish + 3 gateways.
+    let mut e = Vec::new();
+    for i in 0..12u32 {
+        e.push((i, (i + 1) % 12));
+    }
+    e.extend([(0, 12), (4, 13), (8, 14), (2, 12), (6, 13), (10, 14), (1, 5), (3, 9)]);
+    e
+}
+
+fn run_one<P: ManetProtocol>(mut proto_fn: impl FnMut() -> P, on_demand: bool) -> impl FnMut() {
+    move || {
+        let mut h = Harness::new(proto_fn(), &RngStreams::new(7));
+        for (a, b) in mesh_edges() {
+            h.set_link(PlatformId(a), PlatformId(b), 0.95);
+        }
+        if on_demand {
+            for b in 0..12u32 {
+                for g in 12..15u32 {
+                    h.want_route(PlatformId(b), PlatformId(g));
+                }
+            }
+        }
+        // 60 simulated seconds of protocol operation.
+        h.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    }
+}
+
+fn bench_manet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manet_60s_sim");
+    group.bench_function("batman", |b| {
+        let mut f = run_one(
+            || {
+                let mut p = Batman::new();
+                for g in 12..15u32 {
+                    p.set_gateway(PlatformId(g), true);
+                }
+                p
+            },
+            false,
+        );
+        b.iter(&mut f)
+    });
+    group.bench_function("aodv", |b| {
+        let mut f = run_one(Aodv::new, true);
+        b.iter(&mut f)
+    });
+    group.bench_function("dsdv", |b| {
+        let mut f = run_one(Dsdv::new, false);
+        b.iter(&mut f)
+    });
+    group.bench_function("olsr", |b| {
+        let mut f = run_one(Olsr::new, false);
+        b.iter(&mut f)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_manet
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: weather sampling — direct synthetic-field
+//! evaluation vs the precomputed 4-D grid cache (§3.1's attenuation
+//! volume precomputation), plus full path-attenuation integration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tssdn_geo::GeoPoint;
+use tssdn_rf::{
+    path_attenuation_db, RadioParams, RainCell, SyntheticWeather, WeatherField, WeatherGrid,
+};
+
+fn truth(cells: usize) -> SyntheticWeather {
+    let mut w = SyntheticWeather::new();
+    for i in 0..cells {
+        w.add_cell(RainCell {
+            center: GeoPoint::new(-2.0 + 0.1 * i as f64, 36.0 + 0.07 * i as f64, 0.0),
+            vel_east_mps: 5.0,
+            vel_north_mps: 1.0,
+            radius_m: 14_000.0,
+            peak_rain_mm_h: 30.0,
+            start_ms: (i as u64) * 600_000,
+            end_ms: (i as u64) * 600_000 + 4 * 3_600_000,
+        });
+    }
+    w
+}
+
+fn bench_weather(c: &mut Criterion) {
+    let field = truth(60);
+    let probe = GeoPoint::new(-1.0, 37.0, 1_200.0);
+
+    c.bench_function("weather/direct_sample_60cells", |b| {
+        b.iter(|| field.sample(&probe, 7_200_000))
+    });
+
+    let grid = WeatherGrid::build(
+        &field,
+        -3.0, 0.05, 81, 35.5, 0.05, 81, 0.0, 1_500.0, 8, 0, 600_000, 49,
+    );
+    c.bench_function("weather/grid_sample", |b| b.iter(|| grid.sample(&probe, 7_200_000)));
+
+    // Whole-path attenuation integration (one candidate-link eval).
+    let gs = GeoPoint::new(-1.25, 36.85, 1_700.0);
+    let balloon = GeoPoint::new(-0.5, 38.2, 18_000.0);
+    let params = RadioParams::e_band_low();
+    c.bench_function("weather/path_attenuation_direct", |b| {
+        b.iter(|| path_attenuation_db(&gs, &balloon, &params, &field, 7_200_000))
+    });
+    c.bench_function("weather/path_attenuation_grid", |b| {
+        b.iter(|| path_attenuation_db(&gs, &balloon, &params, &grid, 7_200_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_weather
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! E14 — the enactment-feedback loop the paper wished it had.
+//!
+//! §5: "Since Loon's TS-SDN lacked a feedback loop and relied on
+//! modeled data for network planning, links were retried repeatedly.
+//! A better policy would have adapted to failures and tried an
+//! alternate link if one existed." §7 proposes conditioning link
+//! selection on observed enactment success rates.
+//!
+//! Two identical weather-blind (ITU-only) stormy runs: with the
+//! feedback loop OFF (the deployed system) and ON (the proposal). The
+//! loop should cut wasted retries on weather-doomed B2G pairs and
+//! improve availability — without being told anything about the
+//! weather.
+
+use tssdn_bench::{days, seed, standard_config};
+use tssdn_core::{Orchestrator, WeatherModelKind};
+use tssdn_link::LinkKind;
+use tssdn_sim::SimTime;
+use tssdn_telemetry::Layer;
+
+struct Outcome {
+    label: &'static str,
+    b2g_intents: usize,
+    b2g_never: f64,
+    wasted_attempts: usize,
+    control_avail: f64,
+    data_avail: f64,
+}
+
+fn run(label: &'static str, feedback: bool, num_days: u64) -> Outcome {
+    let mut cfg = standard_config(14, num_days, seed());
+    cfg.fleet.spawn_radius_m = 250_000.0;
+    // Weather-blind controller: the condition where feedback matters
+    // most (the model keeps proposing storm-soaked B2G links).
+    cfg.weather_model = WeatherModelKind::ItuOnly;
+    cfg.policy.enactment_feedback = feedback;
+    let mut o = Orchestrator::new(cfg);
+    for d in 1..=num_days {
+        o.run_until(SimTime::from_days(d));
+        eprintln!("  [{label} day {d}] intents {}", o.intents.all().count());
+    }
+    let s = o.ledger.stats(LinkKind::B2G);
+    // Wasted attempts: search attempts spent on intents that never
+    // established.
+    let wasted: u32 = o
+        .ledger
+        .records()
+        .iter()
+        .filter(|r| r.kind == LinkKind::B2G && r.established.is_none())
+        .map(|r| r.attempts)
+        .sum();
+    Outcome {
+        label,
+        b2g_intents: s.intents,
+        b2g_never: s.never_rate(),
+        wasted_attempts: wasted as usize,
+        control_avail: o.availability.overall(Layer::ControlPlane).unwrap_or(0.0),
+        data_avail: o.availability.overall(Layer::DataPlane).unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let num_days = days(4);
+    println!("=== E14: enactment-feedback loop (§7 future work) ===");
+    println!("14 balloons, {num_days} stormy days, weather-blind controller, seed {}", seed());
+
+    let off = run("no-feedback", false, num_days);
+    let on = run("feedback", true, num_days);
+
+    println!();
+    println!("# arm          b2g_intents  b2g_never  wasted_attempts  ctrl_avail  data_avail");
+    for o in [&off, &on] {
+        println!(
+            "  {:<12} {:>10} {:>9.0}% {:>16} {:>11.3} {:>11.3}",
+            o.label, o.b2g_intents, 100.0 * o.b2g_never, o.wasted_attempts, o.control_avail, o.data_avail
+        );
+    }
+    println!();
+    println!(
+        "feedback cuts wasted doomed-link attempts: {}",
+        if on.wasted_attempts < off.wasted_attempts {
+            format!(
+                "REPRODUCED ({} → {}, −{:.0}%)",
+                off.wasted_attempts,
+                on.wasted_attempts,
+                100.0 * (off.wasted_attempts - on.wasted_attempts) as f64
+                    / off.wasted_attempts.max(1) as f64
+            )
+        } else {
+            "NOT reproduced".into()
+        }
+    );
+    println!(
+        "availability not harmed: control {:+.3}, data {:+.3}",
+        on.control_avail - off.control_avail,
+        on.data_avail - off.data_avail
+    );
+}

@@ -1,0 +1,91 @@
+//! E12 — solver hysteresis ablation.
+//!
+//! §3.1/§6: "the solver applied hysteresis to bias toward keeping
+//! existing links, moderating the aggregate rate of change in the
+//! network (i.e., limiting the effects of slow link acquisition)."
+//! We compare the dampened solver (incumbent-keeping plus the
+//! path-cost bonus) against a memoryless one, on the same world.
+//!
+//! The structural incumbent-keeping cannot be disabled independently
+//! here (it *is* the solver's hysteresis); the knob is the path-cost
+//! bonus plus whether the solver sees the incumbent set at all, which
+//! the orchestrator feeds it. For the OFF arm we zero the bonus and
+//! also zero the redundancy-keeping preference, approximating the
+//! paper's pre-dampening behaviour.
+
+use tssdn_bench::{days, fmt_secs, seed, standard_config};
+use tssdn_core::Orchestrator;
+use tssdn_link::LinkKind;
+use tssdn_sim::SimTime;
+use tssdn_telemetry::Layer;
+
+struct Outcome {
+    label: &'static str,
+    intents_per_hour: f64,
+    b2b_median_life_s: f64,
+    planned_share: f64,
+    control_avail: f64,
+    data_avail: f64,
+}
+
+fn run(label: &'static str, hysteresis: f64, num_days: u64) -> Outcome {
+    let mut cfg = standard_config(12, num_days, seed());
+    cfg.fleet.spawn_radius_m = 250_000.0;
+    cfg.solver.hysteresis_bonus = hysteresis;
+    let mut o = Orchestrator::new(cfg);
+    for d in 1..=num_days {
+        o.run_until(SimTime::from_days(d));
+        eprintln!("  [{label} day {d}] intents {}", o.intents.all().count());
+    }
+    let s_b2b = o.ledger.stats(LinkKind::B2B);
+    let ended: Vec<_> = o
+        .ledger
+        .records()
+        .iter()
+        .filter(|r| r.established.is_some() && r.ended.is_some())
+        .collect();
+    let planned = ended
+        .iter()
+        .filter(|r| r.end_reason.map(|e| e.is_planned()).unwrap_or(false))
+        .count();
+    Outcome {
+        label,
+        intents_per_hour: o.intents.all().count() as f64 / (num_days as f64 * 14.0),
+        b2b_median_life_s: s_b2b.median_lifetime_s().unwrap_or(0.0),
+        planned_share: planned as f64 / ended.len().max(1) as f64,
+        control_avail: o.availability.overall(Layer::ControlPlane).unwrap_or(0.0),
+        data_avail: o.availability.overall(Layer::DataPlane).unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let num_days = days(3);
+    println!("=== E12: solver hysteresis ablation ===");
+    println!("12 balloons, {num_days} days per arm, seed {}", seed());
+
+    let on = run("hysteresis", 0.4, num_days);
+    let off = run("memoryless", 0.0, num_days);
+
+    println!();
+    println!("# arm         intents/serving-hour  b2b_median_life  planned_share  ctrl_avail  data_avail");
+    for o in [&on, &off] {
+        println!(
+            "  {:<12} {:>19.1} {:>16} {:>13.0}% {:>11.3} {:>11.3}",
+            o.label,
+            o.intents_per_hour,
+            fmt_secs(o.b2b_median_life_s),
+            100.0 * o.planned_share,
+            o.control_avail,
+            o.data_avail
+        );
+    }
+    println!();
+    println!(
+        "hysteresis reduces intent churn: {}",
+        if on.intents_per_hour <= off.intents_per_hour { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "hysteresis lengthens B2B link life: {}",
+        if on.b2b_median_life_s >= off.b2b_median_life_s { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

@@ -1,0 +1,98 @@
+//! E11 — weather-source ablation: ITU climatology only vs +forecast
+//! vs +ground-station rain gauges.
+//!
+//! §5 findings: forecasts "were not a large improvement over
+//! probabilistic models derived from ITU regional and seasonal
+//! averages", while "preferring weather data from ground station
+//! sensors ... proved more accurate than relying on weather forecasts
+//! alone". The observable effects are on B2G links: attempt success,
+//! unplanned-failure share, and lifetime.
+
+use tssdn_bench::{days, fmt_secs, seed, standard_config};
+use tssdn_core::{Orchestrator, WeatherModelKind};
+use tssdn_link::LinkKind;
+use tssdn_sim::SimTime;
+use tssdn_telemetry::Layer;
+
+struct Outcome {
+    label: &'static str,
+    b2g_first_attempt: f64,
+    b2g_never: f64,
+    b2g_unexpected: f64,
+    b2g_median_life_s: f64,
+    data_avail: f64,
+}
+
+fn run(label: &'static str, kind: WeatherModelKind, num_days: u64) -> Outcome {
+    let mut cfg = standard_config(14, num_days, seed());
+    cfg.fleet.spawn_radius_m = 250_000.0;
+    cfg.weather_model = kind;
+    let mut o = Orchestrator::new(cfg);
+    for d in 1..=num_days {
+        o.run_until(SimTime::from_days(d));
+        eprintln!("  [{label} day {d}]");
+    }
+    let s = o.ledger.stats(LinkKind::B2G);
+    Outcome {
+        label,
+        b2g_first_attempt: s.first_attempt_rate(),
+        b2g_never: s.never_rate(),
+        b2g_unexpected: s.unexpected_end_rate(),
+        b2g_median_life_s: s.median_lifetime_s().unwrap_or(0.0),
+        data_avail: o.availability.overall(Layer::DataPlane).unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let num_days = days(4);
+    println!("=== E11: weather-source ablation ===");
+    println!("14 balloons, {num_days} stormy days each, seed {}", seed());
+
+    // The realistic forecast: displaced, late, and underestimating —
+    // tropical convection forecasting is hard (§5).
+    let forecast = WeatherModelKind::WithForecast {
+        position_error_m: 30_000.0,
+        timing_error_ms: 45 * 60 * 1000,
+        intensity_scale: 0.7,
+    };
+    let gauges = WeatherModelKind::WithGauges {
+        position_error_m: 30_000.0,
+        timing_error_ms: 45 * 60 * 1000,
+        intensity_scale: 0.7,
+    };
+    let outcomes = vec![
+        run("itu-only", WeatherModelKind::ItuOnly, num_days),
+        run("forecast", forecast, num_days),
+        run("gauges", gauges, num_days),
+    ];
+
+    println!();
+    println!("# source    b2g_first_try  b2g_never  b2g_unexpected  b2g_med_life  data_avail");
+    for o in &outcomes {
+        println!(
+            "  {:<9} {:>12.0}% {:>9.0}% {:>14.0}% {:>13} {:>11.3}",
+            o.label,
+            100.0 * o.b2g_first_attempt,
+            100.0 * o.b2g_never,
+            100.0 * o.b2g_unexpected,
+            fmt_secs(o.b2g_median_life_s),
+            o.data_avail
+        );
+    }
+    println!();
+    let itu = &outcomes[0];
+    let fc = &outcomes[1];
+    let ga = &outcomes[2];
+    println!(
+        "gauges beat forecast on doomed B2G attempts ({:.0}% vs {:.0}% never-establish): {}",
+        100.0 * ga.b2g_never,
+        100.0 * fc.b2g_never,
+        if ga.b2g_never <= fc.b2g_never { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "forecast is only a marginal improvement over ITU alone ({:.0}% vs {:.0}%): {}",
+        100.0 * fc.b2g_never,
+        100.0 * itu.b2g_never,
+        if (itu.b2g_never - fc.b2g_never).abs() < 0.15 { "REPRODUCED (small delta)" } else { "large delta" }
+    );
+}

@@ -1,0 +1,87 @@
+//! E7 / Figure 11 — distribution of link lifetimes, B2G vs B2B.
+//!
+//! Paper targets: B2G median lifetime 1m45s vs B2B 25m55s; 44.8% of
+//! B2G links lasted under a minute; B2B early mortality 15%;
+//! first-attempt success 51% (B2G) / 40% (B2B); ~35% of intents never
+//! establish; unexpected-failure share 69.2% (B2G) vs 39.2% (B2B),
+//! 47.4% overall.
+
+use tssdn_bench::{days, fmt_secs, print_cdf, seed, standard_config};
+use tssdn_core::Orchestrator;
+use tssdn_link::LinkKind;
+use tssdn_sim::SimTime;
+
+fn main() {
+    let num_days = days(5);
+    println!("=== E7 / Figure 11: link lifetimes B2G vs B2B ===");
+    println!("14 balloons, {num_days} stormy days, seed {}", seed());
+
+    let mut cfg = standard_config(14, num_days, seed());
+    cfg.fleet.spawn_radius_m = 250_000.0;
+    let mut o = Orchestrator::new(cfg);
+    for d in 1..=num_days {
+        o.run_until(SimTime::from_days(d));
+        eprintln!(
+            "  [day {d}/{num_days}] ledger records: {}",
+            o.ledger.records().len()
+        );
+    }
+
+    let mut overall_unexpected = 0usize;
+    let mut overall_ended = 0usize;
+    for kind in [LinkKind::B2G, LinkKind::B2B] {
+        let s = o.ledger.stats(kind);
+        println!();
+        println!("--- {kind}: {} intents ---", s.intents);
+        let median = s.median_lifetime_s().unwrap_or(0.0);
+        let paper_median = if kind == LinkKind::B2G { "1m45s" } else { "25m55s" };
+        println!("median lifetime: {}  (paper: {paper_median})", fmt_secs(median));
+        println!(
+            "lifetime <1 min: {:.1}%  (paper: {})",
+            100.0 * s.fraction_shorter_than(60.0),
+            if kind == LinkKind::B2G { "44.8%" } else { "15.0% (early mortality)" }
+        );
+        println!(
+            "first-attempt success: {:.0}%  (paper: {})",
+            100.0 * s.first_attempt_rate(),
+            if kind == LinkKind::B2G { "51%" } else { "40%" }
+        );
+        println!(
+            "never established: {:.0}%  (paper: 35%)",
+            100.0 * s.never_rate()
+        );
+        println!(
+            "unexpected end share: {:.1}%  (paper: {})",
+            100.0 * s.unexpected_end_rate(),
+            if kind == LinkKind::B2G { "69.2%" } else { "39.2%" }
+        );
+        overall_unexpected += s.unexpected_ends;
+        overall_ended += s.ended_after_established;
+        print_cdf(&format!("{kind} lifetime (s)"), &s.lifetimes_s);
+    }
+
+    println!();
+    println!(
+        "overall unexpected-failure share: {:.1}%  (paper: 47.4%)",
+        100.0 * overall_unexpected as f64 / overall_ended.max(1) as f64
+    );
+    let b2g = o.ledger.stats(LinkKind::B2G);
+    let b2b = o.ledger.stats(LinkKind::B2B);
+    println!(
+        "B2B outlives B2G at median: {}",
+        match (b2b.median_lifetime_s(), b2g.median_lifetime_s()) {
+            (Some(b), Some(g)) if b > g =>
+                format!("REPRODUCED ({} vs {}, {:.0}x)", fmt_secs(b), fmt_secs(g), b / g),
+            (Some(b), Some(g)) => format!("NOT reproduced ({} vs {})", fmt_secs(b), fmt_secs(g)),
+            _ => "insufficient samples".into(),
+        }
+    );
+    println!(
+        "B2G fails unexpectedly more often than B2B: {}",
+        if b2g.unexpected_end_rate() > b2b.unexpected_end_rate() {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
+}

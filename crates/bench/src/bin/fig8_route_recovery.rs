@@ -1,0 +1,101 @@
+//! E4 / Figure 8 — time to repair broken routes, withdrawn vs failed.
+//!
+//! Paper targets (for recoveries within 5 minutes): routes broken by
+//! *withdrawn* (planned) link terminations recover ~37.8% faster on
+//! average than those broken by *failed* (unexpected) ones; 75% of
+//! recovered routes had control-plane breakage under 20 s; 92.4%
+//! recovered without installing a new link; 2.9× more recoveries
+//! co-occurred with withdrawn links than failed links.
+
+use tssdn_bench::{days, fmt_secs, print_cdf, seed, standard_config};
+use tssdn_core::Orchestrator;
+use tssdn_sim::SimTime;
+use tssdn_telemetry::{mean, BreakCause};
+
+fn main() {
+    let num_days = days(5);
+    println!("=== E4 / Figure 8: route recovery, withdrawn vs failed ===");
+    println!("14 balloons, {num_days} stormy days, seed {}", seed());
+
+    let mut cfg = standard_config(14, num_days, seed());
+    cfg.fleet.spawn_radius_m = 250_000.0;
+    let mut o = Orchestrator::new(cfg);
+    for d in 1..=num_days {
+        o.run_until(SimTime::from_days(d));
+        eprintln!(
+            "  [day {d}/{num_days}] recoveries so far: {}",
+            o.recovery.samples().len()
+        );
+    }
+
+    let withdrawn = o.recovery.durations_s(BreakCause::Withdrawn, Some(300.0));
+    let failed = o.recovery.durations_s(BreakCause::Failed, Some(300.0));
+    let all_w = o.recovery.durations_s(BreakCause::Withdrawn, None);
+    let all_f = o.recovery.durations_s(BreakCause::Failed, None);
+
+    println!();
+    println!(
+        "recoveries: withdrawn-tagged {} / failed-tagged {} (≤5 min: {} / {})",
+        all_w.len(),
+        all_f.len(),
+        withdrawn.len(),
+        failed.len()
+    );
+    println!(
+        "withdrawn:failed co-occurrence ratio: {:.1}x  (paper: 2.9x)",
+        all_w.len() as f64 / all_f.len().max(1) as f64
+    );
+    let mw = mean(&withdrawn).unwrap_or(0.0);
+    let mf = mean(&failed).unwrap_or(0.0);
+    println!(
+        "mean recovery ≤5min: withdrawn {}  failed {}",
+        fmt_secs(mw),
+        fmt_secs(mf)
+    );
+    if mf > 0.0 {
+        println!(
+            "planned teardown recovers {:.1}% faster  (paper: 37.8%)",
+            100.0 * (mf - mw) / mf
+        );
+    }
+    // "75% of recovered routes had control plane breakages of less
+    // than 20 seconds" (§3.2): for each recovered data-route break,
+    // sum the control-plane downtime overlapping it — redundancy plus
+    // batman-adv usually keeps the control plane up while the SDN
+    // repairs the data plane.
+    let recovered: Vec<_> = o
+        .recovery
+        .samples()
+        .iter()
+        .filter(|s| s.duration().as_secs_f64() <= 300.0)
+        .collect();
+    let ctrl_samples = o.recovery_control.samples();
+    let mut ctrl_under_20 = 0usize;
+    for r in &recovered {
+        let overlap_s: f64 = ctrl_samples
+            .iter()
+            .filter(|c| c.node == r.node)
+            .map(|c| {
+                let lo = c.broke_at.max(r.broke_at).as_ms() as f64;
+                let hi = c.recovered_at.min(r.recovered_at).as_ms() as f64;
+                ((hi - lo) / 1000.0).max(0.0)
+            })
+            .sum();
+        if overlap_s < 20.0 {
+            ctrl_under_20 += 1;
+        }
+    }
+    println!(
+        "recovered routes with <20 s control-plane breakage: {:.1}%  (paper: 75%)",
+        100.0 * ctrl_under_20 as f64 / recovered.len().max(1) as f64
+    );
+    if let Some(f) = o.recovery.fraction_without_new_link(300.0) {
+        println!(
+            "recovered without installing a new link: {:.1}%  (paper: 92.4%)",
+            100.0 * f
+        );
+    }
+    println!();
+    print_cdf("data-plane recovery, withdrawn (s, ≤5 min)", &withdrawn);
+    print_cdf("data-plane recovery, failed (s, ≤5 min)", &failed);
+}

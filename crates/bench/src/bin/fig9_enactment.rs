@@ -1,0 +1,118 @@
+//! E5 / Figure 9 — enactment time of Link and Route intents vs the
+//! round-trip time of the control channels.
+//!
+//! Paper targets: satcom RTT 23 s best / 1m27s median / 5m47s p90 /
+//! 14m50s p99; in-band RTT sub-second median / 2 s p90 / 23 s p99.
+//! Link intents enact no faster than radio boot + search (up to
+//! 2m30s) when in-band, plus a 3m6s TTE penalty when any command rides
+//! satcom; route intents should be fast but show a satcom-polluted
+//! tail.
+
+use rand::Rng;
+use tssdn_bench::{days, fmt_secs, print_cdf, seed, standard_config};
+use tssdn_core::Orchestrator;
+use tssdn_cpl::{IntentKind, SatcomConfig};
+use tssdn_sim::{RngStreams, SimTime};
+use tssdn_telemetry::percentile;
+
+fn main() {
+    let num_days = days(3);
+    println!("=== E5 / Figure 9: intent enactment vs channel RTT ===");
+    println!("12 balloons, {num_days} days, seed {}", seed());
+
+    // Channel RTT reference distributions (what Figure 9 plots as the
+    // dashed comparison lines), sampled directly from the models.
+    let streams = RngStreams::new(seed());
+    let mut rng = streams.stream("fig9-rtt");
+    let geo = SatcomConfig::geo_provider();
+    let leo = SatcomConfig::leo_provider();
+    let satcom_rtt: Vec<f64> = (0..4000)
+        .map(|i| {
+            let c = if i % 2 == 0 { &geo } else { &leo };
+            c.sample_one_way(&mut rng).as_secs_f64() + c.sample_one_way(&mut rng).as_secs_f64()
+        })
+        .collect();
+    let inband_rtt: Vec<f64> = (0..4000)
+        .map(|_| {
+            // Connection latency × 2 with jitter, a few mesh hops.
+            let hops = rng.gen_range(1..6) as f64;
+            2.0 * (0.12 + 0.025 * hops) * rng.gen_range(0.7..1.3)
+                + if rng.gen_bool(0.02) { rng.gen_range(5.0..25.0) } else { 0.0 }
+        })
+        .collect();
+
+    let mut cfg = standard_config(12, num_days, seed());
+    cfg.fleet.spawn_radius_m = 250_000.0;
+    let mut o = Orchestrator::new(cfg);
+    for d in 1..=num_days {
+        o.run_until(SimTime::from_days(d));
+        eprintln!(
+            "  [day {d}/{num_days}] confirmed intents: {}",
+            o.cdpi.records().len()
+        );
+    }
+
+    let link: Vec<f64> = o
+        .cdpi
+        .records()
+        .iter()
+        .filter(|r| r.kind == IntentKind::Link)
+        .map(|r| r.elapsed_s())
+        .collect();
+    let route: Vec<f64> = o
+        .cdpi
+        .records()
+        .iter()
+        .filter(|r| r.kind == IntentKind::Route)
+        .map(|r| r.elapsed_s())
+        .collect();
+    let link_satcom: Vec<f64> = o
+        .cdpi
+        .records()
+        .iter()
+        .filter(|r| r.kind == IntentKind::Link && r.used_satcom)
+        .map(|r| r.elapsed_s())
+        .collect();
+    let link_inband: Vec<f64> = o
+        .cdpi
+        .records()
+        .iter()
+        .filter(|r| r.kind == IntentKind::Link && !r.used_satcom)
+        .map(|r| r.elapsed_s())
+        .collect();
+
+    println!();
+    println!("satcom RTT reference:  best {}  median {}  p90 {}  p99 {}",
+        fmt_secs(percentile(&satcom_rtt, 0.0).unwrap_or(0.0)),
+        fmt_secs(percentile(&satcom_rtt, 50.0).unwrap_or(0.0)),
+        fmt_secs(percentile(&satcom_rtt, 90.0).unwrap_or(0.0)),
+        fmt_secs(percentile(&satcom_rtt, 99.0).unwrap_or(0.0)));
+    println!("  (paper: 23s / 1m27s / 5m47s / 14m50s)");
+    println!("in-band RTT reference: median {:.2}s  p90 {:.2}s  p99 {:.1}s",
+        percentile(&inband_rtt, 50.0).unwrap_or(0.0),
+        percentile(&inband_rtt, 90.0).unwrap_or(0.0),
+        percentile(&inband_rtt, 99.0).unwrap_or(0.0));
+    println!("  (paper: sub-second / 2s / 23s)");
+    println!();
+    print_cdf("Link intent enactment (s)", &link);
+    print_cdf("  Link via satcom (s)", &link_satcom);
+    print_cdf("  Link in-band only (s)", &link_inband);
+    print_cdf("Route intent enactment (s)", &route);
+    println!();
+    let med_link_sat = percentile(&link_satcom, 50.0).unwrap_or(0.0);
+    let med_link_inb = percentile(&link_inband, 50.0).unwrap_or(f64::NAN);
+    println!(
+        "in-band link enactment beats satcom at median: {}",
+        if med_link_inb < med_link_sat {
+            format!("REPRODUCED ({} vs {})", fmt_secs(med_link_inb), fmt_secs(med_link_sat))
+        } else {
+            format!("NOT reproduced ({} vs {})", fmt_secs(med_link_inb), fmt_secs(med_link_sat))
+        }
+    );
+    let med_route = percentile(&route, 50.0).unwrap_or(f64::NAN);
+    println!(
+        "route updates enact fast at median but with a heavy tail: median {} p99 {}",
+        fmt_secs(med_route),
+        fmt_secs(percentile(&route, 99.0).unwrap_or(f64::NAN)),
+    );
+}

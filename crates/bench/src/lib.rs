@@ -1,0 +1,170 @@
+//! Shared scenario builders and reporting helpers for the figure
+//! harness binaries (`src/bin/fig*.rs`, `src/bin/ablation_*.rs`,
+//! `src/bin/app*.rs`) and the criterion benches (`benches/`).
+//!
+//! Every binary regenerates one paper figure/claim; see DESIGN.md §3
+//! for the experiment index and EXPERIMENTS.md for paper-vs-measured
+//! results.
+
+use tssdn_core::{Orchestrator, OrchestratorConfig};
+use tssdn_geo::GeoPoint;
+use tssdn_rf::{RainCell, SyntheticWeather};
+use tssdn_sim::{SimDuration, SimTime};
+use tssdn_telemetry::{percentile, Summary};
+
+/// Standard experiment seed (override with `TSSDN_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("TSSDN_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(20220822)
+}
+
+/// Scale factor for experiment durations/fleets (default 1.0; set
+/// `TSSDN_SCALE=0.25` for a quick smoke run).
+pub fn scale() -> f64 {
+    std::env::var("TSSDN_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Scale a day count, with a floor of 1.
+pub fn days(n: u64) -> u64 {
+    ((n as f64 * scale()).round() as u64).max(1)
+}
+
+/// A tropical wet-season truth: convective rain cells spawning daily
+/// around the ground stations, drifting east — the weather that makes
+/// B2G links brittle (§2.2, Figure 11).
+pub fn stormy_truth(num_days: u64, intensity: f64) -> SyntheticWeather {
+    let mut w = SyntheticWeather::new();
+    // Deterministic pattern: three cells per afternoon near the GS
+    // sites, staggered in time and space.
+    let sites = [
+        GeoPoint::new(-1.25, 36.6, 0.0),
+        GeoPoint::new(0.05, 37.4, 0.0),
+        GeoPoint::new(-0.45, 39.4, 0.0),
+    ];
+    for day in 0..num_days {
+        for (i, site) in sites.iter().enumerate() {
+            // Afternoon convection: start between 12:00 and 15:00.
+            let start = SimTime::from_days(day)
+                + SimDuration::from_hours(12 + i as u64)
+                + SimDuration::from_mins(13 * (day % 4));
+            let end = start + SimDuration::from_hours(3 + i as u64 % 2);
+            w.add_cell(RainCell {
+                center: site.offset(-30_000.0 + 12_000.0 * (day % 5) as f64, 8_000.0 * i as f64, 0.0),
+                vel_east_mps: 6.0 + i as f64,
+                vel_north_mps: 1.5,
+                radius_m: 14_000.0 + 3_000.0 * (day % 3) as f64,
+                peak_rain_mm_h: 25.0 * intensity + 10.0 * (day % 3) as f64,
+                start_ms: start.as_ms(),
+                end_ms: end.as_ms(),
+            });
+        }
+    }
+    w
+}
+
+/// The standard full-loop scenario most experiments start from:
+/// `n` balloons over Kenya, stormy afternoons, 3 ground stations, and
+/// the production-like weather belief (site gauges + an imperfect
+/// forecast over the ITU backstop, §5).
+pub fn standard_config(n: usize, num_days: u64, seed: u64) -> OrchestratorConfig {
+    let mut cfg = OrchestratorConfig::kenya(n, seed);
+    cfg.weather_truth = stormy_truth(num_days, 1.0);
+    cfg.weather_model = tssdn_core::WeatherModelKind::WithGauges {
+        position_error_m: 20_000.0,
+        timing_error_ms: 30 * 60 * 1000,
+        intensity_scale: 0.8,
+    };
+    cfg
+}
+
+/// Run an orchestrator to `days` simulated days, printing progress.
+pub fn run_days(o: &mut Orchestrator, num_days: u64) {
+    for d in 1..=num_days {
+        o.run_until(SimTime::from_days(d));
+        eprintln!("  [day {d}/{num_days}] intents={} links_up={}",
+            o.intents.all().count(),
+            o.intents.established().count());
+    }
+}
+
+/// Print a CDF as `value fraction` rows for a fixed quantile ladder.
+pub fn print_cdf(label: &str, xs: &[f64]) {
+    println!("# CDF: {label} (n={})", xs.len());
+    if xs.is_empty() {
+        println!("  (no samples)");
+        return;
+    }
+    for p in [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+        let v = percentile(xs, p).expect("non-empty");
+        println!("  p{p:<4} {v:>10.2}");
+    }
+}
+
+/// Print a summary line.
+pub fn print_summary(label: &str, xs: &[f64]) {
+    match Summary::of(xs) {
+        Some(s) => println!("{label}: {s}"),
+        None => println!("{label}: (no samples)"),
+    }
+}
+
+/// Appendix A's mesh-redundancy fraction: given `b` balloons in the
+/// mesh, `g` ground-station transceivers, and `l` installed links,
+/// `Lmin = b`, `Lmax = floor((g + 3b)/2)`, and the utilized fraction
+/// of possible redundant links is `(l − Lmin)/(Lmax − Lmin)`.
+/// Returns `None` when the mesh is degenerate (no redundancy room).
+pub fn redundancy_fraction(b: usize, g: usize, l: usize) -> Option<f64> {
+    let lmin = b;
+    let lmax = (g + 3 * b) / 2;
+    if lmax <= lmin {
+        return None;
+    }
+    Some((l as f64 - lmin as f64) / (lmax as f64 - lmin as f64))
+}
+
+/// Format seconds human-readably (paper style: 1m45s).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{}h{:02}m{:02}s", (s / 3600.0) as u64, ((s / 60.0) as u64) % 60, s as u64 % 60)
+    } else if s >= 60.0 {
+        format!("{}m{:02}s", (s / 60.0) as u64, s as u64 % 60)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssdn_rf::WeatherField;
+
+    #[test]
+    fn stormy_truth_rains_in_the_afternoon() {
+        let w = stormy_truth(2, 1.0);
+        // Near the first site mid-afternoon on day 0.
+        let p = GeoPoint::new(-1.25, 36.7, 500.0);
+        let t = SimTime::from_hours(13) + SimDuration::from_mins(30);
+        let mut any = 0.0f64;
+        // Cells drift; scan a neighbourhood.
+        for dx in -4..=4 {
+            let q = p.offset(dx as f64 * 15_000.0, 0.0, 0.0);
+            any = any.max(w.sample(&q, t.as_ms()).rain_mm_h);
+        }
+        assert!(any > 5.0, "afternoon storm present, got {any}");
+        // Small hours: dry.
+        let night = w.sample(&p, SimTime::from_hours(3).as_ms());
+        assert_eq!(night.rain_mm_h, 0.0);
+    }
+
+    #[test]
+    fn fmt_secs_matches_paper_style() {
+        assert_eq!(fmt_secs(105.0), "1m45s");
+        assert_eq!(fmt_secs(23.0), "23.0s");
+        assert_eq!(fmt_secs(1555.0), "25m55s");
+        assert_eq!(fmt_secs(5400.0), "1h30m00s");
+    }
+
+    #[test]
+    fn scale_days_floor() {
+        assert!(days(4) >= 1);
+    }
+}

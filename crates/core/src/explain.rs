@@ -1,0 +1,423 @@
+//! "Why not?" — solver explainability.
+//!
+//! §6: operators "frequently ask 'why not...'" about links absent from
+//! the realized mesh, and "what was not clear was whether such
+//! proposed solutions were possible (e.g. didn't have unseen geometric
+//! or RF-based constraints)". The paper's recommendation 5 calls for
+//! tooling that "empowers network operations to answer 'why not'
+//! questions".
+//!
+//! Two levels answer the question end to end:
+//!
+//! * [`explain_pair`] — why a *platform pair* produced no candidate at
+//!   all (power, position, range, Earth blockage, antenna fields of
+//!   regard, RF budget): the "unseen geometric or RF-based
+//!   constraints".
+//! * [`explain_absence`] — why a specific *candidate* wasn't selected
+//!   by the solver (drains, transceiver already tasked, interference,
+//!   no demand utility, feedback penalty).
+
+use crate::evaluator::{CandidateGraph, EvaluatorConfig};
+use crate::model::{ModelWeather, NetworkModel};
+use crate::solver::{Solver, TopologyPlan};
+use tssdn_dataplane::DrainRegistry;
+use tssdn_geo::{line_of_sight_clear, PointingSolution};
+use tssdn_link::TransceiverId;
+use tssdn_rf::{LinkQuality, RadioParams};
+use tssdn_sim::{PlatformId, PlatformKind, SimTime};
+
+/// Why a platform pair has no candidate link at an instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PairAbsence {
+    /// Both endpoints are ground stations (wired; never paired).
+    GroundToGround,
+    /// A platform's payload is unpowered.
+    Unpowered(PlatformId),
+    /// No position report exists for a platform.
+    NoPosition(PlatformId),
+    /// Slant range exceeds the radio limit.
+    OutOfRange {
+        /// Actual range, meters.
+        range_m: f64,
+        /// Configured limit, meters.
+        limit_m: f64,
+    },
+    /// The Earth (plus clearance) blocks the ray.
+    NoLineOfSight,
+    /// No antenna on this platform can point at the other.
+    NoUsableAntenna(PlatformId),
+    /// Geometry works but no band closes the budget.
+    RfInfeasible {
+        /// Best modelled margin across bands/antennas, dB.
+        best_margin_db: f64,
+    },
+    /// Nothing wrong: candidates exist for this pair.
+    HasCandidates {
+        /// How many antenna pairings are on offer.
+        count: usize,
+    },
+}
+
+/// Why a specific candidate wasn't selected by the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionAbsence {
+    /// It *is* in the plan.
+    InPlan,
+    /// No such candidate exists (ask [`explain_pair`] for the physical
+    /// reason).
+    NotACandidate,
+    /// An endpoint platform is administratively drained.
+    Drained(PlatformId),
+    /// A selected link already uses one of its transceivers.
+    TransceiverBusy {
+        /// The selected link holding the radio.
+        holder: (TransceiverId, TransceiverId),
+    },
+    /// A selected same-band link points too close on a shared
+    /// platform.
+    Interference {
+        /// The conflicting selected link.
+        with: (TransceiverId, TransceiverId),
+        /// Angular separation that caused the conflict, degrees.
+        separation_deg: f64,
+    },
+    /// Selectable, but no routed demand credits it and the redundancy
+    /// pass didn't reach it within budget.
+    NoUtility,
+    /// The enactment-feedback loop is penalizing this pair.
+    FeedbackPenalized {
+        /// Current cost multiplier.
+        multiplier: f64,
+    },
+}
+
+/// Why a platform pair produced no candidate at `at` — evaluated
+/// against the controller's model exactly as the Link Evaluator sees
+/// it.
+pub fn explain_pair(
+    model: &NetworkModel,
+    config: &EvaluatorConfig,
+    a: PlatformId,
+    b: PlatformId,
+    at: SimTime,
+) -> PairAbsence {
+    let (Some(pa), Some(pb)) = (model.platform(a), model.platform(b)) else {
+        return PairAbsence::NoPosition(if model.platform(a).is_none() { a } else { b });
+    };
+    if pa.kind == PlatformKind::GroundStation && pb.kind == PlatformKind::GroundStation {
+        return PairAbsence::GroundToGround;
+    }
+    for p in [pa, pb] {
+        if !p.powered {
+            return PairAbsence::Unpowered(p.id);
+        }
+    }
+    let (Some(pos_a), Some(pos_b)) =
+        (model.predicted_position(a, at), model.predicted_position(b, at))
+    else {
+        return PairAbsence::NoPosition(
+            if model.predicted_position(a, at).is_none() { a } else { b },
+        );
+    };
+    let range = pos_a.slant_range_m(&pos_b);
+    if range > config.max_range_m {
+        return PairAbsence::OutOfRange { range_m: range, limit_m: config.max_range_m };
+    }
+    if !line_of_sight_clear(&pos_a, &pos_b, config.los_clearance_m) {
+        return PairAbsence::NoLineOfSight;
+    }
+    let to_b = PointingSolution::between(&pos_a, &pos_b);
+    let to_a = PointingSolution::between(&pos_b, &pos_a);
+    if !pa.transceivers.iter().any(|t| t.can_point_at(&to_b.direction)) {
+        return PairAbsence::NoUsableAntenna(a);
+    }
+    if !pb.transceivers.iter().any(|t| t.can_point_at(&to_a.direction)) {
+        return PairAbsence::NoUsableAntenna(b);
+    }
+    // RF: best margin across bands/antenna pairings.
+    let weather = ModelWeather { model };
+    let mut best = f64::NEG_INFINITY;
+    let mut count = 0usize;
+    for ta in pa.transceivers.iter().filter(|t| t.can_point_at(&to_b.direction)) {
+        for tb in pb.transceivers.iter().filter(|t| t.can_point_at(&to_a.direction)) {
+            for band in &config.bands {
+                let band = RadioParams {
+                    implementation_loss_db: band.implementation_loss_db
+                        + config.model_pessimism_db,
+                    ..*band
+                };
+                let rep = tssdn_rf::evaluate_link(
+                    &pos_a, &pos_b, &band, &ta.pattern, &tb.pattern, 0.0, 0.0, &weather,
+                    at.as_ms(),
+                );
+                best = best.max(rep.margin_db);
+                if rep.quality != LinkQuality::Infeasible {
+                    count += 1;
+                }
+            }
+        }
+    }
+    if count == 0 {
+        PairAbsence::RfInfeasible { best_margin_db: best }
+    } else {
+        PairAbsence::HasCandidates { count }
+    }
+}
+
+/// Why a candidate (identified by its pairing key) is absent from a
+/// plan.
+#[allow(clippy::too_many_arguments)]
+pub fn explain_absence(
+    solver: &Solver,
+    graph: &CandidateGraph,
+    plan: &TopologyPlan,
+    drains: &DrainRegistry,
+    key: (TransceiverId, TransceiverId),
+    now: SimTime,
+) -> SelectionAbsence {
+    if plan.key_set().contains(&key) {
+        return SelectionAbsence::InPlan;
+    }
+    let Some(cand) = graph.links.iter().find(|l| l.key() == key) else {
+        return SelectionAbsence::NotACandidate;
+    };
+    for p in [cand.a.platform, cand.b.platform] {
+        if drains.excludes_new_paths(p, now) {
+            return SelectionAbsence::Drained(p);
+        }
+    }
+    // Transceiver conflicts with selected links.
+    for sel in plan.all_links() {
+        let shares = sel.a == cand.a || sel.a == cand.b || sel.b == cand.a || sel.b == cand.b;
+        if shares {
+            return SelectionAbsence::TransceiverBusy { holder: sel.key() };
+        }
+    }
+    // Interference with selected links.
+    for sel in plan.all_links() {
+        if sel.band != cand.band {
+            continue;
+        }
+        for (ps, ds) in [(sel.a.platform, sel.pointing_a), (sel.b.platform, sel.pointing_b)] {
+            for (pc, dc) in [(cand.a.platform, cand.pointing_a), (cand.b.platform, cand.pointing_b)]
+            {
+                if ps == pc {
+                    let sep = ds.angular_distance_deg(&dc);
+                    if sep < solver.config.min_beam_separation_deg {
+                        return SelectionAbsence::Interference { with: sel.key(), separation_deg: sep };
+                    }
+                }
+            }
+        }
+    }
+    let pk = (
+        cand.a.platform.min(cand.b.platform),
+        cand.a.platform.max(cand.b.platform),
+    );
+    if let Some(m) = solver.pair_penalties.get(&pk) {
+        if *m > 1.5 {
+            return SelectionAbsence::FeedbackPenalized { multiplier: *m };
+        }
+    }
+    SelectionAbsence::NoUtility
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::LinkEvaluator;
+    use crate::model::WeatherSource;
+    use tssdn_dataplane::{BackhaulRequest, DrainMode};
+    use tssdn_geo::{GeoPoint, TrajectorySample};
+    use tssdn_link::Transceiver;
+    use tssdn_sim::PlatformId;
+
+    fn fix(lat: f64, lon: f64, alt: f64) -> TrajectorySample {
+        TrajectorySample {
+            t_ms: 0,
+            pos: GeoPoint::new(lat, lon, alt),
+            vel_east_mps: 0.0,
+            vel_north_mps: 0.0,
+            vel_up_mps: 0.0,
+        }
+    }
+
+    fn model_with(positions: &[(u32, f64, f64, f64, bool)]) -> NetworkModel {
+        // (id, lat, lon, alt, powered); ids ≥ 100 are ground stations.
+        let mut m = NetworkModel::new(WeatherSource::Itu(tssdn_rf::ItuSeasonal::tropical_wet()));
+        for (id, lat, lon, alt, powered) in positions {
+            let pid = PlatformId(*id);
+            let (kind, xs) = if *id >= 100 {
+                (
+                    PlatformKind::GroundStation,
+                    (0..2)
+                        .map(|i| {
+                            Transceiver::ground_station(
+                                pid,
+                                i,
+                                tssdn_geo::FieldOfRegard::ground_station(2.0),
+                            )
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                (PlatformKind::Balloon, (0..3).map(|i| Transceiver::balloon(pid, i)).collect())
+            };
+            m.add_platform(pid, kind, xs);
+            m.report_position(pid, fix(*lat, *lon, *alt));
+            m.report_power(pid, *powered);
+        }
+        m
+    }
+
+    #[test]
+    fn explains_power_position_range_and_los() {
+        let cfg = EvaluatorConfig::default();
+        // Unpowered.
+        let m = model_with(&[(0, 0.0, 36.0, 18_000.0, false), (1, 0.0, 37.0, 18_000.0, true)]);
+        assert_eq!(
+            explain_pair(&m, &cfg, PlatformId(0), PlatformId(1), SimTime::ZERO),
+            PairAbsence::Unpowered(PlatformId(0))
+        );
+        // Unknown platform.
+        assert_eq!(
+            explain_pair(&m, &cfg, PlatformId(0), PlatformId(9), SimTime::ZERO),
+            PairAbsence::NoPosition(PlatformId(9))
+        );
+        // Out of range (~1100 km).
+        let m = model_with(&[(0, 0.0, 36.0, 18_000.0, true), (1, 0.0, 46.0, 18_000.0, true)]);
+        match explain_pair(&m, &cfg, PlatformId(0), PlatformId(1), SimTime::ZERO) {
+            PairAbsence::OutOfRange { range_m, limit_m } => {
+                assert!(range_m > limit_m);
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        // Beyond the horizon at low altitude: LOS blocked within range.
+        let m = model_with(&[(0, 0.0, 36.0, 2_000.0, true), (1, 0.0, 41.0, 2_000.0, true)]);
+        assert_eq!(
+            explain_pair(&m, &cfg, PlatformId(0), PlatformId(1), SimTime::ZERO),
+            PairAbsence::NoLineOfSight
+        );
+        // GS–GS.
+        let m = model_with(&[(100, 0.0, 36.0, 1_500.0, true), (101, 0.3, 36.4, 1_500.0, true)]);
+        assert_eq!(
+            explain_pair(&m, &cfg, PlatformId(100), PlatformId(101), SimTime::ZERO),
+            PairAbsence::GroundToGround
+        );
+        // Healthy pair.
+        let m = model_with(&[(0, 0.0, 36.0, 18_000.0, true), (1, 0.0, 37.0, 18_000.0, true)]);
+        match explain_pair(&m, &cfg, PlatformId(0), PlatformId(1), SimTime::ZERO) {
+            PairAbsence::HasCandidates { count } => assert!(count > 0),
+            other => panic!("expected HasCandidates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explains_solver_level_absences() {
+        let cfg = EvaluatorConfig::default();
+        // 0,1 balloons; 100 GS; demand 0→EC via GS.
+        let m = model_with(&[
+            (0, 0.2, 36.9, 18_000.0, true),
+            (1, 0.4, 37.3, 18_000.0, true),
+            (100, 0.0, 36.8, 1_500.0, true),
+        ]);
+        let graph = LinkEvaluator::new(cfg).evaluate(&m, SimTime::ZERO);
+        assert!(!graph.is_empty());
+        let solver = Solver::default();
+        let ec = PlatformId(200);
+        let req = vec![BackhaulRequest {
+            node: PlatformId(0),
+            ec,
+            min_bitrate_bps: 50_000_000,
+            redundancy_group: None,
+        }];
+        let gw = |e: PlatformId| if e == ec { vec![PlatformId(100)] } else { vec![] };
+        let drains = DrainRegistry::new();
+        let plan =
+            solver.solve(&graph, &req, &gw, &Default::default(), &drains, SimTime::ZERO);
+        assert!(!plan.demand_links.is_empty());
+
+        // A link in the plan explains as InPlan.
+        let in_plan = plan.demand_links[0].key();
+        assert_eq!(
+            explain_absence(&solver, &graph, &plan, &drains, in_plan, SimTime::ZERO),
+            SelectionAbsence::InPlan
+        );
+
+        // A nonexistent pairing.
+        let ghost = (
+            TransceiverId::new(PlatformId(50), 0),
+            TransceiverId::new(PlatformId(51), 0),
+        );
+        assert_eq!(
+            explain_absence(&solver, &graph, &plan, &drains, ghost, SimTime::ZERO),
+            SelectionAbsence::NotACandidate
+        );
+
+        // A candidate sharing a transceiver with the plan explains as
+        // TransceiverBusy.
+        let busy = graph
+            .links
+            .iter()
+            .find(|l| {
+                !plan.key_set().contains(&l.key())
+                    && plan
+                        .all_links()
+                        .any(|s| s.a == l.a || s.b == l.a || s.a == l.b || s.b == l.b)
+            })
+            .map(|l| l.key());
+        if let Some(busy) = busy {
+            match explain_absence(&solver, &graph, &plan, &drains, busy, SimTime::ZERO) {
+                SelectionAbsence::TransceiverBusy { .. } => {}
+                other => panic!("expected TransceiverBusy, got {other:?}"),
+            }
+        }
+
+        // Drained endpoint.
+        let mut drains2 = DrainRegistry::new();
+        drains2.request(PlatformId(1), DrainMode::Force, SimTime::ZERO, None);
+        let plan2 = solver.solve(&graph, &req, &gw, &Default::default(), &drains2, SimTime::ZERO);
+        let touching_1 = graph
+            .links
+            .iter()
+            .find(|l| l.a.platform == PlatformId(1) || l.b.platform == PlatformId(1))
+            .expect("candidates touch balloon 1")
+            .key();
+        assert_eq!(
+            explain_absence(&solver, &graph, &plan2, &drains2, touching_1, SimTime::ZERO),
+            SelectionAbsence::Drained(PlatformId(1))
+        );
+    }
+
+    #[test]
+    fn feedback_penalty_is_surfaced() {
+        let cfg = EvaluatorConfig::default();
+        let m = model_with(&[
+            (0, 0.2, 36.9, 18_000.0, true),
+            (1, 0.4, 37.3, 18_000.0, true),
+            (100, 0.0, 36.8, 1_500.0, true),
+        ]);
+        let graph = LinkEvaluator::new(cfg).evaluate(&m, SimTime::ZERO);
+        let mut solver = Solver::default();
+        // Penalize the 0–1 pair heavily; no demand at all so nothing
+        // is selected and the pair's absence must cite the penalty.
+        solver
+            .pair_penalties
+            .insert((PlatformId(0), PlatformId(1)), 5.0);
+        let drains = DrainRegistry::new();
+        let plan = solver.solve(&graph, &[], &|_| vec![], &Default::default(), &drains, SimTime::ZERO);
+        let b2b = graph
+            .links
+            .iter()
+            .find(|l| l.a.platform == PlatformId(0) && l.b.platform == PlatformId(1))
+            .expect("0–1 candidates exist")
+            .key();
+        // With no demand and no selected links, the only reason left
+        // for this pair is the feedback penalty.
+        match explain_absence(&solver, &graph, &plan, &drains, b2b, SimTime::ZERO) {
+            SelectionAbsence::FeedbackPenalized { multiplier } => assert!(multiplier > 1.5),
+            SelectionAbsence::TransceiverBusy { .. } => {} // redundancy pass may have tasked it
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

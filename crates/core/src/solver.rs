@@ -1,0 +1,910 @@
+//! The topology Solver: Appendix B's greedy utility iteration.
+//!
+//! > "mark all possible links as viable; estimate the utility of all
+//! > viable links; while there exist viable links with positive
+//! > estimated utility do: add highest utility link to solution set;
+//! > mark as inviable any links incompatible with it; estimate the
+//! > utility of all viable links."
+//!
+//! Link utility follows the paper's "intuitive heuristic": route each
+//! traffic demand to its destination over the graph of viable links
+//! and take each link's carried traffic as its utility. Link costs
+//! "encourage continuity of link selections (i.e. hysteresis)" — the
+//! paper's §3.2 bias "toward topologies that kept established links" —
+//! and penalize marginal links and draining nodes.
+//!
+//! After demand-driven selection, a secondary pass "added redundant
+//! links using otherwise idle E band transceivers to enable faster
+//! failover" (§3.2), targeting a configurable fraction of remaining
+//! transceivers (the paper intended ~70% at median, Figure 7).
+
+use crate::evaluator::{CandidateGraph, CandidateLink};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use tssdn_dataplane::{BackhaulRequest, DrainRegistry};
+use tssdn_link::TransceiverId;
+use tssdn_rf::LinkQuality;
+use tssdn_sim::{PlatformId, SimTime};
+
+/// Solver tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Cost discount for links present in the previous topology
+    /// (hysteresis; subtracted from the hop cost).
+    pub hysteresis_bonus: f64,
+    /// Extra cost for marginal-quality links.
+    pub marginal_penalty: f64,
+    /// Fraction of post-demand idle transceivers to task with
+    /// redundant links (the paper's intended ~0.7).
+    pub redundancy_target: f64,
+    /// Minimum angular separation (degrees) between same-band links
+    /// sharing a platform (interference constraint).
+    pub min_beam_separation_deg: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            hysteresis_bonus: 0.4,
+            marginal_penalty: 2.0,
+            redundancy_target: 0.7,
+            min_beam_separation_deg: 5.0,
+        }
+    }
+}
+
+/// The solver's output for one time slice.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyPlan {
+    /// When this plan is for.
+    pub at: SimTime,
+    /// Links selected to carry demand.
+    pub demand_links: Vec<CandidateLink>,
+    /// Extra links tasked for redundancy.
+    pub redundant_links: Vec<CandidateLink>,
+    /// Platform-level path for each satisfied request, keyed by
+    /// `(node, ec)`.
+    pub routes: BTreeMap<(PlatformId, PlatformId), Vec<PlatformId>>,
+    /// Requests that could not be satisfied.
+    pub unsatisfied: Vec<(PlatformId, PlatformId)>,
+    /// How many selected links were kept from the previous topology.
+    pub kept_links: usize,
+}
+
+impl TopologyPlan {
+    /// All selected links (demand + redundant).
+    pub fn all_links(&self) -> impl Iterator<Item = &CandidateLink> {
+        self.demand_links.iter().chain(self.redundant_links.iter())
+    }
+
+    /// The pairing-key set of the whole plan.
+    pub fn key_set(&self) -> BTreeSet<(TransceiverId, TransceiverId)> {
+        self.all_links().map(|l| l.key()).collect()
+    }
+
+    /// A scalar value for this solution — §6 recommendation 4:
+    /// "improve confidence in solver adjustments by identifying a
+    /// metric for the value of each given network solution."
+    ///
+    /// Components: satisfied-demand fraction (dominant), margin
+    /// headroom of the selected links (robustness), redundant links
+    /// per satisfied demand (failover capacity), and a penalty per
+    /// marginal link in the demand set. Scores are comparable across
+    /// solves of the same request set.
+    pub fn utility_score(&self, num_requests: usize) -> PlanScore {
+        let satisfied = self.routes.len();
+        let demand_fraction = if num_requests == 0 {
+            1.0
+        } else {
+            satisfied as f64 / num_requests as f64
+        };
+        let margins: Vec<f64> = self.all_links().map(|l| l.margin_db).collect();
+        let mean_margin = if margins.is_empty() {
+            0.0
+        } else {
+            margins.iter().sum::<f64>() / margins.len() as f64
+        };
+        let marginal_links = self
+            .demand_links
+            .iter()
+            .filter(|l| l.quality == tssdn_rf::LinkQuality::Marginal)
+            .count();
+        let redundancy_ratio = if satisfied == 0 {
+            0.0
+        } else {
+            self.redundant_links.len() as f64 / satisfied as f64
+        };
+        let total = 100.0 * demand_fraction + (mean_margin / 2.0).clamp(0.0, 10.0)
+            + 10.0 * redundancy_ratio.min(1.0)
+            - 2.0 * marginal_links as f64;
+        PlanScore {
+            total,
+            demand_fraction,
+            mean_margin_db: mean_margin,
+            redundancy_ratio,
+            marginal_links,
+        }
+    }
+
+    /// Render the plan as an operator-facing goal state — §6
+    /// recommendation 3: "put individual changes in context by
+    /// surfacing a near-term goal state from the solver, and the
+    /// expected sequence of intents to reach it." `current` is the
+    /// installed pairing-key set; the rendering lists keeps, adds and
+    /// removals in actuation order (teardowns before the
+    /// establishments that reuse their radios).
+    pub fn render_goal_state(
+        &self,
+        current: &BTreeSet<(TransceiverId, TransceiverId)>,
+        num_requests: usize,
+    ) -> String {
+        use std::fmt::Write as _;
+        let goal = self.key_set();
+        let mut out = String::new();
+        let score = self.utility_score(num_requests);
+        let _ = writeln!(
+            out,
+            "goal topology @ {}: {} links ({} demand + {} redundant), score {:.1}",
+            self.at,
+            goal.len(),
+            self.demand_links.len(),
+            self.redundant_links.len(),
+            score.total
+        );
+        let _ = writeln!(
+            out,
+            "  demand: {}/{} satisfied; mean margin {:.1} dB; {} marginal",
+            self.routes.len(),
+            num_requests,
+            score.mean_margin_db,
+            score.marginal_links
+        );
+        let keeps = goal.intersection(current).count();
+        let _ = writeln!(out, "  keep {keeps} installed links");
+        for k in current.difference(&goal) {
+            let _ = writeln!(out, "  1. withdraw {} — {}", k.0, k.1);
+        }
+        for l in self.all_links().filter(|l| !current.contains(&l.key())) {
+            let _ = writeln!(
+                out,
+                "  2. establish {} — {} ({:.0} Mbps, {:+.1} dB)",
+                l.a,
+                l.b,
+                l.bitrate_bps as f64 / 1e6,
+                l.margin_db
+            );
+        }
+        for (flow, path) in &self.routes {
+            let hops: Vec<String> = path.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(out, "  3. route {} → {}: {}", flow.0, flow.1, hops.join(" → "));
+        }
+        out
+    }
+}
+
+/// The components of a plan's utility score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanScore {
+    /// The combined scalar (higher is better).
+    pub total: f64,
+    /// Fraction of requests routed.
+    pub demand_fraction: f64,
+    /// Mean modelled margin over selected links, dB.
+    pub mean_margin_db: f64,
+    /// Redundant links per satisfied demand (capped contribution).
+    pub redundancy_ratio: f64,
+    /// Marginal-quality links carrying demand.
+    pub marginal_links: usize,
+}
+
+/// The greedy solver.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    /// Configuration.
+    pub config: SolverConfig,
+    /// Per-platform-pair cost multipliers from the enactment feedback
+    /// loop (§7 future work; empty when the loop is off). Keyed by
+    /// `(min, max)` platform id.
+    pub pair_penalties: BTreeMap<(PlatformId, PlatformId), f64>,
+}
+
+impl Solver {
+    /// Solver with the given config.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver { config, pair_penalties: BTreeMap::new() }
+    }
+
+    /// Solve one time slice.
+    ///
+    /// * `candidates` — the evaluator's output.
+    /// * `requests` — connectivity demands (node → EC pod).
+    /// * `gateways_to_ec` — for each EC, the ground stations with an
+    ///   up tunnel to it.
+    /// * `previous` — pairing keys of the currently-installed
+    ///   topology (hysteresis input).
+    /// * `drains` — administrative drains to respect.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve(
+        &self,
+        candidates: &CandidateGraph,
+        requests: &[BackhaulRequest],
+        gateways_to_ec: &dyn Fn(PlatformId) -> Vec<PlatformId>,
+        previous: &BTreeSet<(TransceiverId, TransceiverId)>,
+        drains: &DrainRegistry,
+        now: SimTime,
+    ) -> TopologyPlan {
+        let mut plan = TopologyPlan { at: candidates.at, ..Default::default() };
+        let mut viable: Vec<bool> = vec![true; candidates.links.len()];
+        // Exclude candidates touching drained nodes outright.
+        for (i, l) in candidates.links.iter().enumerate() {
+            if drains.excludes_new_paths(l.a.platform, now)
+                || drains.excludes_new_paths(l.b.platform, now)
+            {
+                viable[i] = false;
+            }
+        }
+        let mut selected: Vec<usize> = Vec::new();
+        let mut used_transceivers: BTreeSet<TransceiverId> = BTreeSet::new();
+
+        // Structural hysteresis first: keep every incumbent link that
+        // is still a viable candidate. "Link reconfigurations were
+        // risky as they failed often and had high recovery costs. We
+        // biased toward the selection of high utility links and
+        // dampened the rate of change by biasing toward topologies
+        // that kept established links" (§3.2). An incumbent is only
+        // dropped when the evaluator no longer offers it at all (the
+        // predictive withdrawal of a degrading link) or it conflicts
+        // with an already-kept link.
+        let mut incumbents: Vec<usize> = (0..candidates.links.len())
+            .filter(|i| viable[*i] && previous.contains(&candidates.links[*i].key()))
+            .collect();
+        incumbents.sort_by(|x, y| {
+            candidates.links[*y]
+                .margin_db
+                .partial_cmp(&candidates.links[*x].margin_db)
+                .expect("finite margins")
+        });
+        for i in incumbents {
+            if !viable[i] {
+                continue;
+            }
+            let chosen = candidates.links[i];
+            selected.push(i);
+            used_transceivers.insert(chosen.a);
+            used_transceivers.insert(chosen.b);
+            plan.kept_links += 1;
+            for (j, l) in candidates.links.iter().enumerate() {
+                if viable[j] && j != i && self.conflicts(&chosen, l) {
+                    viable[j] = false;
+                }
+            }
+        }
+
+        // Greedy utility iteration (Appendix B).
+        loop {
+            let (utilities, routes) =
+                self.estimate_utilities(candidates, requests, gateways_to_ec, previous, &viable, &selected);
+            // Highest-utility *unselected* viable candidate; ties break
+            // toward higher link margin (more robust choice).
+            let best = (0..candidates.links.len())
+                .filter(|i| viable[*i] && !selected.contains(i))
+                .filter(|i| utilities[*i] > 0.0)
+                .max_by(|a, b| {
+                    (utilities[*a], candidates.links[*a].margin_db)
+                        .partial_cmp(&(utilities[*b], candidates.links[*b].margin_db))
+                        .expect("finite")
+                });
+            let Some(best) = best else {
+                // Done: record the final routing over selected links.
+                plan.routes = routes
+                    .into_iter()
+                    .filter(|(_, path)| path.is_some())
+                    .map(|(k, path)| (k, path.expect("filtered")))
+                    .collect();
+                plan.unsatisfied = requests
+                    .iter()
+                    .map(|r| (r.node, r.ec))
+                    .filter(|k| !plan.routes.contains_key(k))
+                    .collect();
+                break;
+            };
+            selected.push(best);
+            let chosen = candidates.links[best];
+            used_transceivers.insert(chosen.a);
+            used_transceivers.insert(chosen.b);
+            if previous.contains(&chosen.key()) {
+                plan.kept_links += 1;
+            }
+            // Invalidate incompatible candidates.
+            for (i, l) in candidates.links.iter().enumerate() {
+                if viable[i] && i != best && self.conflicts(&chosen, l) {
+                    viable[i] = false;
+                }
+            }
+        }
+        plan.demand_links = selected.iter().map(|i| candidates.links[*i]).collect();
+
+        // Redundancy pass over idle transceivers.
+        self.add_redundancy(candidates, &mut plan, &mut used_transceivers, &viable, &selected, previous);
+        plan
+    }
+
+    /// Whether two candidates cannot coexist: shared transceiver, or
+    /// same platform + same band + beams closer than the separation
+    /// minimum.
+    fn conflicts(&self, a: &CandidateLink, b: &CandidateLink) -> bool {
+        let shares_transceiver =
+            a.a == b.a || a.a == b.b || a.b == b.a || a.b == b.b;
+        if shares_transceiver {
+            return true;
+        }
+        if a.band != b.band {
+            return false;
+        }
+        // Same-band links sharing a platform must be angularly
+        // separated.
+        for (pa, dir_a) in [(a.a.platform, a.pointing_a), (a.b.platform, a.pointing_b)] {
+            for (pb, dir_b) in [(b.a.platform, b.pointing_a), (b.b.platform, b.pointing_b)] {
+                if pa == pb
+                    && dir_a.angular_distance_deg(&dir_b) < self.config.min_beam_separation_deg
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Route every demand over the viable+selected graph and credit
+    /// carried bits to each *unselected* candidate on the path.
+    #[allow(clippy::type_complexity)]
+    fn estimate_utilities(
+        &self,
+        candidates: &CandidateGraph,
+        requests: &[BackhaulRequest],
+        gateways_to_ec: &dyn Fn(PlatformId) -> Vec<PlatformId>,
+        previous: &BTreeSet<(TransceiverId, TransceiverId)>,
+        viable: &[bool],
+        selected: &[usize],
+    ) -> (Vec<f64>, BTreeMap<(PlatformId, PlatformId), Option<Vec<PlatformId>>>) {
+        // Platform-level adjacency: edge → (cost, candidate index).
+        // Keep the cheapest edge per platform pair.
+        let mut adj: BTreeMap<PlatformId, Vec<(PlatformId, f64, usize)>> = BTreeMap::new();
+        for (i, l) in candidates.links.iter().enumerate() {
+            if !viable[i] {
+                continue;
+            }
+            let is_selected = selected.contains(&i);
+            let mut cost = if is_selected { 0.1 } else { 1.0 };
+            if l.quality == LinkQuality::Marginal {
+                cost += self.config.marginal_penalty;
+            }
+            if previous.contains(&l.key()) {
+                cost = (cost - self.config.hysteresis_bonus).max(0.05);
+            }
+            // Enactment-feedback penalty: pairs that keep failing cost
+            // more, steering demand toward alternates (§5's "better
+            // policy").
+            let pk = (
+                l.a.platform.min(l.b.platform),
+                l.a.platform.max(l.b.platform),
+            );
+            if let Some(m) = self.pair_penalties.get(&pk) {
+                cost *= m;
+            }
+            adj.entry(l.a.platform).or_default().push((l.b.platform, cost, i));
+            adj.entry(l.b.platform).or_default().push((l.a.platform, cost, i));
+        }
+
+        let mut utilities = vec![0.0f64; candidates.links.len()];
+        let mut routes: BTreeMap<(PlatformId, PlatformId), Option<Vec<PlatformId>>> =
+            BTreeMap::new();
+        for req in requests {
+            let gws: BTreeSet<PlatformId> = gateways_to_ec(req.ec).into_iter().collect();
+            let path = if gws.is_empty() {
+                None
+            } else {
+                dijkstra_to_any(&adj, req.node, &gws)
+            };
+            if let Some((path, edge_idxs)) = &path {
+                for i in edge_idxs {
+                    if !selected.contains(i) {
+                        utilities[*i] += req.min_bitrate_bps as f64;
+                    }
+                }
+                routes.insert((req.node, req.ec), Some(path.clone()));
+            } else {
+                routes.insert((req.node, req.ec), None);
+            }
+        }
+        (utilities, routes)
+    }
+
+    /// Task idle transceivers with extra links for failover, up to the
+    /// redundancy-target fraction (Figure 7's *intended* level).
+    fn add_redundancy(
+        &self,
+        candidates: &CandidateGraph,
+        plan: &mut TopologyPlan,
+        used: &mut BTreeSet<TransceiverId>,
+        viable: &[bool],
+        selected: &[usize],
+        previous: &BTreeSet<(TransceiverId, TransceiverId)>,
+    ) {
+        // Idle transceivers anywhere in the candidate graph are fair
+        // game, but a redundant link must touch the demand topology on
+        // at least one end — a detached island adds no failover value.
+        let connected: BTreeSet<PlatformId> = plan
+            .demand_links
+            .iter()
+            .flat_map(|l| [l.a.platform, l.b.platform])
+            .collect();
+        let mut idle: BTreeSet<TransceiverId> = candidates
+            .links
+            .iter()
+            .flat_map(|l| [l.a, l.b])
+            .filter(|t| !used.contains(t))
+            .collect();
+        // Budget in *links*: each redundant link consumes two idle
+        // transceivers. Rounding works on links so small meshes can
+        // still task a pair (2 idle × 0.7 → 1 link).
+        let link_budget =
+            ((idle.len() as f64 * self.config.redundancy_target) / 2.0).round() as usize;
+        let mut tasked_links = 0usize;
+
+        // Redundancy priorities: keep incumbents; protect singly-
+        // connected platforms (a second link turns a link failure from
+        // a disconnection into a reroute); prefer extra ground egress
+        // (a redundant B2G link protects the whole mesh's backhaul);
+        // then highest margin.
+        let mut degree: BTreeMap<PlatformId, usize> = BTreeMap::new();
+        for l in &plan.demand_links {
+            *degree.entry(l.a.platform).or_default() += 1;
+            *degree.entry(l.b.platform).or_default() += 1;
+        }
+        let mut order: Vec<usize> = (0..candidates.links.len())
+            .filter(|i| viable[*i] && !selected.contains(i))
+            .collect();
+        order.sort_by(|x, y| {
+            let lx = &candidates.links[*x];
+            let ly = &candidates.links[*y];
+            let kx = previous.contains(&lx.key());
+            let ky = previous.contains(&ly.key());
+            let dx = degree
+                .get(&lx.a.platform)
+                .copied()
+                .unwrap_or(9)
+                .min(degree.get(&lx.b.platform).copied().unwrap_or(9));
+            let dy = degree
+                .get(&ly.a.platform)
+                .copied()
+                .unwrap_or(9)
+                .min(degree.get(&ly.b.platform).copied().unwrap_or(9));
+            let gx = lx.kind == tssdn_link::LinkKind::B2G;
+            let gy = ly.kind == tssdn_link::LinkKind::B2G;
+            ky.cmp(&kx)
+                .then(dx.cmp(&dy))
+                .then(gy.cmp(&gx))
+                .then(ly.margin_db.partial_cmp(&lx.margin_db).expect("finite margins"))
+        });
+        let mut chosen_keys: Vec<CandidateLink> = Vec::new();
+        for i in order {
+            if tasked_links >= link_budget {
+                break;
+            }
+            let l = &candidates.links[i];
+            if !idle.contains(&l.a) || !idle.contains(&l.b) {
+                continue;
+            }
+            if !connected.contains(&l.a.platform) && !connected.contains(&l.b.platform) {
+                continue;
+            }
+            // Redundant links must not interfere with anything chosen.
+            if plan.demand_links.iter().chain(chosen_keys.iter()).any(|s| self.conflicts(s, l)) {
+                continue;
+            }
+            // Marginal links are not worth burning idle radios on.
+            if l.quality == LinkQuality::Marginal {
+                continue;
+            }
+            idle.remove(&l.a);
+            idle.remove(&l.b);
+            used.insert(l.a);
+            used.insert(l.b);
+            tasked_links += 1;
+            chosen_keys.push(*l);
+        }
+        plan.redundant_links = chosen_keys;
+    }
+}
+
+/// Dijkstra from `from` to the nearest member of `targets`, returning
+/// the platform path and the candidate indices of traversed edges.
+#[allow(clippy::type_complexity)]
+fn dijkstra_to_any(
+    adj: &BTreeMap<PlatformId, Vec<(PlatformId, f64, usize)>>,
+    from: PlatformId,
+    targets: &BTreeSet<PlatformId>,
+) -> Option<(Vec<PlatformId>, Vec<usize>)> {
+    if targets.contains(&from) {
+        return Some((vec![from], vec![]));
+    }
+    // (cost scaled to u64 for the heap, node).
+    let scale = |c: f64| (c * 1e6) as u64;
+    let mut dist: BTreeMap<PlatformId, u64> = BTreeMap::new();
+    let mut prev: BTreeMap<PlatformId, (PlatformId, usize)> = BTreeMap::new();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, PlatformId)>> = BinaryHeap::new();
+    dist.insert(from, 0);
+    heap.push(std::cmp::Reverse((0, from)));
+    while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
+        if dist.get(&n).map(|x| d > *x).unwrap_or(false) {
+            continue;
+        }
+        if targets.contains(&n) {
+            // Reconstruct.
+            let mut path = vec![n];
+            let mut edges = Vec::new();
+            let mut cur = n;
+            while let Some((p, e)) = prev.get(&cur) {
+                path.push(*p);
+                edges.push(*e);
+                cur = *p;
+            }
+            path.reverse();
+            edges.reverse();
+            return Some((path, edges));
+        }
+        for (m, c, i) in adj.get(&n).into_iter().flatten() {
+            let nd = d + scale(*c);
+            if dist.get(m).map(|x| nd < *x).unwrap_or(true) {
+                dist.insert(*m, nd);
+                prev.insert(*m, (n, *i));
+                heap.push(std::cmp::Reverse((nd, *m)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssdn_geo::AzEl;
+    use tssdn_link::LinkKind;
+
+    fn tid(p: u32, i: u8) -> TransceiverId {
+        TransceiverId::new(PlatformId(p), i)
+    }
+
+    /// Hand-built candidate between platforms `a`/`b` using antenna
+    /// indices `ai`/`bi`, pointing spread apart by index.
+    fn cand(a: u32, ai: u8, b: u32, bi: u8, margin: f64, quality: LinkQuality) -> CandidateLink {
+        CandidateLink {
+            a: tid(a, ai),
+            b: tid(b, bi),
+            kind: if a >= 100 || b >= 100 { LinkKind::B2G } else { LinkKind::B2B },
+            band: 0,
+            bitrate_bps: 400_000_000,
+            margin_db: margin,
+            quality,
+            // Distinct pointing per antenna index avoids accidental
+            // interference conflicts in tests.
+            pointing_a: AzEl::new(ai as f64 * 90.0, 0.0),
+            pointing_b: AzEl::new(bi as f64 * 90.0 + 45.0, 0.0),
+            range_m: 300_000.0,
+        }
+    }
+
+    fn graph(links: Vec<CandidateLink>) -> CandidateGraph {
+        CandidateGraph { at: SimTime::ZERO, links }
+    }
+
+    fn req(node: u32, ec: u32) -> BackhaulRequest {
+        BackhaulRequest {
+            node: PlatformId(node),
+            ec: PlatformId(ec),
+            min_bitrate_bps: 50_000_000,
+            redundancy_group: None,
+        }
+    }
+
+    /// EC 200 is reachable via GS 100.
+    fn gw(ec: PlatformId) -> Vec<PlatformId> {
+        if ec == PlatformId(200) {
+            vec![PlatformId(100)]
+        } else {
+            vec![]
+        }
+    }
+
+    #[test]
+    fn routes_single_demand_through_chain() {
+        // 0 —— 1 —— GS100, demand 0 → EC200.
+        let g = graph(vec![
+            cand(0, 0, 1, 0, 10.0, LinkQuality::Acceptable),
+            cand(1, 1, 100, 0, 10.0, LinkQuality::Acceptable),
+        ]);
+        let plan = Solver::default().solve(
+            &g,
+            &[req(0, 200)],
+            &|ec| gw(ec),
+            &BTreeSet::new(),
+            &DrainRegistry::new(),
+            SimTime::ZERO,
+        );
+        assert_eq!(plan.demand_links.len(), 2);
+        assert_eq!(
+            plan.routes.get(&(PlatformId(0), PlatformId(200))),
+            Some(&vec![PlatformId(0), PlatformId(1), PlatformId(100)])
+        );
+        assert!(plan.unsatisfied.is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_demand_reported() {
+        let g = graph(vec![cand(0, 0, 1, 0, 10.0, LinkQuality::Acceptable)]);
+        let plan = Solver::default().solve(
+            &g,
+            &[req(0, 200)],
+            &|ec| gw(ec),
+            &BTreeSet::new(),
+            &DrainRegistry::new(),
+            SimTime::ZERO,
+        );
+        assert!(plan.demand_links.is_empty(), "no useful links selected");
+        assert_eq!(plan.unsatisfied, vec![(PlatformId(0), PlatformId(200))]);
+    }
+
+    #[test]
+    fn transceiver_used_once() {
+        // Two demands (0→EC, 1→EC) both want GS100's antenna 0; GS has
+        // a second antenna for the other.
+        let g = graph(vec![
+            cand(0, 0, 100, 0, 12.0, LinkQuality::Acceptable),
+            cand(1, 0, 100, 0, 11.0, LinkQuality::Acceptable),
+            cand(1, 1, 100, 1, 10.0, LinkQuality::Acceptable),
+        ]);
+        let plan = Solver::default().solve(
+            &g,
+            &[req(0, 200), req(1, 200)],
+            &|ec| gw(ec),
+            &BTreeSet::new(),
+            &DrainRegistry::new(),
+            SimTime::ZERO,
+        );
+        let keys = plan.key_set();
+        assert!(keys.contains(&(tid(0, 0), tid(100, 0))));
+        assert!(
+            keys.contains(&(tid(1, 1), tid(100, 1))),
+            "second demand uses the other GS antenna: {keys:?}"
+        );
+        assert_eq!(plan.demand_links.len(), 2);
+    }
+
+    #[test]
+    fn hysteresis_keeps_incumbent_path() {
+        // Two equal-cost 1-hop options for 0→GS; previous topology
+        // used antenna combo (0,1)-(100,1).
+        let g = graph(vec![
+            cand(0, 0, 100, 0, 10.0, LinkQuality::Acceptable),
+            cand(0, 1, 100, 1, 10.0, LinkQuality::Acceptable),
+        ]);
+        let mut prev = BTreeSet::new();
+        prev.insert((tid(0, 1), tid(100, 1)));
+        let plan = Solver::default().solve(
+            &g,
+            &[req(0, 200)],
+            &|ec| gw(ec),
+            &prev,
+            &DrainRegistry::new(),
+            SimTime::ZERO,
+        );
+        assert_eq!(plan.demand_links.len(), 1);
+        assert_eq!(plan.demand_links[0].key(), (tid(0, 1), tid(100, 1)), "incumbent kept");
+        assert_eq!(plan.kept_links, 1);
+    }
+
+    #[test]
+    fn marginal_link_avoided_when_alternative_exists() {
+        // Direct marginal link vs 2-hop acceptable path.
+        let g = graph(vec![
+            cand(0, 0, 100, 0, -1.0, LinkQuality::Marginal),
+            cand(0, 1, 1, 0, 10.0, LinkQuality::Acceptable),
+            cand(1, 1, 100, 1, 10.0, LinkQuality::Acceptable),
+        ]);
+        let plan = Solver::default().solve(
+            &g,
+            &[req(0, 200)],
+            &|ec| gw(ec),
+            &BTreeSet::new(),
+            &DrainRegistry::new(),
+            SimTime::ZERO,
+        );
+        let path = plan.routes.get(&(PlatformId(0), PlatformId(200))).expect("routed");
+        assert_eq!(path.len(), 3, "took the 2-hop acceptable path: {path:?}");
+    }
+
+    #[test]
+    fn marginal_link_used_when_only_option() {
+        let g = graph(vec![cand(0, 0, 100, 0, -1.0, LinkQuality::Marginal)]);
+        let plan = Solver::default().solve(
+            &g,
+            &[req(0, 200)],
+            &|ec| gw(ec),
+            &BTreeSet::new(),
+            &DrainRegistry::new(),
+            SimTime::ZERO,
+        );
+        assert_eq!(plan.demand_links.len(), 1, "attempted when no acceptable link exists");
+    }
+
+    #[test]
+    fn drained_node_excluded_from_new_paths() {
+        use tssdn_dataplane::DrainMode;
+        // Path through node 1 or node 2; node 1 is draining.
+        let g = graph(vec![
+            cand(0, 0, 1, 0, 12.0, LinkQuality::Acceptable),
+            cand(1, 1, 100, 0, 12.0, LinkQuality::Acceptable),
+            cand(0, 1, 2, 0, 8.0, LinkQuality::Acceptable),
+            cand(2, 1, 100, 1, 8.0, LinkQuality::Acceptable),
+        ]);
+        let mut drains = DrainRegistry::new();
+        drains.request(PlatformId(1), DrainMode::Opportunistic, SimTime::ZERO, None);
+        let plan = Solver::default().solve(
+            &g,
+            &[req(0, 200)],
+            &|ec| gw(ec),
+            &BTreeSet::new(),
+            &drains,
+            SimTime::ZERO,
+        );
+        let path = plan.routes.get(&(PlatformId(0), PlatformId(200))).expect("routed");
+        assert!(!path.contains(&PlatformId(1)), "drained node avoided: {path:?}");
+    }
+
+    #[test]
+    fn redundancy_pass_tasks_idle_transceivers() {
+        // Demand uses 0—100; idle antennas on 0/1/100 allow a
+        // redundant 0—1 and 1—100 pair... budget limits apply.
+        let g = graph(vec![
+            cand(0, 0, 100, 0, 12.0, LinkQuality::Acceptable),
+            cand(0, 1, 1, 0, 11.0, LinkQuality::Acceptable),
+            cand(1, 1, 100, 1, 10.0, LinkQuality::Acceptable),
+        ]);
+        let plan = Solver::default().solve(
+            &g,
+            &[req(0, 200)],
+            &|ec| gw(ec),
+            &BTreeSet::new(),
+            &DrainRegistry::new(),
+            SimTime::ZERO,
+        );
+        assert_eq!(plan.demand_links.len(), 1);
+        assert!(
+            !plan.redundant_links.is_empty(),
+            "idle transceivers tasked for redundancy"
+        );
+        // No transceiver reuse anywhere.
+        let mut seen = BTreeSet::new();
+        for l in plan.all_links() {
+            assert!(seen.insert(l.a), "{:?} reused", l.a);
+            assert!(seen.insert(l.b), "{:?} reused", l.b);
+        }
+    }
+
+    #[test]
+    fn zero_redundancy_target_tasks_nothing() {
+        let g = graph(vec![
+            cand(0, 0, 100, 0, 12.0, LinkQuality::Acceptable),
+            cand(0, 1, 1, 0, 11.0, LinkQuality::Acceptable),
+            cand(1, 1, 100, 1, 10.0, LinkQuality::Acceptable),
+        ]);
+        let solver = Solver::new(SolverConfig { redundancy_target: 0.0, ..Default::default() });
+        let plan = solver.solve(
+            &g,
+            &[req(0, 200)],
+            &|ec| gw(ec),
+            &BTreeSet::new(),
+            &DrainRegistry::new(),
+            SimTime::ZERO,
+        );
+        assert!(plan.redundant_links.is_empty());
+    }
+
+    #[test]
+    fn interference_conflict_blocks_same_band_close_beams() {
+        let s = Solver::default();
+        let mut a = cand(0, 0, 1, 0, 10.0, LinkQuality::Acceptable);
+        let mut b = cand(0, 1, 2, 0, 10.0, LinkQuality::Acceptable);
+        // Same platform 0, same band, beams 2° apart.
+        a.pointing_a = AzEl::new(100.0, 0.0);
+        b.pointing_a = AzEl::new(102.0, 0.0);
+        assert!(s.conflicts(&a, &b));
+        // Different bands: fine.
+        b.band = 1;
+        assert!(!s.conflicts(&a, &b));
+        // Same band but far apart: fine.
+        b.band = 0;
+        b.pointing_a = AzEl::new(250.0, 0.0);
+        assert!(!s.conflicts(&a, &b));
+    }
+}
+
+#[cfg(test)]
+mod score_tests {
+    use super::*;
+    use tssdn_geo::AzEl;
+    use tssdn_link::LinkKind;
+
+    fn cand(a: u32, b: u32, margin: f64, quality: LinkQuality) -> CandidateLink {
+        CandidateLink {
+            a: TransceiverId::new(PlatformId(a), 0),
+            b: TransceiverId::new(PlatformId(b), 0),
+            kind: LinkKind::B2B,
+            band: 0,
+            bitrate_bps: 400_000_000,
+            margin_db: margin,
+            quality,
+            pointing_a: AzEl::new(0.0, 0.0),
+            pointing_b: AzEl::new(180.0, 0.0),
+            range_m: 100_000.0,
+        }
+    }
+
+    #[test]
+    fn empty_plan_scores_zero_demand() {
+        let plan = TopologyPlan::default();
+        let s = plan.utility_score(5);
+        assert_eq!(s.demand_fraction, 0.0);
+        assert_eq!(s.total, 0.0);
+        // Zero requests counts as fully satisfied.
+        assert_eq!(plan.utility_score(0).demand_fraction, 1.0);
+    }
+
+    #[test]
+    fn more_demand_satisfied_scores_higher() {
+        let mut a = TopologyPlan { demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)], ..Default::default() };
+        a.routes.insert((PlatformId(0), PlatformId(9)), vec![PlatformId(0), PlatformId(1)]);
+        let mut b = a.clone();
+        b.routes.insert((PlatformId(2), PlatformId(9)), vec![PlatformId(2), PlatformId(1)]);
+        assert!(b.utility_score(4).total > a.utility_score(4).total);
+    }
+
+    #[test]
+    fn marginal_links_cost_score() {
+        let mut a = TopologyPlan { demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)], ..Default::default() };
+        a.routes.insert((PlatformId(0), PlatformId(9)), vec![PlatformId(0), PlatformId(1)]);
+        let mut b = a.clone();
+        b.demand_links = vec![cand(0, 1, 8.0, LinkQuality::Marginal)];
+        assert!(a.utility_score(1).total > b.utility_score(1).total);
+    }
+
+    #[test]
+    fn redundancy_raises_score() {
+        let mut a = TopologyPlan { demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)], ..Default::default() };
+        a.routes.insert((PlatformId(0), PlatformId(9)), vec![PlatformId(0), PlatformId(1)]);
+        let mut b = a.clone();
+        b.redundant_links = vec![cand(2, 3, 8.0, LinkQuality::Acceptable)];
+        assert!(b.utility_score(1).total > a.utility_score(1).total);
+    }
+
+    #[test]
+    fn goal_state_lists_all_actuation_steps() {
+        let mut plan = TopologyPlan {
+            demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)],
+            redundant_links: vec![cand(2, 3, 6.0, LinkQuality::Acceptable)],
+            ..Default::default()
+        };
+        plan.routes.insert((PlatformId(0), PlatformId(9)), vec![PlatformId(0), PlatformId(1)]);
+        // Currently installed: one link that must be withdrawn, plus
+        // the demand link (kept).
+        let mut current = BTreeSet::new();
+        current.insert(cand(0, 1, 8.0, LinkQuality::Acceptable).key());
+        current.insert(cand(7, 8, 5.0, LinkQuality::Acceptable).key());
+        let text = plan.render_goal_state(&current, 1);
+        assert!(text.contains("keep 1 installed links"), "{text}");
+        assert!(text.contains("withdraw p7t0 — p8t0"), "{text}");
+        assert!(text.contains("establish p2t0 — p3t0"), "{text}");
+        assert!(text.contains("route p0 → p9"), "{text}");
+        assert!(text.contains("1/1 satisfied"), "{text}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Hybrid control plane: satcom bootstrap channels, the in-band
+//! mesh channel, and the CDPI frontend that composes them.
+//!
+//! §4 of the paper: the TS-SDN drove balloons through a hierarchy of
+//! control planes — two commercial satcom networks ("highly available
+//! ... latencies up to minutes ... less than one 1 KiB message per
+//! minute per balloon") and the in-band path over the mesh itself
+//! ("up to 987 Mbps ... sub-second round-trip latency at the median").
+//! The CDPI frontend tracked in-band reachability via heartbeats,
+//! "directed messages along the lowest latency path", synchronized
+//! enactment with a time-to-enact (TTE) derived from channel delays,
+//! dropped satcom messages that could not arrive in time, and inferred
+//! command success from the *appearance* of an in-band connection
+//! (the side channel).
+//!
+//! Modules:
+//! * [`message`] — command envelopes and bodies.
+//! * [`satcom`]  — per-provider queued message service with the
+//!   paper's measured latency distribution and rate limits.
+//! * [`inband`]  — the mesh-routed gRPC-like channel with heartbeat
+//!   reachability tracking.
+//! * [`cdpi`]    — the frontend: channel selection, TTE computation,
+//!   retries/timeouts, side-channel inference, and the enactment-time
+//!   metrics behind Figure 9 (experiment E5).
+
+pub mod cdpi;
+pub mod inband;
+pub mod lora;
+pub mod message;
+pub mod satcom;
+
+pub use cdpi::{CdpiConfig, CdpiEvent, CdpiFrontend, EnactmentRecord};
+pub use inband::InbandChannel;
+pub use lora::LoraChannel;
+pub use message::{Channel, Command, CommandBody, CommandId, IntentKind};
+pub use satcom::{SatcomConfig, SatcomGateway, SatcomOutcome};

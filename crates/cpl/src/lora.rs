@@ -1,0 +1,182 @@
+//! The LoRaWAN bootstrap channel Loon prototyped but never deployed.
+//!
+//! §2.2: "We also prototyped a one-hop LoRaWAN device with 350 km of
+//! simulated range, and were able to establish bootstrapping links.
+//! While never deployed in production, a technology like this would
+//! have enabled us to improve the speed and consistency with which
+//! shorter bootstrap links could be formed. However, this approach did
+//! not have the range to match our longer E band links, meaning that
+//! satcom would still be required as a backstop."
+//!
+//! Modelled properties: one hop from a ground station, so coverage is
+//! a per-balloon flag the orchestrator maintains from true geometry
+//! (≤350 km of any GS site); seconds-scale latency; small frames (a
+//! bitpacked link command fits; route tables do not); modest loss.
+
+use crate::message::Command;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+use tssdn_sim::{PlatformId, SimDuration, SimTime};
+
+/// Outcome of a LoRa send.
+#[derive(Debug, Clone)]
+pub enum LoraOutcome {
+    /// Delivered at `at`.
+    Delivered { cmd: Command, at: SimTime },
+    /// Lost in the air (no ack at this layer; the CDPI retries).
+    Lost { cmd: Command },
+}
+
+/// The one-hop LoRaWAN broadcast channel.
+pub struct LoraChannel {
+    /// Nodes currently within range of some gateway site.
+    covered: BTreeSet<PlatformId>,
+    in_flight: Vec<(SimTime, Command)>,
+    rng: ChaCha8Rng,
+    /// One-way latency (duty-cycled class-A downlink scheduling).
+    pub latency: SimDuration,
+    /// Frame loss probability.
+    pub loss_prob: f64,
+    /// Maximum payload, bytes (LoRaWAN DR3-ish).
+    pub max_payload: usize,
+}
+
+impl LoraChannel {
+    /// A channel with the prototype's characteristics.
+    pub fn new(rng: ChaCha8Rng) -> Self {
+        LoraChannel {
+            covered: BTreeSet::new(),
+            in_flight: Vec::new(),
+            rng,
+            latency: SimDuration::from_secs(3),
+            loss_prob: 0.05,
+            max_payload: 242,
+        }
+    }
+
+    /// The orchestrator reports whether `node` is within the 350 km
+    /// one-hop footprint of any gateway.
+    pub fn set_covered(&mut self, node: PlatformId, covered: bool) {
+        if covered {
+            self.covered.insert(node);
+        } else {
+            self.covered.remove(&node);
+        }
+    }
+
+    /// Whether `node` can currently hear the channel.
+    pub fn is_covered(&self, node: PlatformId) -> bool {
+        self.covered.contains(&node)
+    }
+
+    /// Send a command. Returns `false` when out of coverage or the
+    /// frame doesn't fit.
+    pub fn submit(&mut self, cmd: Command, now: SimTime) -> bool {
+        if !self.covered.contains(&cmd.dest) || cmd.body.size_bytes() > self.max_payload {
+            return false;
+        }
+        let jitter = self.rng.gen_range(0.6..1.4);
+        self.in_flight.push((now + self.latency.mul_f64(jitter), cmd));
+        true
+    }
+
+    /// Advance, appending outcomes.
+    pub fn poll(&mut self, now: SimTime, out: &mut Vec<LoraOutcome>) {
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].0 <= now {
+                let (at, cmd) = self.in_flight.swap_remove(i);
+                if self.rng.gen_bool(self.loss_prob) {
+                    out.push(LoraOutcome::Lost { cmd });
+                } else {
+                    out.push(LoraOutcome::Delivered { cmd, at });
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{CommandBody, CommandId};
+    use tssdn_link::TransceiverId;
+    use tssdn_sim::RngStreams;
+
+    fn chan() -> LoraChannel {
+        LoraChannel::new(RngStreams::new(4).stream("lora-test"))
+    }
+
+    fn link_cmd(dest: u32) -> Command {
+        Command {
+            id: CommandId(1),
+            dest: PlatformId(dest),
+            body: CommandBody::EstablishLink {
+                intent_id: 1,
+                local: TransceiverId::new(PlatformId(dest), 0),
+                peer: TransceiverId::new(PlatformId(9), 0),
+            },
+            tte: SimTime::from_secs(60),
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn coverage_gates_submission() {
+        let mut c = chan();
+        assert!(!c.submit(link_cmd(5), SimTime::ZERO), "out of footprint");
+        c.set_covered(PlatformId(5), true);
+        assert!(c.submit(link_cmd(5), SimTime::ZERO));
+        c.set_covered(PlatformId(5), false);
+        assert!(!c.submit(link_cmd(5), SimTime::ZERO));
+    }
+
+    #[test]
+    fn big_frames_rejected() {
+        let mut c = chan();
+        c.set_covered(PlatformId(5), true);
+        let big = Command {
+            body: CommandBody::SetRoutes { version: 1, entries: 40 },
+            ..link_cmd(5)
+        };
+        assert!(!c.submit(big, SimTime::ZERO), "route tables don't fit LoRa frames");
+    }
+
+    #[test]
+    fn delivery_is_seconds_scale() {
+        let mut c = chan();
+        c.loss_prob = 0.0;
+        c.set_covered(PlatformId(5), true);
+        assert!(c.submit(link_cmd(5), SimTime::ZERO));
+        let mut out = Vec::new();
+        c.poll(SimTime::from_secs(10), &mut out);
+        let LoraOutcome::Delivered { at, .. } = &out[0] else {
+            panic!("delivered: {out:?}");
+        };
+        assert!(at.as_secs_f64() >= 1.5 && at.as_secs_f64() <= 5.0, "got {at}");
+    }
+
+    #[test]
+    fn losses_happen_at_configured_rate() {
+        let mut c = chan();
+        c.loss_prob = 0.4;
+        c.set_covered(PlatformId(5), true);
+        let (mut lost, mut ok) = (0, 0);
+        let mut out = Vec::new();
+        for i in 0..400u64 {
+            c.submit(link_cmd(5), SimTime::from_secs(i * 10));
+            c.poll(SimTime::from_secs(i * 10 + 9), &mut out);
+            for o in out.drain(..) {
+                match o {
+                    LoraOutcome::Lost { .. } => lost += 1,
+                    LoraOutcome::Delivered { .. } => ok += 1,
+                }
+            }
+        }
+        let rate = lost as f64 / (lost + ok) as f64;
+        assert!((rate - 0.4).abs() < 0.08, "loss ≈ 0.4, got {rate}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Command envelopes carried over the control channels.
+
+use tssdn_link::TransceiverId;
+use tssdn_sim::{PlatformId, SimTime};
+
+/// Unique command identifier assigned by the CDPI frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommandId(pub u64);
+
+impl std::fmt::Display for CommandId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cmd{}", self.0)
+    }
+}
+
+/// Which control channel a message travelled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// One of the satellite providers (index 0 or 1).
+    Satcom(u8),
+    /// The MANET-routed in-band path.
+    InBand,
+    /// The one-hop LoRaWAN bootstrap channel (§2.2 prototype; off by
+    /// default).
+    LoRa,
+}
+
+/// Coarse intent classification for Figure 9's two distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntentKind {
+    /// Link establishment / teardown.
+    Link,
+    /// Route table programming.
+    Route,
+}
+
+/// The payload of a CDPI command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandBody {
+    /// Task a local transceiver to form a link with a peer at the TTE.
+    /// Both endpoints of the intent receive one of these (§4.1 Tier 0:
+    /// "an analogous message would be sent to the peer platform").
+    EstablishLink {
+        /// Link-intent id shared by both endpoint commands.
+        intent_id: u64,
+        /// The transceiver on the receiving node to task.
+        local: TransceiverId,
+        /// The remote transceiver to search for.
+        peer: TransceiverId,
+    },
+    /// Tear a link down gracefully (planned withdrawal).
+    TeardownLink {
+        /// The intent being withdrawn.
+        intent_id: u64,
+    },
+    /// Program source-destination routes. Routes are referenced by a
+    /// version the data plane fetches; the control channel only needs
+    /// the size. "Forwarding table updates" required in-band delivery
+    /// (§4.2 Message Queuing).
+    SetRoutes {
+        /// Monotonic route-table version.
+        version: u64,
+        /// Number of entries (drives message size).
+        entries: u16,
+    },
+}
+
+impl CommandBody {
+    /// Figure-9 classification.
+    pub fn kind(&self) -> IntentKind {
+        match self {
+            CommandBody::EstablishLink { .. } | CommandBody::TeardownLink { .. } => {
+                IntentKind::Link
+            }
+            CommandBody::SetRoutes { .. } => IntentKind::Route,
+        }
+    }
+
+    /// Whether this command is useless without in-band connectivity
+    /// and must be dropped rather than queued on satcom (§4.2: the
+    /// gateway dropped messages that "required in-band connectivity
+    /// (e.g. forwarding table updates)").
+    pub fn requires_inband(&self) -> bool {
+        matches!(self, CommandBody::SetRoutes { .. })
+    }
+
+    /// Approximate wire size after the CDPI proxy's bitpacking, bytes.
+    /// Satcom messages had to fit ~1 KiB (§4.1).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            CommandBody::EstablishLink { .. } => 160, // pointing geometry + channel params + signature
+            CommandBody::TeardownLink { .. } => 48,
+            CommandBody::SetRoutes { entries, .. } => 32 + 24 * (*entries as usize),
+        }
+    }
+}
+
+/// A command in flight: envelope plus routing metadata.
+#[derive(Debug, Clone)]
+pub struct Command {
+    /// Frontend-assigned id.
+    pub id: CommandId,
+    /// Destination node.
+    pub dest: PlatformId,
+    /// Payload.
+    pub body: CommandBody,
+    /// Synchronized enactment time. Commands arriving after this are
+    /// discarded by the node.
+    pub tte: SimTime,
+    /// When the frontend first submitted the command (for metrics).
+    pub submitted: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssdn_link::TransceiverId;
+
+    fn tid(p: u32, i: u8) -> TransceiverId {
+        TransceiverId::new(PlatformId(p), i)
+    }
+
+    #[test]
+    fn kinds_classify_for_figure_9() {
+        let e = CommandBody::EstablishLink { intent_id: 1, local: tid(0, 0), peer: tid(1, 0) };
+        let t = CommandBody::TeardownLink { intent_id: 1 };
+        let r = CommandBody::SetRoutes { version: 3, entries: 10 };
+        assert_eq!(e.kind(), IntentKind::Link);
+        assert_eq!(t.kind(), IntentKind::Link);
+        assert_eq!(r.kind(), IntentKind::Route);
+    }
+
+    #[test]
+    fn route_updates_require_inband() {
+        assert!(CommandBody::SetRoutes { version: 1, entries: 4 }.requires_inband());
+        assert!(!CommandBody::TeardownLink { intent_id: 9 }.requires_inband());
+        assert!(!CommandBody::EstablishLink { intent_id: 1, local: tid(0, 0), peer: tid(1, 0) }
+            .requires_inband());
+    }
+
+    #[test]
+    fn sizes_fit_satcom_budget() {
+        let e = CommandBody::EstablishLink { intent_id: 1, local: tid(0, 0), peer: tid(1, 0) };
+        assert!(e.size_bytes() <= 1024, "fits the ~1 KiB satcom slot");
+        let big = CommandBody::SetRoutes { version: 1, entries: 40 };
+        assert!(big.size_bytes() > 900, "route tables are satcom-hostile");
+    }
+}

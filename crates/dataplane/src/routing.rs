@@ -1,0 +1,273 @@
+//! Source-destination routing tables.
+//!
+//! "A primary motivation for the use of full source-destination
+//! routing was to make sure that traffic flows stayed on assigned
+//! paths to meet resource reservation requirements" (Appendix C).
+//! Forwarding state is keyed by the *(source prefix, destination
+//! prefix)* pair; a packet that misses has no route — no longest-
+//! prefix fallback, exactly as deployed.
+//!
+//! [`RoutingFabric`] holds every node's table plus the versioning the
+//! actuation layer uses to know which nodes carry stale state.
+
+use crate::addressing::NodePrefix;
+use std::collections::BTreeMap;
+use tssdn_sim::PlatformId;
+
+/// One source-destination forwarding entry on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Flow source prefix.
+    pub src: NodePrefix,
+    /// Flow destination prefix.
+    pub dst: NodePrefix,
+    /// Where this node forwards matching packets.
+    pub next_hop: PlatformId,
+}
+
+/// A single node's forwarding table.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    entries: BTreeMap<(NodePrefix, NodePrefix), PlatformId>,
+    /// Version of the last applied route program.
+    pub version: u64,
+}
+
+impl RouteTable {
+    /// Install or replace an entry.
+    pub fn install(&mut self, e: RouteEntry) {
+        self.entries.insert((e.src, e.dst), e.next_hop);
+    }
+
+    /// Remove the entry for a flow, if present.
+    pub fn remove(&mut self, src: NodePrefix, dst: NodePrefix) {
+        self.entries.remove(&(src, dst));
+    }
+
+    /// Exact source-destination lookup — no fallback.
+    pub fn lookup(&self, src: NodePrefix, dst: NodePrefix) -> Option<PlatformId> {
+        self.entries.get(&(src, dst)).copied()
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every entry (node reset / power cycle).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterate entries.
+    pub fn entries(&self) -> impl Iterator<Item = RouteEntry> + '_ {
+        self.entries
+            .iter()
+            .map(|((src, dst), nh)| RouteEntry { src: *src, dst: *dst, next_hop: *nh })
+    }
+}
+
+/// All nodes' tables, plus path-level programming helpers.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingFabric {
+    tables: BTreeMap<PlatformId, RouteTable>,
+}
+
+impl RoutingFabric {
+    /// An empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The table of `node` (created on first touch).
+    pub fn table_mut(&mut self, node: PlatformId) -> &mut RouteTable {
+        self.tables.entry(node).or_default()
+    }
+
+    /// Read-only table access.
+    pub fn table(&self, node: PlatformId) -> Option<&RouteTable> {
+        self.tables.get(&node)
+    }
+
+    /// Program a bidirectional flow along `path` (node sequence from
+    /// the flow's source node to its destination node). Each hop gets
+    /// a forward entry; each reverse hop a reverse entry. `version`
+    /// stamps every touched table.
+    pub fn program_path(
+        &mut self,
+        src: NodePrefix,
+        dst: NodePrefix,
+        path: &[PlatformId],
+        version: u64,
+    ) {
+        assert!(path.len() >= 2, "a path needs at least two nodes");
+        for w in path.windows(2) {
+            let t = self.table_mut(w[0]);
+            t.install(RouteEntry { src, dst, next_hop: w[1] });
+            t.version = version;
+            let t = self.table_mut(w[1]);
+            t.install(RouteEntry { src: dst, dst: src, next_hop: w[0] });
+            t.version = version;
+        }
+    }
+
+    /// Remove a flow's entries everywhere.
+    pub fn withdraw_flow(&mut self, src: NodePrefix, dst: NodePrefix) {
+        for t in self.tables.values_mut() {
+            t.remove(src, dst);
+            t.remove(dst, src);
+        }
+    }
+
+    /// Drop all state on one node (power loss).
+    pub fn reset_node(&mut self, node: PlatformId) {
+        if let Some(t) = self.tables.get_mut(&node) {
+            t.clear();
+            t.version = 0;
+        }
+    }
+
+    /// Walk the programmed path for a flow starting at `from`; returns
+    /// the node sequence if it reaches the node owning `dst_owner`
+    /// without loops, checking each hop against `link_up(a, b)`.
+    pub fn trace_flow(
+        &self,
+        src: NodePrefix,
+        dst: NodePrefix,
+        from: PlatformId,
+        dst_owner: PlatformId,
+        mut link_up: impl FnMut(PlatformId, PlatformId) -> bool,
+    ) -> Option<Vec<PlatformId>> {
+        let mut at = from;
+        let mut path = vec![at];
+        let mut hops = 0usize;
+        while at != dst_owner {
+            hops += 1;
+            if hops > self.tables.len() + 2 {
+                return None; // loop guard
+            }
+            let nh = self.tables.get(&at)?.lookup(src, dst)?;
+            if !link_up(at, nh) {
+                return None;
+            }
+            path.push(nh);
+            at = nh;
+        }
+        Some(path)
+    }
+
+    /// Whether any table still routes *through* `node` (drain latch
+    /// condition: a drained node must carry no transit entries beyond
+    /// its own flows).
+    pub fn routes_via(&self, node: PlatformId) -> usize {
+        self.tables
+            .iter()
+            .filter(|(n, _)| **n != node)
+            .flat_map(|(_, t)| t.entries())
+            .filter(|e| e.next_hop == node)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addressing::PrefixAllocator;
+
+    fn setup() -> (PrefixAllocator, RoutingFabric) {
+        (PrefixAllocator::loon_default(), RoutingFabric::new())
+    }
+
+    fn pid(i: u32) -> PlatformId {
+        PlatformId(i)
+    }
+
+    #[test]
+    fn exact_match_no_fallback() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let ec = a.prefix_for(pid(9));
+        let other = a.prefix_for(pid(1));
+        f.program_path(b0, ec, &[pid(0), pid(5), pid(9)], 1);
+        let t = f.table(pid(5)).expect("programmed");
+        assert_eq!(t.lookup(b0, ec), Some(pid(9)));
+        assert_eq!(t.lookup(other, ec), None, "different source: no route");
+        assert_eq!(t.lookup(ec, b0), Some(pid(0)), "reverse programmed");
+    }
+
+    #[test]
+    fn trace_follows_programmed_path() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let ec = a.prefix_for(pid(9));
+        f.program_path(b0, ec, &[pid(0), pid(5), pid(6), pid(9)], 1);
+        let path = f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true);
+        assert_eq!(path, Some(vec![pid(0), pid(5), pid(6), pid(9)]));
+        let rev = f.trace_flow(ec, b0, pid(9), pid(0), |_, _| true);
+        assert_eq!(rev, Some(vec![pid(9), pid(6), pid(5), pid(0)]));
+    }
+
+    #[test]
+    fn trace_fails_on_down_link() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let ec = a.prefix_for(pid(9));
+        f.program_path(b0, ec, &[pid(0), pid(5), pid(9)], 1);
+        let path = f.trace_flow(b0, ec, pid(0), pid(9), |x, y| !(x == pid(5) && y == pid(9)));
+        assert_eq!(path, None);
+    }
+
+    #[test]
+    fn withdraw_removes_both_directions() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let ec = a.prefix_for(pid(9));
+        f.program_path(b0, ec, &[pid(0), pid(5), pid(9)], 1);
+        f.withdraw_flow(b0, ec);
+        assert!(f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true).is_none());
+        assert_eq!(f.table(pid(5)).expect("exists").len(), 0);
+    }
+
+    #[test]
+    fn node_reset_clears_mid_path_state() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let ec = a.prefix_for(pid(9));
+        f.program_path(b0, ec, &[pid(0), pid(5), pid(9)], 3);
+        f.reset_node(pid(5));
+        assert!(f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true).is_none());
+        assert_eq!(f.table(pid(5)).expect("exists").version, 0, "version reset too");
+        assert_eq!(f.table(pid(0)).expect("exists").version, 3, "others keep state");
+    }
+
+    #[test]
+    fn routes_via_counts_transit() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let b1 = a.prefix_for(pid(1));
+        let ec = a.prefix_for(pid(9));
+        f.program_path(b0, ec, &[pid(0), pid(5), pid(9)], 1);
+        f.program_path(b1, ec, &[pid(1), pid(5), pid(9)], 1);
+        // Entries pointing *to* node 5: 0→5 and 1→5 (forward) plus
+        // 9→5 reverse ×2 flows = 4.
+        assert_eq!(f.routes_via(pid(5)), 4);
+        f.withdraw_flow(b0, ec);
+        assert_eq!(f.routes_via(pid(5)), 2);
+    }
+
+    #[test]
+    fn loop_guard_terminates() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let ec = a.prefix_for(pid(9));
+        // Manually create a loop 0→5→0.
+        f.table_mut(pid(0)).install(RouteEntry { src: b0, dst: ec, next_hop: pid(5) });
+        f.table_mut(pid(5)).install(RouteEntry { src: b0, dst: ec, next_hop: pid(0) });
+        assert_eq!(f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! Link layer: transceivers, gimbals, and the point-to-point link
+//! acquisition state machine.
+//!
+//! "To form a point-to-point link between two balloons or between a
+//! balloon and a ground station, antennas on the pairing platforms had
+//! to slew to aim at each other ... the formation of moving
+//! point-to-point wireless links requires synchronizing the endpoints
+//! to search for each other. In the Loon implementation, this process
+//! could take dozens of seconds" (§2.2, §4.2).
+//!
+//! The state machine in [`acquisition`] reproduces that lifecycle:
+//!
+//! ```text
+//! Pending(TTE) → Slewing → Searching ⇄ (retry) → Established → Ended
+//!                              ↓ attempts exhausted        ↓
+//!                            Failed                      Failed
+//! ```
+//!
+//! Acquisition can fail stochastically (mechanical search) or
+//! deterministically (the true RF margin is below what the
+//! controller's model promised — the model/truth gap of §5). A small
+//! probability of locking the tracker onto the antenna's first side
+//! lobe reproduces the −14 dB bump in Figure 10. Established links
+//! fail when the true margin sags below a *hold* threshold (weaker
+//! than the establish threshold: links "establish at 130 km ...
+//! maintain to 250+ km"), when line of sight is lost, or from a
+//! random hardware hazard.
+//!
+//! [`lifetime`] keeps the ledger of link attempts and outcomes that
+//! Figures 8 and 11 are computed from (the artifact's
+//! `link_intents.csv` change log).
+
+pub mod acquisition;
+pub mod lifetime;
+pub mod transceiver;
+
+pub use acquisition::{AcqConfig, LinkPhase, LinkStateMachine, LinkTransition};
+pub use lifetime::{EndReason, LinkKind, LinkLedger, LinkRecord, LinkStats};
+pub use transceiver::{Transceiver, TransceiverId};

@@ -1,0 +1,366 @@
+//! Link-intent ledger: the change log of every attempted link.
+//!
+//! This is the in-memory equivalent of the artifact's
+//! `link_intents.csv` ("state transitions of each attempted link"),
+//! and the data source for Figure 11 (link lifetimes, attempt-success
+//! rates, unexpected-failure shares) and Figure 8's withdrawn-vs-
+//! failed split.
+
+use crate::transceiver::TransceiverId;
+use tssdn_sim::{SimDuration, SimTime};
+
+/// B2B vs B2G classification — the two populations Figure 11
+/// contrasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Balloon to balloon.
+    B2B,
+    /// Balloon to ground station.
+    B2G,
+}
+
+impl std::fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkKind::B2B => write!(f, "B2B"),
+            LinkKind::B2G => write!(f, "B2G"),
+        }
+    }
+}
+
+/// Why a link (or its enactment) terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndReason {
+    /// Controller-planned teardown (anticipated degradation or
+    /// re-optimization). Counted as *planned* in Figure 8/§5.
+    Withdrawn,
+    /// True RF margin fell and stayed below the hold threshold.
+    RfFade,
+    /// Geometric line of sight lost (motion, occlusion) or peer power
+    /// loss.
+    LineOfSightLost,
+    /// Spontaneous radio/gimbal fault.
+    HardwareFault,
+    /// Mutual search never locked despite adequate RF.
+    SearchExhausted,
+    /// RF margin was never adequate during any search attempt (the
+    /// controller's model was wrong about this link).
+    RfInfeasible,
+    /// The establish command never reached one or both endpoints
+    /// (control-channel drops/expiry); the link was never attempted.
+    CommandUndeliverable,
+}
+
+impl EndReason {
+    /// Whether the termination was controller-planned. "Approximately
+    /// half (47.4%) failed unexpectedly" (§5) — everything except
+    /// `Withdrawn` is unexpected.
+    pub fn is_planned(&self) -> bool {
+        matches!(self, EndReason::Withdrawn)
+    }
+}
+
+/// The ledger entry for one link intent.
+#[derive(Debug, Clone)]
+pub struct LinkRecord {
+    /// Ledger-assigned id.
+    pub intent_id: u64,
+    /// One endpoint.
+    pub a: TransceiverId,
+    /// The other endpoint.
+    pub b: TransceiverId,
+    /// B2B or B2G.
+    pub kind: LinkKind,
+    /// When the intent was created (command issued).
+    pub created: SimTime,
+    /// When the link established, if it ever did.
+    pub established: Option<SimTime>,
+    /// When the intent reached a terminal state.
+    pub ended: Option<SimTime>,
+    /// Terminal reason.
+    pub end_reason: Option<EndReason>,
+    /// Search attempts consumed (1 = first-attempt success).
+    pub attempts: u32,
+    /// Whether the lock was on a side lobe.
+    pub sidelobe: bool,
+}
+
+impl LinkRecord {
+    /// Established duration, if the link was ever up and has ended.
+    pub fn lifetime(&self) -> Option<SimDuration> {
+        match (self.established, self.ended) {
+            (Some(e), Some(x)) => Some(x - e),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregated statistics over a set of link records of one kind.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Number of intents.
+    pub intents: usize,
+    /// Number that ever established.
+    pub established: usize,
+    /// Number that established on the first search attempt.
+    pub first_attempt: usize,
+    /// Number that never established.
+    pub never_established: usize,
+    /// Of links that were up and ended: how many ended unplanned.
+    pub unexpected_ends: usize,
+    /// Of links that were up: how many have ended at all.
+    pub ended_after_established: usize,
+    /// Established-duration samples, seconds, of ended links.
+    pub lifetimes_s: Vec<f64>,
+}
+
+impl LinkStats {
+    /// Fraction of intents that established on the first attempt.
+    pub fn first_attempt_rate(&self) -> f64 {
+        if self.intents == 0 {
+            return 0.0;
+        }
+        self.first_attempt as f64 / self.intents as f64
+    }
+
+    /// Fraction of intents that never established.
+    pub fn never_rate(&self) -> f64 {
+        if self.intents == 0 {
+            return 0.0;
+        }
+        self.never_established as f64 / self.intents as f64
+    }
+
+    /// Fraction of completed links that ended unexpectedly.
+    pub fn unexpected_end_rate(&self) -> f64 {
+        if self.ended_after_established == 0 {
+            return 0.0;
+        }
+        self.unexpected_ends as f64 / self.ended_after_established as f64
+    }
+
+    /// Median established lifetime, seconds.
+    pub fn median_lifetime_s(&self) -> Option<f64> {
+        percentile(&self.lifetimes_s, 50.0)
+    }
+
+    /// Fraction of ended links that lived shorter than `s` seconds.
+    pub fn fraction_shorter_than(&self, s: f64) -> f64 {
+        if self.lifetimes_s.is_empty() {
+            return 0.0;
+        }
+        self.lifetimes_s.iter().filter(|&&x| x < s).count() as f64 / self.lifetimes_s.len() as f64
+    }
+}
+
+/// Percentile (0–100) of an unsorted sample set, by linear
+/// interpolation; `None` on an empty set.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(v[lo] + (v[hi] - v[lo]) * frac)
+}
+
+/// The ledger of all link intents in a run.
+#[derive(Debug, Default)]
+pub struct LinkLedger {
+    records: Vec<LinkRecord>,
+}
+
+impl LinkLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a new intent; returns its id.
+    pub fn open(&mut self, a: TransceiverId, b: TransceiverId, kind: LinkKind, now: SimTime) -> u64 {
+        let intent_id = self.records.len() as u64;
+        self.records.push(LinkRecord {
+            intent_id,
+            a,
+            b,
+            kind,
+            created: now,
+            established: None,
+            ended: None,
+            end_reason: None,
+            attempts: 0,
+            sidelobe: false,
+        });
+        intent_id
+    }
+
+    /// Record a search attempt on an intent.
+    pub fn record_attempt(&mut self, id: u64) {
+        self.records[id as usize].attempts += 1;
+    }
+
+    /// Record establishment.
+    pub fn record_established(&mut self, id: u64, now: SimTime, sidelobe: bool) {
+        let r = &mut self.records[id as usize];
+        r.established = Some(now);
+        r.sidelobe = sidelobe;
+    }
+
+    /// Record terminal state.
+    pub fn record_end(&mut self, id: u64, now: SimTime, reason: EndReason) {
+        let r = &mut self.records[id as usize];
+        r.ended = Some(now);
+        r.end_reason = Some(reason);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[LinkRecord] {
+        &self.records
+    }
+
+    /// Record by id.
+    pub fn get(&self, id: u64) -> &LinkRecord {
+        &self.records[id as usize]
+    }
+
+    /// Aggregate statistics for one link kind (terminal records only
+    /// contribute lifetime/end stats; open intents still count toward
+    /// attempt stats).
+    pub fn stats(&self, kind: LinkKind) -> LinkStats {
+        let mut s = LinkStats::default();
+        for r in self.records.iter().filter(|r| r.kind == kind) {
+            s.intents += 1;
+            if r.established.is_some() {
+                s.established += 1;
+                if r.attempts <= 1 {
+                    s.first_attempt += 1;
+                }
+                if let Some(life) = r.lifetime() {
+                    s.ended_after_established += 1;
+                    s.lifetimes_s.push(life.as_secs_f64());
+                    if let Some(reason) = r.end_reason {
+                        if !reason.is_planned() {
+                            s.unexpected_ends += 1;
+                        }
+                    }
+                }
+            } else if r.ended.is_some() {
+                s.never_established += 1;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssdn_sim::PlatformId;
+
+    fn tid(p: u32, i: u8) -> TransceiverId {
+        TransceiverId::new(PlatformId(p), i)
+    }
+
+    fn populated() -> LinkLedger {
+        let mut l = LinkLedger::new();
+        // Intent 0: B2B, first-attempt, lives 100 s, withdrawn.
+        let a = l.open(tid(0, 0), tid(1, 0), LinkKind::B2B, SimTime::ZERO);
+        l.record_attempt(a);
+        l.record_established(a, SimTime::from_secs(30), false);
+        l.record_end(a, SimTime::from_secs(130), EndReason::Withdrawn);
+        // Intent 1: B2B, 2 attempts, lives 50 s, fades.
+        let b = l.open(tid(0, 1), tid(2, 0), LinkKind::B2B, SimTime::ZERO);
+        l.record_attempt(b);
+        l.record_attempt(b);
+        l.record_established(b, SimTime::from_secs(60), false);
+        l.record_end(b, SimTime::from_secs(110), EndReason::RfFade);
+        // Intent 2: B2G, never establishes.
+        let c = l.open(tid(0, 2), tid(9, 0), LinkKind::B2G, SimTime::ZERO);
+        l.record_attempt(c);
+        l.record_attempt(c);
+        l.record_attempt(c);
+        l.record_end(c, SimTime::from_secs(200), EndReason::RfInfeasible);
+        // Intent 3: B2G, first attempt, lives 40 s, LOS lost.
+        let d = l.open(tid(1, 1), tid(9, 1), LinkKind::B2G, SimTime::ZERO);
+        l.record_attempt(d);
+        l.record_established(d, SimTime::from_secs(50), true);
+        l.record_end(d, SimTime::from_secs(90), EndReason::LineOfSightLost);
+        l
+    }
+
+    #[test]
+    fn b2b_stats() {
+        let l = populated();
+        let s = l.stats(LinkKind::B2B);
+        assert_eq!(s.intents, 2);
+        assert_eq!(s.established, 2);
+        assert_eq!(s.first_attempt, 1);
+        assert_eq!(s.never_established, 0);
+        assert_eq!(s.ended_after_established, 2);
+        assert_eq!(s.unexpected_ends, 1);
+        assert!((s.first_attempt_rate() - 0.5).abs() < 1e-12);
+        assert!((s.unexpected_end_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.median_lifetime_s(), Some(75.0));
+    }
+
+    #[test]
+    fn b2g_stats() {
+        let l = populated();
+        let s = l.stats(LinkKind::B2G);
+        assert_eq!(s.intents, 2);
+        assert_eq!(s.never_established, 1);
+        assert!((s.never_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.unexpected_ends, 1);
+        assert_eq!(s.lifetimes_s, vec![40.0]);
+        assert!((s.fraction_shorter_than(60.0) - 1.0).abs() < 1e-12);
+        assert_eq!(s.fraction_shorter_than(10.0), 0.0);
+    }
+
+    #[test]
+    fn lifetime_none_until_ended() {
+        let mut l = LinkLedger::new();
+        let id = l.open(tid(0, 0), tid(1, 0), LinkKind::B2B, SimTime::ZERO);
+        l.record_established(id, SimTime::from_secs(10), false);
+        assert!(l.get(id).lifetime().is_none());
+        l.record_end(id, SimTime::from_secs(25), EndReason::Withdrawn);
+        assert_eq!(l.get(id).lifetime(), Some(SimDuration::from_secs(15)));
+    }
+
+    #[test]
+    fn planned_classification() {
+        assert!(EndReason::Withdrawn.is_planned());
+        for r in [
+            EndReason::RfFade,
+            EndReason::LineOfSightLost,
+            EndReason::HardwareFault,
+            EndReason::SearchExhausted,
+            EndReason::RfInfeasible,
+            EndReason::CommandUndeliverable,
+        ] {
+            assert!(!r.is_planned(), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 90.0), Some(7.0));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let l = LinkLedger::new();
+        let s = l.stats(LinkKind::B2B);
+        assert_eq!(s.first_attempt_rate(), 0.0);
+        assert_eq!(s.unexpected_end_rate(), 0.0);
+        assert_eq!(s.median_lifetime_s(), None);
+    }
+}

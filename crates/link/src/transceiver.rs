@@ -1,0 +1,177 @@
+//! Transceivers: the taskable radio+gimbal units on each platform.
+//!
+//! Each balloon carried three E-band transceivers "mounted on
+//! mechanically pointable gimbals at the three corners of the
+//! balloon's bus"; each ground site had two (§2.2: "100+ backhaul
+//! transceivers (2 per ground site; 3 per balloon)"). Mounting
+//! position gives each antenna a different occlusion wedge, which
+//! "restricted antenna choice and added complexity when planning the
+//! network".
+
+use tssdn_geo::{AzEl, FieldOfRegard};
+use tssdn_rf::AntennaPattern;
+use tssdn_sim::PlatformId;
+
+/// Identifies one transceiver: a platform plus an antenna index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransceiverId {
+    /// Owning platform.
+    pub platform: PlatformId,
+    /// Antenna index on that platform (0..3 for balloons, 0..2 for
+    /// ground stations).
+    pub index: u8,
+}
+
+impl TransceiverId {
+    pub fn new(platform: PlatformId, index: u8) -> Self {
+        Self { platform, index }
+    }
+}
+
+impl std::fmt::Display for TransceiverId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}t{}", self.platform, self.index)
+    }
+}
+
+/// A gimballed radio unit.
+#[derive(Debug, Clone)]
+pub struct Transceiver {
+    /// Identity.
+    pub id: TransceiverId,
+    /// Antenna gain pattern.
+    pub pattern: AntennaPattern,
+    /// Mechanical limits + static occlusions.
+    pub field_of_regard: FieldOfRegard,
+    /// Gimbal slew rate, degrees/second.
+    pub slew_rate_deg_s: f64,
+    /// Where the antenna currently points.
+    pub pointing: AzEl,
+}
+
+impl Transceiver {
+    /// A balloon corner antenna. `index` selects the bus-occlusion
+    /// wedge: each antenna is blocked in a 140°-wide sector facing
+    /// across the bus (centered 120° apart). Adjacent wedges overlap,
+    /// so some azimuths are reachable by only one antenna — the
+    /// "substantial, though not complete, overlap" of §2.2 — while the
+    /// three antennas together still cover the full circle.
+    pub fn balloon(platform: PlatformId, index: u8) -> Self {
+        Self::balloon_of(platform, index, 3)
+    }
+
+    /// A corner antenna on a bus carrying `total` antennas spaced
+    /// evenly in azimuth — used by the Appendix-A transceiver-count
+    /// sweep (E8). The bus-occlusion wedge width shrinks as antennas
+    /// are added (more corners, smaller shadows), keeping joint
+    /// coverage complete for `total ≥ 2`.
+    pub fn balloon_of(platform: PlatformId, index: u8, total: u8) -> Self {
+        let total = total.max(2);
+        let spacing = 360.0 / total as f64;
+        let blocked_center = spacing * index as f64 + spacing / 2.0;
+        // Wedge width: overlaps neighbours slightly (140° at 3).
+        let width = (spacing * 7.0 / 6.0).min(170.0);
+        Transceiver {
+            id: TransceiverId::new(platform, index),
+            pattern: AntennaPattern::e_band_balloon(),
+            field_of_regard: FieldOfRegard::balloon_with_bus_occlusion(blocked_center, width),
+            slew_rate_deg_s: 10.0,
+            pointing: AzEl::new(spacing * index as f64, 0.0),
+        }
+    }
+
+    /// A ground-station radome antenna with the site's horizon mask
+    /// folded into its field of regard by the caller.
+    pub fn ground_station(platform: PlatformId, index: u8, field_of_regard: FieldOfRegard) -> Self {
+        Transceiver {
+            id: TransceiverId::new(platform, index),
+            pattern: AntennaPattern::e_band_ground_station(),
+            field_of_regard,
+            slew_rate_deg_s: 15.0,
+            pointing: AzEl::new(180.0 * index as f64, 10.0),
+        }
+    }
+
+    /// Whether this antenna can mechanically point at `dir`.
+    pub fn can_point_at(&self, dir: &AzEl) -> bool {
+        self.field_of_regard.contains(dir)
+    }
+
+    /// Time to slew from the current pointing to `dir`, seconds.
+    pub fn slew_time_s(&self, dir: &AzEl) -> f64 {
+        self.pointing.angular_distance_deg(dir) / self.slew_rate_deg_s
+    }
+
+    /// Number of transceivers a platform kind carries.
+    pub fn count_for(kind: tssdn_sim::PlatformKind) -> u8 {
+        match kind {
+            tssdn_sim::PlatformKind::Balloon => 3,
+            tssdn_sim::PlatformKind::GroundStation => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssdn_sim::PlatformKind;
+
+    #[test]
+    fn balloon_antennas_jointly_cover_full_azimuth() {
+        let ts: Vec<Transceiver> =
+            (0..3).map(|i| Transceiver::balloon(PlatformId(0), i)).collect();
+        for az in (0..360).step_by(5) {
+            let dir = AzEl::new(az as f64, 0.0);
+            let coverers = ts.iter().filter(|t| t.can_point_at(&dir)).count();
+            assert!(coverers >= 1, "azimuth {az} uncovered");
+        }
+    }
+
+    #[test]
+    fn balloon_antennas_have_overlap_but_not_total() {
+        let ts: Vec<Transceiver> =
+            (0..3).map(|i| Transceiver::balloon(PlatformId(0), i)).collect();
+        let mut multi = 0;
+        let mut single = 0;
+        for az in (0..360).step_by(2) {
+            let dir = AzEl::new(az as f64, 10.0);
+            match ts.iter().filter(|t| t.can_point_at(&dir)).count() {
+                0 => panic!("uncovered azimuth {az}"),
+                1 => single += 1,
+                _ => multi += 1,
+            }
+        }
+        // "substantial – though not complete – overlap" (§2.2).
+        assert!(multi > 0, "some overlap exists");
+        assert!(single > 0, "coverage is not total overlap");
+    }
+
+    #[test]
+    fn nadir_reachable_by_all_balloon_antennas() {
+        for i in 0..3 {
+            let t = Transceiver::balloon(PlatformId(1), i);
+            assert!(t.can_point_at(&AzEl::new(0.0, -89.0)));
+        }
+    }
+
+    #[test]
+    fn slew_time_scales_with_angle() {
+        let t = Transceiver::balloon(PlatformId(0), 0);
+        // pointing starts at az 0, el 0; target az 90 → 90°/10°s = 9 s.
+        let s = t.slew_time_s(&AzEl::new(90.0, 0.0));
+        assert!((s - 9.0).abs() < 1e-9, "got {s}");
+        assert_eq!(t.slew_time_s(&t.pointing.clone()), 0.0);
+    }
+
+    #[test]
+    fn transceiver_counts_match_paper() {
+        assert_eq!(Transceiver::count_for(PlatformKind::Balloon), 3);
+        assert_eq!(Transceiver::count_for(PlatformKind::GroundStation), 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let id = TransceiverId::new(PlatformId(7), 2);
+        assert_eq!(id.to_string(), "p7t2");
+    }
+}

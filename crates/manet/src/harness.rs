@@ -1,0 +1,366 @@
+//! The protocol-agnostic simulation harness: delivers control
+//! messages with loss and latency, ticks nodes, tracks overhead, and
+//! measures route convergence — the measurement rig behind the
+//! Appendix-D protocol comparison (E9).
+
+use crate::types::{Ctx, ManetProtocol, NodeId, Topology};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use tssdn_sim::{EventQueue, RngStreams, SimDuration, SimTime};
+
+/// One in-flight control message.
+#[derive(Debug, Clone)]
+struct Delivery<M> {
+    to: NodeId,
+    from: NodeId,
+    msg: M,
+}
+
+/// Control-plane cost accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverheadStats {
+    /// Control messages physically transmitted (per-link copies).
+    pub messages: u64,
+    /// Total bytes of those transmissions.
+    pub bytes: u64,
+}
+
+/// Measures how long a protocol needs after a topology change until a
+/// given route works again.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvergenceProbe {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination (e.g. the ground-station SDN gateway).
+    pub to: NodeId,
+}
+
+/// The harness binding a protocol implementation to a dynamic
+/// topology.
+pub struct Harness<P: ManetProtocol> {
+    proto: P,
+    topo: Topology,
+    queue: EventQueue<Delivery<P::Msg>>,
+    rng: ChaCha8Rng,
+    now: SimTime,
+    next_tick: SimTime,
+    /// Interval between protocol ticks.
+    pub tick_interval: SimDuration,
+    /// One-hop control-message latency.
+    pub hop_latency: SimDuration,
+    overhead: OverheadStats,
+}
+
+impl<P: ManetProtocol> Harness<P> {
+    /// Wrap `proto`; randomness (message loss) comes from a dedicated
+    /// stream of `streams`.
+    pub fn new(proto: P, streams: &RngStreams) -> Self {
+        Harness {
+            proto,
+            topo: Topology::new(),
+            queue: EventQueue::new(),
+            rng: streams.stream("manet-loss"),
+            now: SimTime::ZERO,
+            next_tick: SimTime::ZERO,
+            tick_interval: SimDuration::from_secs(1),
+            hop_latency: SimDuration(10),
+            overhead: OverheadStats::default(),
+        }
+    }
+
+    /// The protocol under test.
+    pub fn protocol(&self) -> &P {
+        &self.proto
+    }
+
+    /// Mutable protocol access (e.g. to configure gateways).
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.proto
+    }
+
+    /// Ground-truth topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Overhead accumulated so far.
+    pub fn overhead(&self) -> OverheadStats {
+        self.overhead
+    }
+
+    /// Current harness time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a node to both topology and protocol.
+    pub fn add_node(&mut self, n: NodeId) {
+        self.topo.add_node(n);
+        self.proto.add_node(n);
+    }
+
+    /// Install/update a link.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, q: f64) {
+        self.topo.add_node(a);
+        self.topo.add_node(b);
+        self.proto.add_node(a);
+        self.proto.add_node(b);
+        self.topo.set_link(a, b, q);
+    }
+
+    /// Tear down a link.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
+        self.topo.remove_link(a, b);
+    }
+
+    /// Declare route interest (drives on-demand protocols).
+    pub fn want_route(&mut self, from: NodeId, to: NodeId) {
+        self.proto.want_route(self.now, from, to);
+    }
+
+    /// Advance to `until`, ticking the protocol and delivering
+    /// messages.
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.now < until {
+            // Next interesting instant: tick or message delivery.
+            let next_msg = self.queue.peek_time();
+            let next = match next_msg {
+                Some(t) if t < self.next_tick => t,
+                _ => self.next_tick,
+            };
+            if next > until {
+                self.now = until;
+                return;
+            }
+            self.now = next;
+
+            // Deliver any messages due now.
+            while let Some(ev) = self.queue.pop_until(self.now) {
+                let Delivery { to, from, msg } = ev.event;
+                // The link may have vanished while the message flew.
+                let Some(q) = self.topo.quality(from, to) else { continue };
+                let mut ctx = Ctx::default();
+                self.proto.on_message(self.now, to, from, q, msg, &mut ctx);
+                self.flush(ctx);
+            }
+
+            // Tick every node when the tick instant arrives.
+            if self.now >= self.next_tick {
+                let nodes: Vec<NodeId> = self.topo.nodes().collect();
+                for n in nodes {
+                    let mut ctx = Ctx::default();
+                    self.proto.on_tick(self.now, n, &mut ctx);
+                    self.flush(ctx);
+                }
+                self.next_tick += self.tick_interval;
+            }
+        }
+    }
+
+    /// Turn a callback's outbox into queued deliveries, applying
+    /// per-link loss.
+    fn flush(&mut self, ctx: Ctx<P::Msg>) {
+        for (from, target, msg, bytes) in ctx.outbox {
+            match target {
+                Some(to) => {
+                    let Some(q) = self.topo.quality(from, to) else { continue };
+                    self.overhead.messages += 1;
+                    self.overhead.bytes += bytes as u64;
+                    if self.rng.gen_bool(q) {
+                        self.queue
+                            .schedule(self.now + self.hop_latency, Delivery { to, from, msg: msg.clone() });
+                    }
+                }
+                None => {
+                    let neighbors: Vec<(NodeId, f64)> = self.topo.neighbors(from).collect();
+                    // A broadcast is one transmission regardless of the
+                    // neighbor count (shared medium).
+                    if !neighbors.is_empty() {
+                        self.overhead.messages += 1;
+                        self.overhead.bytes += bytes as u64;
+                    }
+                    for (to, q) in neighbors {
+                        if self.rng.gen_bool(q) {
+                            self.queue
+                                .schedule(self.now + self.hop_latency, Delivery { to, from, msg: msg.clone() });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Follow the protocol's next-hop chain from `from` to `to`; true
+    /// when it reaches `to` over *currently existing* links without
+    /// loops.
+    pub fn route_works(&self, from: NodeId, to: NodeId) -> bool {
+        self.route_path(from, to).is_some()
+    }
+
+    /// The realized forwarding path, if complete and loop-free.
+    pub fn route_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![from];
+        let mut at = from;
+        let mut hops = 0;
+        while at != to {
+            hops += 1;
+            if hops > self.topo.num_nodes() {
+                return None; // loop
+            }
+            let nh = self.proto.next_hop(at, to)?;
+            // A stale table entry pointing over a vanished link is a
+            // broken route.
+            if !self.topo.linked(at, nh) {
+                return None;
+            }
+            path.push(nh);
+            at = nh;
+        }
+        Some(path)
+    }
+
+    /// Run until `probe`'s route works or `deadline` passes; returns
+    /// the convergence delay when it converged.
+    pub fn measure_convergence(
+        &mut self,
+        probe: ConvergenceProbe,
+        deadline: SimTime,
+    ) -> Option<SimDuration> {
+        let start = self.now;
+        self.want_route(probe.from, probe.to);
+        while self.now < deadline {
+            if self.route_works(probe.from, probe.to) {
+                return Some(self.now - start);
+            }
+            let step = (self.now + SimDuration(100)).min(deadline);
+            self.run_until(step);
+        }
+        if self.route_works(probe.from, probe.to) {
+            Some(self.now - start)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tssdn_sim::PlatformId;
+
+    fn n(i: u32) -> NodeId {
+        PlatformId(i)
+    }
+
+    /// A trivially static protocol for exercising the harness: floods
+    /// a single counter message and answers next_hop from a fixed map.
+    #[derive(Default)]
+    struct Dummy {
+        pub received: std::cell::RefCell<Vec<(NodeId, NodeId)>>,
+        pub hops: std::collections::BTreeMap<(NodeId, NodeId), NodeId>,
+        sent: std::cell::Cell<bool>,
+    }
+
+    impl ManetProtocol for Dummy {
+        type Msg = u32;
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn add_node(&mut self, _node: NodeId) {}
+        fn on_tick(&mut self, _now: SimTime, node: NodeId, ctx: &mut Ctx<u32>) {
+            if node == n(0) && !self.sent.get() {
+                ctx.broadcast(node, 7, 24);
+                self.sent.set(true);
+            }
+        }
+        fn on_message(
+            &mut self,
+            _now: SimTime,
+            node: NodeId,
+            from: NodeId,
+            _q: f64,
+            _msg: u32,
+            _ctx: &mut Ctx<u32>,
+        ) {
+            self.received.borrow_mut().push((node, from));
+        }
+        fn next_hop(&self, node: NodeId, dest: NodeId) -> Option<NodeId> {
+            self.hops.get(&(node, dest)).copied()
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_neighbors_with_latency() {
+        let mut h = Harness::new(Dummy::default(), &RngStreams::new(1));
+        h.set_link(n(0), n(1), 1.0);
+        h.set_link(n(0), n(2), 1.0);
+        h.run_until(SimTime::from_secs(2));
+        let got = h.protocol().received.borrow().clone();
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&(n(1), n(0))));
+        assert!(got.contains(&(n(2), n(0))));
+    }
+
+    #[test]
+    fn lossy_link_drops_some_messages() {
+        // With q = 0, nothing arrives.
+        let mut h = Harness::new(Dummy::default(), &RngStreams::new(1));
+        h.set_link(n(0), n(1), 0.0);
+        h.run_until(SimTime::from_secs(2));
+        assert!(h.protocol().received.borrow().is_empty());
+    }
+
+    #[test]
+    fn overhead_counts_broadcast_once() {
+        let mut h = Harness::new(Dummy::default(), &RngStreams::new(1));
+        h.set_link(n(0), n(1), 1.0);
+        h.set_link(n(0), n(2), 1.0);
+        h.set_link(n(0), n(3), 1.0);
+        h.run_until(SimTime::from_secs(2));
+        assert_eq!(h.overhead().messages, 1, "one shared-medium transmission");
+        assert_eq!(h.overhead().bytes, 24);
+    }
+
+    #[test]
+    fn route_path_follows_next_hops() {
+        let mut d = Dummy::default();
+        d.hops.insert((n(0), n(2)), n(1));
+        d.hops.insert((n(1), n(2)), n(2));
+        let mut h = Harness::new(d, &RngStreams::new(1));
+        h.set_link(n(0), n(1), 1.0);
+        h.set_link(n(1), n(2), 1.0);
+        assert_eq!(h.route_path(n(0), n(2)), Some(vec![n(0), n(1), n(2)]));
+        assert!(h.route_works(n(0), n(2)));
+    }
+
+    #[test]
+    fn route_over_vanished_link_is_broken() {
+        let mut d = Dummy::default();
+        d.hops.insert((n(0), n(2)), n(1));
+        d.hops.insert((n(1), n(2)), n(2));
+        let mut h = Harness::new(d, &RngStreams::new(1));
+        h.set_link(n(0), n(1), 1.0);
+        h.set_link(n(1), n(2), 1.0);
+        h.remove_link(n(1), n(2));
+        assert!(!h.route_works(n(0), n(2)), "stale next hop detected");
+    }
+
+    #[test]
+    fn routing_loops_detected() {
+        let mut d = Dummy::default();
+        d.hops.insert((n(0), n(9)), n(1));
+        d.hops.insert((n(1), n(9)), n(0));
+        let mut h = Harness::new(d, &RngStreams::new(1));
+        h.set_link(n(0), n(1), 1.0);
+        h.add_node(n(9));
+        assert!(!h.route_works(n(0), n(9)));
+    }
+
+    #[test]
+    fn self_route_always_works() {
+        let mut h = Harness::new(Dummy::default(), &RngStreams::new(1));
+        h.add_node(n(4));
+        assert!(h.route_works(n(4), n(4)));
+        assert_eq!(h.route_path(n(4), n(4)), Some(vec![n(4)]));
+    }
+}

@@ -1,0 +1,235 @@
+//! Shared types: node ids, the dynamic topology, the protocol trait,
+//! and the send context protocols use to emit control messages.
+
+use std::collections::{BTreeMap, BTreeSet};
+use tssdn_sim::{PlatformId, SimTime};
+
+/// A MANET node. Aliases the fleet's platform id so the layers above
+/// can map balloons/ground stations directly onto routing nodes.
+pub type NodeId = PlatformId;
+
+/// The instantaneous link-layer adjacency the MANET runs over.
+///
+/// Link quality is a delivery probability in `(0, 1]`, playing the
+/// role of batman-adv's TQ. BTree containers keep iteration order
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    edges: BTreeMap<NodeId, BTreeMap<NodeId, f64>>,
+    nodes: BTreeSet<NodeId>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure a node exists (it may have no links yet).
+    pub fn add_node(&mut self, n: NodeId) {
+        self.nodes.insert(n);
+        self.edges.entry(n).or_default();
+    }
+
+    /// Install or update a bidirectional link with delivery quality
+    /// `q` in `(0, 1]`.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, q: f64) {
+        assert!(a != b, "no self links");
+        let q = q.clamp(0.0, 1.0);
+        self.add_node(a);
+        self.add_node(b);
+        self.edges.get_mut(&a).expect("added").insert(b, q);
+        self.edges.get_mut(&b).expect("added").insert(a, q);
+    }
+
+    /// Remove a link if present.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
+        if let Some(m) = self.edges.get_mut(&a) {
+            m.remove(&b);
+        }
+        if let Some(m) = self.edges.get_mut(&b) {
+            m.remove(&a);
+        }
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Neighbors of `n` with link qualities.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.edges.get(&n).into_iter().flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
+    }
+
+    /// Quality of the `a`–`b` link, if linked.
+    pub fn quality(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.edges.get(&a).and_then(|m| m.get(&b)).copied()
+    }
+
+    /// Whether `a` and `b` share a direct link.
+    pub fn linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.quality(a, b).is_some()
+    }
+
+    /// Number of (undirected) links.
+    pub fn num_links(&self) -> usize {
+        self.edges.values().map(|m| m.len()).sum::<usize>() / 2
+    }
+
+    /// Whether a path exists from `a` to `b` in the raw adjacency
+    /// (ground truth, independent of any protocol's tables).
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![a];
+        seen.insert(a);
+        while let Some(n) = stack.pop() {
+            for (m, _) in self.neighbors(n) {
+                if m == b {
+                    return true;
+                }
+                if seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Outbound control traffic a protocol emits during a callback. The
+/// harness turns these into per-neighbor deliveries with loss.
+#[derive(Debug)]
+pub struct Ctx<M> {
+    /// `(from, Some(neighbor), msg, bytes)` for unicast;
+    /// `(from, None, msg, bytes)` for one-hop broadcast.
+    pub(crate) outbox: Vec<(NodeId, Option<NodeId>, M, usize)>,
+}
+
+impl<M> Default for Ctx<M> {
+    fn default() -> Self {
+        Self { outbox: Vec::new() }
+    }
+}
+
+impl<M> Ctx<M> {
+    /// Broadcast `msg` to all current one-hop neighbors of `from`.
+    pub fn broadcast(&mut self, from: NodeId, msg: M, bytes: usize) {
+        self.outbox.push((from, None, msg, bytes));
+    }
+
+    /// Unicast `msg` to a specific neighbor.
+    pub fn unicast(&mut self, from: NodeId, to: NodeId, msg: M, bytes: usize) {
+        self.outbox.push((from, Some(to), msg, bytes));
+    }
+}
+
+/// A MANET routing protocol under test.
+///
+/// The harness calls `on_tick` for every node each protocol interval
+/// and `on_message` for each delivered control message. Routing state
+/// must be derived *only* from those callbacks — protocols have no
+/// direct view of [`Topology`].
+pub trait ManetProtocol {
+    /// The protocol's control-message type.
+    type Msg: Clone;
+
+    /// Human-readable protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Register a node before the simulation starts.
+    fn add_node(&mut self, node: NodeId);
+
+    /// Periodic processing for `node` (emit HELLOs/OGMs/dumps, expire
+    /// state).
+    fn on_tick(&mut self, now: SimTime, node: NodeId, ctx: &mut Ctx<Self::Msg>);
+
+    /// A control message arrived at `node` from direct neighbor
+    /// `from` over a link whose current quality is `link_q`.
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        from: NodeId,
+        link_q: f64,
+        msg: Self::Msg,
+        ctx: &mut Ctx<Self::Msg>,
+    );
+
+    /// Declare that `node` wants a route to `dest` (drives on-demand
+    /// protocols; proactive ones may ignore it).
+    fn want_route(&mut self, _now: SimTime, _node: NodeId, _dest: NodeId) {}
+
+    /// The next hop `node` would forward a packet for `dest` to, if
+    /// its tables contain a usable route.
+    fn next_hop(&self, node: NodeId, dest: NodeId) -> Option<NodeId>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        PlatformId(i)
+    }
+
+    #[test]
+    fn topology_link_crud() {
+        let mut t = Topology::new();
+        t.set_link(n(0), n(1), 0.9);
+        assert!(t.linked(n(0), n(1)));
+        assert!(t.linked(n(1), n(0)));
+        assert_eq!(t.quality(n(0), n(1)), Some(0.9));
+        assert_eq!(t.num_links(), 1);
+        t.remove_link(n(0), n(1));
+        assert!(!t.linked(n(0), n(1)));
+        assert_eq!(t.num_links(), 0);
+        assert_eq!(t.num_nodes(), 2, "nodes survive link removal");
+    }
+
+    #[test]
+    #[should_panic(expected = "no self links")]
+    fn self_links_rejected() {
+        let mut t = Topology::new();
+        t.set_link(n(0), n(0), 1.0);
+    }
+
+    #[test]
+    fn connectivity_ground_truth() {
+        let mut t = Topology::new();
+        t.set_link(n(0), n(1), 1.0);
+        t.set_link(n(1), n(2), 1.0);
+        t.add_node(n(3));
+        assert!(t.connected(n(0), n(2)));
+        assert!(t.connected(n(0), n(0)));
+        assert!(!t.connected(n(0), n(3)));
+    }
+
+    #[test]
+    fn neighbors_iterate_deterministically() {
+        let mut t = Topology::new();
+        t.set_link(n(5), n(2), 1.0);
+        t.set_link(n(5), n(9), 1.0);
+        t.set_link(n(5), n(1), 1.0);
+        let order: Vec<u32> = t.neighbors(n(5)).map(|(m, _)| m.0).collect();
+        assert_eq!(order, vec![1, 2, 9], "BTree order");
+    }
+
+    #[test]
+    fn ctx_collects_outbox() {
+        let mut c: Ctx<&'static str> = Ctx::default();
+        c.broadcast(n(0), "ogm", 24);
+        c.unicast(n(1), n(2), "rrep", 32);
+        assert_eq!(c.outbox.len(), 2);
+        assert!(c.outbox[0].1.is_none());
+        assert_eq!(c.outbox[1].1, Some(n(2)));
+    }
+}

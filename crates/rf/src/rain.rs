@@ -1,0 +1,111 @@
+//! Rain attenuation: the power-law specific-attenuation model of
+//! ITU-R P.838, which the paper used for "moisture attenuation"
+//! (§3.1).
+//!
+//! `γ_rain = k · R^α` dB/km where `R` is rain rate in mm/h and `k, α`
+//! depend on frequency. E-band transmissions "attenuate in the
+//! presence of atmospheric moisture such as rain, clouds, or fog ...
+//! significantly more detrimental than the rain fade of Ka and Ku
+//! bands" (§2.2) — the coefficients below reproduce that ordering.
+
+/// Power-law coefficients `(k, alpha)` for `γ = k · R^α`.
+///
+/// Values are P.838-style horizontal-polarization fits at the band
+/// centers we model. E band's `k` is ~20× Ku band's, which is exactly
+/// the Ka/Ku-vs-E-band brittleness contrast the paper highlights.
+pub fn rain_coefficients(freq_ghz: f64) -> (f64, f64) {
+    // Piecewise-log-linear interpolation through P.838 anchor points.
+    const ANCHORS: &[(f64, f64, f64)] = &[
+        // (freq GHz, k, alpha)
+        (12.0, 0.0188, 1.217),
+        (20.0, 0.0751, 1.099),
+        (30.0, 0.187, 1.021),
+        (40.0, 0.350, 0.939),
+        (50.0, 0.536, 0.873),
+        (60.0, 0.707, 0.826),
+        (73.0, 0.896, 0.793),
+        (86.0, 1.06, 0.753),
+        (100.0, 1.12, 0.743),
+    ];
+    let f = freq_ghz.clamp(ANCHORS[0].0, ANCHORS[ANCHORS.len() - 1].0);
+    for w in ANCHORS.windows(2) {
+        let (f0, k0, a0) = w[0];
+        let (f1, k1, a1) = w[1];
+        if f <= f1 {
+            let t = (f.ln() - f0.ln()) / (f1.ln() - f0.ln());
+            let k = (k0.ln() + t * (k1.ln() - k0.ln())).exp();
+            let a = a0 + t * (a1 - a0);
+            return (k, a);
+        }
+    }
+    let last = ANCHORS[ANCHORS.len() - 1];
+    (last.1, last.2)
+}
+
+/// Specific rain attenuation, dB/km, at `freq_ghz` for rain rate
+/// `rain_mm_h`.
+pub fn rain_db_per_km(freq_ghz: f64, rain_mm_h: f64) -> f64 {
+    if rain_mm_h <= 0.0 {
+        return 0.0;
+    }
+    let (k, alpha) = rain_coefficients(freq_ghz);
+    k * rain_mm_h.powf(alpha)
+}
+
+/// Altitude above which precipitation no longer attenuates (the rain
+/// height / melting layer). Tropical value per ITU-R P.839.
+pub const RAIN_HEIGHT_M: f64 = 5_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_interpolate_between_anchors() {
+        let (k73, _) = rain_coefficients(73.0);
+        assert!((k73 - 0.896).abs() < 1e-9, "anchor exact: {k73}");
+        let (k65, a65) = rain_coefficients(65.0);
+        assert!(k65 > 0.707 && k65 < 0.896);
+        assert!(a65 < 0.826 && a65 > 0.793);
+    }
+
+    #[test]
+    fn e_band_much_worse_than_ku_band() {
+        // 20 mm/h moderate tropical rain.
+        let ku = rain_db_per_km(12.0, 20.0);
+        let e = rain_db_per_km(73.0, 20.0);
+        assert!(e / ku > 8.0, "E band {e} dB/km vs Ku {ku} dB/km");
+    }
+
+    #[test]
+    fn heavy_tropical_rain_kills_e_band() {
+        // 50 mm/h thunderstorm: > 15 dB/km at 73 GHz.
+        let g = rain_db_per_km(73.0, 50.0);
+        assert!(g > 15.0, "got {g}");
+    }
+
+    #[test]
+    fn no_rain_no_attenuation() {
+        assert_eq!(rain_db_per_km(73.0, 0.0), 0.0);
+        assert_eq!(rain_db_per_km(73.0, -3.0), 0.0);
+    }
+
+    #[test]
+    fn attenuation_monotonic_in_rate_and_frequency() {
+        let mut prev = 0.0;
+        for r in [1.0, 5.0, 10.0, 25.0, 50.0, 100.0] {
+            let g = rain_db_per_km(73.0, r);
+            assert!(g > prev);
+            prev = g;
+        }
+        assert!(rain_db_per_km(86.0, 20.0) > rain_db_per_km(73.0, 20.0));
+    }
+
+    #[test]
+    fn clamps_out_of_range_frequencies() {
+        let lo = rain_coefficients(5.0);
+        assert_eq!(lo, rain_coefficients(12.0));
+        let hi = rain_coefficients(200.0);
+        assert_eq!(hi, rain_coefficients(100.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic simulation substrate: event queue, simulated clock,
+//! seeded randomness, stratospheric winds, balloon flight dynamics,
+//! the Fleet Management Software (FMS) station-seeking controller, and
+//! the day/night power model.
+//!
+//! The paper's explainability section (§6) recommends designing
+//! "solvers and their inputs in a way that enables the reproducibility
+//! of network commands in tests and post-hoc analysis". This crate
+//! takes that to heart: the whole reproduction is a single-threaded
+//! discrete-event simulation where every source of randomness is a
+//! named [`rng::RngStreams`] stream fanned out from one master seed —
+//! identical seeds produce bit-identical runs.
+//!
+//! Physical modelling notes (per the DESIGN.md substitution table):
+//!
+//! * **Winds** ([`wind`]) — balloons "floated freely in the
+//!   stratosphere, but had the ability to change altitude" to catch
+//!   wind currents (§2.2). We model a handful of altitude layers, each
+//!   with an Ornstein–Uhlenbeck-evolving wind vector, plus mild
+//!   spatial variation. Navigation is therefore *probabilistic*, as
+//!   the paper stresses, and balloon trajectories are unpredictable to
+//!   a meaningful degree.
+//! * **FMS** ([`balloon`]) — picks the altitude layer whose wind best
+//!   points toward the station-keeping target, issuing up to hundreds
+//!   of altitude changes per day, tolerating minutes of command
+//!   latency (§2.2 "Command & Control").
+//! * **Power** ([`power`]) — solar generation and battery storage
+//!   sized so the communications payload serves "from shortly after
+//!   dawn through the first few hours of darkness each day
+//!   (approximately 14 hours)" and the network "had to bootstrap
+//!   itself every day" (§2.2).
+
+pub mod balloon;
+pub mod engine;
+pub mod fleet;
+pub mod power;
+pub mod rng;
+pub mod time;
+pub mod wind;
+
+pub use balloon::{Balloon, BalloonConfig, FmsController};
+pub use engine::{EventQueue, ScheduledEvent};
+pub use fleet::{Fleet, FleetConfig, GroundStationSite, PlatformId, PlatformKind};
+pub use power::{PowerConfig, PowerState, PowerSystem};
+pub use rng::RngStreams;
+pub use time::{SimDuration, SimTime};
+pub use wind::{WindField, WindLayer, WindSample};

@@ -1,0 +1,150 @@
+//! CSV export matching the artifact's table schemas (Appendix E).
+//!
+//! The Loon artifact ships five bz2-compressed CSV tables; we emit the
+//! equivalent content from simulation runs so downstream analysis
+//! written against the artifact schemas can run unchanged:
+//!
+//! * `backhaul.csv` — network connectivity probes per layer.
+//! * `link_intents.csv` — state transitions of each attempted link.
+//! * `link_reports.csv` — candidate-graph evolution (forecast link
+//!   performance + attenuation sources).
+//! * `flight_regions.csv` — platform positions over time.
+
+use std::fmt::Write as _;
+use tssdn_sim::{PlatformId, SimTime};
+
+/// Escape one CSV field (quotes fields containing separators).
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A generic CSV builder with a fixed header.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// A table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        CsvTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; panics if the arity mismatches the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","))
+            .expect("string write");
+        for r in &self.rows {
+            writeln!(out, "{}", r.iter().map(|c| field(c)).collect::<Vec<_>>().join(","))
+                .expect("string write");
+        }
+        out
+    }
+}
+
+/// Builder for the artifact's `backhaul.csv` (connectivity probes).
+pub fn backhaul_table() -> CsvTable {
+    CsvTable::new(&["time_ms", "node", "layer", "eligible", "reachable"])
+}
+
+/// Append one probe row.
+pub fn push_backhaul(
+    t: &mut CsvTable,
+    now: SimTime,
+    node: PlatformId,
+    layer: &str,
+    eligible: bool,
+    reachable: bool,
+) {
+    t.push(vec![
+        now.as_ms().to_string(),
+        node.to_string(),
+        layer.to_string(),
+        (eligible as u8).to_string(),
+        (reachable as u8).to_string(),
+    ]);
+}
+
+/// Builder for the artifact's `link_intents.csv` (change log).
+pub fn link_intents_table() -> CsvTable {
+    CsvTable::new(&["intent_id", "a", "b", "kind", "event", "time_ms", "detail"])
+}
+
+/// Builder for the artifact's `link_reports.csv` (candidate graph).
+pub fn link_reports_table() -> CsvTable {
+    CsvTable::new(&[
+        "time_ms", "a", "b", "kind", "band", "bitrate_bps", "margin_db", "quality", "range_m",
+    ])
+}
+
+/// Builder for the artifact's `flight_regions.csv`.
+pub fn flight_regions_table() -> CsvTable {
+    CsvTable::new(&["time_ms", "node", "lat_deg", "lon_deg", "alt_m"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn escapes_separators_and_quotes() {
+        let mut t = CsvTable::new(&["x"]);
+        t.push(vec!["hello, \"world\"".into()]);
+        assert!(t.to_csv().contains("\"hello, \"\"world\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn backhaul_schema_roundtrip() {
+        let mut t = backhaul_table();
+        push_backhaul(&mut t, SimTime::from_secs(60), PlatformId(3), "data", true, false);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("time_ms,node,layer,eligible,reachable\n"));
+        assert!(csv.contains("60000,p3,data,1,0"));
+    }
+
+    #[test]
+    fn artifact_tables_have_expected_columns() {
+        assert_eq!(link_intents_table().to_csv().lines().next().expect("header").split(',').count(), 7);
+        assert_eq!(link_reports_table().to_csv().lines().next().expect("header").split(',').count(), 9);
+        assert_eq!(flight_regions_table().to_csv().lines().next().expect("header").split(',').count(), 5);
+    }
+}

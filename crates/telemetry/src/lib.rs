@@ -1,0 +1,24 @@
+//! Telemetry: metric collectors and artifact-style exports.
+//!
+//! The paper's evaluation is built from telemetry tables (Artifact
+//! Appendix E): network connectivity probes, the link-intents change
+//! log, transceiver link reports, and flight regions. This crate
+//! provides the collectors that produce the equivalent data from a
+//! simulation run and the statistics used to render each figure:
+//!
+//! * [`stats`] — percentile/CDF/histogram helpers shared by every
+//!   experiment.
+//! * [`availability`] — per-layer (link / control / data plane)
+//!   availability ratios over time windows: Figure 6.
+//! * [`recovery`] — route-break/recovery tracking split by planned vs
+//!   unexpected cause: Figure 8.
+//! * [`export`] — CSV writers matching the artifact's table schemas.
+
+pub mod availability;
+pub mod export;
+pub mod recovery;
+pub mod stats;
+
+pub use availability::{AvailabilitySeries, Layer};
+pub use recovery::{BreakCause, RecoverySample, RouteRecoveryTracker};
+pub use stats::{cdf_points, mean, percentile, Summary};

@@ -1,0 +1,211 @@
+//! Route-break and recovery tracking — the data behind Figure 8.
+//!
+//! "Figure 8 shows how quickly the TS-SDN was able to recover
+//! programmed data plane reachability to individual balloons in the
+//! face of anticipated (withdrawn) or unexpected (failed) link
+//! termination" (§3.2). Each balloon's data-plane reachability is a
+//! boolean signal; on a down-transition we open a break tagged with
+//! the co-occurring link-termination cause, and on the up-transition
+//! we close it, noting whether recovery required installing a new
+//! link (the paper: 92.4% of sub-5-minute recoveries did not).
+
+use std::collections::BTreeMap;
+use tssdn_sim::{PlatformId, SimDuration, SimTime};
+
+/// Why the route broke (what co-occurred with the break).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakCause {
+    /// A controller-withdrawn link termination co-occurred.
+    Withdrawn,
+    /// An unexpected link failure co-occurred.
+    Failed,
+    /// No link event co-occurred (e.g. node power-down, probe gap).
+    Other,
+}
+
+/// One completed break/recovery cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverySample {
+    /// The affected node.
+    pub node: PlatformId,
+    /// When reachability was lost.
+    pub broke_at: SimTime,
+    /// When it came back.
+    pub recovered_at: SimTime,
+    /// Tagged cause.
+    pub cause: BreakCause,
+    /// Whether a new link had to be installed to recover.
+    pub needed_new_link: bool,
+}
+
+impl RecoverySample {
+    /// Outage duration.
+    pub fn duration(&self) -> SimDuration {
+        self.recovered_at - self.broke_at
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenBreak {
+    broke_at: SimTime,
+    cause: BreakCause,
+    links_installed_since: bool,
+}
+
+/// The tracker. Feed it reachability transitions and link events.
+#[derive(Debug, Default)]
+pub struct RouteRecoveryTracker {
+    open: BTreeMap<PlatformId, OpenBreak>,
+    samples: Vec<RecoverySample>,
+}
+
+impl RouteRecoveryTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Report that `node` lost data-plane reachability at `now`.
+    /// `cause` is the co-occurring link event (the orchestrator
+    /// correlates within its probe window).
+    pub fn broke(&mut self, node: PlatformId, cause: BreakCause, now: SimTime) {
+        self.open
+            .entry(node)
+            .or_insert(OpenBreak { broke_at: now, cause, links_installed_since: false });
+    }
+
+    /// Report that a new link serving `node` was installed (used to
+    /// classify recoveries).
+    pub fn link_installed(&mut self, node: PlatformId) {
+        if let Some(b) = self.open.get_mut(&node) {
+            b.links_installed_since = true;
+        }
+    }
+
+    /// Report that `node` regained reachability.
+    pub fn recovered(&mut self, node: PlatformId, now: SimTime) {
+        if let Some(b) = self.open.remove(&node) {
+            self.samples.push(RecoverySample {
+                node,
+                broke_at: b.broke_at,
+                recovered_at: now,
+                cause: b.cause,
+                needed_new_link: b.links_installed_since,
+            });
+        }
+    }
+
+    /// Whether `node` has an open break.
+    pub fn is_broken(&self, node: PlatformId) -> bool {
+        self.open.contains_key(&node)
+    }
+
+    /// All completed samples.
+    pub fn samples(&self) -> &[RecoverySample] {
+        &self.samples
+    }
+
+    /// Recovery durations (seconds) for a cause, optionally capped at
+    /// `within_s` (Figure 8 looks at recoveries within 5 minutes).
+    pub fn durations_s(&self, cause: BreakCause, within_s: Option<f64>) -> Vec<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.cause == cause)
+            .map(|s| s.duration().as_secs_f64())
+            .filter(|d| within_s.map(|w| *d <= w).unwrap_or(true))
+            .collect()
+    }
+
+    /// Fraction of capped recoveries that needed no new link (the
+    /// paper's 92.4%).
+    pub fn fraction_without_new_link(&self, within_s: f64) -> Option<f64> {
+        let capped: Vec<&RecoverySample> = self
+            .samples
+            .iter()
+            .filter(|s| s.duration().as_secs_f64() <= within_s)
+            .collect();
+        if capped.is_empty() {
+            return None;
+        }
+        Some(
+            capped.iter().filter(|s| !s.needed_new_link).count() as f64 / capped.len() as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> PlatformId {
+        PlatformId(i)
+    }
+
+    #[test]
+    fn break_recover_cycle() {
+        let mut t = RouteRecoveryTracker::new();
+        t.broke(n(0), BreakCause::Failed, SimTime::from_secs(100));
+        assert!(t.is_broken(n(0)));
+        t.recovered(n(0), SimTime::from_secs(130));
+        assert!(!t.is_broken(n(0)));
+        let s = &t.samples()[0];
+        assert_eq!(s.duration(), SimDuration::from_secs(30));
+        assert_eq!(s.cause, BreakCause::Failed);
+        assert!(!s.needed_new_link);
+    }
+
+    #[test]
+    fn double_broke_keeps_first_cause_and_time() {
+        let mut t = RouteRecoveryTracker::new();
+        t.broke(n(0), BreakCause::Withdrawn, SimTime::from_secs(100));
+        t.broke(n(0), BreakCause::Failed, SimTime::from_secs(110));
+        t.recovered(n(0), SimTime::from_secs(160));
+        let s = &t.samples()[0];
+        assert_eq!(s.cause, BreakCause::Withdrawn);
+        assert_eq!(s.duration(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn recovery_without_break_ignored() {
+        let mut t = RouteRecoveryTracker::new();
+        t.recovered(n(3), SimTime::from_secs(5));
+        assert!(t.samples().is_empty());
+    }
+
+    #[test]
+    fn new_link_classification() {
+        let mut t = RouteRecoveryTracker::new();
+        t.broke(n(0), BreakCause::Failed, SimTime::from_secs(0));
+        t.link_installed(n(0));
+        t.recovered(n(0), SimTime::from_secs(50));
+        assert!(t.samples()[0].needed_new_link);
+        // Installing for a node without an open break is a no-op.
+        t.link_installed(n(9));
+    }
+
+    #[test]
+    fn duration_filters() {
+        let mut t = RouteRecoveryTracker::new();
+        for (i, d) in [10u64, 100, 400].iter().enumerate() {
+            t.broke(n(i as u32), BreakCause::Failed, SimTime::ZERO);
+            t.recovered(n(i as u32), SimTime::from_secs(*d));
+        }
+        t.broke(n(9), BreakCause::Withdrawn, SimTime::ZERO);
+        t.recovered(n(9), SimTime::from_secs(20));
+        assert_eq!(t.durations_s(BreakCause::Failed, None).len(), 3);
+        assert_eq!(t.durations_s(BreakCause::Failed, Some(300.0)).len(), 2);
+        assert_eq!(t.durations_s(BreakCause::Withdrawn, Some(300.0)), vec![20.0]);
+    }
+
+    #[test]
+    fn fraction_without_new_link_caps() {
+        let mut t = RouteRecoveryTracker::new();
+        t.broke(n(0), BreakCause::Failed, SimTime::ZERO);
+        t.recovered(n(0), SimTime::from_secs(30));
+        t.broke(n(1), BreakCause::Failed, SimTime::ZERO);
+        t.link_installed(n(1));
+        t.recovered(n(1), SimTime::from_secs(60));
+        assert_eq!(t.fraction_without_new_link(300.0), Some(0.5));
+        assert_eq!(RouteRecoveryTracker::new().fraction_without_new_link(300.0), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared statistics helpers: percentiles, CDFs, summaries.
+
+/// Linear-interpolated percentile (0–100) of an unsorted sample set;
+/// `None` on empty input. NaNs are rejected by debug assertion.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    Some(v[lo] + (v[hi] - v[lo]) * (rank - lo as f64))
+}
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Evenly spaced CDF points `(value, fraction ≤ value)` for plotting,
+/// computed at `n` quantiles.
+pub fn cdf_points(xs: &[f64], n: usize) -> Vec<(f64, f64)> {
+    if xs.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    (0..=n)
+        .map(|i| {
+            let f = i as f64 / n as f64;
+            (percentile(xs, f * 100.0).expect("non-empty"), f)
+        })
+        .collect()
+}
+
+/// A compact distribution summary for experiment reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize samples; `None` on empty input.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            n: xs.len(),
+            mean: mean(xs).expect("non-empty"),
+            p50: percentile(xs, 50.0).expect("non-empty"),
+            p90: percentile(xs, 90.0).expect("non-empty"),
+            p99: percentile(xs, 99.0).expect("non-empty"),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} p50={:.2} p90={:.2} p99={:.2} min={:.2} max={:.2}",
+            self.n, self.mean, self.p50, self.p90, self.p99, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let xs = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let xs = vec![1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 150.0), Some(2.0));
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let pts = cdf_points(&xs, 10);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[10].1, 1.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).expect("non-empty");
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(Summary::of(&[]).is_none());
+        let _ = format!("{s}");
+    }
+}

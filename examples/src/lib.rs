@@ -1,0 +1,33 @@
+//! Shared helpers for the runnable example binaries.
+//!
+//! Each example in this directory is a standalone binary exercising
+//! the public API of the `tssdn-*` crates:
+//!
+//! * `quickstart` — the smallest end-to-end loop: build a world, run a
+//!   morning, watch the mesh form.
+//! * `kenya_service` — the paper's commercial scenario: a day of LTE
+//!   backhaul service over Kenya with per-layer availability.
+//! * `disaster_response` — an emergency deployment (the paper's
+//!   Peru/Puerto Rico missions): bootstrap speed under pressure.
+//! * `drain_maintenance` — Appendix C administrative drains driving a
+//!   software-update campaign.
+//! * `artifact_export` — writes the artifact-style CSV tables
+//!   (Appendix E schemas) from a short run.
+
+use tssdn_core::Orchestrator;
+use tssdn_sim::{SimDuration, SimTime};
+
+/// Advance `o` to `to`, printing a compact mesh status line every
+/// simulated `every`.
+pub fn run_with_status(o: &mut Orchestrator, to: SimTime, every: SimDuration) {
+    while o.now() < to {
+        let next = (o.now() + every).min(to);
+        o.run_until(next);
+        let links = o.intents.established().count();
+        let intents = o.intents.all().count();
+        println!(
+            "[{}] links up: {links:>3}   intents so far: {intents:>4}",
+            o.now()
+        );
+    }
+}

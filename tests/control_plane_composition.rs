@@ -1,0 +1,200 @@
+//! Hybrid control-plane composition: cpl + manet working together the
+//! way §4 describes — satcom bootstraps, BATMAN carries the in-band
+//! path, the frontend upgrades channels and infers success from the
+//! side channel.
+
+use tssdn_cpl::{CdpiConfig, CdpiEvent, CdpiFrontend, Channel, CommandBody, IntentKind};
+use tssdn_link::TransceiverId;
+use tssdn_manet::{Batman, Harness, ManetProtocol};
+use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
+
+fn establish_body(intent: u64, a: u32, b: u32) -> CommandBody {
+    CommandBody::EstablishLink {
+        intent_id: intent,
+        local: TransceiverId::new(PlatformId(a), 0),
+        peer: TransceiverId::new(PlatformId(b), 0),
+    }
+}
+
+/// The §4.1 bootstrap story as a test: a disconnected balloon receives
+/// a link command via satcom; when the link comes up the mesh routes
+/// it to a gateway; its in-band connection then confirms the intent
+/// and subsequent commands ride in-band with 3 s TTEs.
+#[test]
+fn bootstrap_then_upgrade_to_inband() {
+    let streams = RngStreams::new(5);
+    let mut cdpi = CdpiFrontend::new(CdpiConfig::default(), &streams);
+    let mut mesh = Harness::new(
+        {
+            let mut b = Batman::new();
+            b.set_gateway(PlatformId(100), true); // the GS
+            b
+        },
+        &streams,
+    );
+    mesh.add_node(PlatformId(0));
+    mesh.add_node(PlatformId(100));
+
+    // Balloon 0 is dark: only satcom reaches it.
+    let (intent0, tte0) = cdpi.submit_intent(
+        vec![(PlatformId(0), establish_body(0, 0, 100))],
+        SimTime::ZERO,
+    );
+    assert_eq!(tte0, SimTime::from_secs(186), "satcom TTE for a dark balloon");
+
+    // Run until the command is delivered via satcom.
+    let mut delivered = None;
+    let mut t = SimTime::ZERO;
+    while delivered.is_none() && t < SimTime::from_mins(20) {
+        t += SimDuration::from_secs(1);
+        for e in cdpi.poll(t) {
+            if let CdpiEvent::DeliveredToNode { cmd, at, channel } = e {
+                assert!(matches!(channel, Channel::Satcom(_)));
+                assert_eq!(cmd.dest, PlatformId(0));
+                delivered = Some(at);
+            }
+        }
+    }
+    let delivered = delivered.expect("satcom delivered the bootstrap command");
+
+    // The balloon enacts at TTE: the physical link comes up and the
+    // mesh learns it.
+    let link_up_at = tte0.max(delivered) + SimDuration::from_secs(40);
+    mesh.set_link(PlatformId(0), PlatformId(100), 0.95);
+    mesh.run_until(link_up_at + SimDuration::from_secs(5));
+    assert!(mesh.route_works(PlatformId(0), PlatformId(100)));
+    assert_eq!(
+        mesh.protocol().selected_gateway(PlatformId(0)),
+        Some(PlatformId(100))
+    );
+
+    // Side channel: the in-band connection appears and confirms the
+    // intent before any satcom ack round-trip would have.
+    let hops = mesh
+        .route_path(PlatformId(0), PlatformId(100))
+        .expect("routed")
+        .len() as u32
+        - 1;
+    let events = cdpi.node_connected_inband(PlatformId(0), hops, link_up_at);
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            CdpiEvent::IntentConfirmed { intent_id, kind: IntentKind::Link, .. }
+                if *intent_id == intent0
+        )),
+        "side channel confirmed the bootstrap link: {events:?}"
+    );
+
+    // Subsequent route programming rides in-band with the short TTE.
+    let (_, tte1) = cdpi.submit_intent(
+        vec![(PlatformId(0), CommandBody::SetRoutes { version: 1, entries: 4 })],
+        link_up_at,
+    );
+    assert_eq!(tte1, link_up_at + SimDuration::from_secs(3), "in-band TTE");
+}
+
+/// Mesh repair outpaces the controller: after a mid-path link failure,
+/// BATMAN restores gateway reachability in a few OGM intervals —
+/// faster than one satcom RTT could even begin to react.
+#[test]
+fn manet_repairs_faster_than_satcom_could() {
+    let streams = RngStreams::new(6);
+    let mut mesh = Harness::new(
+        {
+            let mut b = Batman::new();
+            b.set_gateway(PlatformId(100), true);
+            b
+        },
+        &streams,
+    );
+    // 0 - 1 - 100 with a redundant 0 - 2 - 100.
+    mesh.set_link(PlatformId(0), PlatformId(1), 0.95);
+    mesh.set_link(PlatformId(1), PlatformId(100), 0.95);
+    mesh.set_link(PlatformId(0), PlatformId(2), 0.95);
+    mesh.set_link(PlatformId(2), PlatformId(100), 0.95);
+    mesh.run_until(SimTime::from_secs(15));
+    assert!(mesh.route_works(PlatformId(0), PlatformId(100)));
+
+    let via = mesh.route_path(PlatformId(0), PlatformId(100)).expect("path")[1];
+    mesh.remove_link(PlatformId(0), via);
+    let repaired = mesh
+        .measure_convergence(
+            tssdn_manet::ConvergenceProbe { from: PlatformId(0), to: PlatformId(100) },
+            SimTime::from_secs(60),
+        )
+        .expect("repaired");
+    // Satcom best-case RTT is 23 s; BATMAN must beat it comfortably.
+    assert!(
+        repaired.as_secs_f64() < 15.0,
+        "mesh repair ({repaired}) beats satcom's best case"
+    );
+}
+
+/// Route updates must never ride satcom: the gateway drops them and
+/// the frontend's retry ladder eventually expires the intent if the
+/// node never connects.
+#[test]
+fn route_updates_never_ride_satcom() {
+    let streams = RngStreams::new(7);
+    let mut cdpi = CdpiFrontend::new(CdpiConfig::default(), &streams);
+    let (intent, _) = cdpi.submit_intent(
+        vec![(PlatformId(3), CommandBody::SetRoutes { version: 9, entries: 12 })],
+        SimTime::ZERO,
+    );
+    let mut expired = false;
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_mins(30) {
+        t += SimDuration::from_secs(1);
+        for e in cdpi.poll(t) {
+            match e {
+                CdpiEvent::DeliveredToNode { channel, .. } => {
+                    assert_eq!(channel, Channel::InBand, "route update on satcom!");
+                }
+                CdpiEvent::Expired { intent_id, .. } if intent_id == intent => {
+                    expired = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(expired, "undeliverable route update expired");
+}
+
+/// Two-balloon intents take the worst channel's TTE (§4.2: "set the
+/// TTE to the longest delay"), and an intent whose endpoints are all
+/// in-band confirms fast end to end.
+#[test]
+fn intent_tte_composition_and_fast_path() {
+    let streams = RngStreams::new(8);
+    let mut cdpi = CdpiFrontend::new(CdpiConfig::default(), &streams);
+    cdpi.inband.loss_prob = 0.0;
+    let now = SimTime::from_secs(100);
+    cdpi.inband.set_reachable(PlatformId(0), 2, now);
+    cdpi.inband.set_reachable(PlatformId(1), 3, now);
+    let (intent, tte) = cdpi.submit_intent(
+        vec![
+            (PlatformId(0), establish_body(1, 0, 1)),
+            (PlatformId(1), establish_body(1, 1, 0)),
+        ],
+        now,
+    );
+    assert_eq!(tte, now + SimDuration::from_secs(3));
+    // Both commands deliver in-band within a second; transport acks
+    // confirm the intent without any satcom involvement.
+    let mut t = now;
+    let mut confirmed = false;
+    while t < now + SimDuration::from_secs(30) && !confirmed {
+        t += SimDuration::from_secs(1);
+        cdpi.inband.set_reachable(PlatformId(0), 2, t);
+        cdpi.inband.set_reachable(PlatformId(1), 3, t);
+        for e in cdpi.poll(t) {
+            if let CdpiEvent::IntentConfirmed { intent_id, .. } = e {
+                if intent_id == intent {
+                    confirmed = true;
+                }
+            }
+        }
+    }
+    assert!(confirmed, "all-in-band intent confirmed quickly");
+    assert!(!cdpi.records()[0].used_satcom);
+}

@@ -1,0 +1,142 @@
+//! Data-plane consistency under the orchestrator: forwarding state,
+//! drains, and tunnels behave per Appendix C while the full loop runs.
+
+use tssdn_core::{orchestrator::DataPlaneStatus, Orchestrator, OrchestratorConfig};
+use tssdn_dataplane::DrainMode;
+use tssdn_sim::{PlatformId, SimDuration, SimTime};
+
+fn world(seed: u64) -> Orchestrator {
+    let mut cfg = OrchestratorConfig::kenya(10, seed);
+    cfg.fleet.spawn_radius_m = 220_000.0;
+    Orchestrator::new(cfg)
+}
+
+#[test]
+fn active_paths_start_at_balloon_and_end_at_gateway() {
+    let mut o = world(81);
+    o.run_until(SimTime::from_hours(11));
+    let mut seen_any = false;
+    for b in 0..10u32 {
+        let id = PlatformId(b);
+        if let Some(path) = o.active_path(id) {
+            seen_any = true;
+            assert_eq!(path.first(), Some(&id), "path starts at the balloon");
+            let last = *path.last().expect("non-empty");
+            assert_eq!(last, o.ec_ids()[0], "path terminates at the EC");
+            // The hop before the EC is a ground station with a tunnel.
+            let gs = path[path.len() - 2];
+            assert!(
+                o.tunnels.connected(gs, last),
+                "penultimate hop {gs} must hold a tunnel to {last}"
+            );
+            // No repeated nodes (loop-free).
+            let mut uniq = path.clone();
+            uniq.sort_by_key(|p| p.0);
+            uniq.dedup();
+            assert_eq!(uniq.len(), path.len(), "loop-free: {path:?}");
+        }
+    }
+    assert!(seen_any, "some balloon had an active path by 11:00");
+}
+
+#[test]
+fn data_plane_status_and_active_path_agree() {
+    let mut o = world(82);
+    o.run_until(SimTime::from_hours(12));
+    for b in 0..10u32 {
+        let id = PlatformId(b);
+        let status = o.data_plane_status(id);
+        let path = o.active_path(id);
+        assert_eq!(
+            status == DataPlaneStatus::Up,
+            path.is_some(),
+            "status {status:?} vs path {path:?} for {id}"
+        );
+    }
+}
+
+#[test]
+fn force_drain_evicts_and_cancel_restores() {
+    let mut o = world(83);
+    o.run_until(SimTime::from_hours(11));
+    // Force-drain the first balloon that is currently relaying.
+    let victim = (0..10u32)
+        .map(PlatformId)
+        .find(|v| {
+            (0..10u32)
+                .filter(|b| PlatformId(*b) != *v)
+                .filter_map(|b| o.active_path(PlatformId(b)))
+                .any(|p| p.contains(v))
+        })
+        .or_else(|| (0..10u32).map(PlatformId).find(|v| o.active_path(*v).is_some()));
+    let Some(victim) = victim else {
+        // Mesh too sparse this seed; nothing to assert.
+        return;
+    };
+    o.drains.request(victim, DrainMode::Force, o.now(), None);
+    o.run_until(o.now() + SimDuration::from_mins(30));
+    // The solver must not route new paths through the drained node.
+    for b in 0..10u32 {
+        if PlatformId(b) == victim {
+            continue;
+        }
+        if let Some(p) = o.active_path(PlatformId(b)) {
+            // Paths re-programmed since the drain avoid the victim;
+            // stale ones may persist briefly, but after 30 minutes of
+            // solves they must be gone.
+            assert!(
+                !p.contains(&victim),
+                "path through force-drained node after 30 min: {p:?}"
+            );
+        }
+    }
+    // Cancelling re-admits the node within a few solve cycles.
+    o.drains.cancel(victim);
+    o.run_until(o.now() + SimDuration::from_hours(2));
+    // (No assertion on re-use — geometry may not favor it — but the
+    // drain registry must report inactive.)
+    assert!(!o.drains.active(victim, o.now()));
+}
+
+#[test]
+fn tunnels_are_preconditions_for_data_plane() {
+    let mut o = world(84);
+    o.run_until(SimTime::from_hours(11));
+    let ec = o.ec_ids()[0];
+    let gws = o.tunnels.gateways_to(ec);
+    assert_eq!(gws.len(), 3, "every GS tunnels to the EC");
+    // Tear all tunnels down: data plane must collapse even though
+    // links stay up.
+    let ids: Vec<_> = (0..3).map(|i| tssdn_dataplane::TunnelId(i)).collect();
+    for id in ids {
+        o.tunnels.set_down(id);
+    }
+    for b in 0..10u32 {
+        assert_ne!(
+            o.data_plane_status(PlatformId(b)),
+            DataPlaneStatus::Up,
+            "no tunnels ⇒ no data plane"
+        );
+    }
+    let links_up = o.intents.established().count();
+    assert!(links_up > 0, "the mesh itself is unaffected");
+}
+
+#[test]
+fn forwarding_tables_stay_bounded() {
+    // Stale-entry cleanup on route confirmation must keep table sizes
+    // proportional to flows, not to history.
+    let mut o = world(85);
+    o.run_until(SimTime::from_hours(16));
+    for b in 0..10u32 {
+        if let Some(t) = o.fabric.table(PlatformId(b)) {
+            // Each node carries at most 2 entries per flow (forward +
+            // reverse) for 10 flows.
+            assert!(
+                t.len() <= 20,
+                "table on p{b} has {} entries (history leak?)",
+                t.len()
+            );
+        }
+    }
+}

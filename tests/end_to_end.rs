@@ -1,0 +1,183 @@
+//! End-to-end integration: the whole stack (fleet → RF truth → link
+//! machines → MANET → hybrid control plane → solver → data plane)
+//! running closed-loop, checked for cross-layer invariants.
+
+use tssdn_core::{Orchestrator, OrchestratorConfig, WeatherModelKind};
+use tssdn_geo::GeoPoint;
+use tssdn_link::LinkKind;
+use tssdn_rf::{RainCell, SyntheticWeather};
+use tssdn_sim::{PlatformId, SimTime};
+use tssdn_telemetry::Layer;
+
+fn stormy(n: usize, seed: u64) -> Orchestrator {
+    let mut cfg = OrchestratorConfig::kenya(n, seed);
+    cfg.fleet.spawn_radius_m = 230_000.0;
+    let mut w = SyntheticWeather::new();
+    w.add_cell(RainCell {
+        center: GeoPoint::new(-1.2, 36.6, 0.0),
+        vel_east_mps: 6.0,
+        vel_north_mps: 1.0,
+        radius_m: 15_000.0,
+        peak_rain_mm_h: 35.0,
+        start_ms: SimTime::from_hours(13).as_ms(),
+        end_ms: SimTime::from_hours(17).as_ms(),
+    });
+    cfg.weather_truth = w;
+    cfg.weather_model = WeatherModelKind::WithGauges {
+        position_error_m: 20_000.0,
+        timing_error_ms: 30 * 60 * 1000,
+        intensity_scale: 0.8,
+    };
+    Orchestrator::new(cfg)
+}
+
+#[test]
+fn full_day_is_deterministic_across_instances() {
+    let mut a = stormy(8, 11);
+    let mut b = stormy(8, 11);
+    a.run_until(SimTime::from_hours(15));
+    b.run_until(SimTime::from_hours(15));
+    assert_eq!(a.intents.all().count(), b.intents.all().count());
+    assert_eq!(a.ledger.records().len(), b.ledger.records().len());
+    assert_eq!(a.cdpi.records().len(), b.cdpi.records().len());
+    assert_eq!(
+        a.availability.overall(Layer::DataPlane),
+        b.availability.overall(Layer::DataPlane)
+    );
+    assert_eq!(a.recovery.samples().len(), b.recovery.samples().len());
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a = stormy(8, 11);
+    let mut b = stormy(8, 12);
+    a.run_until(SimTime::from_hours(12));
+    b.run_until(SimTime::from_hours(12));
+    // Same configuration, different stochastic world: some observable
+    // difference must exist.
+    assert!(
+        a.ledger.records().len() != b.ledger.records().len()
+            || a.cdpi.records().len() != b.cdpi.records().len(),
+        "seeds must matter"
+    );
+}
+
+#[test]
+fn availability_layering_holds() {
+    let mut o = stormy(10, 21);
+    o.run_until(SimTime::from_hours(22));
+    let control = o.availability.overall(Layer::ControlPlane).expect("probed");
+    let data = o.availability.overall(Layer::DataPlane).expect("probed");
+    // Data plane depends on the control plane having programmed it:
+    // its availability cannot exceed control's in aggregate.
+    assert!(
+        data <= control + 0.02,
+        "data ({data:.3}) must not exceed control ({control:.3})"
+    );
+}
+
+#[test]
+fn ledger_records_are_internally_consistent() {
+    let mut o = stormy(10, 31);
+    o.run_until(SimTime::from_hours(20));
+    for r in o.ledger.records() {
+        if let Some(est) = r.established {
+            assert!(est >= r.created, "establishment after creation");
+            assert!(r.attempts >= 1, "established links consumed an attempt");
+            if let Some(end) = r.ended {
+                assert!(end >= est, "end after establishment");
+            }
+        }
+        if r.ended.is_some() {
+            assert!(r.end_reason.is_some(), "terminal records carry a reason");
+        }
+    }
+    // Every intent in the store maps back to plausible ledger volume.
+    let est_intents = o
+        .intents
+        .all()
+        .filter(|i| {
+            matches!(
+                i.state,
+                tssdn_core::LinkIntentState::Established { .. }
+                    | tssdn_core::LinkIntentState::Ended { .. }
+                    | tssdn_core::LinkIntentState::WithdrawRequested { .. }
+            )
+        })
+        .count();
+    assert!(o.ledger.records().len() <= o.intents.all().count());
+    assert!(est_intents > 0, "some intents progressed");
+}
+
+#[test]
+fn nightly_power_down_kills_all_links_and_probes_stay_eligible_aware() {
+    let mut o = stormy(8, 41);
+    o.run_until(SimTime::from_hours(12));
+    assert!(o.intents.established().count() > 0, "mesh up at noon");
+    o.run_until(SimTime::from_hours(27));
+    assert_eq!(o.intents.established().count(), 0, "mesh gone at 03:00");
+    // All balloons dark.
+    for b in 0..8 {
+        assert!(!o.fleet().payload_powered(PlatformId(b)));
+    }
+}
+
+#[test]
+fn storms_hurt_b2g_more_than_b2b() {
+    let mut o = stormy(12, 51);
+    o.run_until(SimTime::from_hours(22));
+    let b2g = o.ledger.stats(LinkKind::B2G);
+    let b2b = o.ledger.stats(LinkKind::B2B);
+    assert!(b2g.intents > 0 && b2b.intents > 0);
+    let (Some(mg), Some(mb)) = (b2g.median_lifetime_s(), b2b.median_lifetime_s()) else {
+        panic!("both kinds produced completed links");
+    };
+    assert!(mb > mg, "B2B median life {mb} must exceed B2G {mg}");
+    assert!(
+        b2g.unexpected_end_rate() >= b2b.unexpected_end_rate(),
+        "B2G ends unexpectedly at least as often"
+    );
+}
+
+#[test]
+fn side_channel_and_acks_confirm_most_enactments() {
+    let mut o = stormy(8, 61);
+    o.run_until(SimTime::from_hours(14));
+    let confirmed = o.cdpi.records().len();
+    assert!(confirmed > 20, "enactments confirmed: {confirmed}");
+    // Some confirmations must have used satcom (the daily bootstrap).
+    assert!(
+        o.cdpi.records().iter().any(|r| r.used_satcom),
+        "bootstrap rode satcom"
+    );
+    // And in steady state, in-band dominates.
+    let inband = o.cdpi.records().iter().filter(|r| !r.used_satcom).count();
+    assert!(
+        inband * 2 > confirmed,
+        "in-band dominates steady state: {inband}/{confirmed}"
+    );
+}
+
+#[test]
+fn obstruction_detection_full_loop() {
+    let mut o = stormy(10, 71);
+    let gs0 = PlatformId(10);
+    o.run_until(SimTime::from_hours(12));
+    o.add_true_obstruction(gs0, 90.0, 130.0, 14.0, 12.0);
+    o.run_until(SimTime::from_hours(22));
+    // The windowed detector must not fire for sectors that never
+    // deteriorated; if it fires, findings must lie in 70–150°.
+    let findings = o.validator.find_new_obstructions(
+        gs0,
+        20.0,
+        6.0,
+        8,
+        SimTime::from_hours(12),
+    );
+    for f in &findings {
+        assert!(
+            f.az_end_deg > 90.0 - 20.0 && f.az_start_deg < 130.0 + 20.0,
+            "finding outside the construction zone: {f:?}"
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Stub library for the cross-crate integration-test package.
+//!
+//! The actual integration tests are the `[[test]]` targets declared in
+//! `tests/Cargo.toml`, each a standalone file in this directory.

@@ -1,0 +1,249 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates (geo geometry, sim time/queue, manet topology,
+//! dataplane routing, telemetry stats).
+
+use proptest::prelude::*;
+use tssdn_dataplane::{PrefixAllocator, RouteEntry, RoutingFabric};
+use tssdn_geo::{AzEl, GeoPoint, ObstructionMask};
+use tssdn_manet::Topology;
+use tssdn_sim::{EventQueue, PlatformId, SimTime};
+use tssdn_telemetry::{mean, percentile};
+
+proptest! {
+    // ---------------- geo ----------------
+
+    #[test]
+    fn ecef_roundtrip_any_point(
+        lat in -89.0f64..89.0,
+        lon in -179.9f64..179.9,
+        alt in 0.0f64..25_000.0,
+    ) {
+        let p = GeoPoint::new(lat, lon, alt);
+        let back = p.to_ecef().to_geo();
+        prop_assert!((back.lat_deg - lat).abs() < 1e-6);
+        prop_assert!((back.lon_deg - lon).abs() < 1e-6);
+        prop_assert!((back.alt_m - alt).abs() < 0.1);
+    }
+
+    #[test]
+    fn slant_range_at_least_ground_distance(
+        lat1 in -5.0f64..5.0, lon1 in 30.0f64..45.0,
+        lat2 in -5.0f64..5.0, lon2 in 30.0f64..45.0,
+        alt1 in 0.0f64..20_000.0, alt2 in 0.0f64..20_000.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1, alt1);
+        let b = GeoPoint::new(lat2, lon2, alt2);
+        let slant = a.slant_range_m(&b);
+        let alt_diff = (alt1 - alt2).abs();
+        prop_assert!(slant + 1e-6 >= alt_diff, "slant {slant} < alt diff {alt_diff}");
+        // Symmetry.
+        prop_assert!((slant - b.slant_range_m(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_distance_is_a_metric(
+        az1 in 0.0f64..360.0, el1 in -90.0f64..90.0,
+        az2 in 0.0f64..360.0, el2 in -90.0f64..90.0,
+        az3 in 0.0f64..360.0, el3 in -90.0f64..90.0,
+    ) {
+        let a = AzEl::new(az1, el1);
+        let b = AzEl::new(az2, el2);
+        let c = AzEl::new(az3, el3);
+        let ab = a.angular_distance_deg(&b);
+        let ba = b.angular_distance_deg(&a);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!(ab >= 0.0 && ab <= 180.0 + 1e-9, "bounded");
+        // acos(1-ε) costs ~1e-3° of numerical noise near zero.
+        prop_assert!(a.angular_distance_deg(&a) < 2e-3, "identity");
+        let ac = a.angular_distance_deg(&c);
+        let cb = c.angular_distance_deg(&b);
+        prop_assert!(ab <= ac + cb + 1e-6, "triangle inequality");
+    }
+
+    #[test]
+    fn obstruction_mask_blocks_iff_some_sector_blocks(
+        s1 in 0.0f64..360.0, w1 in 1.0f64..120.0, e1 in -10.0f64..45.0,
+        s2 in 0.0f64..360.0, w2 in 1.0f64..120.0, e2 in -10.0f64..45.0,
+        az in 0.0f64..360.0, el in -90.0f64..90.0,
+    ) {
+        let m = ObstructionMask::clear()
+            .with_sector(s1, s1 + w1, e1)
+            .with_sector(s2, s2 + w2, e2);
+        let dir = AzEl::new(az, el);
+        let any = m.sectors().iter().any(|s| s.blocks(&dir));
+        prop_assert_eq!(m.blocks(&dir), any);
+    }
+
+    // ---------------- sim ----------------
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..80)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last);
+            last = ev.at;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn sim_time_arithmetic_consistent(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let (lo, hi) = (SimTime(a.min(b)), SimTime(a.max(b)));
+        let d = hi - lo;
+        prop_assert_eq!(lo + d, hi);
+        prop_assert_eq!(hi.since(lo).as_ms(), d.as_ms());
+        prop_assert_eq!(lo.since(hi).as_ms(), 0);
+    }
+
+    // ---------------- manet ----------------
+
+    #[test]
+    fn topology_connectivity_is_symmetric_and_reflexive(
+        edges in prop::collection::vec((0u32..12, 0u32..12), 0..40),
+    ) {
+        let mut t = Topology::new();
+        for i in 0..12 {
+            t.add_node(PlatformId(i));
+        }
+        for (a, b) in edges {
+            if a != b {
+                t.set_link(PlatformId(a), PlatformId(b), 0.9);
+            }
+        }
+        for i in 0..12u32 {
+            prop_assert!(t.connected(PlatformId(i), PlatformId(i)));
+            for j in 0..12u32 {
+                prop_assert_eq!(
+                    t.connected(PlatformId(i), PlatformId(j)),
+                    t.connected(PlatformId(j), PlatformId(i))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topology_link_removal_never_adds_connectivity(
+        edges in prop::collection::vec((0u32..10, 0u32..10), 1..30),
+        remove_idx in 0usize..30,
+    ) {
+        let mut t = Topology::new();
+        for i in 0..10 {
+            t.add_node(PlatformId(i));
+        }
+        let clean: Vec<(u32, u32)> =
+            edges.into_iter().filter(|(a, b)| a != b).collect();
+        prop_assume!(!clean.is_empty());
+        for (a, b) in &clean {
+            t.set_link(PlatformId(*a), PlatformId(*b), 0.9);
+        }
+        let before: Vec<bool> = (0..10u32)
+            .flat_map(|i| (0..10u32).map(move |j| (i, j)))
+            .map(|(i, j)| t.connected(PlatformId(i), PlatformId(j)))
+            .collect();
+        let (ra, rb) = clean[remove_idx % clean.len()];
+        t.remove_link(PlatformId(ra), PlatformId(rb));
+        let after: Vec<bool> = (0..10u32)
+            .flat_map(|i| (0..10u32).map(move |j| (i, j)))
+            .map(|(i, j)| t.connected(PlatformId(i), PlatformId(j)))
+            .collect();
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(*b || !*a, "removal created connectivity");
+        }
+    }
+
+    // ---------------- dataplane ----------------
+
+    #[test]
+    fn programmed_paths_always_trace(path_len in 2usize..8, version in 1u64..100) {
+        let mut alloc = PrefixAllocator::loon_default();
+        let mut fabric = RoutingFabric::new();
+        let nodes: Vec<PlatformId> = (0..path_len as u32).map(PlatformId).collect();
+        let src = alloc.prefix_for(nodes[0]);
+        let dst = alloc.prefix_for(*nodes.last().expect("non-empty"));
+        fabric.program_path(src, dst, &nodes, version);
+        let forward = fabric.trace_flow(src, dst, nodes[0], *nodes.last().expect("non-empty"), |_, _| true);
+        prop_assert_eq!(forward, Some(nodes.clone()));
+        let mut rev = nodes.clone();
+        rev.reverse();
+        let backward =
+            fabric.trace_flow(dst, src, rev[0], *rev.last().expect("non-empty"), |_, _| true);
+        prop_assert_eq!(backward, Some(rev));
+    }
+
+    #[test]
+    fn route_table_install_remove_roundtrip(n in 1usize..30) {
+        let mut alloc = PrefixAllocator::loon_default();
+        let mut fabric = RoutingFabric::new();
+        let node = PlatformId(0);
+        let prefixes: Vec<_> = (1..=n as u32).map(|i| alloc.prefix_for(PlatformId(i))).collect();
+        let base = alloc.prefix_for(PlatformId(99));
+        for p in &prefixes {
+            fabric.table_mut(node).install(RouteEntry { src: base, dst: *p, next_hop: PlatformId(1) });
+        }
+        prop_assert_eq!(fabric.table(node).expect("exists").len(), n);
+        for p in &prefixes {
+            fabric.table_mut(node).remove(base, *p);
+        }
+        prop_assert!(fabric.table(node).expect("exists").is_empty());
+    }
+
+    // ---------------- telemetry ----------------
+
+    #[test]
+    fn percentile_within_sample_bounds(xs in prop::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+        let v = percentile(&xs, p).expect("non-empty");
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = percentile(&xs, p).expect("non-empty");
+            prop_assert!(v >= last - 1e-9);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn mean_between_min_and_max(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let m = mean(&xs).expect("non-empty");
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+    }
+
+    // ---------------- rf ----------------
+
+    #[test]
+    fn rain_attenuation_monotone(r1 in 0.1f64..100.0, r2 in 0.1f64..100.0, f in 12.0f64..100.0) {
+        let (lo, hi) = (r1.min(r2), r1.max(r2));
+        prop_assert!(
+            tssdn_rf::rain::rain_db_per_km(f, hi) >= tssdn_rf::rain::rain_db_per_km(f, lo)
+        );
+    }
+
+    #[test]
+    fn fspl_monotone_in_distance(d1 in 1.0f64..1e6, d2 in 1.0f64..1e6, f in 1.0f64..100.0) {
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        prop_assert!(
+            tssdn_rf::free_space_path_loss_db(hi, f) >= tssdn_rf::free_space_path_loss_db(lo, f)
+        );
+    }
+
+    #[test]
+    fn antenna_gain_bounded(off in 0.0f64..180.0) {
+        let p = tssdn_rf::AntennaPattern::e_band_balloon();
+        let g = p.gain_dbi(off);
+        prop_assert!(g <= p.boresight_gain_dbi + 1e-9);
+        prop_assert!(g >= -10.0 - 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Weather → RF → link integration: storms must degrade the right
+//! links in the right way, and the controller's weather-source choice
+//! must change what it believes (not what is true).
+
+use tssdn_core::{NetworkModel, WeatherSource};
+use tssdn_geo::GeoPoint;
+use tssdn_link::Transceiver;
+use tssdn_rf::{
+    evaluate_link, AntennaPattern, ForecastView, ItuSeasonal, RadioParams, RainCell, RainGauge,
+    SyntheticWeather, WeatherField,
+};
+use tssdn_sim::{PlatformId, SimTime};
+
+fn storm_over(lat: f64, lon: f64) -> SyntheticWeather {
+    SyntheticWeather::new().with_cell(RainCell {
+        center: GeoPoint::new(lat, lon, 0.0),
+        vel_east_mps: 0.0,
+        vel_north_mps: 0.0,
+        radius_m: 15_000.0,
+        peak_rain_mm_h: 40.0,
+        start_ms: 0,
+        end_ms: 6 * 3600 * 1000,
+    })
+}
+
+const MID_STORM_MS: u64 = 3 * 3600 * 1000;
+
+#[test]
+fn storm_at_gs_kills_b2g_but_not_b2b() {
+    let gs = GeoPoint::new(-1.0, 36.8, 1_600.0);
+    let balloon_a = GeoPoint::new(-1.0, 38.0, 18_000.0);
+    let balloon_b = GeoPoint::new(-1.0, 39.5, 18_200.0);
+    let storm = storm_over(-1.0, 36.9); // right over the GS sightline
+    let p = RadioParams::e_band_low();
+    let gs_pat = AntennaPattern::e_band_ground_station();
+    let b_pat = AntennaPattern::e_band_balloon();
+
+    let b2g = evaluate_link(&gs, &balloon_a, &p, &gs_pat, &b_pat, 0.0, 0.0, &storm, MID_STORM_MS);
+    let b2b =
+        evaluate_link(&balloon_a, &balloon_b, &p, &b_pat, &b_pat, 0.0, 0.0, &storm, MID_STORM_MS);
+    assert!(
+        b2g.attenuation.rain_db > 10.0,
+        "B2G path soaked: {:?}",
+        b2g.attenuation
+    );
+    assert!(
+        b2b.attenuation.rain_db < 0.5,
+        "B2B rides above the weather: {:?}",
+        b2b.attenuation
+    );
+    assert_eq!(b2b.quality, tssdn_rf::LinkQuality::Acceptable);
+}
+
+#[test]
+fn gauge_sees_storm_forecast_misplaces_it() {
+    let truth = storm_over(-1.0, 36.8);
+    let site = GeoPoint::new(-1.0, 36.8, 1_600.0);
+    let gauge = RainGauge { site, representative_radius_m: 30_000.0 };
+    // A 40 km-displaced forecast: misses the site.
+    let forecast = ForecastView::new(truth.clone(), 40_000.0, 0, 1.0);
+
+    let truth_rain = truth.sample(&site, MID_STORM_MS).rain_mm_h;
+    let gauge_rain = gauge.read(&truth, MID_STORM_MS);
+    let forecast_rain = forecast.sample(&site, MID_STORM_MS).rain_mm_h;
+    assert!(truth_rain > 30.0);
+    assert!((gauge_rain - truth_rain).abs() < 1e-9, "gauges read truth");
+    assert!(
+        forecast_rain < truth_rain / 3.0,
+        "displaced forecast misses the storm: {forecast_rain} vs {truth_rain}"
+    );
+}
+
+#[test]
+fn model_weather_stack_prefers_gauges_over_forecast() {
+    let truth = storm_over(-1.0, 36.8);
+    let site = GeoPoint::new(-1.0, 36.8, 1_600.0);
+    // Forecast hallucinating 10× intensity; gauge knows better.
+    let forecast = ForecastView::new(truth, 0.0, 0, 10.0);
+    let mut model = NetworkModel::new(WeatherSource::GaugesAndForecast {
+        gauges: vec![RainGauge { site, representative_radius_m: 30_000.0 }],
+        forecast,
+        backstop: ItuSeasonal::tropical_wet(),
+    });
+    model.add_platform(PlatformId(0), tssdn_sim::PlatformKind::Balloon, Vec::<Transceiver>::new());
+    // Fresh gauge reading written by the orchestrator.
+    model.gauge_readings = vec![(site, 12.0, SimTime::ZERO)];
+    let near = model.modelled_weather(&site.offset(5_000.0, 0.0, 0.0), SimTime(MID_STORM_MS));
+    assert!(
+        (near.rain_mm_h - 12.0).abs() < 1e-9,
+        "gauge value wins near the site: {near:?}"
+    );
+    // Far from any gauge, the (inflated) forecast rules.
+    let far = model.modelled_weather(&GeoPoint::new(-1.0, 36.8, 500.0).offset(200_000.0, 0.0, 0.0), SimTime(MID_STORM_MS));
+    assert!(near.rain_mm_h < far.rain_mm_h || far.rain_mm_h >= 0.0);
+}
+
+#[test]
+fn attenuation_breakdown_attributes_sources() {
+    let gs = GeoPoint::new(-1.0, 36.8, 1_600.0);
+    let balloon = GeoPoint::new(-1.0, 38.0, 18_000.0);
+    let p = RadioParams::e_band_low();
+    let gs_pat = AntennaPattern::e_band_ground_station();
+    let b_pat = AntennaPattern::e_band_balloon();
+
+    let clear = evaluate_link(
+        &gs, &balloon, &p, &gs_pat, &b_pat, 0.0, 0.0, &tssdn_rf::ClearSky, 0,
+    );
+    assert!(clear.attenuation.fspl_db > 150.0, "FSPL dominates");
+    assert!(clear.attenuation.gaseous_db > 1.0, "low path absorbs");
+    assert_eq!(clear.attenuation.rain_db, 0.0);
+    assert_eq!(clear.attenuation.moisture_db(), clear.attenuation.cloud_db);
+
+    let stormy = evaluate_link(
+        &gs, &balloon, &p, &gs_pat, &b_pat, 0.0, 0.0, &storm_over(-1.0, 36.9), MID_STORM_MS,
+    );
+    assert_eq!(
+        stormy.attenuation.fspl_db, clear.attenuation.fspl_db,
+        "geometry unchanged"
+    );
+    assert!(stormy.attenuation.moisture_db() > 10.0);
+    assert!(
+        (stormy.attenuation.total_db()
+            - (stormy.attenuation.fspl_db
+                + stormy.attenuation.gaseous_db
+                + stormy.attenuation.rain_db
+                + stormy.attenuation.cloud_db))
+            .abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn grid_cache_approximates_direct_sampling_through_a_storm() {
+    let truth = storm_over(-1.0, 36.8);
+    let grid = tssdn_rf::WeatherGrid::build(
+        &truth,
+        -2.0, 0.04, 51, 36.0, 0.04, 51, 0.0, 1_500.0, 8, 0, 600_000, 37,
+    );
+    // Compare rain along a B2G path sampled both ways.
+    let mut max_err: f64 = 0.0;
+    for i in 0..20 {
+        let f = i as f64 / 19.0;
+        let p = GeoPoint::new(-1.0, 36.8 + f * 0.9, 1_600.0 + f * 16_000.0);
+        let a = truth.sample(&p, MID_STORM_MS).rain_mm_h;
+        let b = grid.sample(&p, MID_STORM_MS).rain_mm_h;
+        max_err = max_err.max((a - b).abs());
+    }
+    // 0.04° ≈ 4.4 km bins against a 15 km-σ Gaussian: interpolation
+    // error peaks on the cell's steep flank at a few mm/h out of 40.
+    assert!(max_err < 6.0, "grid error stays small: {max_err}");
+}
