@@ -1,0 +1,129 @@
+//! E16 — chaos soak: the closed loop under seeded multi-fault plans.
+//!
+//! §2.2 lists the infrastructure failure modes Loon lived with (dark
+//! ground sites, satcom brownouts, hardware faults, balloon loss) and
+//! §4.2/§4.3 describe the control-plane posture that survived them:
+//! retries over alternate channels, conservative TTEs, and fail-static
+//! forwarding. This harness drives the full orchestrator through a set
+//! of deterministically generated fault plans and reports, per plan,
+//! what the chaos engine injected and what the control plane did with
+//! it: intents still enacted, availability retained, commands retried /
+//! deduplicated / expired — and whether anything got permanently
+//! stuck (the robustness contract says nothing may).
+//!
+//! `TSSDN_SEED` shifts the plan family; `TSSDN_SCALE` shrinks the
+//! fleet for a smoke run.
+
+use tssdn_bench::{scale, seed};
+use tssdn_core::{LinkIntentState, Orchestrator, OrchestratorConfig};
+use tssdn_fault::{FaultPlan, FaultTransition, PlanConfig};
+use tssdn_sim::{PlatformId, SimDuration, SimTime};
+use tssdn_telemetry::Layer;
+
+struct Outcome {
+    seed: u64,
+    windows: usize,
+    transitions: usize,
+    intents: usize,
+    links: usize,
+    stuck: usize,
+    control_avail: f64,
+    data_avail: f64,
+    stale_avail: f64,
+    satcom_sent: u64,
+    brownout_lost: u64,
+    corrupted: u64,
+    duplicated: u64,
+    deduped: u64,
+}
+
+fn soak(plan_seed: u64, n: usize) -> Outcome {
+    let plan = FaultPlan::generate(
+        plan_seed,
+        &PlanConfig::kenya_daytime(
+            n as u32,
+            (n as u32..n as u32 + 3).map(PlatformId).collect(),
+        ),
+    );
+    let windows = plan.windows.len();
+    let end = plan
+        .last_clear()
+        .map(|t| t + SimDuration::from_hours(1))
+        .unwrap_or(SimTime::from_hours(14))
+        .max(SimTime::from_hours(14));
+    let mut cfg = OrchestratorConfig::kenya(n, plan_seed);
+    cfg.fleet.spawn_radius_m = 150_000.0;
+    cfg.fault_plan = plan;
+    let mut o = Orchestrator::new(cfg);
+    o.run_until(end);
+    let summary = o.summary();
+    let horizon = SimDuration::from_hours(1);
+    let stuck = o
+        .intents
+        .live()
+        .filter(|i| matches!(i.state, LinkIntentState::Commanded { .. }))
+        .filter(|i| o.now().since(i.created) > horizon)
+        .count();
+    Outcome {
+        seed: plan_seed,
+        windows,
+        transitions: o.chaos.log.len(),
+        intents: summary.intents_created,
+        links: summary.links_established,
+        stuck,
+        control_avail: o.availability.overall(Layer::ControlPlane).unwrap_or(0.0),
+        data_avail: o.availability.overall(Layer::DataPlane).unwrap_or(0.0),
+        stale_avail: o.availability.overall(Layer::DataPlaneStale).unwrap_or(0.0),
+        satcom_sent: o.cdpi.satcom.sent,
+        brownout_lost: o.cdpi.satcom.brownout_lost,
+        corrupted: o.cdpi.chaos_corrupted,
+        duplicated: o.cdpi.chaos_duplicated,
+        deduped: o.cdpi.dedup_suppressed,
+    }
+}
+
+fn main() {
+    let n = ((8.0 * scale()).round() as usize).max(4);
+    let base = seed();
+    let plans: Vec<u64> = (0..5).map(|i| base + i).collect();
+    println!("# E16: chaos soak — {n} balloons, plans {:?}", plans);
+    println!(
+        "{:>10} {:>7} {:>6} {:>7} {:>6} {:>6} {:>8} {:>8} {:>8} {:>7} {:>6} {:>6} {:>5} {:>6}",
+        "seed", "windows", "trans", "intents", "links", "stuck", "ctl", "data", "stale",
+        "satcom", "brown", "corr", "dup", "dedup"
+    );
+    let mut any_stuck = 0usize;
+    for s in plans {
+        let r = soak(s, n);
+        any_stuck += r.stuck;
+        println!(
+            "{:>10} {:>7} {:>6} {:>7} {:>6} {:>6} {:>8.4} {:>8.4} {:>8.4} {:>7} {:>6} {:>6} {:>5} {:>6}",
+            r.seed, r.windows, r.transitions, r.intents, r.links, r.stuck,
+            r.control_avail, r.data_avail, r.stale_avail,
+            r.satcom_sent, r.brownout_lost, r.corrupted, r.duplicated, r.deduped
+        );
+    }
+    // A worked example of the transition log, for the writeup.
+    let example = base;
+    let plan = FaultPlan::generate(
+        example,
+        &PlanConfig::kenya_daytime(n as u32, (n as u32..n as u32 + 3).map(PlatformId).collect()),
+    );
+    let mut cfg = OrchestratorConfig::kenya(n, example);
+    cfg.fleet.spawn_radius_m = 150_000.0;
+    cfg.fault_plan = plan;
+    let mut o = Orchestrator::new(cfg);
+    o.run_until(SimTime::from_hours(14));
+    println!("\n# transition log, seed {example}:");
+    for t in &o.chaos.log {
+        match t {
+            FaultTransition::Started { at, kind } => println!("  {at} START {kind:?}"),
+            FaultTransition::Cleared { at, kind } => println!("  {at} CLEAR {kind:?}"),
+        }
+    }
+    println!(
+        "\nrobustness contract: {} ({} stuck intents across all plans)",
+        if any_stuck == 0 { "HELD" } else { "VIOLATED" },
+        any_stuck
+    );
+}

@@ -36,6 +36,7 @@ use tssdn_dataplane::{
     BackhaulRequest, DrainRegistry, PrefixAllocator, RouteEntry, RoutingFabric,
     TunnelRegistry,
 };
+use tssdn_fault::{ChaosEngine, FaultKind, FaultPlan};
 use tssdn_geo::{line_of_sight_clear, GeoPoint, ObstructionMask, PointingSolution, TrajectorySample};
 use tssdn_link::{
     AcqConfig, EndReason, LinkLedger, LinkStateMachine, LinkTransition, Transceiver,
@@ -123,6 +124,9 @@ pub struct OrchestratorConfig {
     /// commands far faster than satcom. Off by default — Loon never
     /// deployed it; E15 measures the bootstrap speedup it forfeited.
     pub lora_bootstrap: bool,
+    /// Scheduled fault windows driven by the chaos engine. Empty by
+    /// default; the soak harness generates seeded plans.
+    pub fault_plan: FaultPlan,
 }
 
 /// Selectable controller weather beliefs (constructed against the
@@ -176,12 +180,14 @@ impl OrchestratorConfig {
             b2g_infant_hazard_per_s: 0.010,
             b2b_infant_hazard_per_s: 0.0027,
             lora_bootstrap: false,
+            fault_plan: FaultPlan::new(),
         }
     }
 }
 
-/// End-of-run headline numbers.
-#[derive(Debug, Clone)]
+/// End-of-run headline numbers. `PartialEq` so determinism checks can
+/// compare whole summaries across repeated seeded runs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Simulated duration.
     pub duration: SimDuration,
@@ -207,6 +213,10 @@ struct ActiveMachine {
 pub enum DataPlaneStatus {
     /// SDN route traces end-to-end over up links.
     Up,
+    /// Route traces end-to-end but the node is cut off from the
+    /// controller: it is forwarding on its last-programmed (stale)
+    /// routes — §4.3's fail-static behaviour, not an outage.
+    FailStatic,
     /// No route program has ever completed for this balloon.
     NeverProgrammed,
     /// A node on the path lacks a forwarding entry (program gap).
@@ -233,9 +243,12 @@ pub struct Orchestrator {
     /// Post-survey construction: sectors that attenuate by a fixed
     /// loss, unknown to the controller's model (E13).
     soft_obstructions: BTreeMap<PlatformId, Vec<(ObstructionMask, f64)>>,
-    /// Ground stations currently without power/backhaul (failure
-    /// injection; ground sites had "reliable power" but not perfect).
-    gs_outages: std::collections::BTreeSet<PlatformId>,
+    /// Unified fault-injection engine: scheduled fault windows plus
+    /// forced faults from the legacy `set_gs_outage` shim. All
+    /// injected failure modes — site outages, balloon loss, satcom
+    /// brownouts, partitions, transceiver faults, command chaos —
+    /// route through here.
+    pub chaos: ChaosEngine,
     // --- controller ---
     /// The controller's model (public for experiment introspection).
     pub model: NetworkModel,
@@ -447,7 +460,7 @@ impl Orchestrator {
             model,
             true_masks,
             soft_obstructions: BTreeMap::new(),
-            gs_outages: std::collections::BTreeSet::new(),
+            chaos: ChaosEngine::new(config.fault_plan.clone()),
             fleet,
             config,
         }
@@ -490,18 +503,28 @@ impl Orchestrator {
     /// Inject or clear a ground-station outage (site power/backhaul
     /// failure). A dark site drops its radio links, stops acting as a
     /// MANET gateway, and stops reporting as powered.
+    ///
+    /// Thin shim over the chaos engine, kept for the existing failure
+    /// tests and experiment binaries; scheduled outages should go in
+    /// the [`FaultPlan`] instead.
     pub fn set_gs_outage(&mut self, gs: PlatformId, down: bool) {
         if down {
-            self.gs_outages.insert(gs);
+            if !self.chaos.gs_dark(gs) {
+                self.chaos.force_start(FaultKind::GsOutage { site: gs }, self.now);
+            }
         } else {
-            self.gs_outages.remove(&gs);
+            self.chaos.force_clear(
+                self.now,
+                |k| matches!(k, FaultKind::GsOutage { site } if *site == gs),
+            );
         }
     }
 
     /// Whether a platform's payload is effectively powered (balloon
-    /// solar state, or GS site power minus injected outages).
+    /// solar state, or GS site power, minus injected outages and
+    /// balloon-loss faults).
     fn effectively_powered(&self, p: PlatformId) -> bool {
-        self.fleet.payload_powered(p) && !self.gs_outages.contains(&p)
+        self.fleet.payload_powered(p) && !self.chaos.platform_dark(p)
     }
 
     /// Evaluate the controller's candidate graph at an arbitrary
@@ -529,6 +552,22 @@ impl Orchestrator {
             let next = (self.now + self.config.tick).min(to);
             self.now = next;
             self.fleet.advance_to(next);
+            // Fault windows open/close on tick boundaries; push the
+            // current disturbance levels into the substrates. With no
+            // active fault every knob is at its nominal value and no
+            // extra RNG is consumed, so chaos-free runs are untouched.
+            self.chaos.advance(self.now);
+            let (scale, drop) = self.chaos.satcom_disturbance(self.now).unwrap_or((1.0, 0.0));
+            self.cdpi.satcom.latency_scale = scale;
+            self.cdpi.satcom.brownout_drop_prob = drop;
+            self.cdpi.chaos = match self.chaos.command_chaos() {
+                Some((c, d, r)) => tssdn_cpl::CommandChaosParams {
+                    corrupt_prob: c,
+                    duplicate_prob: d,
+                    reorder_prob: r,
+                },
+                None => tssdn_cpl::CommandChaosParams::default(),
+            };
             if self.now >= self.next_report {
                 self.ingest_reports();
                 self.next_report = self.now + self.config.report_interval;
@@ -584,6 +623,7 @@ impl Orchestrator {
                 (Layer::Link, self.availability.overall(Layer::Link)),
                 (Layer::ControlPlane, self.availability.overall(Layer::ControlPlane)),
                 (Layer::DataPlane, self.availability.overall(Layer::DataPlane)),
+                (Layer::DataPlaneStale, self.availability.overall(Layer::DataPlaneStale)),
             ],
         }
     }
@@ -618,7 +658,7 @@ impl Orchestrator {
                     vel_up_mps: 0.0,
                 },
             );
-            let powered = self.fleet.payload_powered(id) && !self.gs_outages.contains(&id);
+            let powered = self.effectively_powered(id);
             self.model.report_power(id, powered);
         }
         // Refresh gauge readings when configured.
@@ -635,6 +675,13 @@ impl Orchestrator {
     /// cannot exist (LOS, power, mask).
     fn true_margin(&self, a: TransceiverId, b: TransceiverId, band: u8) -> Option<f64> {
         if !self.effectively_powered(a.platform) || !self.effectively_powered(b.platform) {
+            return None;
+        }
+        // Transceiver hardware faults (gimbal stuck, radio rebooting)
+        // take the radio off the air entirely for the window.
+        if self.chaos.transceiver_faulted(a.platform, a.index)
+            || self.chaos.transceiver_faulted(b.platform, b.index)
+        {
             return None;
         }
         let pos_a = self.fleet.position(a.platform);
@@ -743,7 +790,7 @@ impl Orchestrator {
                         }
                     }
                 }
-                CommandBody::SetRoutes { version: _, entries: _ } => {
+                CommandBody::SetRoutes { version, entries: _ } => {
                     // Per-node application: install this node's hops for
                     // the pending program (no global sequencing — the
                     // paper's admitted blackhole window).
@@ -753,7 +800,7 @@ impl Orchestrator {
                         .find(|(cpl_id, _)| self.cpl_route_dest_matches(**cpl_id, cmd.dest))
                         .map(|(k, v)| (*k, v.clone()));
                     if let Some((_, (flow, path))) = found {
-                        self.apply_node_routes(cmd.dest, flow, &path);
+                        self.apply_node_routes(cmd.dest, version, flow, &path);
                     }
                 }
             },
@@ -780,6 +827,30 @@ impl Orchestrator {
                         }
                     }
                     self.programmed_paths.insert(flow, path);
+                } else if let Some(&iid) = self.cpl_to_intent.get(&intent_id) {
+                    // Side-channel confirmation of a link intent whose
+                    // establish deliveries never completed (a brownout
+                    // or corrupted frame ate a copy after the node
+                    // appeared in-band). Confirmation *is* the
+                    // enactment signal: start the link machine now, or
+                    // the intent would sit in `Commanded` forever with
+                    // its commands already stripped from the retry
+                    // machinery.
+                    let commanded = self
+                        .intents
+                        .get(iid)
+                        .map(|i| matches!(i.state, LinkIntentState::Commanded { .. }))
+                        .unwrap_or(false);
+                    let machine_known = self.machines.iter().any(|m| m.intent == iid)
+                        || self.pending_knowledge.iter().any(|(_, i, _, _)| *i == iid);
+                    if commanded && !machine_known {
+                        let tte = self
+                            .pending_deliveries
+                            .remove(&iid)
+                            .map(|(_, _, t)| t)
+                            .unwrap_or(self.now);
+                        self.spawn_machine(iid, tte);
+                    }
                 }
             }
             CdpiEvent::Expired { intent_id, .. } => {
@@ -1010,7 +1081,7 @@ impl Orchestrator {
             for b in 0..self.fleet.balloons.len() as u32 {
                 let id = PlatformId(b);
                 let pos = self.fleet.position(id);
-                let covered = self.fleet.payload_powered(id)
+                let covered = self.effectively_powered(id)
                     && sites.iter().any(|s| s.ground_distance_m(&pos) <= 350_000.0);
                 self.cdpi.lora.set_covered(id, covered);
             }
@@ -1020,7 +1091,7 @@ impl Orchestrator {
         // site is dark).
         let gs_ids: Vec<PlatformId> = self.fleet.ground_stations.iter().map(|g| g.id).collect();
         for gs in &gs_ids {
-            if self.gs_outages.contains(gs) {
+            if self.chaos.gs_dark(*gs) || self.chaos.inband_partitioned(*gs) {
                 self.cdpi.node_disconnected_inband(*gs);
                 continue;
             }
@@ -1036,7 +1107,10 @@ impl Orchestrator {
             let reachable = gw
                 .map(|g| self.manet.route_works(b, g) && !self.tunnels.ecs_of(g).is_empty())
                 .unwrap_or(false);
-            if reachable && self.fleet.payload_powered(b) {
+            // An in-band partition severs the node's control-plane
+            // session without touching the radio links beneath it —
+            // the pure fail-static case.
+            if reachable && self.effectively_powered(b) && !self.chaos.inband_partitioned(b) {
                 let hops = self
                     .manet
                     .route_path(b, gw.expect("reachable implies gateway"))
@@ -1224,18 +1298,63 @@ impl Orchestrator {
         }
     }
 
-    fn apply_node_routes(&mut self, node: PlatformId, flow: (PlatformId, PlatformId), path: &[PlatformId]) {
+    fn apply_node_routes(
+        &mut self,
+        node: PlatformId,
+        version: u64,
+        flow: (PlatformId, PlatformId),
+        path: &[PlatformId],
+    ) {
         let src = self.prefixes.get(flow.0).expect("allocated");
         let dst = self.prefixes.get(flow.1).expect("allocated");
         let Some(idx) = path.iter().position(|n| *n == node) else { return };
         let t = self.fabric.table_mut(node);
+        // Stale-version guard: a reordered or long-delayed SetRoutes
+        // must not clobber a newer program already applied here.
+        if version < t.version {
+            return;
+        }
         if idx + 1 < path.len() {
             t.install(RouteEntry { src, dst, next_hop: path[idx + 1] });
         }
         if idx > 0 {
             t.install(RouteEntry { src: dst, dst: src, next_hop: path[idx - 1] });
         }
-        t.version = self.route_version;
+        t.version = version;
+    }
+
+    /// The model's *current* expectation for an established link's
+    /// margin: believed positions, believed weather, and the
+    /// deliberate pessimism, all evaluated at `self.now`. §5's tooling
+    /// correlated telemetry with "model expectations" — expectations
+    /// at measurement time, not the (possibly hours-stale) margin the
+    /// link was planned with. Comparing against the planning-time
+    /// margin makes every long-lived link through an afternoon storm
+    /// look like a systematic model error.
+    fn believed_margin_now(&self, link: &crate::evaluator::CandidateLink) -> Option<f64> {
+        let pos_a = self.model.predicted_position(link.a.platform, self.now)?;
+        let pos_b = self.model.predicted_position(link.b.platform, self.now)?;
+        let xa = self.model.transceiver(link.a)?;
+        let xb = self.model.transceiver(link.b)?;
+        let band = self.config.evaluator.bands.get(link.band as usize)?;
+        let band = tssdn_rf::RadioParams {
+            implementation_loss_db: band.implementation_loss_db
+                + self.config.evaluator.model_pessimism_db,
+            ..*band
+        };
+        let weather = crate::model::ModelWeather { model: &self.model };
+        let rep = rf_evaluate(
+            &pos_a,
+            &pos_b,
+            &band,
+            &xa.pattern,
+            &xb.pattern,
+            0.0,
+            0.0,
+            &weather,
+            self.now.as_ms(),
+        );
+        Some(rep.margin_db)
     }
 
     fn record_validation_samples(&mut self) {
@@ -1265,7 +1384,7 @@ impl Orchestrator {
                     at: self.now,
                     observer,
                     pointing,
-                    modelled_db: i.link.margin_db,
+                    modelled_db: self.believed_margin_now(&i.link).unwrap_or(i.link.margin_db),
                     measured_db: measured,
                     kind: i.kind(),
                 })
@@ -1297,7 +1416,7 @@ impl Orchestrator {
         let balloons: Vec<PlatformId> =
             (0..self.fleet.balloons.len() as u32).map(PlatformId).collect();
         for b in balloons {
-            let eligible = self.fleet.payload_powered(b) && reachable.contains(&b);
+            let eligible = self.effectively_powered(b) && reachable.contains(&b);
             // Link layer: any installed link touches the balloon.
             let link_up = established.iter().any(|(x, y)| *x == b || *y == b);
             // Control plane: in-band reachable.
@@ -1321,6 +1440,17 @@ impl Orchestrator {
             self.availability.record(b, Layer::Link, eligible, link_up, self.now);
             self.availability.record(b, Layer::ControlPlane, eligible, control_up, self.now);
             self.availability.record(b, Layer::DataPlane, eligible, data_up, self.now);
+            // Fail-static: forwarding continues on stale routes while
+            // the controller can't reach the node. Tracked as its own
+            // layer so soaks can see how much of data-plane uptime was
+            // carried by last-known-good state.
+            self.availability.record(
+                b,
+                Layer::DataPlaneStale,
+                eligible,
+                data_up && !control_up,
+                self.now,
+            );
 
             // Figure-8 recovery tracking (only inside eligible windows:
             // nightly power-downs are not "route breaks").
@@ -1445,7 +1575,13 @@ impl Orchestrator {
             }
         });
         if trace.is_some() {
-            return DataPlaneStatus::Up;
+            // Forwarding works; distinguish live control from
+            // fail-static (stale routes, controller unreachable).
+            return if self.cdpi.inband.is_reachable(b, self.now) {
+                DataPlaneStatus::Up
+            } else {
+                DataPlaneStatus::FailStatic
+            };
         }
         // Distinguish a missing forwarding entry from a down link.
         let mut at = b;

@@ -118,11 +118,18 @@ impl ModelValidator {
     }
 
     /// Find azimuth sectors at `site` that *became* worse: per-bin
-    /// mean error in samples after `split` at least `threshold_db`
-    /// below the same bin's mean before `split` (each side needing
+    /// median error in samples after `split` at least `threshold_db`
+    /// below the same bin's median before `split` (each side needing
     /// `min_samples`). This is the "new building" detector — a stale
     /// mask manifests as a sector whose telemetry deteriorates, not as
     /// one that was always bad.
+    ///
+    /// Medians, not means: a storm cell parked in a sector contributes
+    /// a heavy tail of deeply faded samples that drags a mean far
+    /// below zero while most samples in the window stay on-model. A
+    /// physical obstruction shifts *every* sample, so the median moves
+    /// with it — the statistic separates the two confounds the paper's
+    /// correlation tooling had to (§5).
     pub fn find_new_obstructions(
         &self,
         site: PlatformId,
@@ -132,8 +139,8 @@ impl ModelValidator {
         split: SimTime,
     ) -> Vec<ObstructionFinding> {
         let bins = (360.0 / bin_width_deg).ceil() as usize;
-        let mut before = vec![(0.0f64, 0usize); bins];
-        let mut after = vec![(0.0f64, 0usize); bins];
+        let mut before: Vec<Vec<f64>> = vec![Vec::new(); bins];
+        let mut after: Vec<Vec<f64>> = vec![Vec::new(); bins];
         for s in self
             .samples
             .iter()
@@ -142,26 +149,29 @@ impl ModelValidator {
             let b = ((tssdn_geo::norm_deg(s.pointing.az_deg) / bin_width_deg) as usize)
                 .min(bins - 1);
             let slot = if s.at < split { &mut before[b] } else { &mut after[b] };
-            slot.0 += s.error_db();
-            slot.1 += 1;
+            slot.push(s.error_db());
         }
+        let median = |xs: &mut Vec<f64>| -> f64 {
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs[xs.len() / 2]
+        };
         (0..bins)
-            .filter(|b| before[*b].1 >= min_samples && after[*b].1 >= min_samples)
+            .filter(|b| before[*b].len() >= min_samples && after[*b].len() >= min_samples)
             .filter_map(|b| {
-                let mean_before = before[b].0 / before[b].1 as f64;
-                let mean_after = after[b].0 / after[b].1 as f64;
+                let med_before = median(&mut before[b].clone());
+                let med_after = median(&mut after[b].clone());
                 // An obstruction both *deteriorates* the sector and
                 // leaves it with systematically less signal than the
                 // model predicts. The second clause filters shifts in
                 // weather-miss composition (big positive errors moving
                 // around between windows), which are not obstructions.
-                if mean_after <= mean_before - threshold_db && mean_after <= 0.0 {
+                if med_after <= med_before - threshold_db && med_after <= 0.0 {
                     Some(ObstructionFinding {
                         site,
                         az_start_deg: b as f64 * bin_width_deg,
                         az_end_deg: (b + 1) as f64 * bin_width_deg,
-                        mean_error_db: mean_after,
-                        samples: after[b].1,
+                        mean_error_db: med_after,
+                        samples: after[b].len(),
                     })
                 } else {
                     None

@@ -24,6 +24,7 @@ use crate::inband::{InbandChannel, InbandOutcome};
 use crate::lora::{LoraChannel, LoraOutcome};
 use crate::message::{Channel, Command, CommandBody, CommandId, IntentKind};
 use crate::satcom::{SatcomGateway, SatcomOutcome};
+use rand::Rng;
 use std::collections::BTreeMap;
 use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
 
@@ -47,6 +48,12 @@ pub struct CdpiConfig {
     pub lora_enabled: bool,
     /// TTE margin when LoRa carries the slowest command of an intent.
     pub lora_tte_margin: SimDuration,
+    /// First-retry backoff; attempt `n` waits `base · 2^(n-1)` (plus
+    /// deterministic jitter) before redispatching. Immediate retries
+    /// against a dead channel only feed the satcom rate limiter.
+    pub retry_backoff_base: SimDuration,
+    /// Ceiling on the exponential backoff.
+    pub retry_backoff_cap: SimDuration,
 }
 
 impl Default for CdpiConfig {
@@ -59,8 +66,42 @@ impl Default for CdpiConfig {
             max_attempts: 4,
             lora_enabled: false,
             lora_tte_margin: SimDuration::from_secs(10),
+            retry_backoff_base: SimDuration::from_secs(5),
+            retry_backoff_cap: SimDuration::from_secs(60),
         }
     }
+}
+
+/// Delivery-boundary chaos knobs (normally all zero; driven by the
+/// fault engine during command-channel fault windows).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommandChaosParams {
+    /// Probability a delivered command is corrupted: the receiver's
+    /// integrity check discards it silently (no execution, no ack).
+    pub corrupt_prob: f64,
+    /// Probability a delivered command arrives twice.
+    pub duplicate_prob: f64,
+    /// Probability a poll's delivery batch arrives reordered.
+    pub reorder_prob: f64,
+}
+
+impl CommandChaosParams {
+    fn quiet(&self) -> bool {
+        self.corrupt_prob <= 0.0 && self.duplicate_prob <= 0.0 && self.reorder_prob <= 0.0
+    }
+}
+
+/// Deterministic retry jitter: a hash of (command, attempt) so equal
+/// runs back off identically while distinct commands desynchronize.
+fn deterministic_jitter_ms(id: CommandId, attempt: u32, max_ms: u64) -> u64 {
+    if max_ms == 0 {
+        return 0;
+    }
+    let mut z = id.0 ^ ((attempt as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z % max_ms
 }
 
 /// Events surfaced to the orchestrator.
@@ -106,6 +147,8 @@ struct Outstanding {
     attempt: u32,
     timeout_at: SimTime,
     acked: bool,
+    /// Timed out and waiting in the backoff queue for redispatch.
+    awaiting_backoff: bool,
 }
 
 #[derive(Debug)]
@@ -125,6 +168,8 @@ pub struct CdpiFrontend {
     pub inband: InbandChannel,
     /// The optional LoRa bootstrap path.
     pub lora: LoraChannel,
+    /// Delivery-boundary chaos (all-zero when no fault is active).
+    pub chaos: CommandChaosParams,
     config: CdpiConfig,
     next_cmd: u64,
     next_intent: u64,
@@ -132,8 +177,23 @@ pub struct CdpiFrontend {
     intents: BTreeMap<u64, IntentState>,
     /// Pending transport acks: (arrives, command id).
     acks: Vec<(SimTime, CommandId)>,
+    /// Commands waiting out their retry backoff: (redispatch, id).
+    pending_retries: Vec<(SimTime, CommandId)>,
+    /// Receiver-side idempotency ledger: command ids already executed.
+    /// A replayed delivery re-acks (its ack may have been lost) but is
+    /// never re-executed.
+    delivered_seen: std::collections::BTreeSet<CommandId>,
     records: Vec<EnactmentRecord>,
     rng: rand_chacha::ChaCha8Rng,
+    /// Chaos draws come from their own stream so runs with chaos off
+    /// are bit-identical to pre-chaos behavior.
+    chaos_rng: rand_chacha::ChaCha8Rng,
+    /// Deliveries discarded by the receiver's integrity check.
+    pub chaos_corrupted: u64,
+    /// Deliveries duplicated in flight.
+    pub chaos_duplicated: u64,
+    /// Replayed deliveries suppressed by the idempotency ledger.
+    pub dedup_suppressed: u64,
 }
 
 impl CdpiFrontend {
@@ -143,14 +203,21 @@ impl CdpiFrontend {
             satcom: SatcomGateway::new(streams.stream("cpl-satcom")),
             inband: InbandChannel::new(streams.stream("cpl-inband")),
             lora: LoraChannel::new(streams.stream("cpl-lora")),
+            chaos: CommandChaosParams::default(),
             config,
             next_cmd: 0,
             next_intent: 0,
             outstanding: BTreeMap::new(),
             intents: BTreeMap::new(),
             acks: Vec::new(),
+            pending_retries: Vec::new(),
+            delivered_seen: std::collections::BTreeSet::new(),
             records: Vec::new(),
             rng: streams.stream("cpl-acks"),
+            chaos_rng: streams.stream("cpl-chaos"),
+            chaos_corrupted: 0,
+            chaos_duplicated: 0,
+            dedup_suppressed: 0,
         }
     }
 
@@ -198,7 +265,15 @@ impl CdpiFrontend {
             let timeout = self.timeout_for(kind, channel);
             self.outstanding.insert(
                 id,
-                Outstanding { cmd, intent_id, channel, attempt: 1, timeout_at: tte + timeout, acked: false },
+                Outstanding {
+                    cmd,
+                    intent_id,
+                    channel,
+                    attempt: 1,
+                    timeout_at: tte + timeout,
+                    acked: false,
+                    awaiting_backoff: false,
+                },
             );
             ids.push(id);
         }
@@ -236,11 +311,22 @@ impl CdpiFrontend {
     }
 
     /// A balloon's in-band connection appeared (heartbeat). Beyond
-    /// updating reachability, this is the side channel: any pending
-    /// link-establishment intents touching `node` are confirmed now.
+    /// updating reachability, a *new* connection is the side channel:
+    /// pending link-establishment intents touching `node` are
+    /// confirmed, because the node showing up in-band proves the
+    /// commanded topology enacted. A steady-state heartbeat must NOT
+    /// re-trigger the inference — confirming an intent strips its
+    /// commands from the retry machinery, and a command whose delivery
+    /// is still in flight (or lost) would then never be retried.
     pub fn node_connected_inband(&mut self, node: PlatformId, hops: u32, now: SimTime) -> Vec<CdpiEvent> {
+        let was_reachable = self.inband.is_reachable(node, now);
         self.inband.set_reachable(node, hops, now);
         let mut events = Vec::new();
+        if was_reachable {
+            // Already connected: command confirmation rides the normal
+            // in-band acks, not the side channel.
+            return events;
+        }
         // Side-channel inference for link intents touching this node.
         let candidates: Vec<u64> = self
             .outstanding
@@ -289,6 +375,10 @@ impl CdpiFrontend {
     pub fn poll(&mut self, now: SimTime) -> Vec<CdpiEvent> {
         let mut events = Vec::new();
 
+        // Gather raw deliveries from every channel, keeping each ack's
+        // return latency with it: (cmd, delivered_at, channel, ack_at).
+        let mut deliveries: Vec<(Command, SimTime, Channel, SimTime)> = Vec::new();
+
         // Satcom outcomes.
         let mut sat = Vec::new();
         self.satcom.poll(now, &mut sat);
@@ -298,12 +388,7 @@ impl CdpiFrontend {
                     // Transport-level ack returns over the same
                     // provider with another one-way latency.
                     let ack_latency = self.satcom.provider(provider).sample_one_way(&mut self.rng);
-                    self.acks.push((at + ack_latency, cmd.id));
-                    events.push(CdpiEvent::DeliveredToNode {
-                        cmd,
-                        at,
-                        channel: Channel::Satcom(provider),
-                    });
+                    deliveries.push((cmd, at, Channel::Satcom(provider), at + ack_latency));
                 }
                 // Invisible to the frontend: it only learns by timeout
                 // (§4.2 wishes for prompt discard notification).
@@ -319,8 +404,7 @@ impl CdpiFrontend {
         for o in lo {
             match o {
                 LoraOutcome::Delivered { cmd, at } => {
-                    self.acks.push((at + SimDuration::from_secs(3), cmd.id));
-                    events.push(CdpiEvent::DeliveredToNode { cmd, at, channel: Channel::LoRa });
+                    deliveries.push((cmd, at, Channel::LoRa, at + SimDuration::from_secs(3)));
                 }
                 LoraOutcome::Lost { .. } => {}
             }
@@ -333,10 +417,56 @@ impl CdpiFrontend {
             match o {
                 InbandOutcome::Delivered { cmd, at } => {
                     // In-band acks ride the same connection: fast.
-                    self.acks.push((at + SimDuration(200), cmd.id));
-                    events.push(CdpiEvent::DeliveredToNode { cmd, at, channel: Channel::InBand });
+                    deliveries.push((cmd, at, Channel::InBand, at + SimDuration(200)));
                 }
                 InbandOutcome::Lost { .. } => {}
+            }
+        }
+
+        // Delivery-boundary chaos: corruption discards a command at
+        // the receiver (no execution, no ack — the frontend must time
+        // out), duplication replays it, reordering scrambles the
+        // batch. Draws come from the dedicated chaos stream and only
+        // happen while a fault window is active, so quiet runs are
+        // untouched.
+        if !self.chaos.quiet() {
+            let mut mutated: Vec<(Command, SimTime, Channel, SimTime)> =
+                Vec::with_capacity(deliveries.len());
+            for d in deliveries {
+                if self.chaos.corrupt_prob > 0.0
+                    && self.chaos_rng.gen_bool(self.chaos.corrupt_prob.min(1.0))
+                {
+                    self.chaos_corrupted += 1;
+                    continue;
+                }
+                let dup = self.chaos.duplicate_prob > 0.0
+                    && self.chaos_rng.gen_bool(self.chaos.duplicate_prob.min(1.0));
+                mutated.push(d.clone());
+                if dup {
+                    self.chaos_duplicated += 1;
+                    mutated.push(d);
+                }
+            }
+            if mutated.len() > 1
+                && self.chaos.reorder_prob > 0.0
+                && self.chaos_rng.gen_bool(self.chaos.reorder_prob.min(1.0))
+            {
+                mutated.reverse();
+            }
+            deliveries = mutated;
+        }
+
+        // Receiver-side idempotency: each command id executes once.
+        // Replays (chaos duplicates, or redundant retries whose first
+        // copy landed but whose ack was slow or lost) re-ack without
+        // re-executing.
+        for (cmd, at, channel, ack_at) in deliveries {
+            let fresh = self.delivered_seen.insert(cmd.id);
+            self.acks.push((ack_at, cmd.id));
+            if fresh {
+                events.push(CdpiEvent::DeliveredToNode { cmd, at, channel });
+            } else {
+                self.dedup_suppressed += 1;
             }
         }
 
@@ -371,23 +501,26 @@ impl CdpiFrontend {
             }
         }
 
-        // Timeouts → retry or expire.
-        let timed_out: Vec<CommandId> = self
-            .outstanding
-            .iter()
-            .filter(|(_, o)| !o.acked && now >= o.timeout_at)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in timed_out {
-            let o = self.outstanding.get(&id).expect("listed");
-            if o.attempt >= self.config.max_attempts {
-                let intent_id = o.intent_id;
-                self.outstanding.remove(&id);
-                events.push(CdpiEvent::Expired { id, intent_id });
+        // Backoff expirations → redispatch. A retry cycles to
+        // whichever channel is best *now* and gets a fresh TTE for it.
+        let mut ready: Vec<CommandId> = Vec::new();
+        self.pending_retries.retain(|(at, id)| {
+            if *at <= now {
+                ready.push(*id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in ready {
+            let Some(o) = self.outstanding.get(&id) else { continue };
+            if o.acked {
+                // Ack raced the backoff: nothing to resend.
+                if let Some(o) = self.outstanding.get_mut(&id) {
+                    o.awaiting_backoff = false;
+                }
                 continue;
             }
-            // Retry: new TTE from current channel availability, cycle
-            // to whichever channel is best *now*.
             let (dest, body, intent_id, attempt) = {
                 let o = self.outstanding.get(&id).expect("listed");
                 (o.cmd.dest, o.cmd.body.clone(), o.intent_id, o.attempt)
@@ -411,12 +544,40 @@ impl CdpiFrontend {
             o.channel = channel;
             o.attempt = attempt + 1;
             o.timeout_at = tte + timeout;
+            o.awaiting_backoff = false;
             if matches!(channel, Channel::Satcom(_)) {
                 if let Some(st) = self.intents.get_mut(&intent_id) {
                     st.used_satcom = true;
                 }
             }
             events.push(CdpiEvent::Retried { id, attempt: attempt + 1, channel });
+        }
+
+        // Timeouts → expire at the attempt cap, otherwise schedule a
+        // retry after exponential backoff with deterministic jitter.
+        let timed_out: Vec<CommandId> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| !o.acked && !o.awaiting_backoff && now >= o.timeout_at)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in timed_out {
+            let o = self.outstanding.get(&id).expect("listed");
+            if o.attempt >= self.config.max_attempts {
+                let intent_id = o.intent_id;
+                self.outstanding.remove(&id);
+                events.push(CdpiEvent::Expired { id, intent_id });
+                continue;
+            }
+            let attempt = o.attempt;
+            let base_ms = self.config.retry_backoff_base.as_ms();
+            let cap_ms = self.config.retry_backoff_cap.as_ms();
+            let exp_ms = base_ms.saturating_mul(1u64 << (attempt.saturating_sub(1)).min(16)).min(cap_ms);
+            let jitter_ms = deterministic_jitter_ms(id, attempt, exp_ms / 4 + 1);
+            let backoff = SimDuration(exp_ms + jitter_ms);
+            let o = self.outstanding.get_mut(&id).expect("listed");
+            o.awaiting_backoff = true;
+            self.pending_retries.push((now + backoff, id));
         }
 
         events
@@ -609,6 +770,158 @@ mod tests {
         assert!(events.iter().any(
             |e| matches!(e, CdpiEvent::IntentConfirmed { intent_id, .. } if *intent_id == intent)
         ));
+    }
+
+    /// Channel cycling carries a *fresh* TTE — and the original TTE is
+    /// never upgraded once set. A route submitted while the node is
+    /// satcom-only gets the satcom TTE; the node appearing in-band
+    /// moments later changes nothing for the in-flight command (the
+    /// §4.2 pathology), and only the timeout-driven retry re-evaluates
+    /// the channels and stamps a new TTE.
+    #[test]
+    fn retry_cycles_channel_with_fresh_tte_and_never_upgrades() {
+        let mut f = frontend();
+        f.inband.loss_prob = 0.0;
+        let (_, tte0) = f.submit_intent(
+            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 8 })],
+            SimTime::ZERO,
+        );
+        assert_eq!(tte0, SimTime::from_secs(186), "satcom TTE: node not in-band at submit");
+        // In-band appears 5 s in — far before the first timeout.
+        f.node_connected_inband(PlatformId(1), 2, SimTime::from_secs(5));
+        let mut delivered = None;
+        let mut retried_channels = Vec::new();
+        let mut t = SimTime::from_secs(5);
+        while delivered.is_none() && t < SimTime::from_mins(10) {
+            t += SimDuration::from_secs(1);
+            f.inband.set_reachable(PlatformId(1), 2, t);
+            for e in f.poll(t) {
+                match e {
+                    CdpiEvent::DeliveredToNode { cmd, at, channel } => {
+                        delivered = Some((cmd, at, channel));
+                    }
+                    CdpiEvent::Retried { channel, .. } => retried_channels.push(channel),
+                    _ => {}
+                }
+            }
+        }
+        let (cmd, at, channel) = delivered.expect("retry delivered in-band");
+        assert!(matches!(channel, Channel::InBand), "cycled to next-priority channel");
+        assert!(
+            matches!(retried_channels.first(), Some(Channel::InBand)),
+            "retry event reports the new channel: {retried_channels:?}"
+        );
+        // Never upgraded: nothing arrived before the satcom-stamped
+        // timeout (tte 186 s + route timeout) even though in-band was
+        // available from t=5 s.
+        assert!(at > SimTime::from_secs(196), "no early delivery: {at}");
+        // Fresh TTE: re-stamped at redispatch from the in-band margin.
+        assert!(cmd.tte > tte0, "fresh TTE on retry: {} > {tte0}", cmd.tte);
+        assert!(cmd.tte <= at + SimDuration::from_secs(3), "in-band TTE margin: {}", cmd.tte);
+    }
+
+    /// The first retry waits out the base backoff after the timeout;
+    /// it does not redispatch on the timeout tick itself.
+    #[test]
+    fn retry_waits_for_backoff_before_redispatch() {
+        let mut f = frontend();
+        let (_, _) = f.submit_intent(
+            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 8 })],
+            SimTime::ZERO,
+        );
+        // Satcom drops route commands; the first timeout fires at
+        // tte (186 s) + route timeout (10 s) = 196 s.
+        let mut first_retry = None;
+        let mut t = SimTime::ZERO;
+        while first_retry.is_none() && t < SimTime::from_mins(10) {
+            t += SimDuration::from_secs(1);
+            for e in f.poll(t) {
+                if matches!(e, CdpiEvent::Retried { .. }) {
+                    first_retry = Some(t);
+                }
+            }
+        }
+        let at = first_retry.expect("retried");
+        let base = CdpiConfig::default().retry_backoff_base;
+        assert!(
+            at >= SimTime::from_secs(196) + base,
+            "backoff respected: first retry at {at}, timeout at 196 s + base {base}"
+        );
+        assert!(
+            at <= SimTime::from_secs(196) + base + SimDuration::from_secs(3),
+            "backoff bounded by base + jitter: {at}"
+        );
+    }
+
+    /// Receiver-side idempotency: a duplicated delivery re-acks but
+    /// executes exactly once.
+    #[test]
+    fn duplicated_deliveries_execute_once() {
+        let mut f = frontend();
+        f.inband.loss_prob = 0.0;
+        f.inband.set_reachable(PlatformId(1), 1, SimTime::ZERO);
+        f.chaos.duplicate_prob = 1.0;
+        let (intent, _) = f.submit_intent(
+            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 4 })],
+            SimTime::ZERO,
+        );
+        let events = run(&mut f, SimTime::ZERO, SimTime::from_secs(10));
+        let delivered =
+            events.iter().filter(|e| matches!(e, CdpiEvent::DeliveredToNode { .. })).count();
+        assert_eq!(delivered, 1, "the duplicate must not re-execute");
+        assert!(f.chaos_duplicated >= 1, "duplication happened");
+        assert!(f.dedup_suppressed >= 1, "ledger suppressed the replay");
+        assert!(events.iter().any(
+            |e| matches!(e, CdpiEvent::IntentConfirmed { intent_id, .. } if *intent_id == intent)
+        ));
+    }
+
+    /// Corrupted deliveries are discarded before execution; the
+    /// frontend discovers the loss by timeout and eventually expires
+    /// the command.
+    #[test]
+    fn corrupted_deliveries_time_out_and_expire() {
+        let mut f = frontend();
+        f.inband.loss_prob = 0.0;
+        f.inband.set_reachable(PlatformId(1), 1, SimTime::ZERO);
+        f.chaos.corrupt_prob = 1.0;
+        let (_, _) = f.submit_intent(
+            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 4 })],
+            SimTime::ZERO,
+        );
+        let mut events = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_mins(5) {
+            t += SimDuration::from_secs(1);
+            f.inband.set_reachable(PlatformId(1), 1, t);
+            events.extend(f.poll(t));
+        }
+        assert!(
+            !events.iter().any(|e| matches!(e, CdpiEvent::DeliveredToNode { .. })),
+            "corrupted commands never execute"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, CdpiEvent::Expired { .. })),
+            "attempts exhausted: {events:?}"
+        );
+        assert!(
+            f.chaos_corrupted >= u64::from(CdpiConfig::default().max_attempts),
+            "every attempt was corrupted: {}",
+            f.chaos_corrupted
+        );
+    }
+
+    /// The backoff jitter is a pure function of (command, attempt):
+    /// identical across runs, varied across commands.
+    #[test]
+    fn retry_jitter_is_deterministic_and_bounded() {
+        let a = deterministic_jitter_ms(CommandId(7), 2, 1250);
+        assert_eq!(a, deterministic_jitter_ms(CommandId(7), 2, 1250));
+        assert!(a < 1250);
+        let others: Vec<u64> =
+            (8..16).map(|i| deterministic_jitter_ms(CommandId(i), 2, 1250)).collect();
+        assert!(others.iter().any(|o| *o != a), "jitter desynchronizes commands");
+        assert_eq!(deterministic_jitter_ms(CommandId(7), 2, 0), 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod lora;
 pub mod message;
 pub mod satcom;
 
-pub use cdpi::{CdpiConfig, CdpiEvent, CdpiFrontend, EnactmentRecord};
+pub use cdpi::{CdpiConfig, CdpiEvent, CdpiFrontend, CommandChaosParams, EnactmentRecord};
 pub use inband::InbandChannel;
 pub use lora::LoraChannel;
 pub use message::{Channel, Command, CommandBody, CommandId, IntentKind};

@@ -112,6 +112,15 @@ pub struct SatcomGateway {
     pub sent: u64,
     /// Messages dropped by either rule.
     pub dropped: u64,
+    /// Brownout latency multiplier (1.0 = nominal). Set by the fault
+    /// engine while a satcom-brownout window is active.
+    pub latency_scale: f64,
+    /// Brownout silent-loss probability for in-flight messages
+    /// (0.0 = nominal). Drawn only when positive, so chaos-free runs
+    /// consume no RNG.
+    pub brownout_drop_prob: f64,
+    /// Messages silently lost to brownouts (the TS-SDN times out).
+    pub brownout_lost: u64,
 }
 
 impl SatcomGateway {
@@ -125,6 +134,9 @@ impl SatcomGateway {
             rng,
             sent: 0,
             dropped: 0,
+            latency_scale: 1.0,
+            brownout_drop_prob: 0.0,
+            brownout_lost: 0,
         }
     }
 
@@ -205,8 +217,19 @@ impl SatcomGateway {
                 out.push(SatcomOutcome::DroppedLate { cmd: q.cmd, provider });
                 continue;
             }
-            let latency = cfg.sample_one_way(&mut self.rng);
+            let mut latency = cfg.sample_one_way(&mut self.rng);
+            if self.latency_scale != 1.0 {
+                latency = latency.mul_f64(self.latency_scale.max(1.0));
+            }
             self.next_slot.insert((provider, q.cmd.dest), now + cfg.per_dest_interval);
+            // Brownout: the message leaves the gateway but never makes
+            // it to the balloon. No outcome is reported — like every
+            // other satcom loss, the frontend learns by timeout.
+            if self.brownout_drop_prob > 0.0 && self.rng.gen_bool(self.brownout_drop_prob.min(1.0))
+            {
+                self.brownout_lost += 1;
+                continue;
+            }
             self.sent += 1;
             self.in_flight.push(InFlight { arrives: now + latency, cmd: q.cmd, provider });
         }

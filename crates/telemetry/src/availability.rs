@@ -10,7 +10,8 @@
 use std::collections::BTreeMap;
 use tssdn_sim::{PlatformId, SimTime};
 
-/// The three availability layers of Figure 6.
+/// The three availability layers of Figure 6, plus the fail-static
+/// tracking layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Layer {
     /// A link touching the node is installed.
@@ -19,6 +20,11 @@ pub enum Layer {
     ControlPlane,
     /// SDN-programmed route from the node to the EC/EPC.
     DataPlane,
+    /// The node is forwarding on last-programmed routes *while cut
+    /// off from the controller* (§4.3 fail-static). A subset of
+    /// `DataPlane`-up time; "up" here means stale-but-forwarding, as
+    /// distinct from down.
+    DataPlaneStale,
 }
 
 impl std::fmt::Display for Layer {
@@ -27,6 +33,7 @@ impl std::fmt::Display for Layer {
             Layer::Link => write!(f, "link"),
             Layer::ControlPlane => write!(f, "control"),
             Layer::DataPlane => write!(f, "data"),
+            Layer::DataPlaneStale => write!(f, "data-stale"),
         }
     }
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: every PR must pass this clean.
+#
+#   ./scripts/verify.sh          # build + tests + clippy
+#
+# The test pass includes the chaos soak (tests/chaos_soak.rs), so a
+# green run certifies the robustness contract too: no stuck intents,
+# bounded post-fault recovery, bit-identical reruns per (seed, plan).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,211 @@
+//! Chaos soak: the full orchestrator under seeded multi-fault plans.
+//!
+//! Each plan is generated deterministically from a seed by the fault
+//! engine (`tssdn-fault`) and covers the failure modes §2.2/§4
+//! describe operationally: ground-site outages, satcom brownouts,
+//! in-band partitions, transceiver hardware faults, balloon loss, and
+//! command-channel chaos. The soak asserts the robustness contract:
+//!
+//! * no panics across the whole run (trivially, by finishing);
+//! * no permanently stuck intents — every command either enacts,
+//!   retries with backoff, or expires within the CDPI attempt budget;
+//! * bounded post-fault recovery — service returns after the last
+//!   fault window clears;
+//! * bit-identical `RunSummary` for repeated runs of the same
+//!   `(seed, plan)` pair;
+//! * a node cut off from the controller reports *fail-static*
+//!   (stale-but-forwarding), not route loss.
+
+use tssdn_core::orchestrator::DataPlaneStatus;
+use tssdn_core::{LinkIntentState, Orchestrator, OrchestratorConfig, RunSummary};
+use tssdn_fault::{FaultKind, FaultPlan, PlanConfig};
+use tssdn_sim::{PlatformId, SimDuration, SimTime};
+use tssdn_telemetry::Layer;
+
+const N_BALLOONS: usize = 6;
+
+/// GS platform ids for a `kenya(N_BALLOONS)` world (balloons first,
+/// then three ground stations).
+fn gs_ids() -> Vec<PlatformId> {
+    (N_BALLOONS as u32..N_BALLOONS as u32 + 3).map(PlatformId).collect()
+}
+
+fn plan_for(seed: u64) -> FaultPlan {
+    FaultPlan::generate(seed, &PlanConfig::kenya_daytime(N_BALLOONS as u32, gs_ids()))
+}
+
+fn soak_world(seed: u64, plan: FaultPlan) -> Orchestrator {
+    let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
+    cfg.fleet.spawn_radius_m = 150_000.0;
+    cfg.fault_plan = plan;
+    Orchestrator::new(cfg)
+}
+
+/// Run one seeded plan to `end`, returning the summary.
+fn soak_run(seed: u64, plan: FaultPlan, end: SimTime) -> (RunSummary, Orchestrator) {
+    let mut o = soak_world(seed, plan);
+    o.run_until(end);
+    (o.summary(), o)
+}
+
+/// An intent is "stuck" when it has sat in `Commanded` longer than the
+/// CDPI could possibly keep trying: max_attempts sends with capped
+/// exponential backoff between them all fit comfortably inside an
+/// hour, after which the command must have enacted or expired.
+fn stuck_intents(o: &Orchestrator) -> Vec<String> {
+    let horizon = SimDuration::from_hours(1);
+    o.intents
+        .live()
+        .filter(|i| matches!(i.state, LinkIntentState::Commanded { .. }))
+        .filter(|i| o.now().since(i.created) > horizon)
+        .map(|i| format!("{} created {} state {:?}", i.id, i.created, i.state))
+        .collect()
+}
+
+/// Five seeded plans: the run completes, the chaos engine fired every
+/// scheduled window, and no intent is permanently stuck.
+#[test]
+fn seeded_plans_soak_clean() {
+    for seed in [9001u64, 9002, 9003, 9004, 9005] {
+        let plan = plan_for(seed);
+        assert!(!plan.windows.is_empty(), "seed {seed}: plan has faults");
+        let n_windows = plan.windows.len();
+        let last_clear = plan.last_clear().expect("closed windows exist");
+        let end = (last_clear + SimDuration::from_hours(1)).max(SimTime::from_hours(14));
+        let (summary, o) = soak_run(seed, plan, end);
+
+        // Every scheduled window opened (and, where closed, cleared).
+        let started = o
+            .chaos
+            .log
+            .iter()
+            .filter(|t| matches!(t, tssdn_fault::FaultTransition::Started { .. }))
+            .count();
+        assert_eq!(started, n_windows, "seed {seed}: all fault windows fired");
+
+        let stuck = stuck_intents(&o);
+        assert!(stuck.is_empty(), "seed {seed}: stuck intents: {stuck:?}");
+
+        // The network did real work despite the faults.
+        assert!(summary.intents_created > 0, "seed {seed}: {summary:?}");
+        assert!(summary.links_established > 0, "seed {seed}: {summary:?}");
+    }
+}
+
+/// Bit-identical repeated runs: same seed + same plan ⇒ the same
+/// `RunSummary`, the same ledger, and the same chaos/control-plane
+/// counters. Chaos draws come from dedicated RNG streams, so the
+/// whole closed loop stays deterministic.
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for seed in [9001u64, 9004] {
+        let end = SimTime::from_hours(14);
+        let (s1, o1) = soak_run(seed, plan_for(seed), end);
+        let (s2, o2) = soak_run(seed, plan_for(seed), end);
+        assert_eq!(s1, s2, "seed {seed}: RunSummary differs between runs");
+        assert_eq!(
+            o1.ledger.records().len(),
+            o2.ledger.records().len(),
+            "seed {seed}: ledger diverged"
+        );
+        assert_eq!(o1.chaos.log, o2.chaos.log, "seed {seed}: chaos log diverged");
+        assert_eq!(
+            (o1.cdpi.satcom.sent, o1.cdpi.satcom.brownout_lost, o1.cdpi.dedup_suppressed),
+            (o2.cdpi.satcom.sent, o2.cdpi.satcom.brownout_lost, o2.cdpi.dedup_suppressed),
+            "seed {seed}: control-plane counters diverged"
+        );
+    }
+}
+
+/// Bounded recovery: an hour after the last fault window clears, the
+/// mesh is carrying traffic again.
+#[test]
+fn service_recovers_after_the_last_fault_clears() {
+    let seed = 9003u64;
+    let plan = plan_for(seed);
+    let last_clear = plan.last_clear().expect("closed windows");
+    let end = (last_clear + SimDuration::from_hours(1)).max(SimTime::from_hours(14));
+    let (_, o) = soak_run(seed, plan, end);
+    let up = (0..N_BALLOONS as u32)
+        .filter(|b| o.data_plane_status(PlatformId(*b)) == DataPlaneStatus::Up)
+        .count();
+    assert!(up > 0, "post-fault recovery: {up}/{N_BALLOONS} balloons up at {}", o.now());
+    let dp = o.availability.overall(Layer::DataPlane);
+    assert!(dp.map(|a| a > 0.0).unwrap_or(false), "data plane saw uptime: {dp:?}");
+}
+
+/// Fail-static: partitioning a programmed balloon from the in-band
+/// control plane leaves it forwarding on its last routes — status
+/// `FailStatic`, not a route loss — and the stale-forwarding time
+/// shows up in the `DataPlaneStale` availability layer.
+#[test]
+fn partitioned_node_reports_fail_static() {
+    let mut found = false;
+    for seed in [501u64, 502, 503] {
+        let mut o = soak_world(seed, FaultPlan::new());
+        o.run_until(SimTime::from_hours(11));
+        let programmed: Vec<PlatformId> = (0..N_BALLOONS as u32)
+            .map(PlatformId)
+            .filter(|b| o.data_plane_status(*b) == DataPlaneStatus::Up)
+            .collect();
+        if programmed.is_empty() {
+            continue;
+        }
+        o.chaos.force_start(
+            FaultKind::InbandPartition { nodes: programmed.clone() },
+            o.now(),
+        );
+        o.run_until(o.now() + SimDuration::from_mins(2));
+        for b in &programmed {
+            let st = o.data_plane_status(*b);
+            assert_ne!(st, DataPlaneStatus::Up, "{b:?} cannot be Up while partitioned");
+            if st == DataPlaneStatus::FailStatic {
+                found = true;
+                assert!(
+                    !o.cdpi.inband.is_reachable(*b, o.now()),
+                    "fail-static implies control-plane cut"
+                );
+            }
+        }
+        if found {
+            let stale = o.availability.overall(Layer::DataPlaneStale);
+            assert!(
+                stale.map(|a| a > 0.0).unwrap_or(false),
+                "stale-forwarding time recorded: {stale:?}"
+            );
+            break;
+        }
+    }
+    assert!(found, "no seed produced a fail-static balloon");
+}
+
+/// The legacy outage shim routes through the chaos engine: flipping a
+/// site dark and back again leaves a start + clear pair in the log.
+#[test]
+fn gs_outage_shim_is_logged_by_the_engine() {
+    let mut o = soak_world(77, FaultPlan::new());
+    let gs = gs_ids()[0];
+    o.run_until(SimTime::from_hours(9));
+    o.set_gs_outage(gs, true);
+    assert!(o.chaos.gs_dark(gs));
+    o.run_until(o.now() + SimDuration::from_mins(5));
+    o.set_gs_outage(gs, false);
+    assert!(!o.chaos.gs_dark(gs));
+    let starts = o
+        .chaos
+        .log
+        .iter()
+        .filter(|t| {
+            matches!(t, tssdn_fault::FaultTransition::Started { kind: FaultKind::GsOutage { site }, .. } if *site == gs)
+        })
+        .count();
+    let clears = o
+        .chaos
+        .log
+        .iter()
+        .filter(|t| {
+            matches!(t, tssdn_fault::FaultTransition::Cleared { kind: FaultKind::GsOutage { site }, .. } if *site == gs)
+        })
+        .count();
+    assert_eq!((starts, clears), (1, 1), "shim start/clear logged: {:?}", o.chaos.log);
+}

@@ -5,7 +5,7 @@
 
 use tssdn_cpl::{CdpiConfig, CdpiEvent, CdpiFrontend, Channel, CommandBody, IntentKind};
 use tssdn_link::TransceiverId;
-use tssdn_manet::{Batman, Harness, ManetProtocol};
+use tssdn_manet::{Batman, Harness};
 use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
 
 fn establish_body(intent: u64, a: u32, b: u32) -> CommandBody {

@@ -107,7 +107,7 @@ fn tunnels_are_preconditions_for_data_plane() {
     assert_eq!(gws.len(), 3, "every GS tunnels to the EC");
     // Tear all tunnels down: data plane must collapse even though
     // links stay up.
-    let ids: Vec<_> = (0..3).map(|i| tssdn_dataplane::TunnelId(i)).collect();
+    let ids: Vec<_> = (0..3).map(tssdn_dataplane::TunnelId).collect();
     for id in ids {
         o.tunnels.set_down(id);
     }

@@ -19,42 +19,55 @@ fn world(seed: u64, n: usize) -> Orchestrator {
 
 /// Links touching `gs` must die within the fade tolerance of the
 /// outage; other sites' links survive.
+///
+/// The precondition (some established link actually touches the dark
+/// site) is geometry-dependent, so the test walks seeds until it
+/// finds a world where it holds instead of silently passing when it
+/// doesn't.
 #[test]
 fn gs_outage_kills_only_its_links() {
-    let mut o = world(301, 10);
-    o.run_until(SimTime::from_hours(11));
     let gs0 = PlatformId(10);
-    let touching_before = o
-        .intents
-        .established()
-        .filter(|i| i.link.a.platform == gs0 || i.link.b.platform == gs0)
-        .count();
-    let others_before = o
-        .intents
-        .established()
-        .filter(|i| i.link.a.platform != gs0 && i.link.b.platform != gs0)
-        .count();
-    if touching_before == 0 {
-        return; // geometry didn't use gs0 this seed; nothing to test
+    let mut tested = false;
+    for seed in 301..311u64 {
+        let mut o = world(seed, 10);
+        o.run_until(SimTime::from_hours(11));
+        let touching_before = o
+            .intents
+            .established()
+            .filter(|i| i.link.a.platform == gs0 || i.link.b.platform == gs0)
+            .count();
+        if touching_before == 0 {
+            continue; // geometry didn't use gs0 this seed; next one
+        }
+        tested = true;
+        let others_before = o
+            .intents
+            .established()
+            .filter(|i| i.link.a.platform != gs0 && i.link.b.platform != gs0)
+            .count();
+        o.set_gs_outage(gs0, true);
+        o.run_until(o.now() + SimDuration::from_mins(2));
+        let touching_after = o
+            .intents
+            .established()
+            .filter(|i| i.link.a.platform == gs0 || i.link.b.platform == gs0)
+            .count();
+        assert_eq!(touching_after, 0, "seed {seed}: dark site keeps no links");
+        // The rest of the mesh isn't nuked. Two minutes of ordinary
+        // churn on an unrelated link is possible, but losing more than
+        // half the surviving mesh would mean the outage cascaded.
+        let others_after = o
+            .intents
+            .established()
+            .filter(|i| i.link.a.platform != gs0 && i.link.b.platform != gs0)
+            .count();
+        assert!(
+            others_after >= others_before.div_ceil(2),
+            "seed {seed}: collateral damage bounded: {others_before} -> {others_after}"
+        );
+        break;
     }
-    o.set_gs_outage(gs0, true);
-    o.run_until(o.now() + SimDuration::from_mins(2));
-    let touching_after = o
-        .intents
-        .established()
-        .filter(|i| i.link.a.platform == gs0 || i.link.b.platform == gs0)
-        .count();
-    assert_eq!(touching_after, 0, "dark site keeps no links");
-    // The rest of the mesh isn't nuked (some churn is normal).
-    let others_after = o
-        .intents
-        .established()
-        .filter(|i| i.link.a.platform != gs0 && i.link.b.platform != gs0)
-        .count();
-    assert!(
-        others_after + 3 >= others_before.saturating_sub(3),
-        "collateral damage bounded: {others_before} -> {others_after}"
-    );
+    assert!(tested, "no seed in 301..311 produced a link touching gs0");
 }
 
 /// With two surviving sites, the controller re-establishes data-plane

@@ -52,7 +52,7 @@ proptest! {
         let ab = a.angular_distance_deg(&b);
         let ba = b.angular_distance_deg(&a);
         prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
-        prop_assert!(ab >= 0.0 && ab <= 180.0 + 1e-9, "bounded");
+        prop_assert!((0.0..=180.0 + 1e-9).contains(&ab), "bounded");
         // acos(1-ε) costs ~1e-3° of numerical noise near zero.
         prop_assert!(a.angular_distance_deg(&a) < 2e-3, "identity");
         let ac = a.angular_distance_deg(&c);

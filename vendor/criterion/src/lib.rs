@@ -1,0 +1,212 @@
+//! Vendored minimal `criterion` — wall-clock benchmarking with the
+//! API surface the tssdn benches use.
+//!
+//! This is not a statistical harness: each benchmark warms up
+//! briefly, then times batches of iterations until a time budget is
+//! spent, and prints the median per-iteration latency. It exists so
+//! `cargo bench` (and `cargo test --benches`) work fully offline;
+//! numbers are indicative, not publication-grade.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median ns/iter from the measurement phase.
+    result_ns: f64,
+    measure_budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ~1ms so Instant overhead stays negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let mut samples: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.measure_budget || samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher), budget: Duration) {
+    let mut b = Bencher { result_ns: 0.0, measure_budget: budget };
+    f(&mut b);
+    println!("{id:<50} {:>12}/iter", fmt_ns(b.result_ns));
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a name and a displayable parameter.
+    pub fn new<P: std::fmt::Display>(function_id: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_id}/{parameter}") }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure_budget: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compat knob: scales the measurement budget (upstream
+    /// default sample count is 100).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.measure_budget = Duration::from_millis(3 * n.max(10) as u64);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f, self.measure_budget);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, &mut f, self.criterion.measure_budget);
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, &mut |b| f(b, input), self.criterion.measure_budget);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; we just log).
+    pub fn finish(self) {
+        println!("group {} done", self.name);
+    }
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut g = c.benchmark_group("g");
+        g.bench_function("inner", |b| b.iter(|| black_box(1u32).wrapping_mul(3)));
+        for n in [2u64, 4] {
+            g.bench_with_input(BenchmarkId::new("param", n), &n, |b, n| {
+                b.iter(|| (0..*n).sum::<u64>())
+            });
+        }
+        g.finish();
+    }
+
+    #[test]
+    fn iter_accepts_fnmut_reference() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut count = 0u64;
+        let mut f = || {
+            count += 1;
+            count
+        };
+        c.bench_function("smoke/fnmut", |b| b.iter(&mut f));
+        assert!(count > 0);
+    }
+}

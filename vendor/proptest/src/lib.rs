@@ -1,0 +1,349 @@
+//! Vendored minimal `proptest` — deterministic random property
+//! testing with the API surface the tssdn test-suite uses.
+//!
+//! Supported: the `proptest!` macro over `#[test]` functions with
+//! `ident in strategy` arguments, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, range strategies for ints and floats, tuple
+//! strategies, `prop::collection::vec`, `prop::option::of`, and
+//! `proptest::bool::ANY`.
+//!
+//! Unlike the upstream crate there is no shrinking: a failing case
+//! panics with the generated inputs so it can be reproduced directly.
+//! Case generation is seeded from the property name, so runs are
+//! fully deterministic (no environment-dependent seeds).
+
+use rand::rand_core::SeedableRng;
+pub use rand_chacha::ChaCha8Rng;
+
+/// Cases to run per property (upstream default is 256).
+pub const DEFAULT_CASES: u32 = 192;
+/// Maximum `prop_assume!` rejections before giving up.
+pub const MAX_REJECTS: u32 = 65_536;
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator. Simplified: generation only, no shrink tree.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+    /// Generate one value.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+}
+
+/// Deterministic per-property RNG (seeded from the property name).
+pub fn runner_rng(name: &str) -> ChaCha8Rng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h)
+}
+
+mod ranges {
+    use super::Strategy;
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::Strategy;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Uniform `bool` strategy type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `bool` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::Strategy;
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: vectors whose length is uniform in
+    /// `len_range` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty() || size.start == size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+            let len = if self.size.start == self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use super::Strategy;
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `of(element)`: `None` 25% of the time, `Some(element)` the rest.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+
+    /// Namespace alias mirroring upstream's `prop::` re-exports.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Assert inside a property; failure reports instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Discard the current case (precondition unmet).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define deterministic property tests. See module docs for the
+/// supported subset.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut case: u32 = 0;
+                let mut rejects: u32 = 0;
+                while case < $crate::DEFAULT_CASES {
+                    let mut inputs = String::new();
+                    let result: $crate::TestCaseResult = (|| {
+                        $(
+                            let $arg = $crate::Strategy::generate(&($strat), &mut rng);
+                            inputs.push_str(&format!(
+                                "{} = {:?}; ",
+                                stringify!($arg),
+                                &$arg
+                            ));
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match result {
+                        Ok(()) => case += 1,
+                        Err($crate::TestCaseError::Reject) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < $crate::MAX_REJECTS,
+                                "property {}: too many prop_assume! rejections",
+                                stringify!($name)
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {}: {}\n  inputs: {}",
+                                stringify!($name),
+                                case,
+                                msg,
+                                inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, y in -2.0f64..2.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(xs in prop::collection::vec(0u32..10, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            prop_assert!(xs.iter().all(|x| *x < 10));
+        }
+
+        #[test]
+        fn option_strategy_mixes(opts in prop::collection::vec(prop::option::of(0u32..5), 40..60)) {
+            let nones = opts.iter().filter(|o| o.is_none()).count();
+            // 25% None on 40+ draws: overwhelmingly between 1 and all-1.
+            prop_assert!(nones < opts.len());
+        }
+
+        #[test]
+        fn tuples_and_bools(pair in (0u32..4, 0u32..4), flag in crate::bool::ANY) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runner_instances() {
+        use crate::Strategy;
+        let s = 0u64..1000;
+        let mut a = crate::runner_rng("x");
+        let mut b = crate::runner_rng("x");
+        let xs: Vec<u64> = (0..8).map(|_| s.generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| s.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

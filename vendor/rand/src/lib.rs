@@ -1,0 +1,291 @@
+//! Vendored minimal `rand` — just the API surface tssdn uses.
+//!
+//! The workspace builds fully offline, so instead of the crates.io
+//! `rand` this is a small, self-contained reimplementation of the
+//! pieces the simulator needs: the [`RngCore`]/[`SeedableRng`] core
+//! traits, the [`Rng`] extension trait (`gen_range`, `gen_bool`,
+//! `sample_iter`), and the `Standard` distribution. Generators come
+//! from the sibling vendored `rand_chacha` crate. Output streams are
+//! deterministic across platforms but are **not** bit-compatible with
+//! upstream rand 0.8 — the repo only relies on determinism and
+//! statistical uniformity, never on upstream-exact sequences.
+
+pub mod rand_core {
+    /// Core infallible random-number generator interface.
+    pub trait RngCore {
+        /// Next 32 uniformly random bits.
+        fn next_u32(&mut self) -> u32;
+        /// Next 64 uniformly random bits.
+        fn next_u64(&mut self) -> u64;
+        /// Fill `dest` with random bytes.
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for c in &mut chunks {
+                c.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let b = self.next_u64().to_le_bytes();
+                rem.copy_from_slice(&b[..rem.len()]);
+            }
+        }
+    }
+
+    /// A generator seedable from a fixed-size byte seed.
+    pub trait SeedableRng: Sized {
+        /// The seed array type.
+        type Seed: Default + AsMut<[u8]>;
+
+        /// Construct from a full seed.
+        fn from_seed(seed: Self::Seed) -> Self;
+
+        /// Construct from a `u64`, expanding via SplitMix64 (matches
+        /// upstream's approach in spirit; deterministic and
+        /// well-mixed, not upstream-bit-identical).
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut seed = Self::Seed::default();
+            for chunk in seed.as_mut().chunks_mut(8) {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let b = z.to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+            Self::from_seed(seed)
+        }
+    }
+}
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions {
+    use crate::rand_core::RngCore;
+
+    /// Maps raw generator output to values of `T`.
+    pub trait Distribution<T> {
+        /// Sample one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution for a type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Iterator yielding samples from a distribution (see
+    /// [`crate::Rng::sample_iter`]).
+    #[derive(Debug)]
+    pub struct DistIter<D, R, T> {
+        pub(crate) distr: D,
+        pub(crate) rng: R,
+        pub(crate) _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            Some(self.distr.sample(&mut self.rng))
+        }
+    }
+
+    /// Types uniformly sampleable from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high)`.
+        fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self)
+            -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty range in gen_range");
+                    let span = (high as i128 - low as i128) as u128;
+                    // Multiply-shift rejection-free mapping: bias is
+                    // < 2^-64 for the span sizes the simulator uses.
+                    let x = rng.next_u64() as u128;
+                    low.wrapping_add(((x * span) >> 64) as $t)
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                ) -> Self {
+                    assert!(low <= high, "empty range in gen_range");
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    let x = rng.next_u64() as u128;
+                    low.wrapping_add(((x * span) >> 64) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty range in gen_range");
+                    let u = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    low + (high - low) * u
+                }
+                fn sample_range_inclusive<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                ) -> Self {
+                    Self::sample_range(rng, low, high.next_up())
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_float!(f32, f64);
+
+    /// Range-like arguments accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draw a uniform sample from this range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_range(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_range_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+}
+
+use distributions::{DistIter, Distribution, SampleRange, Standard};
+
+/// User-facing generator conveniences (subset of upstream `Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value the `Standard` distribution supports.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, Rge>(&mut self, range: Rge) -> T
+    where
+        Rge: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Consume the generator into a sampling iterator.
+    fn sample_iter<T, D>(self, distr: D) -> DistIter<D, Self, T>
+    where
+        D: Distribution<T>,
+        Self: Sized,
+    {
+        DistIter { distr, rng: self, _marker: core::marker::PhantomData }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{SampleUniform, Standard};
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence through a mixer: crude but uniform enough
+            // for the assertions below.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Counter(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&x));
+            let n: u64 = r.gen_range(10..20u64);
+            assert!((10..20).contains(&n));
+            let m: u64 = r.gen_range(0..=5u64);
+            assert!(m <= 5);
+            let i: i32 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Counter(7);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let hits = (0..2000).filter(|_| r.gen_bool(0.25)).count();
+        let rate = hits as f64 / 2000.0;
+        assert!((rate - 0.25).abs() < 0.05, "{rate}");
+    }
+
+    #[test]
+    fn float_inclusive_range_reaches_bounds_region() {
+        let mut r = Counter(3);
+        let x: f64 = SampleUniform::sample_range_inclusive(&mut r, 0.0, 1.0);
+        assert!((0.0..=1.0).contains(&x));
+    }
+
+    #[test]
+    fn standard_u64_uses_full_width() {
+        let mut r = Counter(9);
+        let xs: Vec<u64> = (0..8).map(|_| Standard.sample(&mut r)).collect();
+        assert!(xs.iter().any(|x| *x > u32::MAX as u64), "not stuck in 32 bits: {xs:?}");
+    }
+}
