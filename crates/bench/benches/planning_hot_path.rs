@@ -1,0 +1,104 @@
+//! Criterion bench: the full per-epoch planning hot path — optimized
+//! evaluate→solve against the retained naive reference — at the fleet
+//! sizes the `planning_hot_path` binary records into
+//! `BENCH_planning.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use tssdn_core::reference::{evaluate_reference, solve_reference};
+use tssdn_core::{EvaluatorConfig, LinkEvaluator, NetworkModel, Solver, WeatherSource};
+use tssdn_dataplane::{BackhaulRequest, DrainRegistry};
+use tssdn_geo::TrajectorySample;
+use tssdn_link::Transceiver;
+use tssdn_sim::{Fleet, FleetConfig, PlatformId, PlatformKind, RngStreams, SimTime};
+
+fn build_model(n: usize) -> (NetworkModel, Vec<PlatformId>) {
+    let streams = RngStreams::new(42);
+    let mut cfg = FleetConfig::kenya(n);
+    cfg.spawn_radius_m = 300_000.0;
+    let fleet = Fleet::generate(cfg, &streams);
+    let mut model = NetworkModel::new(WeatherSource::Itu(tssdn_rf::ItuSeasonal::tropical_wet()));
+    for (id, kind) in fleet.platform_ids() {
+        let xs: Vec<Transceiver> = match kind {
+            PlatformKind::Balloon => (0..3).map(|i| Transceiver::balloon(id, i)).collect(),
+            PlatformKind::GroundStation => (0..2)
+                .map(|i| {
+                    Transceiver::ground_station(id, i, tssdn_geo::FieldOfRegard::ground_station(2.0))
+                })
+                .collect(),
+        };
+        model.add_platform(id, kind, xs);
+        model.report_position(
+            id,
+            TrajectorySample {
+                t_ms: 0,
+                pos: fleet.position(id),
+                vel_east_mps: 0.0,
+                vel_north_mps: 0.0,
+                vel_up_mps: 0.0,
+            },
+        );
+        model.report_power(id, true);
+    }
+    let gs: Vec<PlatformId> = fleet.ground_stations.iter().map(|g| g.id).collect();
+    (model, gs)
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning_hot_path");
+    for n in [25usize, 50] {
+        let (model, gs) = build_model(n);
+        let evaluator = LinkEvaluator::new(EvaluatorConfig::default());
+        let solver = Solver::default();
+        let graph = evaluator.evaluate(&model, SimTime::ZERO);
+        let requests: Vec<BackhaulRequest> = (0..n as u32)
+            .map(|i| BackhaulRequest {
+                node: PlatformId(i),
+                ec: PlatformId(1000),
+                min_bitrate_bps: 50_000_000,
+                redundancy_group: None,
+            })
+            .collect();
+        let gw = move |_: PlatformId| gs.clone();
+
+        group.bench_with_input(BenchmarkId::new("evaluate", n), &n, |b, _| {
+            b.iter(|| evaluator.evaluate(&model, SimTime::ZERO))
+        });
+        group.bench_with_input(BenchmarkId::new("evaluate_reference", n), &n, |b, _| {
+            b.iter(|| evaluate_reference(&evaluator, &model, SimTime::ZERO))
+        });
+        group.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
+            b.iter(|| {
+                solver.solve(
+                    &graph,
+                    &requests,
+                    &gw,
+                    &BTreeSet::new(),
+                    &DrainRegistry::new(),
+                    SimTime::ZERO,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("solve_reference", n), &n, |b, _| {
+            b.iter(|| {
+                solve_reference(
+                    &solver,
+                    &graph,
+                    &requests,
+                    &gw,
+                    &BTreeSet::new(),
+                    &DrainRegistry::new(),
+                    SimTime::ZERO,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_planning
+}
+criterion_main!(benches);

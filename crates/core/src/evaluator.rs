@@ -15,9 +15,9 @@
 //! [`CandidateGraph::churn`] computes the set-delta statistic behind
 //! Figure 4.
 
-use crate::model::{ModelWeather, NetworkModel};
-use std::collections::BTreeSet;
-use tssdn_geo::{line_of_sight_clear, AzEl, PointingSolution};
+use crate::model::{ModelWeather, NetworkModel, PlatformInfo};
+use std::collections::{BTreeSet, HashMap};
+use tssdn_geo::{line_of_sight_clear, AzEl, Ecef, GeoPoint, PointingSolution};
 use tssdn_link::{LinkKind, TransceiverId};
 use tssdn_rf::{LinkQuality, RadioParams};
 use tssdn_sim::{PlatformKind, SimTime};
@@ -52,7 +52,7 @@ impl Default for EvaluatorConfig {
 
 /// One candidate link: a transceiver pairing with its modelled
 /// performance (Appendix B's `l_{i→j}` tuple).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidateLink {
     /// Lower-ordered transceiver endpoint.
     pub a: TransceiverId,
@@ -84,7 +84,7 @@ impl CandidateLink {
 }
 
 /// The candidate graph at one evaluation instant.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CandidateGraph {
     /// Evaluation instant.
     pub at: SimTime,
@@ -121,12 +121,29 @@ impl CandidateGraph {
     /// Figure-4 churn vs an earlier graph: `(changed, union)` where
     /// `changed` is the symmetric difference size. The fraction
     /// `changed / union` is the per-interval delta the paper reports
-    /// (13% median hour-to-hour).
+    /// (13% median hour-to-hour). A single two-pointer sweep over the
+    /// sorted key lists — no intermediate `BTreeSet`s.
     pub fn churn(&self, earlier: &CandidateGraph) -> (usize, usize) {
-        let a = self.key_set();
-        let b = earlier.key_set();
-        let inter = a.intersection(&b).count();
-        let union = a.union(&b).count();
+        let mut a: Vec<_> = self.links.iter().map(|l| l.key()).collect();
+        let mut b: Vec<_> = earlier.links.iter().map(|l| l.key()).collect();
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let (mut i, mut j, mut inter, mut union) = (0usize, 0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            union += 1;
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        union += (a.len() - i) + (b.len() - j);
         (union - inter, union)
     }
 }
@@ -146,112 +163,227 @@ impl LinkEvaluator {
 
     /// Evaluate the candidate graph at instant `at` against the
     /// controller's model.
+    ///
+    /// This is the optimized sweep; it must produce a graph
+    /// **bit-identical** to the naive all-pairs reference
+    /// ([`crate::reference::evaluate_reference`]):
+    ///
+    /// * the pessimism-adjusted band vector is hoisted out of the pair
+    ///   loop (loop-invariant: it depends only on the config);
+    /// * a coarse spatial grid buckets platforms by `max_range_m` in
+    ///   ECEF, so only pairs within ±1 cell per axis — a superset of
+    ///   every pair within range — reach the slant-range/LoS math.
+    ///   Any pair farther apart than one cell edge on some axis is
+    ///   farther apart than `max_range_m` in space, which the naive
+    ///   sweep would discard at its range check anyway;
+    /// * the surviving pair list is sorted and fanned across scoped
+    ///   worker threads in contiguous chunks, merged back in chunk
+    ///   order. Candidate order is therefore the naive sweep's
+    ///   ascending-`PlatformId` pair order regardless of worker count
+    ///   (determinism contract: thread count never affects output).
     pub fn evaluate(&self, model: &NetworkModel, at: SimTime) -> CandidateGraph {
         let weather = ModelWeather { model };
-        let mut links = Vec::new();
-        let platforms: Vec<_> = model.platforms().collect();
-        for (i, pa) in platforms.iter().enumerate() {
-            for pb in platforms.iter().skip(i + 1) {
-                // Ground stations never pair with each other (they're
-                // wired); unpowered platforms can't form links.
-                if pa.kind == PlatformKind::GroundStation && pb.kind == PlatformKind::GroundStation
-                {
-                    continue;
-                }
-                if !pa.powered || !pb.powered {
-                    continue;
-                }
-                let (Some(pos_a), Some(pos_b)) = (
-                    model.predicted_position(pa.id, at),
-                    model.predicted_position(pb.id, at),
-                ) else {
-                    continue;
-                };
-                // Geometric pruning common to all antenna combos.
-                let range = pos_a.slant_range_m(&pos_b);
-                if range > self.config.max_range_m {
-                    continue;
-                }
-                if !line_of_sight_clear(&pos_a, &pos_b, self.config.los_clearance_m) {
-                    continue;
-                }
-                let point_ab = PointingSolution::between(&pos_a, &pos_b);
-                let point_ba = PointingSolution::between(&pos_b, &pos_a);
-                let kind = if pa.kind == PlatformKind::Balloon && pb.kind == PlatformKind::Balloon
-                {
-                    LinkKind::B2B
-                } else {
-                    LinkKind::B2G
-                };
+        // Hoisted out of the pair loop: the model's deliberate
+        // pessimism rides in as extra assumed implementation loss.
+        let bands: Vec<RadioParams> = self
+            .config
+            .bands
+            .iter()
+            .map(|band| RadioParams {
+                implementation_loss_db: band.implementation_loss_db
+                    + self.config.model_pessimism_db,
+                ..*band
+            })
+            .collect();
 
-                // Path attenuation depends only on the platform pair
-                // and band — compute once, reuse across all antenna
-                // pairings ("caching or precomputing attenuation
-                // values", §3.1). The model's deliberate pessimism
-                // rides in as extra assumed implementation loss.
-                let bands: Vec<RadioParams> = self
-                    .config
-                    .bands
-                    .iter()
-                    .map(|band| RadioParams {
-                        implementation_loss_db: band.implementation_loss_db
-                            + self.config.model_pessimism_db,
-                        ..*band
-                    })
-                    .collect();
-                let attenuations: Vec<tssdn_rf::AttenuationBreakdown> = bands
-                    .iter()
-                    .map(|band| {
-                        tssdn_rf::path_attenuation_db(&pos_a, &pos_b, band, &weather, at.as_ms())
-                    })
-                    .collect();
-                for ta in &pa.transceivers {
-                    if !ta.can_point_at(&point_ab.direction) {
-                        continue;
-                    }
-                    for tb in &pb.transceivers {
-                        if !tb.can_point_at(&point_ba.direction) {
+        // Snapshot the platforms that can form links at all, in
+        // ascending-id order, with predicted position and its ECEF
+        // image precomputed (slant range is exactly the ECEF chord,
+        // so reusing the conversion is bit-identical to
+        // `GeoPoint::slant_range_m`).
+        let snaps: Vec<(&PlatformInfo, GeoPoint, Ecef)> = model
+            .platforms()
+            .filter(|p| p.powered)
+            .filter_map(|p| {
+                let pos = model.predicted_position(p.id, at)?;
+                let ecef = pos.to_ecef();
+                Some((p, pos, ecef))
+            })
+            .collect();
+
+        // Coarse spatial grid, cell edge = max_range_m: two points
+        // within range always land within ±1 cell of each other on
+        // every axis.
+        let cell = self.config.max_range_m;
+        let key_of = |e: &Ecef| -> (i64, i64, i64) {
+            (
+                (e.x / cell).floor() as i64,
+                (e.y / cell).floor() as i64,
+                (e.z / cell).floor() as i64,
+            )
+        };
+        let mut grid: HashMap<(i64, i64, i64), Vec<u32>> = HashMap::new();
+        for (i, (_, _, ecef)) in snaps.iter().enumerate() {
+            grid.entry(key_of(ecef)).or_default().push(i as u32);
+        }
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (i, (_, _, ecef)) in snaps.iter().enumerate() {
+            let (kx, ky, kz) = key_of(ecef);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    for dz in -1..=1 {
+                        let Some(bucket) = grid.get(&(kx + dx, ky + dy, kz + dz)) else {
                             continue;
-                        }
-                        // Best band for this antenna pairing.
-                        let mut best: Option<(u8, tssdn_rf::LinkBudgetReport)> = None;
-                        for (bi, band) in bands.iter().enumerate() {
-                            let rep = tssdn_rf::link_budget::evaluate_with_attenuation(
-                                band,
-                                ta.pattern.gain_dbi(0.0),
-                                tb.pattern.gain_dbi(0.0),
-                                attenuations[bi],
-                            );
-                            if rep.quality == LinkQuality::Infeasible {
-                                continue;
+                        };
+                        for &j in bucket {
+                            if j > i as u32 {
+                                pairs.push((i as u32, j));
                             }
-                            let better = match &best {
-                                None => true,
-                                Some((_, b)) => rep.margin_db > b.margin_db,
-                            };
-                            if better {
-                                best = Some((bi as u8, rep));
-                            }
-                        }
-                        if let Some((band, rep)) = best {
-                            links.push(CandidateLink {
-                                a: ta.id,
-                                b: tb.id,
-                                kind,
-                                band,
-                                bitrate_bps: rep.bitrate_bps,
-                                margin_db: rep.margin_db,
-                                quality: rep.quality,
-                                pointing_a: point_ab.direction,
-                                pointing_b: point_ba.direction,
-                                range_m: range,
-                            });
                         }
                     }
                 }
             }
         }
+        // Sorted pair order == the naive sweep's ascending (i, j)
+        // iteration order (filtering powered/positioned platforms
+        // first preserves relative order).
+        pairs.sort_unstable();
+
+        // Fan the pair sweep across scoped workers in contiguous
+        // chunks; merge preserves chunk order, so the result is
+        // independent of how many workers run.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8);
+        let links: Vec<CandidateLink> = if pairs.len() < 64 || workers == 1 {
+            let mut out = Vec::new();
+            for &(i, j) in &pairs {
+                self.evaluate_pair(&snaps[i as usize], &snaps[j as usize], &bands, &weather, at, &mut out);
+            }
+            out
+        } else {
+            let chunk_len = pairs.len().div_ceil(workers);
+            let chunks: Vec<&[(u32, u32)]> = pairs.chunks(chunk_len).collect();
+            let mut partials: Vec<Vec<CandidateLink>> = Vec::with_capacity(chunks.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        let snaps = &snaps;
+                        let bands = &bands;
+                        let weather = &weather;
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            for &(i, j) in *chunk {
+                                self.evaluate_pair(
+                                    &snaps[i as usize],
+                                    &snaps[j as usize],
+                                    bands,
+                                    weather,
+                                    at,
+                                    &mut out,
+                                );
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("evaluator worker panicked"));
+                }
+            });
+            partials.concat()
+        };
         CandidateGraph { at, links }
+    }
+
+    /// Evaluate one platform pair and append its candidates. Shared by
+    /// the grid/threaded sweep above; the naive reference keeps its own
+    /// verbatim copy of this logic (including the per-pair band
+    /// rebuild it is benchmarked against).
+    fn evaluate_pair(
+        &self,
+        a: &(&PlatformInfo, GeoPoint, Ecef),
+        b: &(&PlatformInfo, GeoPoint, Ecef),
+        bands: &[RadioParams],
+        weather: &ModelWeather<'_>,
+        at: SimTime,
+        out: &mut Vec<CandidateLink>,
+    ) {
+        let (pa, pos_a, ecef_a) = a;
+        let (pb, pos_b, ecef_b) = b;
+        // Ground stations never pair with each other (they're wired).
+        if pa.kind == PlatformKind::GroundStation && pb.kind == PlatformKind::GroundStation {
+            return;
+        }
+        // Geometric pruning common to all antenna combos.
+        let range = ecef_a.distance_m(ecef_b);
+        if range > self.config.max_range_m {
+            return;
+        }
+        if !line_of_sight_clear(pos_a, pos_b, self.config.los_clearance_m) {
+            return;
+        }
+        let point_ab = PointingSolution::between(pos_a, pos_b);
+        let point_ba = PointingSolution::between(pos_b, pos_a);
+        let kind = if pa.kind == PlatformKind::Balloon && pb.kind == PlatformKind::Balloon {
+            LinkKind::B2B
+        } else {
+            LinkKind::B2G
+        };
+
+        // Path attenuation depends only on the platform pair and band
+        // — compute once, reuse across all antenna pairings ("caching
+        // or precomputing attenuation values", §3.1).
+        let attenuations: Vec<tssdn_rf::AttenuationBreakdown> = bands
+            .iter()
+            .map(|band| tssdn_rf::path_attenuation_db(pos_a, pos_b, band, weather, at.as_ms()))
+            .collect();
+        for ta in &pa.transceivers {
+            if !ta.can_point_at(&point_ab.direction) {
+                continue;
+            }
+            for tb in &pb.transceivers {
+                if !tb.can_point_at(&point_ba.direction) {
+                    continue;
+                }
+                // Best band for this antenna pairing.
+                let mut best: Option<(u8, tssdn_rf::LinkBudgetReport)> = None;
+                for (bi, band) in bands.iter().enumerate() {
+                    let rep = tssdn_rf::link_budget::evaluate_with_attenuation(
+                        band,
+                        ta.pattern.gain_dbi(0.0),
+                        tb.pattern.gain_dbi(0.0),
+                        attenuations[bi],
+                    );
+                    if rep.quality == LinkQuality::Infeasible {
+                        continue;
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((_, b)) => rep.margin_db > b.margin_db,
+                    };
+                    if better {
+                        best = Some((bi as u8, rep));
+                    }
+                }
+                if let Some((band, rep)) = best {
+                    out.push(CandidateLink {
+                        a: ta.id,
+                        b: tb.id,
+                        kind,
+                        band,
+                        bitrate_bps: rep.bitrate_bps,
+                        margin_db: rep.margin_db,
+                        quality: rep.quality,
+                        pointing_a: point_ab.direction,
+                        pointing_b: point_ba.direction,
+                        range_m: range,
+                    });
+                }
+            }
+        }
     }
 }
 

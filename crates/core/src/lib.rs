@@ -27,6 +27,7 @@ pub mod feedback;
 pub mod intent;
 pub mod model;
 pub mod orchestrator;
+pub mod reference;
 pub mod solver;
 pub mod validation;
 

@@ -533,6 +533,28 @@ impl Orchestrator {
         self.evaluator.evaluate(&self.model, at)
     }
 
+    /// The standing backhaul demands (used by the golden-equivalence
+    /// gate to replay a solve against the naive reference).
+    pub fn backhaul_requests(&self) -> &[BackhaulRequest] {
+        &self.requests
+    }
+
+    /// The solver, with whatever pair penalties the enactment-feedback
+    /// loop installed at the last solve.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// The link evaluator.
+    pub fn evaluator(&self) -> &LinkEvaluator {
+        &self.evaluator
+    }
+
+    /// The controller's network model (read-only).
+    pub fn network_model(&self) -> &NetworkModel {
+        &self.model
+    }
+
     /// Change the solver's redundancy target mid-run — Figure 6's
     /// December-2020 moment when "Loon's TS-SDN could construct a mesh
     /// whose in-band control plane connectivity routinely exceeded its

@@ -1,0 +1,364 @@
+//! Retained naive reference implementations of the planning hot path.
+//!
+//! These are the pre-optimization evaluator and solver, kept verbatim
+//! (modulo the shared [`crate::solver::scale_cost`] fixed-point fix)
+//! as the ground truth for the golden-equivalence gates: the proptest
+//! in `tests/props.rs` and the orchestrator checkpoints in
+//! `tests/golden_determinism.rs` assert that the optimized
+//! [`Solver::solve`] / [`LinkEvaluator::evaluate`] produce plans and
+//! candidate graphs **bit-identical** to these functions on the same
+//! inputs. The `planning_hot_path` bench runs both sides to measure
+//! the speedup. They are deliberately simple — O(iterations × requests
+//! × Dijkstra) solver, O(P²·A²·B) evaluator — and should never be
+//! "improved"; that is the optimized path's job.
+
+use crate::evaluator::{CandidateGraph, CandidateLink, LinkEvaluator};
+use crate::model::NetworkModel;
+use crate::solver::{scale_cost, Solver, TopologyPlan};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use tssdn_dataplane::{BackhaulRequest, DrainRegistry};
+use tssdn_link::{LinkKind, TransceiverId};
+use tssdn_rf::LinkQuality;
+use tssdn_sim::{PlatformId, SimTime};
+
+/// The naive solver: full utility re-estimation (one Dijkstra per
+/// request) every greedy iteration, O(n) conflict rescans after every
+/// selection, `BTreeMap`-keyed adjacency.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_reference(
+    solver: &Solver,
+    candidates: &CandidateGraph,
+    requests: &[BackhaulRequest],
+    gateways_to_ec: &dyn Fn(PlatformId) -> Vec<PlatformId>,
+    previous: &BTreeSet<(TransceiverId, TransceiverId)>,
+    drains: &DrainRegistry,
+    now: SimTime,
+) -> TopologyPlan {
+    let mut plan = TopologyPlan { at: candidates.at, ..Default::default() };
+    let mut viable: Vec<bool> = vec![true; candidates.links.len()];
+    // Exclude candidates touching drained nodes outright.
+    for (i, l) in candidates.links.iter().enumerate() {
+        if drains.excludes_new_paths(l.a.platform, now)
+            || drains.excludes_new_paths(l.b.platform, now)
+        {
+            viable[i] = false;
+        }
+    }
+    let mut selected: Vec<usize> = Vec::new();
+    let mut used_transceivers: BTreeSet<TransceiverId> = BTreeSet::new();
+
+    // Structural hysteresis first: keep every incumbent link that is
+    // still a viable candidate.
+    let mut incumbents: Vec<usize> = (0..candidates.links.len())
+        .filter(|i| viable[*i] && previous.contains(&candidates.links[*i].key()))
+        .collect();
+    incumbents.sort_by(|x, y| {
+        candidates.links[*y]
+            .margin_db
+            .partial_cmp(&candidates.links[*x].margin_db)
+            .expect("finite margins")
+    });
+    for i in incumbents {
+        if !viable[i] {
+            continue;
+        }
+        let chosen = candidates.links[i];
+        selected.push(i);
+        used_transceivers.insert(chosen.a);
+        used_transceivers.insert(chosen.b);
+        plan.kept_links += 1;
+        for (j, l) in candidates.links.iter().enumerate() {
+            if viable[j] && j != i && solver.conflicts(&chosen, l) {
+                viable[j] = false;
+            }
+        }
+    }
+
+    // Greedy utility iteration (Appendix B).
+    loop {
+        let (utilities, routes) = estimate_utilities(
+            solver, candidates, requests, gateways_to_ec, previous, &viable, &selected,
+        );
+        // Highest-utility *unselected* viable candidate; ties break
+        // toward higher link margin (more robust choice).
+        let best = (0..candidates.links.len())
+            .filter(|i| viable[*i] && !selected.contains(i))
+            .filter(|i| utilities[*i] > 0.0)
+            .max_by(|a, b| {
+                (utilities[*a], candidates.links[*a].margin_db)
+                    .partial_cmp(&(utilities[*b], candidates.links[*b].margin_db))
+                    .expect("finite")
+            });
+        let Some(best) = best else {
+            // Done: record the final routing over selected links.
+            plan.routes = routes
+                .into_iter()
+                .filter(|(_, path)| path.is_some())
+                .map(|(k, path)| (k, path.expect("filtered")))
+                .collect();
+            plan.unsatisfied = requests
+                .iter()
+                .map(|r| (r.node, r.ec))
+                .filter(|k| !plan.routes.contains_key(k))
+                .collect();
+            break;
+        };
+        selected.push(best);
+        let chosen = candidates.links[best];
+        used_transceivers.insert(chosen.a);
+        used_transceivers.insert(chosen.b);
+        if previous.contains(&chosen.key()) {
+            plan.kept_links += 1;
+        }
+        // Invalidate incompatible candidates.
+        for (i, l) in candidates.links.iter().enumerate() {
+            if viable[i] && i != best && solver.conflicts(&chosen, l) {
+                viable[i] = false;
+            }
+        }
+    }
+    plan.demand_links = selected.iter().map(|i| candidates.links[*i]).collect();
+
+    // Redundancy pass over idle transceivers — the optimized solver's
+    // pass takes a bitset; convert and reuse it (the pass itself was
+    // not an optimization target).
+    let mut is_selected = vec![false; candidates.links.len()];
+    for i in &selected {
+        is_selected[*i] = true;
+    }
+    solver.add_redundancy(
+        candidates,
+        &mut plan,
+        &mut used_transceivers,
+        &viable,
+        &is_selected,
+        previous,
+    );
+    plan
+}
+
+/// Route every demand over the viable+selected graph and credit
+/// carried bits to each *unselected* candidate on the path, rebuilding
+/// the whole adjacency and re-running Dijkstra per request.
+#[allow(clippy::type_complexity)]
+fn estimate_utilities(
+    solver: &Solver,
+    candidates: &CandidateGraph,
+    requests: &[BackhaulRequest],
+    gateways_to_ec: &dyn Fn(PlatformId) -> Vec<PlatformId>,
+    previous: &BTreeSet<(TransceiverId, TransceiverId)>,
+    viable: &[bool],
+    selected: &[usize],
+) -> (Vec<f64>, BTreeMap<(PlatformId, PlatformId), Option<Vec<PlatformId>>>) {
+    // Platform-level adjacency: edge → (cost, candidate index).
+    let mut adj: BTreeMap<PlatformId, Vec<(PlatformId, f64, usize)>> = BTreeMap::new();
+    for (i, l) in candidates.links.iter().enumerate() {
+        if !viable[i] {
+            continue;
+        }
+        let is_selected = selected.contains(&i);
+        let mut cost = if is_selected { 0.1 } else { 1.0 };
+        if l.quality == LinkQuality::Marginal {
+            cost += solver.config.marginal_penalty;
+        }
+        if previous.contains(&l.key()) {
+            cost = (cost - solver.config.hysteresis_bonus).max(0.05);
+        }
+        // Enactment-feedback penalty: pairs that keep failing cost
+        // more, steering demand toward alternates (§5's "better
+        // policy").
+        let pk = (
+            l.a.platform.min(l.b.platform),
+            l.a.platform.max(l.b.platform),
+        );
+        if let Some(m) = solver.pair_penalties.get(&pk) {
+            cost *= m;
+        }
+        adj.entry(l.a.platform).or_default().push((l.b.platform, cost, i));
+        adj.entry(l.b.platform).or_default().push((l.a.platform, cost, i));
+    }
+
+    let mut utilities = vec![0.0f64; candidates.links.len()];
+    let mut routes: BTreeMap<(PlatformId, PlatformId), Option<Vec<PlatformId>>> = BTreeMap::new();
+    for req in requests {
+        let gws: BTreeSet<PlatformId> = gateways_to_ec(req.ec).into_iter().collect();
+        let path = if gws.is_empty() {
+            None
+        } else {
+            dijkstra_to_any(&adj, req.node, &gws)
+        };
+        if let Some((path, edge_idxs)) = &path {
+            for i in edge_idxs {
+                if !selected.contains(i) {
+                    utilities[*i] += req.min_bitrate_bps as f64;
+                }
+            }
+            routes.insert((req.node, req.ec), Some(path.clone()));
+        } else {
+            routes.insert((req.node, req.ec), None);
+        }
+    }
+    (utilities, routes)
+}
+
+/// Dijkstra from `from` to the nearest member of `targets`, returning
+/// the platform path and the candidate indices of traversed edges.
+/// `BTreeMap`-keyed throughout; costs go through the shared
+/// [`scale_cost`] fixed-point contract.
+#[allow(clippy::type_complexity)]
+fn dijkstra_to_any(
+    adj: &BTreeMap<PlatformId, Vec<(PlatformId, f64, usize)>>,
+    from: PlatformId,
+    targets: &BTreeSet<PlatformId>,
+) -> Option<(Vec<PlatformId>, Vec<usize>)> {
+    if targets.contains(&from) {
+        return Some((vec![from], vec![]));
+    }
+    let mut dist: BTreeMap<PlatformId, u64> = BTreeMap::new();
+    let mut prev: BTreeMap<PlatformId, (PlatformId, usize)> = BTreeMap::new();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, PlatformId)>> = BinaryHeap::new();
+    dist.insert(from, 0);
+    heap.push(std::cmp::Reverse((0, from)));
+    while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
+        if dist.get(&n).map(|x| d > *x).unwrap_or(false) {
+            continue;
+        }
+        if targets.contains(&n) {
+            // Reconstruct.
+            let mut path = vec![n];
+            let mut edges = Vec::new();
+            let mut cur = n;
+            while let Some((p, e)) = prev.get(&cur) {
+                path.push(*p);
+                edges.push(*e);
+                cur = *p;
+            }
+            path.reverse();
+            edges.reverse();
+            return Some((path, edges));
+        }
+        for (m, c, i) in adj.get(&n).into_iter().flatten() {
+            let nd = d + scale_cost(*c);
+            if dist.get(m).map(|x| nd < *x).unwrap_or(true) {
+                dist.insert(*m, nd);
+                prev.insert(*m, (n, *i));
+                heap.push(std::cmp::Reverse((nd, *m)));
+            }
+        }
+    }
+    None
+}
+
+/// The naive evaluator: every platform pair reaches the slant-range /
+/// line-of-sight math (no spatial prefilter), the pessimism-adjusted
+/// band vector is rebuilt per pair, and the sweep is single-threaded.
+pub fn evaluate_reference(
+    evaluator: &LinkEvaluator,
+    model: &NetworkModel,
+    at: SimTime,
+) -> CandidateGraph {
+    use crate::model::ModelWeather;
+    use tssdn_geo::{line_of_sight_clear, PointingSolution};
+    use tssdn_rf::RadioParams;
+    use tssdn_sim::PlatformKind;
+
+    let weather = ModelWeather { model };
+    let mut links = Vec::new();
+    let platforms: Vec<_> = model.platforms().collect();
+    for (i, pa) in platforms.iter().enumerate() {
+        for pb in platforms.iter().skip(i + 1) {
+            // Ground stations never pair with each other (they're
+            // wired); unpowered platforms can't form links.
+            if pa.kind == PlatformKind::GroundStation && pb.kind == PlatformKind::GroundStation {
+                continue;
+            }
+            if !pa.powered || !pb.powered {
+                continue;
+            }
+            let (Some(pos_a), Some(pos_b)) = (
+                model.predicted_position(pa.id, at),
+                model.predicted_position(pb.id, at),
+            ) else {
+                continue;
+            };
+            // Geometric pruning common to all antenna combos.
+            let range = pos_a.slant_range_m(&pos_b);
+            if range > evaluator.config.max_range_m {
+                continue;
+            }
+            if !line_of_sight_clear(&pos_a, &pos_b, evaluator.config.los_clearance_m) {
+                continue;
+            }
+            let point_ab = PointingSolution::between(&pos_a, &pos_b);
+            let point_ba = PointingSolution::between(&pos_b, &pos_a);
+            let kind = if pa.kind == PlatformKind::Balloon && pb.kind == PlatformKind::Balloon {
+                LinkKind::B2B
+            } else {
+                LinkKind::B2G
+            };
+
+            // The per-pair band rebuild the optimized path hoists.
+            let bands: Vec<RadioParams> = evaluator
+                .config
+                .bands
+                .iter()
+                .map(|band| RadioParams {
+                    implementation_loss_db: band.implementation_loss_db
+                        + evaluator.config.model_pessimism_db,
+                    ..*band
+                })
+                .collect();
+            let attenuations: Vec<tssdn_rf::AttenuationBreakdown> = bands
+                .iter()
+                .map(|band| {
+                    tssdn_rf::path_attenuation_db(&pos_a, &pos_b, band, &weather, at.as_ms())
+                })
+                .collect();
+            for ta in &pa.transceivers {
+                if !ta.can_point_at(&point_ab.direction) {
+                    continue;
+                }
+                for tb in &pb.transceivers {
+                    if !tb.can_point_at(&point_ba.direction) {
+                        continue;
+                    }
+                    // Best band for this antenna pairing.
+                    let mut best: Option<(u8, tssdn_rf::LinkBudgetReport)> = None;
+                    for (bi, band) in bands.iter().enumerate() {
+                        let rep = tssdn_rf::link_budget::evaluate_with_attenuation(
+                            band,
+                            ta.pattern.gain_dbi(0.0),
+                            tb.pattern.gain_dbi(0.0),
+                            attenuations[bi],
+                        );
+                        if rep.quality == LinkQuality::Infeasible {
+                            continue;
+                        }
+                        let better = match &best {
+                            None => true,
+                            Some((_, b)) => rep.margin_db > b.margin_db,
+                        };
+                        if better {
+                            best = Some((bi as u8, rep));
+                        }
+                    }
+                    if let Some((band, rep)) = best {
+                        links.push(CandidateLink {
+                            a: ta.id,
+                            b: tb.id,
+                            kind,
+                            band,
+                            bitrate_bps: rep.bitrate_bps,
+                            margin_db: rep.margin_db,
+                            quality: rep.quality,
+                            pointing_a: point_ab.direction,
+                            pointing_b: point_ba.direction,
+                            range_m: range,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    CandidateGraph { at, links }
+}

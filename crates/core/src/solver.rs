@@ -25,6 +25,23 @@ use tssdn_link::TransceiverId;
 use tssdn_rf::LinkQuality;
 use tssdn_sim::{PlatformId, SimTime};
 
+/// Fixed-point contract for path costs.
+///
+/// Dijkstra compares path costs as `u64` micro-units: an edge cost `c`
+/// (a small positive f64, ≥ 0.05 by construction) maps to
+/// `round(c * 1e6)`. Rounding — not truncation — so that two edges
+/// with the same nominal f64 cost always map to the same integer
+/// (truncation aliased e.g. `0.6 * 1e6 = 599999.99…` down to a
+/// *different* integer than the exact `600000`, perturbing tie-breaks
+/// between equal-cost paths). Resolution is 1e-6 cost units; sums stay
+/// far below `u64::MAX` for any realistic path (< 1.8e13 total cost).
+/// Both the optimized solver and the retained naive reference
+/// ([`crate::reference`]) route through this one function so their
+/// arithmetic is identical.
+pub(crate) fn scale_cost(c: f64) -> u64 {
+    (c * 1e6).round() as u64
+}
+
 /// Solver tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct SolverConfig {
@@ -53,7 +70,7 @@ impl Default for SolverConfig {
 }
 
 /// The solver's output for one time slice.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TopologyPlan {
     /// When this plan is for.
     pub at: SimTime,
@@ -97,12 +114,10 @@ impl TopologyPlan {
         } else {
             satisfied as f64 / num_requests as f64
         };
-        let margins: Vec<f64> = self.all_links().map(|l| l.margin_db).collect();
-        let mean_margin = if margins.is_empty() {
-            0.0
-        } else {
-            margins.iter().sum::<f64>() / margins.len() as f64
-        };
+        let (margin_sum, margin_n) = self
+            .all_links()
+            .fold((0.0f64, 0usize), |(s, n), l| (s + l.margin_db, n + 1));
+        let mean_margin = if margin_n == 0 { 0.0 } else { margin_sum / margin_n as f64 };
         let marginal_links = self
             .demand_links
             .iter()
@@ -222,6 +237,27 @@ impl Solver {
     /// * `previous` — pairing keys of the currently-installed
     ///   topology (hysteresis input).
     /// * `drains` — administrative drains to respect.
+    ///
+    /// This is the optimized hot path. It is required to produce
+    /// output **bit-identical** to the retained naive implementation
+    /// ([`crate::reference::solve_reference`]) — same demand links in
+    /// the same order, same redundant links, same routes — which is
+    /// what the golden-equivalence gates in `tests/props.rs` and
+    /// `tests/golden_determinism.rs` assert. The optimizations over
+    /// the naive O(iterations × requests × Dijkstra) loop:
+    ///
+    /// * platforms interned to dense indices; Dijkstra runs over
+    ///   `Vec`-backed adjacency/distance arrays instead of `BTreeMap`s;
+    /// * a one-shot conflict index (by transceiver, by platform+band)
+    ///   replaces the O(n) full-graph conflict rescan per selection;
+    /// * utility estimation is incremental: each selection re-routes
+    ///   only the demands whose cached path used a just-invalidated
+    ///   candidate, plus those a cheap two-Dijkstra lower-bound test
+    ///   says could profit from the newly discounted selected edge —
+    ///   every other cached shortest path is provably what a full
+    ///   re-run of Dijkstra would return (edge costs only change by
+    ///   candidate removal or by the selected edge's discount, so the
+    ///   bound is exact).
     #[allow(clippy::too_many_arguments)]
     pub fn solve(
         &self,
@@ -232,8 +268,9 @@ impl Solver {
         drains: &DrainRegistry,
         now: SimTime,
     ) -> TopologyPlan {
+        let n = candidates.links.len();
         let mut plan = TopologyPlan { at: candidates.at, ..Default::default() };
-        let mut viable: Vec<bool> = vec![true; candidates.links.len()];
+        let mut viable: Vec<bool> = vec![true; n];
         // Exclude candidates touching drained nodes outright.
         for (i, l) in candidates.links.iter().enumerate() {
             if drains.excludes_new_paths(l.a.platform, now)
@@ -242,8 +279,68 @@ impl Solver {
                 viable[i] = false;
             }
         }
-        let mut selected: Vec<usize> = Vec::new();
-        let mut used_transceivers: BTreeSet<TransceiverId> = BTreeSet::new();
+
+        // ---- one-shot preprocessing ----------------------------------
+        // Loop-invariant per-candidate state: previous-topology
+        // membership and both fixed-point cost variants (edge costs
+        // only ever change when a candidate becomes selected).
+        let mut in_previous = vec![false; n];
+        let mut cost_unsel = vec![0u64; n];
+        let mut cost_sel = vec![0u64; n];
+        for (i, l) in candidates.links.iter().enumerate() {
+            in_previous[i] = previous.contains(&l.key());
+            cost_unsel[i] = scale_cost(self.edge_cost(l, in_previous[i], false));
+            cost_sel[i] = scale_cost(self.edge_cost(l, in_previous[i], true));
+        }
+
+        // Platform interning: sorted ids → dense indices. Sorted order
+        // keeps Dijkstra's (cost, node) tie-breaks identical to the
+        // reference's (cost, PlatformId) ordering.
+        let mut gw_cache: BTreeMap<PlatformId, Vec<PlatformId>> = BTreeMap::new();
+        let plats: Vec<PlatformId> = {
+            let mut set: BTreeSet<PlatformId> = BTreeSet::new();
+            for l in &candidates.links {
+                set.insert(l.a.platform);
+                set.insert(l.b.platform);
+            }
+            for r in requests {
+                set.insert(r.node);
+                let gws =
+                    gw_cache.entry(r.ec).or_insert_with(|| gateways_to_ec(r.ec));
+                set.extend(gws.iter().copied());
+            }
+            set.into_iter().collect()
+        };
+        let idx_of = |p: PlatformId| -> u32 {
+            plats.binary_search(&p).expect("interned") as u32
+        };
+        let np = plats.len();
+
+        // Dense adjacency (node → (neighbor, candidate)) plus the
+        // conflict index: candidates by transceiver (hard conflicts)
+        // and by (platform, band) (interference conflicts needing the
+        // angular check). Built once; per-selection invalidation walks
+        // only these lists instead of rescanning every candidate.
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); np];
+        let mut endpoints = vec![(0u32, 0u32); n];
+        let mut by_tx: BTreeMap<TransceiverId, Vec<u32>> = BTreeMap::new();
+        let mut by_platform_band: BTreeMap<(PlatformId, u8), Vec<u32>> = BTreeMap::new();
+        for (i, l) in candidates.links.iter().enumerate() {
+            let (pa, pb) = (idx_of(l.a.platform), idx_of(l.b.platform));
+            endpoints[i] = (pa, pb);
+            adj[pa as usize].push((pb, i as u32));
+            adj[pb as usize].push((pa, i as u32));
+            by_tx.entry(l.a).or_default().push(i as u32);
+            by_tx.entry(l.b).or_default().push(i as u32);
+            by_platform_band.entry((l.a.platform, l.band)).or_default().push(i as u32);
+            if l.b.platform != l.a.platform {
+                by_platform_band.entry((l.b.platform, l.band)).or_default().push(i as u32);
+            }
+        }
+        let conflict_index = ConflictIndex { by_tx, by_platform_band };
+
+        let mut is_selected = vec![false; n];
+        let mut selected_order: Vec<usize> = Vec::new();
 
         // Structural hysteresis first: keep every incumbent link that
         // is still a viable candidate. "Link reconfigurations were
@@ -254,52 +351,134 @@ impl Solver {
         // dropped when the evaluator no longer offers it at all (the
         // predictive withdrawal of a degrading link) or it conflicts
         // with an already-kept link.
-        let mut incumbents: Vec<usize> = (0..candidates.links.len())
-            .filter(|i| viable[*i] && previous.contains(&candidates.links[*i].key()))
-            .collect();
+        let mut incumbents: Vec<usize> =
+            (0..n).filter(|i| viable[*i] && in_previous[*i]).collect();
         incumbents.sort_by(|x, y| {
             candidates.links[*y]
                 .margin_db
                 .partial_cmp(&candidates.links[*x].margin_db)
                 .expect("finite margins")
         });
+        let mut scratch_invalidated: Vec<u32> = Vec::new();
         for i in incumbents {
             if !viable[i] {
                 continue;
             }
-            let chosen = candidates.links[i];
-            selected.push(i);
-            used_transceivers.insert(chosen.a);
-            used_transceivers.insert(chosen.b);
+            is_selected[i] = true;
+            selected_order.push(i);
             plan.kept_links += 1;
-            for (j, l) in candidates.links.iter().enumerate() {
-                if viable[j] && j != i && self.conflicts(&chosen, l) {
-                    viable[j] = false;
-                }
-            }
+            scratch_invalidated.clear();
+            self.invalidate_conflicting(
+                candidates,
+                &conflict_index,
+                i,
+                &mut viable,
+                &mut scratch_invalidated,
+            );
         }
+
+        // Per-request routing state: interned source node, sorted
+        // interned gateway set, and the cached shortest path (nodes,
+        // candidate edges, fixed-point cost).
+        let nr = requests.len();
+        let req_endpoints: Vec<(u32, Vec<u32>)> = requests
+            .iter()
+            .map(|r| {
+                let gw_set: BTreeSet<PlatformId> =
+                    gw_cache.get(&r.ec).expect("cached").iter().copied().collect();
+                (idx_of(r.node), gw_set.into_iter().map(idx_of).collect())
+            })
+            .collect();
+        let mut route_nodes: Vec<Option<Vec<u32>>> = vec![None; nr];
+        let mut route_edges: Vec<Vec<u32>> = vec![Vec::new(); nr];
+        let mut route_cost: Vec<u64> = vec![u64::MAX; nr];
+        let mut needs_route: Vec<bool> = vec![true; nr];
+        // Once unroutable, always unroutable: the viable graph only
+        // shrinks during the greedy iteration (selection discounts an
+        // existing edge, it never adds one), so reachability is
+        // monotone decreasing.
+        let mut dead: Vec<bool> = vec![false; nr];
+        let mut edge_dirty: Vec<bool> = vec![false; n];
 
         // Greedy utility iteration (Appendix B).
         loop {
-            let (utilities, routes) =
-                self.estimate_utilities(candidates, requests, gateways_to_ec, previous, &viable, &selected);
+            // (Re)route the demands whose cached path may have changed.
+            for r in 0..nr {
+                if !needs_route[r] || dead[r] {
+                    continue;
+                }
+                needs_route[r] = false;
+                let (node, gws) = &req_endpoints[r];
+                let found = if gws.is_empty() {
+                    None
+                } else {
+                    dijkstra_indexed(
+                        &adj, &viable, &is_selected, &cost_unsel, &cost_sel, *node, gws,
+                    )
+                };
+                match found {
+                    Some((nodes, edges, cost)) => {
+                        route_nodes[r] = Some(nodes);
+                        route_edges[r] = edges;
+                        route_cost[r] = cost;
+                    }
+                    None => {
+                        route_nodes[r] = None;
+                        route_edges[r].clear();
+                        route_cost[r] = u64::MAX;
+                        dead[r] = true;
+                    }
+                }
+            }
+
+            // Utilities from the cached routes: carried bits credited
+            // to each *unselected* candidate on a demand's path,
+            // accumulated in request order (same f64 addend order as
+            // the reference).
+            let mut utilities = vec![0.0f64; n];
+            for (r, req) in requests.iter().enumerate() {
+                for &e in &route_edges[r] {
+                    if !is_selected[e as usize] {
+                        utilities[e as usize] += req.min_bitrate_bps as f64;
+                    }
+                }
+            }
+
             // Highest-utility *unselected* viable candidate; ties break
-            // toward higher link margin (more robust choice).
-            let best = (0..candidates.links.len())
-                .filter(|i| viable[*i] && !selected.contains(i))
-                .filter(|i| utilities[*i] > 0.0)
-                .max_by(|a, b| {
-                    (utilities[*a], candidates.links[*a].margin_db)
-                        .partial_cmp(&(utilities[*b], candidates.links[*b].margin_db))
-                        .expect("finite")
-                });
+            // toward higher link margin (more robust choice), then —
+            // matching `Iterator::max_by` — toward the later index.
+            let mut best: Option<usize> = None;
+            for i in 0..n {
+                // NB `partial_cmp`, not `<= 0.0`: a NaN utility must be
+                // skipped here exactly as the reference's `u > 0.0`
+                // filter skips it.
+                if !viable[i]
+                    || is_selected[i]
+                    || utilities[i].partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+                {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(b) => {
+                        let keep_b = (utilities[b], candidates.links[b].margin_db)
+                            .partial_cmp(&(utilities[i], candidates.links[i].margin_db))
+                            .expect("finite")
+                            == std::cmp::Ordering::Greater;
+                        Some(if keep_b { b } else { i })
+                    }
+                };
+            }
             let Some(best) = best else {
                 // Done: record the final routing over selected links.
-                plan.routes = routes
-                    .into_iter()
-                    .filter(|(_, path)| path.is_some())
-                    .map(|(k, path)| (k, path.expect("filtered")))
-                    .collect();
+                for (r, req) in requests.iter().enumerate() {
+                    if let Some(nodes) = &route_nodes[r] {
+                        plan.routes.insert(
+                            (req.node, req.ec),
+                            nodes.iter().map(|&x| plats[x as usize]).collect(),
+                        );
+                    }
+                }
                 plan.unsatisfied = requests
                     .iter()
                     .map(|r| (r.node, r.ec))
@@ -307,31 +486,163 @@ impl Solver {
                     .collect();
                 break;
             };
-            selected.push(best);
-            let chosen = candidates.links[best];
-            used_transceivers.insert(chosen.a);
-            used_transceivers.insert(chosen.b);
-            if previous.contains(&chosen.key()) {
+            is_selected[best] = true;
+            selected_order.push(best);
+            if in_previous[best] {
                 plan.kept_links += 1;
             }
-            // Invalidate incompatible candidates.
-            for (i, l) in candidates.links.iter().enumerate() {
-                if viable[i] && i != best && self.conflicts(&chosen, l) {
-                    viable[i] = false;
+            // Invalidate incompatible candidates via the index.
+            scratch_invalidated.clear();
+            self.invalidate_conflicting(
+                candidates,
+                &conflict_index,
+                best,
+                &mut viable,
+                &mut scratch_invalidated,
+            );
+
+            // Incremental re-route planning. A cached path must be
+            // recomputed when (a) it used a candidate that just became
+            // inviable, (b) it used the selected candidate (whose cost
+            // just dropped), or (c) a path through the newly discounted
+            // selected edge could now match or beat it. For (c), two
+            // Dijkstra sweeps from the selected edge's endpoints give
+            // dist(u→·)/dist(v→·); `dist(node→u) + cost(u,v) +
+            // dist(v→gw)` (both orientations) lower-bounds every route
+            // through the edge, so `lb > cached` proves the cached path
+            // is still exactly what a full recompute would return.
+            for &e in &scratch_invalidated {
+                edge_dirty[e as usize] = true;
+            }
+            for r in 0..nr {
+                if dead[r] || route_nodes[r].is_none() {
+                    continue;
+                }
+                if route_edges[r]
+                    .iter()
+                    .any(|&e| e as usize == best || edge_dirty[e as usize])
+                {
+                    needs_route[r] = true;
+                }
+            }
+            for &e in &scratch_invalidated {
+                edge_dirty[e as usize] = false;
+            }
+            let (u, v) = endpoints[best];
+            let dist_u =
+                dijkstra_all(&adj, &viable, &is_selected, &cost_unsel, &cost_sel, u);
+            let dist_v =
+                dijkstra_all(&adj, &viable, &is_selected, &cost_unsel, &cost_sel, v);
+            let edge_cost = cost_sel[best];
+            for r in 0..nr {
+                if dead[r] || needs_route[r] || route_nodes[r].is_none() {
+                    continue;
+                }
+                let (node, gws) = &req_endpoints[r];
+                let mut gw_u = u64::MAX;
+                let mut gw_v = u64::MAX;
+                for &g in gws {
+                    gw_u = gw_u.min(dist_u[g as usize]);
+                    gw_v = gw_v.min(dist_v[g as usize]);
+                }
+                let lb = (dist_u[*node as usize]
+                    .saturating_add(edge_cost)
+                    .saturating_add(gw_v))
+                .min(
+                    dist_v[*node as usize]
+                        .saturating_add(edge_cost)
+                        .saturating_add(gw_u),
+                );
+                if lb <= route_cost[r] {
+                    needs_route[r] = true;
                 }
             }
         }
-        plan.demand_links = selected.iter().map(|i| candidates.links[*i]).collect();
+        plan.demand_links = selected_order.iter().map(|i| candidates.links[*i]).collect();
+        let mut used_transceivers: BTreeSet<TransceiverId> = selected_order
+            .iter()
+            .flat_map(|&i| [candidates.links[i].a, candidates.links[i].b])
+            .collect();
 
         // Redundancy pass over idle transceivers.
-        self.add_redundancy(candidates, &mut plan, &mut used_transceivers, &viable, &selected, previous);
+        self.add_redundancy(candidates, &mut plan, &mut used_transceivers, &viable, &is_selected, previous);
         plan
+    }
+
+    /// The f64 cost of routing over one candidate — hysteresis,
+    /// marginal penalty and enactment-feedback multiplier included.
+    /// Shared with the naive reference so both paths do the identical
+    /// float arithmetic in the identical order.
+    pub(crate) fn edge_cost(&self, l: &CandidateLink, in_previous: bool, is_selected: bool) -> f64 {
+        let mut cost = if is_selected { 0.1 } else { 1.0 };
+        if l.quality == LinkQuality::Marginal {
+            cost += self.config.marginal_penalty;
+        }
+        if in_previous {
+            cost = (cost - self.config.hysteresis_bonus).max(0.05);
+        }
+        // Enactment-feedback penalty: pairs that keep failing cost
+        // more, steering demand toward alternates (§5's "better
+        // policy").
+        let pk = (
+            l.a.platform.min(l.b.platform),
+            l.a.platform.max(l.b.platform),
+        );
+        if let Some(m) = self.pair_penalties.get(&pk) {
+            cost *= m;
+        }
+        cost
+    }
+
+    /// Mark every still-viable candidate that conflicts with
+    /// `chosen_i` inviable, walking only the conflict index's
+    /// per-transceiver and per-(platform, band) lists. Appends the
+    /// indices actually flipped to `invalidated`.
+    fn invalidate_conflicting(
+        &self,
+        candidates: &CandidateGraph,
+        index: &ConflictIndex,
+        chosen_i: usize,
+        viable: &mut [bool],
+        invalidated: &mut Vec<u32>,
+    ) {
+        let chosen = &candidates.links[chosen_i];
+        // Shared-transceiver conflicts are unconditional.
+        for list in [index.by_tx.get(&chosen.a), index.by_tx.get(&chosen.b)] {
+            for &j in list.into_iter().flatten() {
+                let j_us = j as usize;
+                if j_us != chosen_i && viable[j_us] {
+                    viable[j_us] = false;
+                    invalidated.push(j);
+                }
+            }
+        }
+        // Same-band links sharing a platform need the angular check;
+        // only candidates touching one of chosen's platforms on
+        // chosen's band can possibly interfere.
+        for p in [chosen.a.platform, chosen.b.platform] {
+            for &j in index
+                .by_platform_band
+                .get(&(p, chosen.band))
+                .into_iter()
+                .flatten()
+            {
+                let j_us = j as usize;
+                if j_us != chosen_i
+                    && viable[j_us]
+                    && self.conflicts(chosen, &candidates.links[j_us])
+                {
+                    viable[j_us] = false;
+                    invalidated.push(j);
+                }
+            }
+        }
     }
 
     /// Whether two candidates cannot coexist: shared transceiver, or
     /// same platform + same band + beams closer than the separation
     /// minimum.
-    fn conflicts(&self, a: &CandidateLink, b: &CandidateLink) -> bool {
+    pub(crate) fn conflicts(&self, a: &CandidateLink, b: &CandidateLink) -> bool {
         let shares_transceiver =
             a.a == b.a || a.a == b.b || a.b == b.a || a.b == b.b;
         if shares_transceiver {
@@ -354,80 +665,15 @@ impl Solver {
         false
     }
 
-    /// Route every demand over the viable+selected graph and credit
-    /// carried bits to each *unselected* candidate on the path.
-    #[allow(clippy::type_complexity)]
-    fn estimate_utilities(
-        &self,
-        candidates: &CandidateGraph,
-        requests: &[BackhaulRequest],
-        gateways_to_ec: &dyn Fn(PlatformId) -> Vec<PlatformId>,
-        previous: &BTreeSet<(TransceiverId, TransceiverId)>,
-        viable: &[bool],
-        selected: &[usize],
-    ) -> (Vec<f64>, BTreeMap<(PlatformId, PlatformId), Option<Vec<PlatformId>>>) {
-        // Platform-level adjacency: edge → (cost, candidate index).
-        // Keep the cheapest edge per platform pair.
-        let mut adj: BTreeMap<PlatformId, Vec<(PlatformId, f64, usize)>> = BTreeMap::new();
-        for (i, l) in candidates.links.iter().enumerate() {
-            if !viable[i] {
-                continue;
-            }
-            let is_selected = selected.contains(&i);
-            let mut cost = if is_selected { 0.1 } else { 1.0 };
-            if l.quality == LinkQuality::Marginal {
-                cost += self.config.marginal_penalty;
-            }
-            if previous.contains(&l.key()) {
-                cost = (cost - self.config.hysteresis_bonus).max(0.05);
-            }
-            // Enactment-feedback penalty: pairs that keep failing cost
-            // more, steering demand toward alternates (§5's "better
-            // policy").
-            let pk = (
-                l.a.platform.min(l.b.platform),
-                l.a.platform.max(l.b.platform),
-            );
-            if let Some(m) = self.pair_penalties.get(&pk) {
-                cost *= m;
-            }
-            adj.entry(l.a.platform).or_default().push((l.b.platform, cost, i));
-            adj.entry(l.b.platform).or_default().push((l.a.platform, cost, i));
-        }
-
-        let mut utilities = vec![0.0f64; candidates.links.len()];
-        let mut routes: BTreeMap<(PlatformId, PlatformId), Option<Vec<PlatformId>>> =
-            BTreeMap::new();
-        for req in requests {
-            let gws: BTreeSet<PlatformId> = gateways_to_ec(req.ec).into_iter().collect();
-            let path = if gws.is_empty() {
-                None
-            } else {
-                dijkstra_to_any(&adj, req.node, &gws)
-            };
-            if let Some((path, edge_idxs)) = &path {
-                for i in edge_idxs {
-                    if !selected.contains(i) {
-                        utilities[*i] += req.min_bitrate_bps as f64;
-                    }
-                }
-                routes.insert((req.node, req.ec), Some(path.clone()));
-            } else {
-                routes.insert((req.node, req.ec), None);
-            }
-        }
-        (utilities, routes)
-    }
-
     /// Task idle transceivers with extra links for failover, up to the
     /// redundancy-target fraction (Figure 7's *intended* level).
-    fn add_redundancy(
+    pub(crate) fn add_redundancy(
         &self,
         candidates: &CandidateGraph,
         plan: &mut TopologyPlan,
         used: &mut BTreeSet<TransceiverId>,
         viable: &[bool],
-        selected: &[usize],
+        is_selected: &[bool],
         previous: &BTreeSet<(TransceiverId, TransceiverId)>,
     ) {
         // Idle transceivers anywhere in the candidate graph are fair
@@ -462,7 +708,7 @@ impl Solver {
             *degree.entry(l.b.platform).or_default() += 1;
         }
         let mut order: Vec<usize> = (0..candidates.links.len())
-            .filter(|i| viable[*i] && !selected.contains(i))
+            .filter(|i| viable[*i] && !is_selected[*i])
             .collect();
         order.sort_by(|x, y| {
             let lx = &candidates.links[*x];
@@ -517,52 +763,127 @@ impl Solver {
     }
 }
 
-/// Dijkstra from `from` to the nearest member of `targets`, returning
-/// the platform path and the candidate indices of traversed edges.
-#[allow(clippy::type_complexity)]
-fn dijkstra_to_any(
-    adj: &BTreeMap<PlatformId, Vec<(PlatformId, f64, usize)>>,
-    from: PlatformId,
-    targets: &BTreeSet<PlatformId>,
-) -> Option<(Vec<PlatformId>, Vec<usize>)> {
-    if targets.contains(&from) {
-        return Some((vec![from], vec![]));
+/// The one-shot conflict lookup lists, built once per solve. A chosen
+/// candidate's conflicts are confined to (a) candidates sharing one of
+/// its transceivers and (b) same-band candidates touching one of its
+/// platforms — `Solver::conflicts` returns false for everything else —
+/// so invalidation after a selection walks only these short lists
+/// instead of rescanning the whole candidate set.
+struct ConflictIndex {
+    /// Candidate indices using a given transceiver.
+    by_tx: BTreeMap<TransceiverId, Vec<u32>>,
+    /// Candidate indices touching a given (platform, band).
+    by_platform_band: BTreeMap<(PlatformId, u8), Vec<u32>>,
+}
+
+/// Current fixed-point cost of candidate `e` given selection state.
+#[inline]
+fn edge_cost_u64(e: usize, is_selected: &[bool], cost_unsel: &[u64], cost_sel: &[u64]) -> u64 {
+    if is_selected[e] {
+        cost_sel[e]
+    } else {
+        cost_unsel[e]
     }
-    // (cost scaled to u64 for the heap, node).
-    let scale = |c: f64| (c * 1e6) as u64;
-    let mut dist: BTreeMap<PlatformId, u64> = BTreeMap::new();
-    let mut prev: BTreeMap<PlatformId, (PlatformId, usize)> = BTreeMap::new();
-    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, PlatformId)>> = BinaryHeap::new();
-    dist.insert(from, 0);
+}
+
+/// Vec-backed Dijkstra from `from` to the nearest member of `targets`
+/// (a sorted slice of interned indices), over the viable subgraph.
+///
+/// Bit-identical to the reference's `BTreeMap` implementation
+/// ([`crate::reference`]): the heap orders by `(cost, node index)` and
+/// interned indices are assigned in sorted `PlatformId` order, so
+/// tie-breaks agree; relaxation uses the same strict `<` (first
+/// relaxation at the final distance wins, later equal-cost ones are
+/// ignored); and non-viable edges are skipped *during traversal* in
+/// candidate-index order, which visits viable edges in exactly the
+/// order the reference's per-iteration adjacency rebuild inserts them.
+///
+/// Returns `(platform-index path, candidate-index edges, total cost)`.
+#[allow(clippy::type_complexity)]
+fn dijkstra_indexed(
+    adj: &[Vec<(u32, u32)>],
+    viable: &[bool],
+    is_selected: &[bool],
+    cost_unsel: &[u64],
+    cost_sel: &[u64],
+    from: u32,
+    targets: &[u32],
+) -> Option<(Vec<u32>, Vec<u32>, u64)> {
+    if targets.binary_search(&from).is_ok() {
+        return Some((vec![from], vec![], 0));
+    }
+    const UNSET: u32 = u32::MAX;
+    let mut dist = vec![u64::MAX; adj.len()];
+    let mut prev: Vec<(u32, u32)> = vec![(UNSET, UNSET); adj.len()];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[from as usize] = 0;
     heap.push(std::cmp::Reverse((0, from)));
     while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
-        if dist.get(&n).map(|x| d > *x).unwrap_or(false) {
+        if d > dist[n as usize] {
             continue;
         }
-        if targets.contains(&n) {
+        if targets.binary_search(&n).is_ok() {
             // Reconstruct.
             let mut path = vec![n];
             let mut edges = Vec::new();
             let mut cur = n;
-            while let Some((p, e)) = prev.get(&cur) {
-                path.push(*p);
-                edges.push(*e);
-                cur = *p;
+            while prev[cur as usize].0 != UNSET {
+                let (p, e) = prev[cur as usize];
+                path.push(p);
+                edges.push(e);
+                cur = p;
             }
             path.reverse();
             edges.reverse();
-            return Some((path, edges));
+            return Some((path, edges, d));
         }
-        for (m, c, i) in adj.get(&n).into_iter().flatten() {
-            let nd = d + scale(*c);
-            if dist.get(m).map(|x| nd < *x).unwrap_or(true) {
-                dist.insert(*m, nd);
-                prev.insert(*m, (n, *i));
-                heap.push(std::cmp::Reverse((nd, *m)));
+        for &(m, e) in &adj[n as usize] {
+            if !viable[e as usize] {
+                continue;
+            }
+            let nd = d + edge_cost_u64(e as usize, is_selected, cost_unsel, cost_sel);
+            if nd < dist[m as usize] {
+                dist[m as usize] = nd;
+                prev[m as usize] = (n, e);
+                heap.push(std::cmp::Reverse((nd, m)));
             }
         }
     }
     None
+}
+
+/// Full single-source Dijkstra sweep (no early exit, no path
+/// reconstruction): distances from `from` to every node over the
+/// viable subgraph, `u64::MAX` where unreachable. Powers the
+/// incremental solver's lower-bound test after each selection.
+fn dijkstra_all(
+    adj: &[Vec<(u32, u32)>],
+    viable: &[bool],
+    is_selected: &[bool],
+    cost_unsel: &[u64],
+    cost_sel: &[u64],
+    from: u32,
+) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; adj.len()];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[from as usize] = 0;
+    heap.push(std::cmp::Reverse((0, from)));
+    while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
+        if d > dist[n as usize] {
+            continue;
+        }
+        for &(m, e) in &adj[n as usize] {
+            if !viable[e as usize] {
+                continue;
+            }
+            let nd = d + edge_cost_u64(e as usize, is_selected, cost_unsel, cost_sel);
+            if nd < dist[m as usize] {
+                dist[m as usize] = nd;
+                heap.push(std::cmp::Reverse((nd, m)));
+            }
+        }
+    }
+    dist
 }
 
 #[cfg(test)]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Planning hot-path benchmark: optimized evaluate→solve vs the naive
+# reference retained in tssdn_core::reference.
+#
+#   ./scripts/bench.sh           # full run: 25/50/100/100-dispersed
+#                                # fleets, writes BENCH_planning.json
+#   ./scripts/bench.sh --smoke   # one tiny fleet, no file written —
+#                                # proves the binary and the
+#                                # bit-identity equivalence gate still
+#                                # pass (wired into verify.sh)
+#
+# Extra args are passed through (e.g. --out PATH).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -q -p tssdn-bench --bin planning_hot_path -- "$@"

@@ -18,4 +18,7 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> scripts/bench.sh --smoke (planning hot-path equivalence gate)"
+./scripts/bench.sh --smoke
+
 echo "verify: OK"

@@ -3,11 +3,26 @@
 //! dataplane routing, telemetry stats).
 
 use proptest::prelude::*;
-use tssdn_dataplane::{PrefixAllocator, RouteEntry, RoutingFabric};
+use std::collections::BTreeSet;
+use tssdn_core::reference::solve_reference;
+use tssdn_core::{CandidateGraph, CandidateLink, Solver};
+use tssdn_dataplane::{BackhaulRequest, DrainMode, DrainRegistry, PrefixAllocator, RouteEntry, RoutingFabric};
 use tssdn_geo::{AzEl, GeoPoint, ObstructionMask};
+use tssdn_link::{LinkKind, TransceiverId};
 use tssdn_manet::Topology;
+use tssdn_rf::LinkQuality;
 use tssdn_sim::{EventQueue, PlatformId, SimTime};
 use tssdn_telemetry::{mean, percentile};
+
+/// Map a raw platform index to (id, is_ground_station): 0..7 are
+/// balloons, 7..10 the ground stations 100..103.
+fn plat(x: u32) -> (PlatformId, bool) {
+    if x < 7 {
+        (PlatformId(x), false)
+    } else {
+        (PlatformId(100 + (x - 7)), true)
+    }
+}
 
 proptest! {
     // ---------------- geo ----------------
@@ -245,5 +260,98 @@ proptest! {
         let g = p.gain_dbi(off);
         prop_assert!(g <= p.boresight_gain_dbi + 1e-9);
         prop_assert!(g >= -10.0 - 1e-9);
+    }
+
+    // ---------------- planning hot path ----------------
+
+    /// Golden-equivalence gate (solver half): on arbitrary candidate
+    /// graphs — deliberately rich in utility and margin ties, shared
+    /// transceivers, interference conflicts, incumbents, drains and
+    /// pair penalties — the optimized incremental `Solver::solve` must
+    /// return a `TopologyPlan` bit-identical to the retained naive
+    /// reference: same demand links *in the same selection order*,
+    /// same redundant links, same routes, same unsatisfied list, same
+    /// kept-link count.
+    #[test]
+    fn optimized_solver_matches_naive_reference(
+        raw in prop::collection::vec(
+            ((0u32..10, 0u8..3, 0u32..10, 0u8..3), (0u8..4, 0u8..2, prop::bool::ANY, 0u8..24)),
+            1..40,
+        ),
+        prev_mask in prop::collection::vec(prop::bool::ANY, 40..41),
+        req_mask in prop::collection::vec(prop::bool::ANY, 7..8),
+        drain in prop::option::of(0u32..10),
+        penalty_pair in prop::option::of((0u32..10, 0u32..10)),
+    ) {
+        let mut links = Vec::new();
+        for ((pa, aa, pb, ab), (margin_i, band, marginal, az)) in raw {
+            let (ida, gsa) = plat(pa);
+            let (idb, gsb) = plat(pb);
+            if ida == idb || (gsa && gsb) {
+                continue;
+            }
+            let ta = TransceiverId::new(ida, aa);
+            let tb = TransceiverId::new(idb, ab);
+            // Coarse az/margin grids maximize ties so the test
+            // exercises every tie-break path.
+            let point_ta = AzEl::new(az as f64 * 15.0, 0.0);
+            let point_tb = AzEl::new((az as f64 * 15.0 + 180.0) % 360.0, 0.0);
+            let (a, b, pointing_a, pointing_b) = if ta < tb {
+                (ta, tb, point_ta, point_tb)
+            } else {
+                (tb, ta, point_tb, point_ta)
+            };
+            links.push(CandidateLink {
+                a,
+                b,
+                kind: if gsa || gsb { LinkKind::B2G } else { LinkKind::B2B },
+                band,
+                bitrate_bps: 400_000_000,
+                margin_db: [0.0, 5.0, 10.0, -1.0][margin_i as usize],
+                quality: if marginal { LinkQuality::Marginal } else { LinkQuality::Acceptable },
+                pointing_a,
+                pointing_b,
+                range_m: 250_000.0,
+            });
+        }
+        let graph = CandidateGraph { at: SimTime::ZERO, links };
+        let previous: BTreeSet<(TransceiverId, TransceiverId)> = graph
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| prev_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, l)| l.key())
+            .collect();
+        let requests: Vec<BackhaulRequest> = (0..7u32)
+            .filter(|i| req_mask[*i as usize])
+            .map(|i| BackhaulRequest {
+                node: PlatformId(i),
+                ec: PlatformId(200),
+                min_bitrate_bps: 50_000_000,
+                redundancy_group: None,
+            })
+            .collect();
+        let mut drains = DrainRegistry::new();
+        if let Some(d) = drain {
+            drains.request(plat(d).0, DrainMode::Opportunistic, SimTime::ZERO, None);
+        }
+        let mut solver = Solver::default();
+        if let Some((x, y)) = penalty_pair {
+            let (px, _) = plat(x);
+            let (py, _) = plat(y);
+            if px != py {
+                solver.pair_penalties.insert((px.min(py), px.max(py)), 1.5);
+            }
+        }
+        let gw = |ec: PlatformId| -> Vec<PlatformId> {
+            if ec == PlatformId(200) {
+                vec![PlatformId(100), PlatformId(101), PlatformId(102)]
+            } else {
+                vec![]
+            }
+        };
+        let fast = solver.solve(&graph, &requests, &gw, &previous, &drains, SimTime::ZERO);
+        let slow = solve_reference(&solver, &graph, &requests, &gw, &previous, &drains, SimTime::ZERO);
+        prop_assert_eq!(fast, slow);
     }
 }
