@@ -1,0 +1,210 @@
+//! Traffic allocator scaling: max-min progressive filling at
+//! production fleet sizes, ≥5k aggregate flows.
+//!
+//! Emits `BENCH_traffic.json` with cold (incidence rebuild +
+//! allocate) and warm (capacity-only, cached incidence) p50/p95 wall
+//! times at 25/50/100-balloon meshes. Before timing anything it
+//! asserts the worker-count identity gate: `workers = 1` and auto
+//! produce bit-identical allocations at every size — the same
+//! gate-before-timing contract as `planning_hot_path`.
+//!
+//! Usage:
+//!   traffic_scale [--smoke] [--out PATH]
+//!
+//! `--smoke` cuts iterations, not sizes: the 25/50/100 ladder and the
+//! ≥5k-flow floor hold in both modes, so `BENCH_traffic.json` always
+//! records the acceptance numbers.
+
+use std::time::Instant;
+use tssdn_bench::seed;
+use tssdn_sim::{PlatformId, RngStreams, SimTime};
+use tssdn_telemetry::percentile;
+use tssdn_traffic::{DemandConfig, DemandGenerator, FairShareAllocator};
+
+/// A synthetic mesh: `n` balloons in 3 chains rooted at 3 GSs, each
+/// chain hop shared by every balloon further out — the congestion
+/// shape real topologies produce, with path lengths up to n/3 hops.
+struct Mesh {
+    flow_links: Vec<Vec<u32>>,
+    n_links: usize,
+    demands: Vec<u64>,
+    capacities: Vec<u64>,
+}
+
+fn build_mesh(n: usize, flows_per_site: usize) -> Mesh {
+    let sites: Vec<PlatformId> = (0..n as u32).map(PlatformId).collect();
+    let demand_cfg = DemandConfig { flows_per_site, ..DemandConfig::default() };
+    let gen = DemandGenerator::new(demand_cfg, &sites, &RngStreams::new(seed()));
+
+    // Link ids: balloon i's uplink toward its chain parent. Balloon
+    // i < 3 hangs off GS (i%3); otherwise off balloon i-3. Each chain
+    // also gets one GS→EC tunnel link (ids n..n+3).
+    let n_links = n + 3;
+    let site_links: Vec<Vec<u32>> = (0..n)
+        .map(|i| {
+            let mut links = Vec::new();
+            let mut at = i;
+            loop {
+                links.push(at as u32);
+                if at < 3 {
+                    break;
+                }
+                at -= 3;
+            }
+            links.push((n + at % 3) as u32); // GS→EC
+            links
+        })
+        .collect();
+
+    let flow_links: Vec<Vec<u32>> =
+        gen.flows().iter().map(|f| site_links[f.site.0 as usize].clone()).collect();
+    // Evening-peak demand; deterministic per seed.
+    let at = SimTime::from_hours(20);
+    let demands: Vec<u64> = (0..gen.flows().len()).map(|i| gen.offered_bps(i, at)).collect();
+    // Radio links ride the MCS ladder (margin varies by position in
+    // the chain — outer links run hotter margins); tunnels are wired.
+    let capacities: Vec<u64> = (0..n_links)
+        .map(|l| {
+            if l >= n {
+                10_000_000_000
+            } else {
+                let margin = 3.0 + (l % 6) as f64 * 3.0;
+                (tssdn_rf::capacity_mbps(margin) * 1e6) as u64
+            }
+        })
+        .collect();
+    Mesh { flow_links, n_links, demands, capacities }
+}
+
+/// Time `f` over `iters` runs; returns (p50_ns, p95_ns).
+fn time_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+        drop(out);
+    }
+    (
+        percentile(&samples, 50.0).expect("non-empty"),
+        percentile(&samples, 95.0).expect("non-empty"),
+    )
+}
+
+struct MeshResult {
+    balloons: usize,
+    flows: usize,
+    links: usize,
+    saturation: f64,
+    cold: (f64, f64),
+    warm: (f64, f64),
+}
+
+fn run_mesh(n: usize, iters: usize) -> MeshResult {
+    // ≥5k aggregate flows at every size.
+    let flows_per_site = 5000usize.div_ceil(n);
+    let mesh = build_mesh(n, flows_per_site);
+    assert!(mesh.flow_links.len() >= 5000, "flow floor violated: {}", mesh.flow_links.len());
+
+    // ---- identity gate first: never time a divergent allocator ----
+    let mut serial = FairShareAllocator::new(1);
+    serial.set_topology(mesh.flow_links.clone(), mesh.n_links);
+    let base = serial.allocate(&mesh.demands, &mesh.capacities);
+    let mut auto = FairShareAllocator::new(0);
+    auto.set_topology(mesh.flow_links.clone(), mesh.n_links);
+    assert!(
+        auto.allocate(&mesh.demands, &mesh.capacities) == base,
+        "{n}-balloon mesh: auto-worker allocation diverged from serial"
+    );
+
+    let delivered: u64 = base.iter().sum();
+    let offered: u64 = mesh.demands.iter().sum();
+    let saturation = delivered as f64 / offered as f64;
+    eprintln!(
+        "  [{n}] {} flows, {} links, goodput at peak {:.3} — identity gate OK",
+        mesh.flow_links.len(),
+        mesh.n_links,
+        saturation
+    );
+
+    // ---- timings ----
+    // Cold: topology changed (replan) — rebuild incidence + allocate.
+    let cold = time_ns(iters, || {
+        let mut a = FairShareAllocator::new(0);
+        a.set_topology(mesh.flow_links.clone(), mesh.n_links);
+        a.allocate(&mesh.demands, &mesh.capacities)
+    });
+    // Warm: capacity-only tick (weather fade) — cached incidence.
+    let warm = time_ns(iters, || auto.allocate(&mesh.demands, &mesh.capacities));
+
+    MeshResult {
+        balloons: n,
+        flows: mesh.flow_links.len(),
+        links: mesh.n_links,
+        saturation,
+        cold,
+        warm,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_traffic.json".to_string());
+
+    let iters = if smoke { 5 } else { 30 };
+    const SIZES: &[usize] = &[25, 50, 100];
+    println!("=== traffic allocator scaling: max-min fill at fleet scale ===");
+    println!(
+        "meshes: {SIZES:?} balloons, ≥5k flows each, {iters} iters, {} mode",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let results: Vec<MeshResult> = SIZES.iter().map(|&n| run_mesh(n, iters)).collect();
+
+    println!();
+    println!(
+        "{:>8} {:>8} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "balloons", "flows", "links", "cold p50", "cold p95", "warm p50", "warm p95"
+    );
+    for r in &results {
+        println!(
+            "{:>8} {:>8} {:>7} {:>11.2}ms {:>11.2}ms {:>11.2}ms {:>11.2}ms",
+            r.balloons,
+            r.flows,
+            r.links,
+            r.cold.0 / 1e6,
+            r.cold.1 / 1e6,
+            r.warm.0 / 1e6,
+            r.warm.1 / 1e6,
+        );
+    }
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let meshes_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"balloons\": {},\n      \"flows\": {},\n      \"links\": {},\n      \
+                 \"peak_goodput\": {:.4},\n      \
+                 \"cold\": {{\"p50_ns\": {:.0}, \"p95_ns\": {:.0}}},\n      \
+                 \"warm\": {{\"p50_ns\": {:.0}, \"p95_ns\": {:.0}}}\n    }}",
+                r.balloons, r.flows, r.links, r.saturation, r.cold.0, r.cold.1, r.warm.0, r.warm.1,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"traffic_scale\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"iters\": {},\n  \"meshes\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        seed(),
+        iters,
+        meshes_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

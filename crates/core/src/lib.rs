@@ -40,4 +40,5 @@ pub use orchestrator::{
     Orchestrator, OrchestratorConfig, RunSummary, SolverPolicy, WeatherModelKind,
 };
 pub use solver::{PlanScore, Solver, SolverConfig, TopologyPlan};
+pub use tssdn_traffic::{TrafficConfig, TrafficEngine};
 pub use validation::{ModelErrorSample, ModelValidator, ObstructionFinding};

@@ -48,6 +48,7 @@ use tssdn_sim::{
     Fleet, FleetConfig, PlatformId, PlatformKind, RngStreams, SimDuration, SimTime,
 };
 use tssdn_telemetry::{AvailabilitySeries, BreakCause, Layer, RouteRecoveryTracker};
+use tssdn_traffic::{TopologyView, TrafficConfig, TrafficEngine};
 
 /// Controller policy switches for the ablation experiments.
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +128,11 @@ pub struct OrchestratorConfig {
     /// Scheduled fault windows driven by the chaos engine. Empty by
     /// default; the soak harness generates seeded plans.
     pub fault_plan: FaultPlan,
+    /// Flow-level traffic engine settings (E17). `None` (the default)
+    /// disables the engine entirely: no demand is generated, no
+    /// request weights are touched, and runs are bit-identical to
+    /// pre-traffic builds.
+    pub traffic: Option<TrafficConfig>,
 }
 
 /// Selectable controller weather beliefs (constructed against the
@@ -181,6 +187,7 @@ impl OrchestratorConfig {
             b2b_infant_hazard_per_s: 0.0027,
             lora_bootstrap: false,
             fault_plan: FaultPlan::new(),
+            traffic: None,
         }
     }
 }
@@ -310,6 +317,11 @@ pub struct Orchestrator {
     /// Enactment-feedback evidence (only consulted when
     /// `policy.enactment_feedback` is on).
     pub feedback: crate::feedback::FeedbackStats,
+    /// Flow-level traffic engine (E17), present when
+    /// `config.traffic` is set.
+    traffic: Option<TrafficEngine>,
+    /// End of the last traffic tick (for the fluid integration step).
+    last_traffic: SimTime,
     recent_terminations: Vec<RecentTermination>,
     rng_truth: ChaCha8Rng,
     rng_report: ChaCha8Rng,
@@ -420,6 +432,19 @@ impl Orchestrator {
         let mut cdpi_config = config.cdpi;
         cdpi_config.lora_enabled = config.lora_bootstrap;
         let cdpi = CdpiFrontend::new(cdpi_config, &streams);
+
+        // Traffic engine (optional): each balloon's eNodeB footprint
+        // becomes a served site. The engine draws from its own RNG
+        // stream at construction and never afterwards, so enabling it
+        // cannot perturb any other seeded subsystem.
+        let traffic = config.traffic.map(|tc| {
+            let sites: Vec<PlatformId> = fleet
+                .platform_ids()
+                .filter(|(_, k)| *k == PlatformKind::Balloon)
+                .map(|(id, _)| id)
+                .collect();
+            TrafficEngine::new(tc, &sites, &streams)
+        });
         Orchestrator {
             evaluator: LinkEvaluator::new(config.evaluator.clone()),
             solver: Solver::new(config.solver),
@@ -448,6 +473,8 @@ impl Orchestrator {
             last_plan: None,
             last_graph: None,
             feedback: crate::feedback::FeedbackStats::new(),
+            traffic,
+            last_traffic: SimTime::ZERO,
             recent_terminations: Vec::new(),
             rng_truth: streams.stream("orch-truth"),
             rng_report: streams.stream("orch-report"),
@@ -621,6 +648,10 @@ impl Orchestrator {
             }
             if self.now >= self.next_probe {
                 self.probe();
+                // Traffic rides the probe cadence: the fluid step
+                // integrates offered/delivered bits since the last
+                // probe over the just-observed forwarding state.
+                self.tick_traffic();
                 self.next_probe = self.now + self.config.probe_interval;
             }
             // Trim termination memory to the correlation window.
@@ -1180,6 +1211,20 @@ impl Orchestrator {
     /// Solve against `graph` and actuate the diff (establish commands,
     /// policy-gated withdrawals, route programs).
     fn solve_and_actuate(&mut self, graph: &CandidateGraph) {
+        // Demand feedback (network-digest role, §3.1): replace each
+        // request's static minimum bitrate with the traffic engine's
+        // measured-demand EWMA, so the solver's utility weights track
+        // what users actually offer through the diurnal cycle. Sites
+        // the digest has never observed keep their configured demand.
+        if let Some(engine) = &self.traffic {
+            if engine.config().feedback {
+                for req in &mut self.requests {
+                    if let Some(w) = engine.demand_weight_bps(req.node) {
+                        req.min_bitrate_bps = w.max(1);
+                    }
+                }
+            }
+        }
         self.solver.pair_penalties = if self.config.policy.enactment_feedback {
             self.feedback.penalties(self.now)
         } else {
@@ -1504,6 +1549,59 @@ impl Orchestrator {
         }
     }
 
+    /// Advance the flow-level traffic engine over the interval since
+    /// its last tick, against the *true* forwarding state: the routes
+    /// that actually trace end-to-end right now, and per-edge
+    /// capacities from the ACM table at each established machine's
+    /// true link margin (weather fade degrades capacity continuously,
+    /// not just at the controller's solve cadence).
+    fn tick_traffic(&mut self) {
+        if self.traffic.is_none() {
+            return;
+        }
+        let dt = self.now.since(self.last_traffic);
+        self.last_traffic = self.now;
+        if dt.as_ms() == 0 {
+            return;
+        }
+
+        let mut view = TopologyView::default();
+        // Same eligibility rule as the availability probe: unpowered
+        // or out-of-reach balloons offer no traffic.
+        let reachable: std::collections::BTreeSet<PlatformId> = self
+            .last_graph
+            .as_ref()
+            .map(|g| g.links.iter().flat_map(|l| [l.a.platform, l.b.platform]).collect())
+            .unwrap_or_default();
+        for b in (0..self.fleet.balloons.len() as u32).map(PlatformId) {
+            if self.effectively_powered(b) && reachable.contains(&b) {
+                view.eligible.insert(b);
+            }
+            if let Some(path) = self.active_path(b) {
+                view.paths.insert(b, path);
+            }
+        }
+        // Aggregate established machines into per-platform-pair edge
+        // capacity via the MCS ladder at the current true margin.
+        for m in &self.machines {
+            if !m.machine.is_established() {
+                continue;
+            }
+            let Some(margin) = self.true_margin(m.a, m.b, m.band) else { continue };
+            let cap = (tssdn_rf::capacity_mbps(margin) * 1e6) as u64;
+            let (x, y) = (m.a.platform, m.b.platform);
+            *view.link_capacity_bps.entry((x.min(y), x.max(y))).or_default() += cap;
+        }
+
+        let engine = self.traffic.as_mut().expect("checked above");
+        engine.tick(self.now, dt, &view);
+    }
+
+    /// The traffic engine, when `config.traffic` is set.
+    pub fn traffic(&self) -> Option<&TrafficEngine> {
+        self.traffic.as_ref()
+    }
+
     fn was_programmed(&self, b: PlatformId) -> bool {
         self.programmed_paths.keys().any(|(n, _)| *n == b)
     }
@@ -1692,6 +1790,37 @@ mod tests {
         assert!(link_av.map(|a| a > 0.3).unwrap_or(false), "link layer mostly up: {link_av:?}");
         let cp = o.availability.overall(Layer::ControlPlane);
         assert!(cp.map(|a| a > 0.2).unwrap_or(false), "control plane reachable: {cp:?}");
+    }
+
+    #[test]
+    fn traffic_engine_carries_load_once_routes_exist() {
+        let mut cfg = OrchestratorConfig::kenya(6, 42);
+        cfg.fleet.spawn_radius_m = 150_000.0;
+        cfg.traffic = Some(TrafficConfig { workers: 1, ..TrafficConfig::default() });
+        let mut o = Orchestrator::new(cfg);
+        o.run_until(SimTime::from_hours(12));
+        let engine = o.traffic().expect("traffic enabled");
+        let series = engine.series();
+        assert!(series.offered_bits() > 0, "daytime sites offered traffic");
+        let g = series.overall().expect("offered");
+        assert!(g > 0.0, "some traffic delivered end-to-end: {g}");
+        assert!(g <= 1.0);
+        // The demand digest observed at least one site, and feedback
+        // rewrote the solver's request weights away from the static
+        // default.
+        let fed = o
+            .backhaul_requests()
+            .iter()
+            .any(|r| r.min_bitrate_bps != o.config.demand_bps);
+        assert!(fed, "demand feedback updated request weights");
+    }
+
+    #[test]
+    fn traffic_disabled_by_default_and_inert() {
+        let o = small();
+        assert!(o.traffic().is_none());
+        // Static demand weights stay untouched.
+        assert!(o.backhaul_requests().iter().all(|r| r.min_bitrate_bps == o.config.demand_bps));
     }
 
     #[test]

@@ -35,6 +35,46 @@ pub fn min_usable_snr_db() -> f64 {
     BITRATE_TABLE.last().expect("non-empty table").0
 }
 
+/// The MCS capacity ladder keyed by *link margin* — the `margin_db`
+/// field of [`LinkBudgetReport`], i.e. dB above the minimum-usable SNR
+/// ([`min_usable_snr_db`]): `(min margin dB, capacity Mbps)`, highest
+/// rate first.
+///
+/// This is [`BITRATE_TABLE`] re-expressed in the data plane's
+/// vocabulary. Planning asks "what rate closes with the *required*
+/// margin of headroom?" (that is `LinkBudgetReport::bitrate_bps`);
+/// the established radio's adaptive coding instead runs at the best
+/// rate the *current* SNR supports, with no headroom reserved — so an
+/// E-band link carries up to 1 Gbps at full margin and sheds MCS steps
+/// as weather fade erodes the margin, down to 50 Mbps at the lowest
+/// step and zero once the link cannot close at all.
+pub const MCS_CAPACITY_TABLE: &[(f64, f64)] = &[
+    (18.0, 1000.0),
+    (15.0, 800.0),
+    (12.0, 600.0),
+    (9.0, 400.0),
+    (6.0, 200.0),
+    (3.0, 100.0),
+    (0.0, 50.0),
+];
+
+/// Instantaneous data-plane capacity of an established link whose
+/// current margin is `margin_db`, in Mbps.
+///
+/// Looks up the highest [`MCS_CAPACITY_TABLE`] step the margin meets;
+/// a negative margin (the link cannot close) carries nothing. The
+/// traffic engine derives per-link fluid capacities from true link
+/// margins through this one function, so weather fade on a path shows
+/// up as MCS down-steps exactly where the attenuation integral says it
+/// should.
+pub fn capacity_mbps(margin_db: f64) -> f64 {
+    MCS_CAPACITY_TABLE
+        .iter()
+        .find(|(min_margin, _)| margin_db >= *min_margin)
+        .map(|&(_, mbps)| mbps)
+        .unwrap_or(0.0)
+}
+
 /// Radio/link-evaluation parameters for one RF band configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RadioParams {
@@ -378,6 +418,55 @@ mod tests {
         let r = eval_b2b(500.0, &ClearSky);
         assert!((r.margin_db - (r.snr_db - min_usable_snr_db())).abs() < 1e-9);
         assert!((r.snr_db - (r.rx_power_dbm - RadioParams::e_band_low().noise_floor_dbm())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_table_is_bitrate_table_in_margin_units() {
+        // The MCS capacity ladder must stay in lock-step with the
+        // planning bitrate table: same number of steps, each keyed by
+        // (SNR threshold − minimum-usable SNR) and carrying the same
+        // rate in Mbps.
+        assert_eq!(MCS_CAPACITY_TABLE.len(), BITRATE_TABLE.len());
+        for (&(margin, mbps), &(thr, bps)) in
+            MCS_CAPACITY_TABLE.iter().zip(BITRATE_TABLE.iter())
+        {
+            assert!((margin - (thr - min_usable_snr_db())).abs() < 1e-12);
+            assert!((mbps - bps as f64 / 1e6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn capacity_at_threshold_boundaries() {
+        // Exactly at a step boundary the higher rate is granted; an
+        // epsilon below it is not.
+        for &(min_margin, mbps) in MCS_CAPACITY_TABLE {
+            assert_eq!(capacity_mbps(min_margin), mbps, "at boundary {min_margin}");
+            let below = capacity_mbps(min_margin - 1e-9);
+            assert!(below < mbps, "margin {min_margin}-ε must not grant {mbps} Mbps");
+        }
+    }
+
+    #[test]
+    fn capacity_extremes() {
+        // Negative margin: the link cannot close; nothing flows.
+        assert_eq!(capacity_mbps(-0.001), 0.0);
+        assert_eq!(capacity_mbps(-30.0), 0.0);
+        // Capped at the 1 Gbps E-band radio limit however much margin.
+        assert_eq!(capacity_mbps(18.0), 1000.0);
+        assert_eq!(capacity_mbps(60.0), 1000.0);
+        // Bottom step: barely-closing links crawl at 50 Mbps.
+        assert_eq!(capacity_mbps(0.0), 50.0);
+        assert_eq!(capacity_mbps(2.999), 50.0);
+    }
+
+    #[test]
+    fn capacity_degrades_monotonically_with_fade() {
+        let mut last = f64::INFINITY;
+        for tenth in (-50..250).rev() {
+            let c = capacity_mbps(tenth as f64 / 10.0);
+            assert!(c <= last, "capacity must fall as margin fades");
+            last = c;
+        }
     }
 
     #[test]

@@ -104,6 +104,23 @@ pub fn flight_regions_table() -> CsvTable {
     CsvTable::new(&["time_ms", "node", "lat_deg", "lon_deg", "alt_m"])
 }
 
+/// Builder for the traffic engine's `traffic.csv` (per-site goodput
+/// and disruption totals from a [`crate::GoodputSeries`]).
+pub fn traffic_table() -> CsvTable {
+    CsvTable::new(&["site", "goodput", "disruptions", "reroutes"])
+}
+
+/// Append one site summary row from a goodput series.
+pub fn push_traffic_site(t: &mut CsvTable, series: &crate::GoodputSeries, site: PlatformId) {
+    let events = series.site_events(site);
+    t.push(vec![
+        site.to_string(),
+        series.site_goodput(site).map_or_else(|| "".into(), |g| format!("{g:.6}")),
+        events.disruptions.to_string(),
+        events.reroutes.to_string(),
+    ]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +163,19 @@ mod tests {
         assert_eq!(link_intents_table().to_csv().lines().next().expect("header").split(',').count(), 7);
         assert_eq!(link_reports_table().to_csv().lines().next().expect("header").split(',').count(), 9);
         assert_eq!(flight_regions_table().to_csv().lines().next().expect("header").split(',').count(), 5);
+        assert_eq!(traffic_table().to_csv().lines().next().expect("header").split(',').count(), 4);
+    }
+
+    #[test]
+    fn traffic_rows_from_goodput_series() {
+        let mut series = crate::GoodputSeries::new(24 * 3600 * 1000);
+        series.record(PlatformId(2), SimTime::from_hours(10), 1_000, 750);
+        series.record_disruption(PlatformId(2));
+        let mut t = traffic_table();
+        push_traffic_site(&mut t, &series, PlatformId(2));
+        push_traffic_site(&mut t, &series, PlatformId(3)); // never offered
+        let csv = t.to_csv();
+        assert!(csv.contains("p2,0.750000,1,0"), "csv was: {csv}");
+        assert!(csv.contains("p3,,0,0"));
     }
 }

@@ -12,13 +12,17 @@
 //!   availability ratios over time windows: Figure 6.
 //! * [`recovery`] — route-break/recovery tracking split by planned vs
 //!   unexpected cause: Figure 8.
+//! * [`traffic`] — flow-level offered-vs-delivered goodput windows
+//!   and disruption events from the traffic engine: experiment E17.
 //! * [`export`] — CSV writers matching the artifact's table schemas.
 
 pub mod availability;
 pub mod export;
 pub mod recovery;
 pub mod stats;
+pub mod traffic;
 
 pub use availability::{AvailabilitySeries, Layer};
 pub use recovery::{BreakCause, RecoverySample, RouteRecoveryTracker};
 pub use stats::{cdf_points, mean, percentile, Summary};
+pub use traffic::{GoodputSeries, TrafficEvents};

@@ -1,0 +1,201 @@
+//! Flow-level goodput accounting — the data behind the E17
+//! goodput-availability figure.
+//!
+//! Figure 6 reports whether a node's data-plane *path existed*; this
+//! series reports how much of the traffic users actually offered made
+//! it through that path once link capacities (ACM under weather fade)
+//! and cross-flow contention are applied. The traffic engine calls
+//! [`GoodputSeries::record`] once per site per tick with the bits
+//! offered and delivered over the tick, plus discrete
+//! disruption/reroute events when an established path is torn from
+//! under assigned traffic.
+
+use std::collections::BTreeMap;
+use tssdn_sim::{PlatformId, SimTime};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Volume {
+    offered_bits: u64,
+    delivered_bits: u64,
+}
+
+/// Per-site traffic event totals across a run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrafficEvents {
+    /// Ticks where a site lost its path while traffic was assigned.
+    pub disruptions: u64,
+    /// Ticks where a site's path was replaced by a different one.
+    pub reroutes: u64,
+}
+
+/// Windowed offered-vs-delivered accumulator, aggregated over sites.
+#[derive(Debug)]
+pub struct GoodputSeries {
+    /// Bucket width, ms (one simulated day per figure point).
+    window_ms: u64,
+    /// window index → volumes, aggregated over sites.
+    buckets: BTreeMap<u64, Volume>,
+    /// Per-site volume totals across the whole run.
+    per_site: BTreeMap<PlatformId, Volume>,
+    /// Per-site disruption/reroute event totals.
+    events: BTreeMap<PlatformId, TrafficEvents>,
+}
+
+impl GoodputSeries {
+    /// A series bucketed into windows of `window_ms`.
+    pub fn new(window_ms: u64) -> Self {
+        assert!(window_ms > 0);
+        GoodputSeries {
+            window_ms,
+            buckets: BTreeMap::new(),
+            per_site: BTreeMap::new(),
+            events: BTreeMap::new(),
+        }
+    }
+
+    /// Record one site's tick: bits its users offered and bits the
+    /// allocator delivered end-to-end over the tick interval.
+    pub fn record(&mut self, site: PlatformId, now: SimTime, offered_bits: u64, delivered_bits: u64) {
+        debug_assert!(delivered_bits <= offered_bits);
+        let w = now.as_ms() / self.window_ms;
+        let v = self.buckets.entry(w).or_default();
+        v.offered_bits += offered_bits;
+        v.delivered_bits += delivered_bits;
+        let v = self.per_site.entry(site).or_default();
+        v.offered_bits += offered_bits;
+        v.delivered_bits += delivered_bits;
+    }
+
+    /// Record a path torn down while the site had traffic assigned.
+    pub fn record_disruption(&mut self, site: PlatformId) {
+        self.events.entry(site).or_default().disruptions += 1;
+    }
+
+    /// Record a site's traffic moving to a different path.
+    pub fn record_reroute(&mut self, site: PlatformId) {
+        self.events.entry(site).or_default().reroutes += 1;
+    }
+
+    /// Goodput ratio (delivered / offered) in window `w`, if any
+    /// traffic was offered there.
+    pub fn window_goodput(&self, w: u64) -> Option<f64> {
+        let v = self.buckets.get(&w)?;
+        if v.offered_bits == 0 {
+            return None;
+        }
+        Some(v.delivered_bits as f64 / v.offered_bits as f64)
+    }
+
+    /// The full per-window series: `(window index, goodput ratio)`.
+    pub fn series(&self) -> Vec<(u64, f64)> {
+        self.buckets
+            .iter()
+            .filter(|(_, v)| v.offered_bits > 0)
+            .map(|(w, v)| (*w, v.delivered_bits as f64 / v.offered_bits as f64))
+            .collect()
+    }
+
+    /// Whole-run goodput ratio.
+    pub fn overall(&self) -> Option<f64> {
+        let mut offered = 0u64;
+        let mut delivered = 0u64;
+        for v in self.buckets.values() {
+            offered += v.offered_bits;
+            delivered += v.delivered_bits;
+        }
+        if offered == 0 {
+            None
+        } else {
+            Some(delivered as f64 / offered as f64)
+        }
+    }
+
+    /// Whole-run goodput ratio for one site.
+    pub fn site_goodput(&self, site: PlatformId) -> Option<f64> {
+        let v = self.per_site.get(&site)?;
+        if v.offered_bits == 0 {
+            None
+        } else {
+            Some(v.delivered_bits as f64 / v.offered_bits as f64)
+        }
+    }
+
+    /// Whole-run event totals for one site.
+    pub fn site_events(&self, site: PlatformId) -> TrafficEvents {
+        self.events.get(&site).copied().unwrap_or_default()
+    }
+
+    /// Total bits offered across the run.
+    pub fn offered_bits(&self) -> u64 {
+        self.buckets.values().map(|v| v.offered_bits).sum()
+    }
+
+    /// Total bits delivered across the run.
+    pub fn delivered_bits(&self) -> u64 {
+        self.buckets.values().map(|v| v.delivered_bits).sum()
+    }
+
+    /// Total disruption events across all sites.
+    pub fn total_disruptions(&self) -> u64 {
+        self.events.values().map(|e| e.disruptions).sum()
+    }
+
+    /// Total reroute events across all sites.
+    pub fn total_reroutes(&self) -> u64 {
+        self.events.values().map(|e| e.reroutes).sum()
+    }
+
+    /// Sites seen by this series, in id order.
+    pub fn sites(&self) -> Vec<PlatformId> {
+        self.per_site.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY_MS: u64 = 24 * 3600 * 1000;
+
+    #[test]
+    fn goodput_is_delivered_over_offered() {
+        let mut s = GoodputSeries::new(DAY_MS);
+        s.record(PlatformId(0), SimTime::from_hours(10), 1_000, 800);
+        s.record(PlatformId(1), SimTime::from_hours(12), 1_000, 200);
+        let r = s.window_goodput(0).expect("offered");
+        assert!((r - 0.5).abs() < 1e-12);
+        assert_eq!(s.site_goodput(PlatformId(0)), Some(0.8));
+        assert_eq!(s.site_goodput(PlatformId(2)), None);
+    }
+
+    #[test]
+    fn windows_separate_days() {
+        let mut s = GoodputSeries::new(DAY_MS);
+        s.record(PlatformId(0), SimTime::from_hours(10), 100, 100);
+        s.record(PlatformId(0), SimTime::from_hours(34), 100, 0);
+        assert_eq!(s.series(), vec![(0, 1.0), (1, 0.0)]);
+        assert_eq!(s.overall(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_windows_report_none() {
+        let s = GoodputSeries::new(DAY_MS);
+        assert_eq!(s.window_goodput(0), None);
+        assert_eq!(s.overall(), None);
+        assert!(s.series().is_empty());
+    }
+
+    #[test]
+    fn events_accumulate_per_site() {
+        let mut s = GoodputSeries::new(DAY_MS);
+        s.record_disruption(PlatformId(4));
+        s.record_disruption(PlatformId(4));
+        s.record_reroute(PlatformId(4));
+        s.record_reroute(PlatformId(5));
+        assert_eq!(s.site_events(PlatformId(4)).disruptions, 2);
+        assert_eq!(s.site_events(PlatformId(4)).reroutes, 1);
+        assert_eq!(s.total_disruptions(), 2);
+        assert_eq!(s.total_reroutes(), 2);
+        assert_eq!(s.site_events(PlatformId(9)).disruptions, 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Max-min fair-share fluid allocation by progressive filling.
+//!
+//! Each tick the traffic engine asks: given the forwarding graph the
+//! TS-SDN actually programmed, the instantaneous link capacities from
+//! the ACM table, and the demand each aggregate flow offers, what rate
+//! does each flow get? We answer with the classic water-filling
+//! construction of the max-min fair allocation: raise every active
+//! flow's rate in lockstep, freezing a flow when it reaches its demand
+//! or when some link it crosses saturates. Every iteration freezes at
+//! least one flow, so the loop runs at most `n_flows` rounds.
+//!
+//! Two deliberate engineering choices, mirroring the evaluator's
+//! contract (`tssdn-core::evaluator`):
+//!
+//! * **Integer arithmetic.** Rates, demands, and capacities are u64
+//!   bps throughout. The per-round increment is
+//!   `min(min_l floor(residual_l / n_active_l), min_f demand_f -
+//!   rate_f)` — every operation is exact, so the result cannot depend
+//!   on summation order and is bit-identical across worker counts.
+//! * **Chunk-ordered scoped workers.** The per-round scan over active
+//!   flows fans out across `std::thread::scope` workers in contiguous
+//!   chunks whose partial minima are merged in chunk order; small
+//!   inputs take a serial path. Worker count changes wall-clock, not
+//!   results.
+//!
+//! Topology (which links each flow crosses) is set once per forwarding
+//! graph via [`FairShareAllocator::set_topology`]; capacity-only
+//! changes (weather fade moving the MCS operating point) reuse the
+//! cached incidence, which is what makes the per-tick recompute
+//! incremental.
+
+/// A flow's rate is capped by `u64::MAX / 2` to keep `rate + delta`
+/// overflow-free without checked arithmetic in the hot loop.
+const DEMAND_CAP_BPS: u64 = u64::MAX / 2;
+
+/// Serial-path threshold, matching the evaluator's small-input cutoff.
+const PARALLEL_THRESHOLD: usize = 64;
+
+/// Max-min fair-share fluid allocator over a cached flow→link
+/// incidence.
+#[derive(Debug, Clone, Default)]
+pub struct FairShareAllocator {
+    /// Worker cap for the scan fan-out; `0` means auto
+    /// (`available_parallelism().clamp(1, 8)`), `1` forces serial.
+    pub workers: usize,
+    flow_links: Vec<Vec<u32>>,
+    n_links: usize,
+    signature: u64,
+}
+
+/// Deterministic FNV-1a signature of a flow→link incidence, so callers
+/// can detect "topology actually changed" without a deep compare.
+pub fn incidence_signature(flow_links: &[Vec<u32>], n_links: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(n_links as u64);
+    for links in flow_links {
+        mix(0xffff_ffff_ffff_fffe);
+        for &l in links {
+            mix(l as u64);
+        }
+    }
+    h
+}
+
+impl FairShareAllocator {
+    /// A fresh allocator with `workers` (0 = auto) and no topology.
+    pub fn new(workers: usize) -> Self {
+        FairShareAllocator { workers, ..Default::default() }
+    }
+
+    /// Install the flow→link incidence for the current forwarding
+    /// graph. `flow_links[f]` lists the link ids flow `f` crosses
+    /// (empty ⇒ the flow is uncongested and gets its full demand);
+    /// link ids must be `< n_links`.
+    pub fn set_topology(&mut self, flow_links: Vec<Vec<u32>>, n_links: usize) {
+        debug_assert!(flow_links.iter().flatten().all(|&l| (l as usize) < n_links));
+        self.signature = incidence_signature(&flow_links, n_links);
+        self.flow_links = flow_links;
+        self.n_links = n_links;
+    }
+
+    /// Signature of the cached incidence ([`incidence_signature`]).
+    pub fn topology_signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Number of flows in the cached topology.
+    pub fn n_flows(&self) -> usize {
+        self.flow_links.len()
+    }
+
+    fn resolve_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 8)
+    }
+
+    /// Compute the max-min fair allocation: `demands[f]` and
+    /// `capacities[l]` in bps, returning the granted rate per flow.
+    ///
+    /// Panics if `demands` / `capacities` disagree with the cached
+    /// topology's dimensions.
+    pub fn allocate(&self, demands: &[u64], capacities: &[u64]) -> Vec<u64> {
+        assert_eq!(demands.len(), self.flow_links.len(), "demands ≠ topology flows");
+        assert_eq!(capacities.len(), self.n_links, "capacities ≠ topology links");
+
+        let n = demands.len();
+        let mut rates = vec![0u64; n];
+        let mut residual: Vec<u64> = capacities.to_vec();
+        let mut n_active: Vec<u64> = vec![0; self.n_links];
+
+        // Flows with zero demand (or no links at all) resolve
+        // immediately; the rest start active.
+        let mut active: Vec<u32> = Vec::with_capacity(n);
+        for (f, links) in self.flow_links.iter().enumerate() {
+            let demand = demands[f].min(DEMAND_CAP_BPS);
+            if demand == 0 {
+                continue;
+            }
+            if links.is_empty() {
+                rates[f] = demand;
+                continue;
+            }
+            active.push(f as u32);
+            for &l in links {
+                n_active[l as usize] += 1;
+            }
+        }
+
+        let workers = self.resolve_workers();
+        while !active.is_empty() {
+            // Bottleneck share: the least any saturating link can
+            // still grant each of its active flows.
+            let link_share = residual
+                .iter()
+                .zip(&n_active)
+                .filter(|(_, &a)| a > 0)
+                .map(|(&r, &a)| r / a)
+                .min()
+                .unwrap_or(u64::MAX);
+
+            // Demand gap: the least headroom any active flow has left.
+            // Chunk-ordered scoped scan; min is exact, so the merge is
+            // worker-count independent by construction.
+            let demand_gap = min_demand_gap(&active, demands, &rates, workers);
+
+            let delta = link_share.min(demand_gap);
+            if delta > 0 {
+                for &f in &active {
+                    rates[f as usize] += delta;
+                }
+                for (l, r) in residual.iter_mut().enumerate() {
+                    *r -= delta * n_active[l];
+                }
+            }
+
+            // Freeze flows that hit demand or cross a saturated link
+            // (a link that can no longer grant ≥1 bps per active
+            // flow). At least one of the two minima was attained, so
+            // at least one flow freezes per round.
+            active.retain(|&f| {
+                let fi = f as usize;
+                let done = rates[fi] >= demands[fi].min(DEMAND_CAP_BPS)
+                    || self.flow_links[fi].iter().any(|&l| {
+                        let li = l as usize;
+                        residual[li] / n_active[li] == 0
+                    });
+                if done {
+                    for &l in &self.flow_links[fi] {
+                        n_active[l as usize] -= 1;
+                    }
+                }
+                !done
+            });
+        }
+        rates
+    }
+}
+
+/// Minimum `demand - rate` over the active flows, fanned across scoped
+/// workers in contiguous chunks (serial below [`PARALLEL_THRESHOLD`]).
+fn min_demand_gap(active: &[u32], demands: &[u64], rates: &[u64], workers: usize) -> u64 {
+    let gap = |f: u32| demands[f as usize].min(DEMAND_CAP_BPS) - rates[f as usize];
+    if active.len() < PARALLEL_THRESHOLD || workers == 1 {
+        return active.iter().map(|&f| gap(f)).min().unwrap_or(u64::MAX);
+    }
+    let chunk_len = active.len().div_ceil(workers);
+    let chunks: Vec<&[u32]> = active.chunks(chunk_len).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.iter().map(|&f| gap(f)).min().unwrap_or(u64::MAX)))
+            .collect();
+        // Merge partial minima in chunk order (order is immaterial for
+        // `min`, but keeping it mirrors the evaluator's contract).
+        handles.into_iter().map(|h| h.join().expect("allocator worker panicked")).fold(u64::MAX, u64::min)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(flow_links: Vec<Vec<u32>>, n_links: usize, workers: usize) -> FairShareAllocator {
+        let mut a = FairShareAllocator::new(workers);
+        a.set_topology(flow_links, n_links);
+        a
+    }
+
+    #[test]
+    fn textbook_two_link_example() {
+        // Link 0: 100 Mbps shared by flows 0,1,2; link 1: 40 Mbps
+        // shared by flows 1,2. Max-min: flows 1,2 bottleneck at 20
+        // each on link 1; flow 0 takes the rest of link 0 → 60.
+        let a = alloc(vec![vec![0], vec![0, 1], vec![0, 1]], 2, 1);
+        let rates = a.allocate(&[1_000_000_000; 3], &[100_000_000, 40_000_000]);
+        assert_eq!(rates, vec![60_000_000, 20_000_000, 20_000_000]);
+    }
+
+    #[test]
+    fn demand_caps_bind_before_links() {
+        // Flow 0 only wants 10; flows 1,2 split the rest of link 0.
+        let a = alloc(vec![vec![0], vec![0], vec![0]], 1, 1);
+        let rates = a.allocate(&[10, 1_000, 1_000], &[100]);
+        assert_eq!(rates, vec![10, 45, 45]);
+    }
+
+    #[test]
+    fn linkless_and_zero_demand_flows() {
+        let a = alloc(vec![vec![], vec![0], vec![0]], 1, 1);
+        let rates = a.allocate(&[500, 0, 80], &[100]);
+        assert_eq!(rates, vec![500, 0, 80]);
+    }
+
+    #[test]
+    fn zero_capacity_link_starves_its_flows() {
+        let a = alloc(vec![vec![0], vec![1]], 2, 1);
+        let rates = a.allocate(&[100, 100], &[0, 100]);
+        assert_eq!(rates, vec![0, 100]);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_capacity_or_demand() {
+        // Random-ish but fixed: 6 flows over 3 links.
+        let fl = vec![vec![0], vec![0, 1], vec![1, 2], vec![2], vec![0, 2], vec![1]];
+        let demands = [37, 91, 13, 70, 55, 28];
+        let caps = [90u64, 60, 50];
+        let a = alloc(fl.clone(), 3, 1);
+        let rates = a.allocate(&demands, &caps);
+        for (f, &r) in rates.iter().enumerate() {
+            assert!(r <= demands[f], "flow {f} over demand");
+        }
+        for (l, &cap) in caps.iter().enumerate() {
+            let used: u64 = fl
+                .iter()
+                .enumerate()
+                .filter(|(_, links)| links.contains(&(l as u32)))
+                .map(|(f, _)| rates[f])
+                .sum();
+            assert!(used <= cap, "link {l} over capacity: {used} > {cap}");
+        }
+    }
+
+    #[test]
+    fn max_min_property_no_starved_flow_can_be_raised() {
+        // For every flow below its demand, some crossed link must be
+        // unable to grant one more bps to every flow at-or-above this
+        // flow's rate — the defining property of max-min fairness.
+        let fl = vec![vec![0, 1], vec![1], vec![0], vec![0, 1], vec![1]];
+        let demands = [200u64, 35, 90, 10, 500];
+        let caps = [120u64, 100];
+        let a = alloc(fl.clone(), 2, 1);
+        let rates = a.allocate(&demands, &caps);
+        for f in 0..fl.len() {
+            if rates[f] >= demands[f] {
+                continue;
+            }
+            let blocked = fl[f].iter().any(|&l| {
+                let used: u64 = fl
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, links)| links.contains(&l))
+                    .map(|(g, _)| rates[g])
+                    .sum();
+                let peers_at_or_above = fl
+                    .iter()
+                    .enumerate()
+                    .filter(|(g, links)| links.contains(&l) && rates[*g] >= rates[f])
+                    .count() as u64;
+                caps[l as usize] - used < peers_at_or_above.max(1)
+            });
+            assert!(blocked, "flow {f} at {} could still be raised", rates[f]);
+        }
+    }
+
+    #[test]
+    fn worker_count_is_bit_invisible_at_scale() {
+        // 5000 flows over a 400-link line topology with ragged paths
+        // and demands; every worker count must agree bit-for-bit.
+        let n_links = 400usize;
+        let mut fl = Vec::with_capacity(5000);
+        for f in 0u64..5000 {
+            let start = (f * 7 % n_links as u64) as u32;
+            let len = 1 + (f % 5) as u32;
+            fl.push((start..(start + len).min(n_links as u32)).collect::<Vec<u32>>());
+        }
+        let demands: Vec<u64> = (0..5000u64).map(|f| 1_000_000 + f * 9_973 % 40_000_000).collect();
+        let caps: Vec<u64> = (0..n_links as u64).map(|l| 200_000_000 + l * 1_000_003 % 800_000_000).collect();
+
+        let base = alloc(fl.clone(), n_links, 1).allocate(&demands, &caps);
+        for workers in [2, 3, 8, 0] {
+            let got = alloc(fl.clone(), n_links, workers).allocate(&demands, &caps);
+            assert_eq!(got, base, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn capacity_only_change_reuses_topology() {
+        let mut a = alloc(vec![vec![0], vec![0]], 1, 1);
+        let sig = a.topology_signature();
+        let r1 = a.allocate(&[100, 100], &[100]);
+        let r2 = a.allocate(&[100, 100], &[60]);
+        assert_eq!(a.topology_signature(), sig, "allocate must not disturb topology");
+        assert_eq!(r1, vec![50, 50]);
+        assert_eq!(r2, vec![30, 30]);
+        a.set_topology(vec![vec![0], vec![]], 1);
+        assert_ne!(a.topology_signature(), sig);
+    }
+
+    #[test]
+    fn signature_distinguishes_incidence_shapes() {
+        // [0],[1] vs [0,1],[] must hash differently (flow boundaries
+        // are mixed in, not just the flattened link list).
+        let s1 = incidence_signature(&[vec![0], vec![1]], 2);
+        let s2 = incidence_signature(&[vec![0, 1], vec![]], 2);
+        assert_ne!(s1, s2);
+    }
+}

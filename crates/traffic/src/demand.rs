@@ -1,0 +1,208 @@
+//! Aggregated user-demand generation with diurnal load curves.
+//!
+//! The Loon network existed to carry LTE backhaul for real users
+//! (§2.1: balloons carried eNodeBs serving ground users, with traffic
+//! hauled to EC pods over the mesh). We model each served site — a
+//! balloon's eNodeB footprint — as a user population whose offered
+//! load follows a diurnal curve, split into a handful of *aggregate
+//! flows* so that millions of users become thousands of fluid flows
+//! the allocator can push through the forwarding graph every tick.
+//!
+//! Everything here is a pure function of (config, seed, time): no RNG
+//! is consumed after construction, so the demand side can never
+//! perturb the rest of a seeded run.
+
+use rand::Rng;
+use tssdn_sim::{PlatformId, RngStreams, SimTime};
+
+/// Identifier of one aggregate flow (stable across a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Demand-side configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandConfig {
+    /// Users in one site's (balloon's) eNodeB footprint.
+    pub users_per_site: u64,
+    /// Aggregate flows each site's population is split into.
+    pub flows_per_site: usize,
+    /// Per-user offered load at the diurnal peak, bps. Loon-era LTE
+    /// backhaul: tens of kbps sustained per active subscriber.
+    pub busy_hour_bps_per_user: f64,
+    /// Overnight base load as a fraction of the peak (0..1).
+    pub floor_fraction: f64,
+    /// Local hour of the diurnal peak (evening busy hour).
+    pub peak_hour: f64,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig {
+            users_per_site: 20_000,
+            flows_per_site: 8,
+            busy_hour_bps_per_user: 2_500.0,
+            floor_fraction: 0.15,
+            peak_hour: 20.0,
+        }
+    }
+}
+
+impl DemandConfig {
+    /// The diurnal multiplier at local hour `h` (0..24): a raised-
+    /// cosine bump centred on [`Self::peak_hour`], squared to sharpen
+    /// the evening busy hour, riding on the overnight floor.
+    pub fn diurnal(&self, h: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (h - self.peak_hour) / 24.0;
+        let bump = 0.5 * (1.0 + phase.cos());
+        self.floor_fraction + (1.0 - self.floor_fraction) * bump * bump
+    }
+}
+
+/// One aggregate flow: a fixed slice of a site's user population.
+#[derive(Debug, Clone, Copy)]
+pub struct AggregateFlow {
+    /// Flow identity.
+    pub id: FlowId,
+    /// The site (balloon) whose users this flow aggregates.
+    pub site: PlatformId,
+    /// Users aggregated into this flow.
+    pub users: u64,
+    /// Static per-flow weight (population heterogeneity): seeded at
+    /// construction, mean ≈ 1.
+    pub weight: f64,
+}
+
+/// Deterministic demand generator over a fixed site set.
+#[derive(Debug, Clone)]
+pub struct DemandGenerator {
+    config: DemandConfig,
+    flows: Vec<AggregateFlow>,
+}
+
+impl DemandGenerator {
+    /// Build the aggregate-flow population for `sites`, drawing static
+    /// per-flow weights from the dedicated `"traffic-demand"` stream.
+    pub fn new(config: DemandConfig, sites: &[PlatformId], streams: &RngStreams) -> Self {
+        let mut rng = streams.stream("traffic-demand");
+        let per_flow_users =
+            (config.users_per_site / config.flows_per_site.max(1) as u64).max(1);
+        let mut flows = Vec::with_capacity(sites.len() * config.flows_per_site);
+        for site in sites {
+            for _ in 0..config.flows_per_site {
+                let id = FlowId(flows.len() as u32);
+                // Heterogeneous cells: some flows aggregate denser
+                // neighbourhoods than others.
+                let weight = rng.gen_range(0.5..1.5);
+                flows.push(AggregateFlow { id, site: *site, users: per_flow_users, weight });
+            }
+        }
+        DemandGenerator { config, flows }
+    }
+
+    /// The demand config.
+    pub fn config(&self) -> &DemandConfig {
+        &self.config
+    }
+
+    /// All aggregate flows, in `FlowId` order.
+    pub fn flows(&self) -> &[AggregateFlow] {
+        &self.flows
+    }
+
+    /// Offered load of flow `idx` at `now`, bps.
+    pub fn offered_bps(&self, idx: usize, now: SimTime) -> u64 {
+        let f = &self.flows[idx];
+        let d = self.config.diurnal(now.hour_of_day());
+        (f.users as f64 * self.config.busy_hour_bps_per_user * f.weight * d).round() as u64
+    }
+
+    /// Total offered load across a site's flows at `now`, bps.
+    pub fn site_offered_bps(&self, site: PlatformId, now: SimTime) -> u64 {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.site == site)
+            .map(|(i, _)| self.offered_bps(i, now))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> DemandGenerator {
+        let sites: Vec<PlatformId> = (0..4).map(PlatformId).collect();
+        DemandGenerator::new(DemandConfig::default(), &sites, &RngStreams::new(7))
+    }
+
+    #[test]
+    fn population_splits_into_aggregate_flows() {
+        let g = gen();
+        assert_eq!(g.flows().len(), 4 * 8);
+        // FlowIds are dense and ordered.
+        for (i, f) in g.flows().iter().enumerate() {
+            assert_eq!(f.id, FlowId(i as u32));
+            assert!(f.users > 0);
+        }
+    }
+
+    #[test]
+    fn diurnal_peaks_in_the_evening_and_floors_at_night() {
+        let c = DemandConfig::default();
+        let peak = c.diurnal(20.0);
+        let night = c.diurnal(8.0); // 12h off-peak: the trough
+        assert!((peak - 1.0).abs() < 1e-12, "peak multiplier is 1: {peak}");
+        assert!((night - c.floor_fraction).abs() < 1e-12, "trough hits the floor: {night}");
+        assert!(c.diurnal(17.0) > c.diurnal(11.0), "evening ramps above morning");
+    }
+
+    #[test]
+    fn offered_load_is_deterministic_for_a_seed() {
+        let a = gen();
+        let b = gen();
+        for i in 0..a.flows().len() {
+            assert_eq!(
+                a.offered_bps(i, SimTime::from_hours(19)),
+                b.offered_bps(i, SimTime::from_hours(19))
+            );
+        }
+        // Different seed, different weights.
+        let sites: Vec<PlatformId> = (0..4).map(PlatformId).collect();
+        let c = DemandGenerator::new(DemandConfig::default(), &sites, &RngStreams::new(8));
+        let same: bool = (0..a.flows().len())
+            .all(|i| a.offered_bps(i, SimTime::from_hours(19)) == c.offered_bps(i, SimTime::from_hours(19)));
+        assert!(!same, "weights must depend on the seed");
+    }
+
+    #[test]
+    fn site_totals_sum_flows() {
+        let g = gen();
+        let t = SimTime::from_hours(20);
+        let site = PlatformId(2);
+        let total: u64 = (0..g.flows().len())
+            .filter(|i| g.flows()[*i].site == site)
+            .map(|i| g.offered_bps(i, t))
+            .sum();
+        assert_eq!(g.site_offered_bps(site, t), total);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn busy_hour_magnitude_is_sane() {
+        // 20k users × 2.5 kbps at peak ≈ 50 Mbps per site — matching
+        // the orchestrator's default per-balloon backhaul request.
+        let g = gen();
+        let total = g.site_offered_bps(PlatformId(0), SimTime::from_hours(20));
+        assert!(
+            (25_000_000..100_000_000).contains(&total),
+            "peak site load ≈ tens of Mbps, got {total}"
+        );
+    }
+}

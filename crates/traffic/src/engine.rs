@@ -1,0 +1,464 @@
+//! The per-tick traffic engine: demand × forwarding graph × ACM
+//! capacity → max-min goodput, with disruption accounting and the
+//! network-digest demand feedback the planner consumes.
+//!
+//! The orchestrator hands the engine a [`TopologyView`] each tick —
+//! the paths the TS-SDN actually programmed, the instantaneous
+//! capacity of each radio edge (from `tssdn_rf::capacity_mbps` at the
+//! true link margin), and which sites are in their potential-operable
+//! window. The engine offers each aggregate flow its diurnal demand,
+//! runs progressive filling over the forwarding graph, and accounts
+//! offered-vs-delivered bits into a [`GoodputSeries`].
+//!
+//! The digest side: an EWMA of each site's measured offered load is
+//! exported via [`TrafficEngine::demand_weight_bps`], which the
+//! orchestrator writes back into the backhaul requests' minimum
+//! bitrates before each solve — closing the measurement→planning loop
+//! the paper assigns to the network digest (§3.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
+use tssdn_telemetry::GoodputSeries;
+
+use crate::allocator::FairShareAllocator;
+use crate::demand::{DemandConfig, DemandGenerator};
+
+/// Traffic-engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Demand-side (user population / diurnal curve) parameters.
+    pub demand: DemandConfig,
+    /// Capacity assumed for path edges not present in the view's
+    /// radio-edge capacity map — the wired GS→EC segments.
+    pub tunnel_capacity_bps: u64,
+    /// Allocator worker cap; 0 = auto.
+    pub workers: usize,
+    /// Feed measured demand back into the planner's request weights.
+    pub feedback: bool,
+    /// EWMA smoothing factor for the demand digest (0..1].
+    pub feedback_alpha: f64,
+    /// Goodput-series bucket width, ms.
+    pub window_ms: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            demand: DemandConfig::default(),
+            tunnel_capacity_bps: 10_000_000_000,
+            workers: 0,
+            feedback: true,
+            feedback_alpha: 0.2,
+            window_ms: 24 * 3600 * 1000,
+        }
+    }
+}
+
+/// The forwarding state the engine sees each tick.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyView {
+    /// Site → the full node path its traffic rides (site → … → EC).
+    /// Absent means the site has no programmed data-plane route.
+    pub paths: BTreeMap<PlatformId, Vec<PlatformId>>,
+    /// Instantaneous capacity of each radio edge, keyed by the
+    /// normalized `(min, max)` platform pair. Path edges missing here
+    /// are treated as wired at `tunnel_capacity_bps`.
+    pub link_capacity_bps: BTreeMap<(PlatformId, PlatformId), u64>,
+    /// Sites in their potential-operable window (powered, acquired).
+    /// Ineligible sites offer no traffic, mirroring the Figure-6
+    /// eligibility rule.
+    pub eligible: BTreeSet<PlatformId>,
+}
+
+fn edge_key(a: PlatformId, b: PlatformId) -> (PlatformId, PlatformId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn paths_signature(view: &TopologyView) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (site, path) in &view.paths {
+        mix(site.0 as u64 | 1 << 40);
+        for n in path {
+            mix(n.0 as u64);
+        }
+        mix(u64::MAX);
+    }
+    h
+}
+
+/// Lifetime byte totals for one aggregate flow.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FlowStats {
+    /// Bits the flow's users offered.
+    pub offered_bits: u64,
+    /// Bits delivered end-to-end.
+    pub delivered_bits: u64,
+}
+
+/// One tick's aggregate outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickSummary {
+    /// Total offered load this tick, bps.
+    pub offered_bps: u64,
+    /// Total allocated (delivered) rate this tick, bps.
+    pub delivered_bps: u64,
+    /// Flows that offered traffic and had a path.
+    pub flows_active: usize,
+    /// Sites with a programmed path this tick.
+    pub sites_with_path: usize,
+    /// Whether this tick rebuilt the flow→link incidence (false =
+    /// capacity-only incremental recompute).
+    pub topology_rebuilt: bool,
+}
+
+/// Deterministic flow-level traffic engine.
+#[derive(Debug)]
+pub struct TrafficEngine {
+    config: TrafficConfig,
+    demand: DemandGenerator,
+    allocator: FairShareAllocator,
+    series: GoodputSeries,
+    flow_stats: Vec<FlowStats>,
+    /// Signature of the paths the cached incidence was built from.
+    paths_sig: Option<u64>,
+    /// Link-id order of the cached incidence.
+    links: Vec<(PlatformId, PlatformId)>,
+    /// Last tick's path per site, for reroute/disruption detection.
+    last_paths: BTreeMap<PlatformId, Vec<PlatformId>>,
+    /// Last tick's offered load per site (disruptions only count when
+    /// traffic was actually assigned to the withdrawn path).
+    last_offered: BTreeMap<PlatformId, u64>,
+    /// EWMA of measured offered load per site — the demand digest.
+    digest_bps: BTreeMap<PlatformId, f64>,
+}
+
+impl TrafficEngine {
+    /// Build an engine for the given served sites; per-flow weights
+    /// draw from the dedicated `"traffic-demand"` RNG stream, and no
+    /// RNG is consumed after construction.
+    pub fn new(config: TrafficConfig, sites: &[PlatformId], streams: &RngStreams) -> Self {
+        let demand = DemandGenerator::new(config.demand, sites, streams);
+        let n_flows = demand.flows().len();
+        TrafficEngine {
+            config,
+            demand,
+            allocator: FairShareAllocator::new(config.workers),
+            series: GoodputSeries::new(config.window_ms),
+            flow_stats: vec![FlowStats::default(); n_flows],
+            paths_sig: None,
+            links: Vec::new(),
+            last_paths: BTreeMap::new(),
+            last_offered: BTreeMap::new(),
+            digest_bps: BTreeMap::new(),
+        }
+    }
+
+    /// The engine config.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    /// The demand generator (flow population).
+    pub fn demand(&self) -> &DemandGenerator {
+        &self.demand
+    }
+
+    /// Accumulated goodput series.
+    pub fn series(&self) -> &GoodputSeries {
+        &self.series
+    }
+
+    /// Lifetime per-flow totals, in `FlowId` order.
+    pub fn flow_stats(&self) -> &[FlowStats] {
+        &self.flow_stats
+    }
+
+    /// The demand digest for a site: EWMA of its measured offered
+    /// load, bps. `None` until the site has offered traffic.
+    pub fn demand_weight_bps(&self, site: PlatformId) -> Option<u64> {
+        self.digest_bps.get(&site).map(|w| w.round() as u64)
+    }
+
+    fn rebuild_topology(&mut self, view: &TopologyView) {
+        let mut link_ids: BTreeMap<(PlatformId, PlatformId), u32> = BTreeMap::new();
+        self.links.clear();
+        // Deterministic link-id assignment: first-seen order over the
+        // BTreeMap-ordered site paths.
+        let mut flow_links_per_site: BTreeMap<PlatformId, Vec<u32>> = BTreeMap::new();
+        for (site, path) in &view.paths {
+            let mut ids = Vec::with_capacity(path.len().saturating_sub(1));
+            for hop in path.windows(2) {
+                let key = edge_key(hop[0], hop[1]);
+                let next = link_ids.len() as u32;
+                let id = *link_ids.entry(key).or_insert_with(|| {
+                    self.links.push(key);
+                    next
+                });
+                ids.push(id);
+            }
+            flow_links_per_site.insert(*site, ids);
+        }
+        let n_links = self.links.len();
+        let flow_links: Vec<Vec<u32>> = self
+            .demand
+            .flows()
+            .iter()
+            .map(|f| flow_links_per_site.get(&f.site).cloned().unwrap_or_default())
+            .collect();
+        self.allocator.set_topology(flow_links, n_links);
+    }
+
+    /// Advance one tick of length `dt` ending at `now`: offer demand,
+    /// allocate over the forwarding graph, and account the outcome.
+    pub fn tick(&mut self, now: SimTime, dt: SimDuration, view: &TopologyView) -> TickSummary {
+        // Reroute/disruption bookkeeping against the previous tick.
+        for (site, last_path) in &self.last_paths {
+            let offered_then = self.last_offered.get(site).copied().unwrap_or(0);
+            match view.paths.get(site) {
+                None if offered_then > 0 => self.series.record_disruption(*site),
+                Some(p) if p != last_path => self.series.record_reroute(*site),
+                _ => {}
+            }
+        }
+
+        // Incidence rebuild only when the programmed paths changed;
+        // capacity-only ticks reuse the cached topology.
+        let sig = paths_signature(view);
+        let rebuilt = self.paths_sig != Some(sig);
+        if rebuilt {
+            self.rebuild_topology(view);
+            self.paths_sig = Some(sig);
+        }
+
+        // Offered load per flow; flows on ineligible or path-less
+        // sites present zero demand to the allocator (their offered
+        // bits still count against goodput when the site is eligible).
+        let n_flows = self.demand.flows().len();
+        let mut offered = vec![0u64; n_flows];
+        let mut demands = vec![0u64; n_flows];
+        for f in 0..n_flows {
+            let site = self.demand.flows()[f].site;
+            if !view.eligible.contains(&site) {
+                continue;
+            }
+            offered[f] = self.demand.offered_bps(f, now);
+            if view.paths.contains_key(&site) {
+                demands[f] = offered[f];
+            }
+        }
+
+        let capacities: Vec<u64> = self
+            .links
+            .iter()
+            .map(|edge| {
+                view.link_capacity_bps.get(edge).copied().unwrap_or(self.config.tunnel_capacity_bps)
+            })
+            .collect();
+        let rates = self.allocator.allocate(&demands, &capacities);
+
+        // Account bits per flow and per site.
+        let dt_ms = dt.as_ms();
+        let mut site_offered: BTreeMap<PlatformId, u64> = BTreeMap::new();
+        let mut site_delivered: BTreeMap<PlatformId, u64> = BTreeMap::new();
+        let mut total_offered = 0u64;
+        let mut total_delivered = 0u64;
+        let mut flows_active = 0usize;
+        for f in 0..n_flows {
+            let site = self.demand.flows()[f].site;
+            self.flow_stats[f].offered_bits += offered[f] * dt_ms / 1000;
+            self.flow_stats[f].delivered_bits += rates[f] * dt_ms / 1000;
+            total_offered += offered[f];
+            total_delivered += rates[f];
+            if demands[f] > 0 {
+                flows_active += 1;
+            }
+            if offered[f] > 0 {
+                *site_offered.entry(site).or_default() += offered[f];
+                *site_delivered.entry(site).or_default() += rates[f];
+            }
+        }
+        for (site, &off) in &site_offered {
+            let del = site_delivered.get(site).copied().unwrap_or(0);
+            self.series.record(*site, now, off * dt_ms / 1000, del * dt_ms / 1000);
+            // Demand digest: EWMA over the site's measured offered
+            // load while in its operable window.
+            let alpha = self.config.feedback_alpha;
+            self.digest_bps
+                .entry(*site)
+                .and_modify(|w| *w = alpha * off as f64 + (1.0 - alpha) * *w)
+                .or_insert(off as f64);
+        }
+
+        self.last_paths = view.paths.clone();
+        self.last_offered = site_offered;
+
+        TickSummary {
+            offered_bps: total_offered,
+            delivered_bps: total_delivered,
+            flows_active,
+            sites_with_path: view.paths.len(),
+            topology_rebuilt: rebuilt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GS: PlatformId = PlatformId(100);
+    const EC: PlatformId = PlatformId(101);
+
+    fn engine(sites: &[PlatformId]) -> TrafficEngine {
+        let config = TrafficConfig { workers: 1, ..TrafficConfig::default() };
+        TrafficEngine::new(config, sites, &RngStreams::new(11))
+    }
+
+    fn view_for(sites: &[PlatformId], cap_bps: u64) -> TopologyView {
+        let mut v = TopologyView::default();
+        for &s in sites {
+            v.paths.insert(s, vec![s, GS, EC]);
+            v.link_capacity_bps.insert(edge_key(s, GS), cap_bps);
+            v.eligible.insert(s);
+        }
+        v
+    }
+
+    #[test]
+    fn uncongested_tick_delivers_all_offered() {
+        let sites = [PlatformId(0), PlatformId(1)];
+        let mut e = engine(&sites);
+        let view = view_for(&sites, 1_000_000_000);
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        assert!(s.offered_bps > 0);
+        assert_eq!(s.delivered_bps, s.offered_bps);
+        assert_eq!(s.flows_active, e.demand().flows().len());
+        assert!(s.topology_rebuilt);
+        assert_eq!(e.series().overall(), Some(1.0));
+    }
+
+    #[test]
+    fn congested_access_link_caps_goodput() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let view = view_for(&sites, 10_000_000); // 10 Mbps vs ~50 offered
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        assert!(s.offered_bps > 10_000_000);
+        assert!(s.delivered_bps <= 10_000_000);
+        assert!(s.delivered_bps > 9_000_000, "link should run ~full: {}", s.delivered_bps);
+        let g = e.series().overall().expect("offered");
+        assert!(g < 0.5, "goodput should reflect the bottleneck: {g}");
+    }
+
+    #[test]
+    fn ineligible_sites_offer_nothing() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let mut view = view_for(&sites, 1_000_000_000);
+        view.eligible.clear(); // powered down
+        let s = e.tick(SimTime::from_hours(2), SimDuration::from_mins(1), &view);
+        assert_eq!(s.offered_bps, 0);
+        assert_eq!(s.delivered_bps, 0);
+        assert_eq!(e.series().overall(), None, "no offered bits, no goodput sample");
+    }
+
+    #[test]
+    fn pathless_eligible_site_counts_as_loss() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let mut view = view_for(&sites, 1_000_000_000);
+        view.paths.clear(); // acquired but never provisioned
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        assert!(s.offered_bps > 0);
+        assert_eq!(s.delivered_bps, 0);
+        assert_eq!(e.series().overall(), Some(0.0));
+    }
+
+    #[test]
+    fn withdrawal_under_load_reports_disruption() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let view = view_for(&sites, 1_000_000_000);
+        e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        assert_eq!(e.series().site_events(PlatformId(0)).disruptions, 0);
+        // Path withdrawn while traffic was flowing.
+        let mut gone = view.clone();
+        gone.paths.clear();
+        e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &gone);
+        assert_eq!(e.series().site_events(PlatformId(0)).disruptions, 1);
+        // Staying down does not re-count (no traffic was assigned).
+        e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &gone);
+        assert_eq!(e.series().site_events(PlatformId(0)).disruptions, 1);
+    }
+
+    #[test]
+    fn path_change_reports_reroute_not_disruption() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let view = view_for(&sites, 1_000_000_000);
+        e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        let mut moved = view.clone();
+        let relay = PlatformId(7);
+        moved.paths.insert(PlatformId(0), vec![PlatformId(0), relay, GS, EC]);
+        moved.link_capacity_bps.insert(edge_key(PlatformId(0), relay), 1_000_000_000);
+        moved.link_capacity_bps.insert(edge_key(relay, GS), 1_000_000_000);
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &moved);
+        assert!(s.topology_rebuilt);
+        let ev = e.series().site_events(PlatformId(0));
+        assert_eq!(ev.reroutes, 1);
+        assert_eq!(ev.disruptions, 0);
+    }
+
+    #[test]
+    fn capacity_only_ticks_skip_topology_rebuild() {
+        let sites = [PlatformId(0), PlatformId(1)];
+        let mut e = engine(&sites);
+        let view = view_for(&sites, 1_000_000_000);
+        assert!(e.tick(SimTime::from_hours(19), SimDuration::from_mins(1), &view).topology_rebuilt);
+        // Weather fade: same paths, lower capacity.
+        let faded = view_for(&sites, 50_000_000);
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &faded);
+        assert!(!s.topology_rebuilt, "capacity change must not rebuild incidence");
+        assert!(s.delivered_bps < s.offered_bps);
+    }
+
+    #[test]
+    fn demand_digest_tracks_offered_load() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        assert_eq!(e.demand_weight_bps(PlatformId(0)), None);
+        let view = view_for(&sites, 1_000_000_000);
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        // First sample seeds the EWMA directly.
+        assert_eq!(e.demand_weight_bps(PlatformId(0)), Some(s.offered_bps));
+        // Off-peak ticks pull the digest down, but smoothly.
+        let s2 = e.tick(SimTime::from_hours(32), SimDuration::from_mins(1), &view);
+        let w = e.demand_weight_bps(PlatformId(0)).expect("seeded");
+        assert!(w < s.offered_bps && w > s2.offered_bps, "EWMA between peak and trough");
+    }
+
+    #[test]
+    fn ticks_are_deterministic_for_a_seed() {
+        let sites = [PlatformId(0), PlatformId(1), PlatformId(2)];
+        let run = |workers: usize| {
+            let config = TrafficConfig { workers, ..TrafficConfig::default() };
+            let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(42));
+            let mut out = Vec::new();
+            for h in 0..48u64 {
+                let cap = if h % 7 == 0 { 20_000_000 } else { 400_000_000 };
+                let view = view_for(&sites, cap);
+                out.push(e.tick(SimTime::from_hours(h), SimDuration::from_hours(1), &view));
+            }
+            (out, e.series().offered_bits(), e.series().delivered_bits())
+        };
+        assert_eq!(run(1), run(8), "worker count must be bit-invisible");
+    }
+}

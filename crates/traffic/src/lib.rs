@@ -1,0 +1,38 @@
+//! Flow-level data-plane traffic engine with demand feedback into the
+//! planner.
+//!
+//! The paper evaluates Loon's TS-SDN by whether programmed routes
+//! *existed* (Figure 6 availability); this crate asks the next
+//! question — how much user traffic those routes actually carried.
+//! It is a deterministic, seeded fluid-flow engine in three parts:
+//!
+//! * [`demand`] — ground-site user populations with diurnal load
+//!   curves, aggregated so millions of users become thousands of
+//!   fluid flows ([`DemandGenerator`]).
+//! * [`allocator`] — the max-min fair-share progressive-filling
+//!   allocator over the currently-programmed forwarding graph
+//!   ([`FairShareAllocator`]): integer bps arithmetic and
+//!   chunk-ordered scoped workers make the result bit-identical
+//!   across worker counts; capacity-only changes reuse the cached
+//!   flow→link incidence.
+//! * [`engine`] — the per-tick loop ([`TrafficEngine`]): offer
+//!   demand, allocate over the [`TopologyView`] the orchestrator
+//!   derives from its programmed routes and true link margins
+//!   (via `tssdn_rf::capacity_mbps`), account goodput/disruptions
+//!   into a `tssdn_telemetry::GoodputSeries`, and export the
+//!   EWMA demand digest the planner feeds back into its request
+//!   weights.
+//!
+//! Determinism contract: all randomness is drawn from the dedicated
+//! `"traffic-demand"` stream at construction; ticking never consumes
+//! RNG, and allocation is exact integer arithmetic — identical seeds
+//! and inputs produce bit-identical goodput regardless of worker
+//! count (enforced by `tests/traffic_determinism.rs`).
+
+pub mod allocator;
+pub mod demand;
+pub mod engine;
+
+pub use allocator::{incidence_signature, FairShareAllocator};
+pub use demand::{AggregateFlow, DemandConfig, DemandGenerator, FlowId};
+pub use engine::{FlowStats, TickSummary, TopologyView, TrafficConfig, TrafficEngine};

@@ -1,16 +1,29 @@
 #!/usr/bin/env bash
-# Planning hot-path benchmark: optimized evaluate→solve vs the naive
-# reference retained in tssdn_core::reference.
+# Performance benches: the planning hot path and the traffic
+# allocator, each emitting a JSON artifact.
 #
-#   ./scripts/bench.sh           # full run: 25/50/100/100-dispersed
-#                                # fleets, writes BENCH_planning.json
-#   ./scripts/bench.sh --smoke   # one tiny fleet, no file written —
-#                                # proves the binary and the
-#                                # bit-identity equivalence gate still
-#                                # pass (wired into verify.sh)
+#   ./scripts/bench.sh           # full runs: BENCH_planning.json
+#                                # (25/50/100/100-dispersed fleets) +
+#                                # BENCH_traffic.json (25/50/100-balloon
+#                                # meshes, ≥5k aggregate flows)
+#   ./scripts/bench.sh --smoke   # quick runs, wired into verify.sh:
+#                                # planning writes no file but proves
+#                                # the bit-identity equivalence gate;
+#                                # traffic still writes
+#                                # BENCH_traffic.json (full size
+#                                # ladder, fewer iters)
 #
-# Extra args are passed through (e.g. --out PATH).
+# Extra args are passed through to the planning bench (e.g. --out).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-exec cargo run --release -q -p tssdn-bench --bin planning_hot_path -- "$@"
+cargo run --release -q -p tssdn-bench --bin planning_hot_path -- "$@"
+
+# The traffic bench always records the full 25/50/100 ladder; only the
+# mode flag passes through so a caller's --out never collides with the
+# planning artifact's.
+traffic_args=()
+for a in "$@"; do
+  if [ "$a" = "--smoke" ]; then traffic_args+=("--smoke"); fi
+done
+cargo run --release -q -p tssdn-bench --bin traffic_scale -- ${traffic_args[@]+"${traffic_args[@]}"}

@@ -15,10 +15,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> scripts/bench.sh --smoke (planning hot-path equivalence gate)"
+echo "==> scripts/bench.sh --smoke (planning + traffic gates)"
 ./scripts/bench.sh --smoke
 
 echo "verify: OK"
