@@ -21,7 +21,11 @@ fn build_model(n: usize) -> NetworkModel {
             PlatformKind::Balloon => (0..3).map(|i| Transceiver::balloon(id, i)).collect(),
             PlatformKind::GroundStation => (0..2)
                 .map(|i| {
-                    Transceiver::ground_station(id, i, tssdn_geo::FieldOfRegard::ground_station(2.0))
+                    Transceiver::ground_station(
+                        id,
+                        i,
+                        tssdn_geo::FieldOfRegard::ground_station(2.0),
+                    )
                 })
                 .collect(),
         };

@@ -11,7 +11,16 @@ fn mesh_edges() -> Vec<(u32, u32)> {
     for i in 0..12u32 {
         e.push((i, (i + 1) % 12));
     }
-    e.extend([(0, 12), (4, 13), (8, 14), (2, 12), (6, 13), (10, 14), (1, 5), (3, 9)]);
+    e.extend([
+        (0, 12),
+        (4, 13),
+        (8, 14),
+        (2, 12),
+        (6, 13),
+        (10, 14),
+        (1, 5),
+        (3, 9),
+    ]);
     e
 }
 

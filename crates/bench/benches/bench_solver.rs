@@ -9,7 +9,13 @@ use tssdn_geo::TrajectorySample;
 use tssdn_link::Transceiver;
 use tssdn_sim::{Fleet, FleetConfig, PlatformId, PlatformKind, RngStreams, SimTime};
 
-fn setup(n: usize) -> (tssdn_core::CandidateGraph, Vec<BackhaulRequest>, Vec<PlatformId>) {
+fn setup(
+    n: usize,
+) -> (
+    tssdn_core::CandidateGraph,
+    Vec<BackhaulRequest>,
+    Vec<PlatformId>,
+) {
     let streams = RngStreams::new(42);
     let mut cfg = FleetConfig::kenya(n);
     cfg.spawn_radius_m = 300_000.0;
@@ -20,7 +26,11 @@ fn setup(n: usize) -> (tssdn_core::CandidateGraph, Vec<BackhaulRequest>, Vec<Pla
             PlatformKind::Balloon => (0..3).map(|i| Transceiver::balloon(id, i)).collect(),
             PlatformKind::GroundStation => (0..2)
                 .map(|i| {
-                    Transceiver::ground_station(id, i, tssdn_geo::FieldOfRegard::ground_station(2.0))
+                    Transceiver::ground_station(
+                        id,
+                        i,
+                        tssdn_geo::FieldOfRegard::ground_station(2.0),
+                    )
                 })
                 .collect(),
         };
@@ -75,14 +85,28 @@ fn bench_solver(c: &mut Criterion) {
         );
         // Warm solve: previous topology = the cold solve's output.
         let prev = solver
-            .solve(&graph, &requests, &gw, &BTreeSet::new(), &DrainRegistry::new(), SimTime::ZERO)
+            .solve(
+                &graph,
+                &requests,
+                &gw,
+                &BTreeSet::new(),
+                &DrainRegistry::new(),
+                SimTime::ZERO,
+            )
             .key_set();
         group.bench_with_input(
             BenchmarkId::new("warm_solve", format!("{n}b/{}cands", graph.len())),
             &n,
             |b, _| {
                 b.iter(|| {
-                    solver.solve(&graph, &requests, &gw, &prev, &DrainRegistry::new(), SimTime::ZERO)
+                    solver.solve(
+                        &graph,
+                        &requests,
+                        &gw,
+                        &prev,
+                        &DrainRegistry::new(),
+                        SimTime::ZERO,
+                    )
                 })
             },
         );

@@ -33,10 +33,11 @@ fn bench_weather(c: &mut Criterion) {
     });
 
     let grid = WeatherGrid::build(
-        &field,
-        -3.0, 0.05, 81, 35.5, 0.05, 81, 0.0, 1_500.0, 8, 0, 600_000, 49,
+        &field, -3.0, 0.05, 81, 35.5, 0.05, 81, 0.0, 1_500.0, 8, 0, 600_000, 49,
     );
-    c.bench_function("weather/grid_sample", |b| b.iter(|| grid.sample(&probe, 7_200_000)));
+    c.bench_function("weather/grid_sample", |b| {
+        b.iter(|| grid.sample(&probe, 7_200_000))
+    });
 
     // Whole-path attenuation integration (one candidate-link eval).
     let gs = GeoPoint::new(-1.25, 36.85, 1_700.0);

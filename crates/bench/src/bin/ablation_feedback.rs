@@ -62,7 +62,10 @@ fn run(label: &'static str, feedback: bool, num_days: u64) -> Outcome {
 fn main() {
     let num_days = days(4);
     println!("=== E14: enactment-feedback loop (§7 future work) ===");
-    println!("14 balloons, {num_days} stormy days, weather-blind controller, seed {}", seed());
+    println!(
+        "14 balloons, {num_days} stormy days, weather-blind controller, seed {}",
+        seed()
+    );
 
     let off = run("no-feedback", false, num_days);
     let on = run("feedback", true, num_days);
@@ -72,7 +75,12 @@ fn main() {
     for o in [&off, &on] {
         println!(
             "  {:<12} {:>10} {:>9.0}% {:>16} {:>11.3} {:>11.3}",
-            o.label, o.b2g_intents, 100.0 * o.b2g_never, o.wasted_attempts, o.control_avail, o.data_avail
+            o.label,
+            o.b2g_intents,
+            100.0 * o.b2g_never,
+            o.wasted_attempts,
+            o.control_avail,
+            o.data_avail
         );
     }
     println!();

@@ -82,10 +82,18 @@ fn main() {
     println!();
     println!(
         "hysteresis reduces intent churn: {}",
-        if on.intents_per_hour <= off.intents_per_hour { "REPRODUCED" } else { "NOT reproduced" }
+        if on.intents_per_hour <= off.intents_per_hour {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "hysteresis lengthens B2B link life: {}",
-        if on.b2b_median_life_s >= off.b2b_median_life_s { "REPRODUCED" } else { "NOT reproduced" }
+        if on.b2b_median_life_s >= off.b2b_median_life_s {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -66,7 +66,11 @@ fn run(label: &'static str, lora: bool) -> Outcome {
             _ => None,
         })
         .collect();
-    Outcome { label, bootstrap_s, lora_deliveries: saw_lora }
+    Outcome {
+        label,
+        bootstrap_s,
+        lora_deliveries: saw_lora,
+    }
 }
 
 fn main() {
@@ -100,7 +104,12 @@ fn main() {
     println!(
         "LoRa speeds up the bootstrap: {}",
         if ml < ms {
-            format!("REPRODUCED (mean {} → {}, −{:.0}%)", fmt_secs(ms), fmt_secs(ml), 100.0 * (ms - ml) / ms)
+            format!(
+                "REPRODUCED (mean {} → {}, −{:.0}%)",
+                fmt_secs(ms),
+                fmt_secs(ml),
+                100.0 * (ms - ml) / ms
+            )
         } else {
             format!("NOT reproduced ({} vs {})", fmt_secs(ms), fmt_secs(ml))
         }

@@ -30,7 +30,11 @@ fn run(predictive: bool, num_days: u64) -> Outcome {
     let mut o = Orchestrator::new(cfg);
     for d in 1..=num_days {
         o.run_until(SimTime::from_days(d));
-        eprintln!("  [{} day {d}] recoveries {}", if predictive { "pred" } else { "react" }, o.recovery.samples().len());
+        eprintln!(
+            "  [{} day {d}] recoveries {}",
+            if predictive { "pred" } else { "react" },
+            o.recovery.samples().len()
+        );
     }
     let all: Vec<f64> = o
         .recovery
@@ -39,7 +43,10 @@ fn run(predictive: bool, num_days: u64) -> Outcome {
         .map(|s| s.duration().as_secs_f64())
         .filter(|d| *d <= 300.0)
         .collect();
-    let planned = o.recovery.durations_s(BreakCause::Withdrawn, Some(300.0)).len();
+    let planned = o
+        .recovery
+        .durations_s(BreakCause::Withdrawn, Some(300.0))
+        .len();
     Outcome {
         label: if predictive { "predictive" } else { "reactive" },
         mean_recovery_s: mean(&all).unwrap_or(0.0),
@@ -74,7 +81,11 @@ fn main() {
         let gain = 100.0 * (react.mean_recovery_s - pred.mean_recovery_s) / react.mean_recovery_s;
         println!(
             "predictive recovery is {gain:.1}% faster on average (paper: 37.8%): {}",
-            if gain > 0.0 { "REPRODUCED" } else { "NOT reproduced" }
+            if gain > 0.0 {
+                "REPRODUCED"
+            } else {
+                "NOT reproduced"
+            }
         );
     }
 }

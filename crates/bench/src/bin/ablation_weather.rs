@@ -87,12 +87,20 @@ fn main() {
         "gauges beat forecast on doomed B2G attempts ({:.0}% vs {:.0}% never-establish): {}",
         100.0 * ga.b2g_never,
         100.0 * fc.b2g_never,
-        if ga.b2g_never <= fc.b2g_never { "REPRODUCED" } else { "NOT reproduced" }
+        if ga.b2g_never <= fc.b2g_never {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "forecast is only a marginal improvement over ITU alone ({:.0}% vs {:.0}%): {}",
         100.0 * fc.b2g_never,
         100.0 * itu.b2g_never,
-        if (itu.b2g_never - fc.b2g_never).abs() < 0.15 { "REPRODUCED (small delta)" } else { "large delta" }
+        if (itu.b2g_never - fc.b2g_never).abs() < 0.15 {
+            "REPRODUCED (small delta)"
+        } else {
+            "large delta"
+        }
     );
 }

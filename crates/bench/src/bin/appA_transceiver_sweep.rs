@@ -14,7 +14,10 @@ use tssdn_telemetry::Layer;
 fn main() {
     let num_days = days(2);
     println!("=== E8 / Appendix A: transceivers-per-balloon sweep ===");
-    println!("12 balloons, {num_days} days per configuration, seed {}", seed());
+    println!(
+        "12 balloons, {num_days} days per configuration, seed {}",
+        seed()
+    );
     println!();
     println!("#  n_xcvr  mean_links  control_avail  data_avail  marginal_links_vs_prev");
 

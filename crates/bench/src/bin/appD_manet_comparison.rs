@@ -36,7 +36,11 @@ fn build_trace(num_hours: u64) -> (Vec<TraceStep>, Vec<NodeId>, Vec<NodeId>) {
             PlatformKind::Balloon => (0..3).map(|i| Transceiver::balloon(id, i)).collect(),
             PlatformKind::GroundStation => (0..2)
                 .map(|i| {
-                    Transceiver::ground_station(id, i, tssdn_geo::FieldOfRegard::ground_station(2.0))
+                    Transceiver::ground_station(
+                        id,
+                        i,
+                        tssdn_geo::FieldOfRegard::ground_station(2.0),
+                    )
                 })
                 .collect(),
         };
@@ -61,7 +65,13 @@ fn build_trace(num_hours: u64) -> (Vec<TraceStep>, Vec<NodeId>, Vec<NodeId>) {
             };
             model.report_position(
                 id,
-                TrajectorySample { t_ms: t.as_ms(), pos, vel_east_mps: ve, vel_north_mps: vn, vel_up_mps: 0.0 },
+                TrajectorySample {
+                    t_ms: t.as_ms(),
+                    pos,
+                    vel_east_mps: ve,
+                    vel_north_mps: vn,
+                    vel_up_mps: 0.0,
+                },
             );
             model.report_power(id, true);
         }
@@ -94,7 +104,10 @@ fn build_trace(num_hours: u64) -> (Vec<TraceStep>, Vec<NodeId>, Vec<NodeId>) {
                 edges.push((PlatformId(a), PlatformId(b)));
             }
         }
-        trace.push(TraceStep { at_s: step * 300, edges });
+        trace.push(TraceStep {
+            at_s: step * 300,
+            edges,
+        });
     }
     (trace, balloons, gs)
 }
@@ -124,7 +137,8 @@ fn run_protocol<P: ManetProtocol>(
     let mut prev: std::collections::BTreeSet<(NodeId, NodeId)> = Default::default();
     for step in trace {
         let now = SimTime::from_secs(step.at_s);
-        let new: std::collections::BTreeSet<(NodeId, NodeId)> = step.edges.iter().copied().collect();
+        let new: std::collections::BTreeSet<(NodeId, NodeId)> =
+            step.edges.iter().copied().collect();
         for e in prev.difference(&new) {
             h.remove_link(e.0, e.1);
         }
@@ -189,7 +203,10 @@ fn run_protocol<P: ManetProtocol>(
 fn main() {
     let num_hours = days(1) * 24;
     println!("=== E9 / Appendix D: AODV vs DSDV vs OLSR (and BATMAN) ===");
-    println!("12 balloons + 3 GS gateways, {num_hours}h Loon-like topology trace, seed {}", seed());
+    println!(
+        "12 balloons + 3 GS gateways, {num_hours}h Loon-like topology trace, seed {}",
+        seed()
+    );
     let (trace, balloons, gs) = build_trace(num_hours);
     let changes = trace
         .windows(2)
@@ -230,11 +247,19 @@ fn main() {
     let olsr = outcomes.iter().find(|o| o.name == "olsr").expect("ran");
     println!(
         "AODV lower overhead than DSDV: {}  (paper: yes)",
-        if aodv.bytes_per_node_hour < dsdv.bytes_per_node_hour { "REPRODUCED" } else { "NOT reproduced" }
+        if aodv.bytes_per_node_hour < dsdv.bytes_per_node_hour {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "AODV lower overhead than OLSR: {}  (paper: yes)",
-        if aodv.bytes_per_node_hour < olsr.bytes_per_node_hour { "REPRODUCED" } else { "NOT reproduced" }
+        if aodv.bytes_per_node_hour < olsr.bytes_per_node_hour {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "AODV and DSDV both converge well (p90 within a few OGM/dump intervals): \

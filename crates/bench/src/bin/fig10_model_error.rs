@@ -51,8 +51,7 @@ fn main() {
         }
         if kind == LinkKind::B2B {
             // The side-lobe bump: mass well below the main mode.
-            let main_mode_mass =
-                errors.iter().filter(|e| (**e - mean).abs() < 3.0).count() as f64;
+            let main_mode_mass = errors.iter().filter(|e| (**e - mean).abs() < 3.0).count() as f64;
             let bump_mass = errors
                 .iter()
                 .filter(|e| **e < mean - 10.0 && **e > mean - 18.0)
@@ -60,7 +59,11 @@ fn main() {
             println!(
                 "side-lobe bump mass ~14 dB below the mode: {:.1}% of samples  (visible bump: {})",
                 100.0 * bump_mass / errors.len() as f64,
-                if bump_mass > 0.0 { "REPRODUCED" } else { "not present" },
+                if bump_mass > 0.0 {
+                    "REPRODUCED"
+                } else {
+                    "not present"
+                },
             );
             println!(
                 "main mode within ±3 dB of mean: {:.0}%",

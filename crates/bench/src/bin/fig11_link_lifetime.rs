@@ -34,12 +34,23 @@ fn main() {
         println!();
         println!("--- {kind}: {} intents ---", s.intents);
         let median = s.median_lifetime_s().unwrap_or(0.0);
-        let paper_median = if kind == LinkKind::B2G { "1m45s" } else { "25m55s" };
-        println!("median lifetime: {}  (paper: {paper_median})", fmt_secs(median));
+        let paper_median = if kind == LinkKind::B2G {
+            "1m45s"
+        } else {
+            "25m55s"
+        };
+        println!(
+            "median lifetime: {}  (paper: {paper_median})",
+            fmt_secs(median)
+        );
         println!(
             "lifetime <1 min: {:.1}%  (paper: {})",
             100.0 * s.fraction_shorter_than(60.0),
-            if kind == LinkKind::B2G { "44.8%" } else { "15.0% (early mortality)" }
+            if kind == LinkKind::B2G {
+                "44.8%"
+            } else {
+                "15.0% (early mortality)"
+            }
         );
         println!(
             "first-attempt success: {:.0}%  (paper: {})",
@@ -53,7 +64,11 @@ fn main() {
         println!(
             "unexpected end share: {:.1}%  (paper: {})",
             100.0 * s.unexpected_end_rate(),
-            if kind == LinkKind::B2G { "69.2%" } else { "39.2%" }
+            if kind == LinkKind::B2G {
+                "69.2%"
+            } else {
+                "39.2%"
+            }
         );
         overall_unexpected += s.unexpected_ends;
         overall_ended += s.ended_after_established;
@@ -70,8 +85,12 @@ fn main() {
     println!(
         "B2B outlives B2G at median: {}",
         match (b2b.median_lifetime_s(), b2g.median_lifetime_s()) {
-            (Some(b), Some(g)) if b > g =>
-                format!("REPRODUCED ({} vs {}, {:.0}x)", fmt_secs(b), fmt_secs(g), b / g),
+            (Some(b), Some(g)) if b > g => format!(
+                "REPRODUCED ({} vs {}, {:.0}x)",
+                fmt_secs(b),
+                fmt_secs(g),
+                b / g
+            ),
             (Some(b), Some(g)) => format!("NOT reproduced ({} vs {})", fmt_secs(b), fmt_secs(g)),
             _ => "insufficient samples".into(),
         }

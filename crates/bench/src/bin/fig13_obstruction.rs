@@ -75,11 +75,18 @@ fn main() {
             f.az_end_deg,
             f.mean_error_db,
             f.samples,
-            if inside { "<-- the building" } else { "(FALSE ALARM)" }
+            if inside {
+                "<-- the building"
+            } else {
+                "(FALSE ALARM)"
+            }
         );
     }
     println!();
-    println!("building sector detected: {}", if hit { "REPRODUCED" } else { "NOT reproduced" });
+    println!(
+        "building sector detected: {}",
+        if hit { "REPRODUCED" } else { "NOT reproduced" }
+    );
     println!(
         "false alarms outside {az_lo:.0}–{az_hi:.0}°: {}",
         if false_alarm { "present" } else { "none" }
@@ -90,7 +97,12 @@ fn main() {
     println!();
     println!("# GS0 pointing-sector telemetry (Figure 13 view)");
     println!("#  az_bin    before_db (n)      after_db (n)");
-    let samples: Vec<_> = o.validator.samples().iter().filter(|s| s.observer == gs0).collect();
+    let samples: Vec<_> = o
+        .validator
+        .samples()
+        .iter()
+        .filter(|s| s.observer == gs0)
+        .collect();
     for bin in 0..18 {
         let lo = bin as f64 * 20.0;
         let hi = lo + 20.0;
@@ -98,9 +110,7 @@ fn main() {
             let xs: Vec<f64> = samples
                 .iter()
                 .filter(|s| {
-                    s.pointing.az_deg >= lo
-                        && s.pointing.az_deg < hi
-                        && ((s.at >= split) == after)
+                    s.pointing.az_deg >= lo && s.pointing.az_deg < hi && ((s.at >= split) == after)
                 })
                 .map(|s| s.error_db())
                 .collect();
@@ -115,7 +125,11 @@ fn main() {
         if nb == 0 && na == 0 {
             continue;
         }
-        let marker = if na > 0 && nb > 0 && a < b - 6.0 { "  ██ deteriorated" } else { "" };
+        let marker = if na > 0 && nb > 0 && a < b - 6.0 {
+            "  ██ deteriorated"
+        } else {
+            ""
+        };
         println!(
             "  {lo:>3.0}–{hi:<3.0}  {:>9} ({nb:>4})  {:>9} ({na:>4}){marker}",
             fmtdb(b),

@@ -22,7 +22,10 @@ fn main() {
     let num_days = days(20);
     let n_balloons = 45;
     println!("=== E1 / Figure 4: candidate-graph churn ===");
-    println!("fleet: {n_balloons} balloons + 3 GS, {num_days} days, seed {}", seed());
+    println!(
+        "fleet: {n_balloons} balloons + 3 GS, {num_days} days, seed {}",
+        seed()
+    );
 
     // Fleet/model builder: regenerated identically (same seed) for
     // the hourly and minute-resolution passes, since each pass must
@@ -141,10 +144,16 @@ fn main() {
 
     let n_hours = hourly_churn.len().max(1);
     println!();
-    println!("candidate graph size:   mean {:.0}  (paper: 3275)", mean(&sizes));
+    println!(
+        "candidate graph size:   mean {:.0}  (paper: 3275)",
+        mean(&sizes)
+    );
     println!(
         "  B2B range: {:.0}..{:.0} (paper: 0..6595)   B2G range: {:.0}..{:.0} (paper: 0..750)",
-        min(&b2b), max(&b2b), min(&b2g), max(&b2g),
+        min(&b2b),
+        max(&b2b),
+        min(&b2g),
+        max(&b2g),
     );
     println!(
         "hours with any change:  {:.1}%  (paper: 99.9%)",

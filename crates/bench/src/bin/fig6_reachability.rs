@@ -88,7 +88,10 @@ fn main() {
         }
     }
 
-    for (i, name) in ["epoch 1 (no redundancy)", "epoch 2 (redundancy on)"].iter().enumerate() {
+    for (i, name) in ["epoch 1 (no redundancy)", "epoch 2 (redundancy on)"]
+        .iter()
+        .enumerate()
+    {
         let e = &epoch[i];
         if e.is_empty() {
             continue;
@@ -103,7 +106,11 @@ fn main() {
         } else {
             println!(
                 "  expect control > link per-link availability (paper, Dec-2020 on): {}",
-                if c > l { "REPRODUCED" } else { "NOT reproduced" }
+                if c > l {
+                    "REPRODUCED"
+                } else {
+                    "NOT reproduced"
+                }
             );
         }
     }

@@ -64,10 +64,14 @@ fn main() {
         }
     }
 
-    let zero_est = established.iter().filter(|f| **f <= 0.0).count() as f64
-        / established.len().max(1) as f64;
+    let zero_est =
+        established.iter().filter(|f| **f <= 0.0).count() as f64 / established.len().max(1) as f64;
     println!();
-    println!("samples: intended {} established {}", intended.len(), established.len());
+    println!(
+        "samples: intended {} established {}",
+        intended.len(),
+        established.len()
+    );
     println!(
         "no-redundancy fraction (established): {:.1}%   (paper: 14%)",
         100.0 * zero_est

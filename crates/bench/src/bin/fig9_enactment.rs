@@ -37,7 +37,11 @@ fn main() {
             // Connection latency × 2 with jitter, a few mesh hops.
             let hops = rng.gen_range(1..6) as f64;
             2.0 * (0.12 + 0.025 * hops) * rng.gen_range(0.7..1.3)
-                + if rng.gen_bool(0.02) { rng.gen_range(5.0..25.0) } else { 0.0 }
+                + if rng.gen_bool(0.02) {
+                    rng.gen_range(5.0..25.0)
+                } else {
+                    0.0
+                }
         })
         .collect();
 
@@ -82,16 +86,20 @@ fn main() {
         .collect();
 
     println!();
-    println!("satcom RTT reference:  best {}  median {}  p90 {}  p99 {}",
+    println!(
+        "satcom RTT reference:  best {}  median {}  p90 {}  p99 {}",
         fmt_secs(percentile(&satcom_rtt, 0.0).unwrap_or(0.0)),
         fmt_secs(percentile(&satcom_rtt, 50.0).unwrap_or(0.0)),
         fmt_secs(percentile(&satcom_rtt, 90.0).unwrap_or(0.0)),
-        fmt_secs(percentile(&satcom_rtt, 99.0).unwrap_or(0.0)));
+        fmt_secs(percentile(&satcom_rtt, 99.0).unwrap_or(0.0))
+    );
     println!("  (paper: 23s / 1m27s / 5m47s / 14m50s)");
-    println!("in-band RTT reference: median {:.2}s  p90 {:.2}s  p99 {:.1}s",
+    println!(
+        "in-band RTT reference: median {:.2}s  p90 {:.2}s  p99 {:.1}s",
         percentile(&inband_rtt, 50.0).unwrap_or(0.0),
         percentile(&inband_rtt, 90.0).unwrap_or(0.0),
-        percentile(&inband_rtt, 99.0).unwrap_or(0.0));
+        percentile(&inband_rtt, 99.0).unwrap_or(0.0)
+    );
     println!("  (paper: sub-second / 2s / 23s)");
     println!();
     print_cdf("Link intent enactment (s)", &link);
@@ -104,9 +112,17 @@ fn main() {
     println!(
         "in-band link enactment beats satcom at median: {}",
         if med_link_inb < med_link_sat {
-            format!("REPRODUCED ({} vs {})", fmt_secs(med_link_inb), fmt_secs(med_link_sat))
+            format!(
+                "REPRODUCED ({} vs {})",
+                fmt_secs(med_link_inb),
+                fmt_secs(med_link_sat)
+            )
         } else {
-            format!("NOT reproduced ({} vs {})", fmt_secs(med_link_inb), fmt_secs(med_link_sat))
+            format!(
+                "NOT reproduced ({} vs {})",
+                fmt_secs(med_link_inb),
+                fmt_secs(med_link_sat)
+            )
         }
     );
     let med_route = percentile(&route, 50.0).unwrap_or(f64::NAN);

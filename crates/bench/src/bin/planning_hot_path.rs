@@ -20,7 +20,9 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 use tssdn_core::reference::{evaluate_reference, solve_reference};
-use tssdn_core::{CandidateGraph, EvaluatorConfig, LinkEvaluator, NetworkModel, Solver, WeatherSource};
+use tssdn_core::{
+    CandidateGraph, EvaluatorConfig, LinkEvaluator, NetworkModel, Solver, WeatherSource,
+};
 use tssdn_dataplane::{BackhaulRequest, DrainRegistry};
 use tssdn_geo::TrajectorySample;
 use tssdn_link::Transceiver;
@@ -38,7 +40,11 @@ fn build_model(n: usize, spawn_radius_m: f64) -> (NetworkModel, Vec<PlatformId>)
             PlatformKind::Balloon => (0..3).map(|i| Transceiver::balloon(id, i)).collect(),
             PlatformKind::GroundStation => (0..2)
                 .map(|i| {
-                    Transceiver::ground_station(id, i, tssdn_geo::FieldOfRegard::ground_station(2.0))
+                    Transceiver::ground_station(
+                        id,
+                        i,
+                        tssdn_geo::FieldOfRegard::ground_station(2.0),
+                    )
                 })
                 .collect(),
         };
@@ -96,7 +102,11 @@ struct FleetSpec {
 }
 
 fn run_fleet(spec: &FleetSpec, iters: usize) -> FleetResult {
-    let FleetSpec { n, spawn_radius_m, label } = *spec;
+    let FleetSpec {
+        n,
+        spawn_radius_m,
+        label,
+    } = *spec;
     let (model, gs) = build_model(n, spawn_radius_m);
     let at = SimTime::ZERO;
     let evaluator = LinkEvaluator::new(EvaluatorConfig::default());
@@ -140,7 +150,10 @@ fn run_fleet(spec: &FleetSpec, iters: usize) -> FleetResult {
     let warm_prev = plan.key_set();
     let warm = solver.solve(&graph, &requests, &gw, &warm_prev, &drains, at);
     let warm_ref = solve_reference(&solver, &graph, &requests, &gw, &warm_prev, &drains, at);
-    assert!(warm == warm_ref, "{n}-balloon fleet: warm solve diverged from reference");
+    assert!(
+        warm == warm_ref,
+        "{n}-balloon fleet: warm solve diverged from reference"
+    );
 
     eprintln!(
         "  [{label}] {} platforms, {} candidates, plan: {} demand + {} redundant — equivalence OK",
@@ -184,13 +197,32 @@ fn main() {
     // Dense fleets (300 km spread: every pair in range) at three sizes,
     // plus a dispersed 100-balloon fleet (3000 km spread) where the
     // spatial grid prefilter actually discards out-of-range pairs.
-    const SMOKE: &[FleetSpec] =
-        &[FleetSpec { n: 8, spawn_radius_m: 300_000.0, label: "8" }];
+    const SMOKE: &[FleetSpec] = &[FleetSpec {
+        n: 8,
+        spawn_radius_m: 300_000.0,
+        label: "8",
+    }];
     const FULL: &[FleetSpec] = &[
-        FleetSpec { n: 25, spawn_radius_m: 300_000.0, label: "25" },
-        FleetSpec { n: 50, spawn_radius_m: 300_000.0, label: "50" },
-        FleetSpec { n: 100, spawn_radius_m: 300_000.0, label: "100" },
-        FleetSpec { n: 100, spawn_radius_m: 3_000_000.0, label: "100-dispersed" },
+        FleetSpec {
+            n: 25,
+            spawn_radius_m: 300_000.0,
+            label: "25",
+        },
+        FleetSpec {
+            n: 50,
+            spawn_radius_m: 300_000.0,
+            label: "50",
+        },
+        FleetSpec {
+            n: 100,
+            spawn_radius_m: 300_000.0,
+            label: "100",
+        },
+        FleetSpec {
+            n: 100,
+            spawn_radius_m: 3_000_000.0,
+            label: "100-dispersed",
+        },
     ];
     let (specs, iters): (&[FleetSpec], usize) = if smoke { (SMOKE, 3) } else { (FULL, 12) };
     println!("=== planning hot path: optimized vs naive reference ===");

@@ -19,13 +19,15 @@ use std::time::Instant;
 use tssdn_bench::seed;
 use tssdn_sim::{PlatformId, RngStreams, SimTime};
 use tssdn_telemetry::percentile;
-use tssdn_traffic::{DemandConfig, DemandGenerator, FairShareAllocator};
+use tssdn_traffic::{DemandConfig, DemandGenerator, FairShareAllocator, FlowSpec};
 
 /// A synthetic mesh: `n` balloons in 3 chains rooted at 3 GSs, each
 /// chain hop shared by every balloon further out — the congestion
 /// shape real topologies produce, with path lengths up to n/3 hops.
+/// Flows carry the generator's tier weights and control class, so the
+/// timed path is the production tiered fill, not the flat one.
 struct Mesh {
-    flow_links: Vec<Vec<u32>>,
+    specs: Vec<FlowSpec>,
     n_links: usize,
     demands: Vec<u64>,
     capacities: Vec<u64>,
@@ -33,7 +35,10 @@ struct Mesh {
 
 fn build_mesh(n: usize, flows_per_site: usize) -> Mesh {
     let sites: Vec<PlatformId> = (0..n as u32).map(PlatformId).collect();
-    let demand_cfg = DemandConfig { flows_per_site, ..DemandConfig::default() };
+    let demand_cfg = DemandConfig {
+        flows_per_site,
+        ..DemandConfig::default()
+    };
     let gen = DemandGenerator::new(demand_cfg, &sites, &RngStreams::new(seed()));
 
     // Link ids: balloon i's uplink toward its chain parent. Balloon
@@ -56,11 +61,22 @@ fn build_mesh(n: usize, flows_per_site: usize) -> Mesh {
         })
         .collect();
 
-    let flow_links: Vec<Vec<u32>> =
-        gen.flows().iter().map(|f| site_links[f.site.0 as usize].clone()).collect();
+    let specs: Vec<FlowSpec> = gen
+        .flows()
+        .iter()
+        .map(|f| {
+            FlowSpec::new(
+                site_links[f.site.0 as usize].clone(),
+                f.tier_weight,
+                f.class,
+            )
+        })
+        .collect();
     // Evening-peak demand; deterministic per seed.
     let at = SimTime::from_hours(20);
-    let demands: Vec<u64> = (0..gen.flows().len()).map(|i| gen.offered_bps(i, at)).collect();
+    let demands: Vec<u64> = (0..gen.flows().len())
+        .map(|i| gen.offered_bps(i, at))
+        .collect();
     // Radio links ride the MCS ladder (margin varies by position in
     // the chain — outer links run hotter margins); tunnels are wired.
     let capacities: Vec<u64> = (0..n_links)
@@ -73,7 +89,12 @@ fn build_mesh(n: usize, flows_per_site: usize) -> Mesh {
             }
         })
         .collect();
-    Mesh { flow_links, n_links, demands, capacities }
+    Mesh {
+        specs,
+        n_links,
+        demands,
+        capacities,
+    }
 }
 
 /// Time `f` over `iters` runs; returns (p50_ns, p95_ns).
@@ -104,14 +125,18 @@ fn run_mesh(n: usize, iters: usize) -> MeshResult {
     // ≥5k aggregate flows at every size.
     let flows_per_site = 5000usize.div_ceil(n);
     let mesh = build_mesh(n, flows_per_site);
-    assert!(mesh.flow_links.len() >= 5000, "flow floor violated: {}", mesh.flow_links.len());
+    assert!(
+        mesh.specs.len() >= 5000,
+        "flow floor violated: {}",
+        mesh.specs.len()
+    );
 
     // ---- identity gate first: never time a divergent allocator ----
     let mut serial = FairShareAllocator::new(1);
-    serial.set_topology(mesh.flow_links.clone(), mesh.n_links);
+    serial.set_flows(mesh.specs.clone(), mesh.n_links);
     let base = serial.allocate(&mesh.demands, &mesh.capacities);
     let mut auto = FairShareAllocator::new(0);
-    auto.set_topology(mesh.flow_links.clone(), mesh.n_links);
+    auto.set_flows(mesh.specs.clone(), mesh.n_links);
     assert!(
         auto.allocate(&mesh.demands, &mesh.capacities) == base,
         "{n}-balloon mesh: auto-worker allocation diverged from serial"
@@ -122,7 +147,7 @@ fn run_mesh(n: usize, iters: usize) -> MeshResult {
     let saturation = delivered as f64 / offered as f64;
     eprintln!(
         "  [{n}] {} flows, {} links, goodput at peak {:.3} — identity gate OK",
-        mesh.flow_links.len(),
+        mesh.specs.len(),
         mesh.n_links,
         saturation
     );
@@ -131,7 +156,7 @@ fn run_mesh(n: usize, iters: usize) -> MeshResult {
     // Cold: topology changed (replan) — rebuild incidence + allocate.
     let cold = time_ns(iters, || {
         let mut a = FairShareAllocator::new(0);
-        a.set_topology(mesh.flow_links.clone(), mesh.n_links);
+        a.set_flows(mesh.specs.clone(), mesh.n_links);
         a.allocate(&mesh.demands, &mesh.capacities)
     });
     // Warm: capacity-only tick (weather fade) — cached incidence.
@@ -139,7 +164,7 @@ fn run_mesh(n: usize, iters: usize) -> MeshResult {
 
     MeshResult {
         balloons: n,
-        flows: mesh.flow_links.len(),
+        flows: mesh.specs.len(),
         links: mesh.n_links,
         saturation,
         cold,

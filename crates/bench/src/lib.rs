@@ -14,13 +14,19 @@ use tssdn_telemetry::{percentile, Summary};
 
 /// Standard experiment seed (override with `TSSDN_SEED`).
 pub fn seed() -> u64 {
-    std::env::var("TSSDN_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(20220822)
+    std::env::var("TSSDN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20220822)
 }
 
 /// Scale factor for experiment durations/fleets (default 1.0; set
 /// `TSSDN_SCALE=0.25` for a quick smoke run).
 pub fn scale() -> f64 {
-    std::env::var("TSSDN_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("TSSDN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Scale a day count, with a floor of 1.
@@ -48,7 +54,11 @@ pub fn stormy_truth(num_days: u64, intensity: f64) -> SyntheticWeather {
                 + SimDuration::from_mins(13 * (day % 4));
             let end = start + SimDuration::from_hours(3 + i as u64 % 2);
             w.add_cell(RainCell {
-                center: site.offset(-30_000.0 + 12_000.0 * (day % 5) as f64, 8_000.0 * i as f64, 0.0),
+                center: site.offset(
+                    -30_000.0 + 12_000.0 * (day % 5) as f64,
+                    8_000.0 * i as f64,
+                    0.0,
+                ),
                 vel_east_mps: 6.0 + i as f64,
                 vel_north_mps: 1.5,
                 radius_m: 14_000.0 + 3_000.0 * (day % 3) as f64,
@@ -80,9 +90,11 @@ pub fn standard_config(n: usize, num_days: u64, seed: u64) -> OrchestratorConfig
 pub fn run_days(o: &mut Orchestrator, num_days: u64) {
     for d in 1..=num_days {
         o.run_until(SimTime::from_days(d));
-        eprintln!("  [day {d}/{num_days}] intents={} links_up={}",
+        eprintln!(
+            "  [day {d}/{num_days}] intents={} links_up={}",
             o.intents.all().count(),
-            o.intents.established().count());
+            o.intents.established().count()
+        );
     }
 }
 
@@ -124,7 +136,12 @@ pub fn redundancy_fraction(b: usize, g: usize, l: usize) -> Option<f64> {
 /// Format seconds human-readably (paper style: 1m45s).
 pub fn fmt_secs(s: f64) -> String {
     if s >= 3600.0 {
-        format!("{}h{:02}m{:02}s", (s / 3600.0) as u64, ((s / 60.0) as u64) % 60, s as u64 % 60)
+        format!(
+            "{}h{:02}m{:02}s",
+            (s / 3600.0) as u64,
+            ((s / 60.0) as u64) % 60,
+            s as u64 % 60
+        )
     } else if s >= 60.0 {
         format!("{}m{:02}s", (s / 60.0) as u64, s as u64 % 60)
     } else {

@@ -105,12 +105,18 @@ impl CandidateGraph {
 
     /// Count of balloon-to-balloon candidates.
     pub fn num_b2b(&self) -> usize {
-        self.links.iter().filter(|l| l.kind == LinkKind::B2B).count()
+        self.links
+            .iter()
+            .filter(|l| l.kind == LinkKind::B2B)
+            .count()
     }
 
     /// Count of balloon-to-ground candidates.
     pub fn num_b2g(&self) -> usize {
-        self.links.iter().filter(|l| l.kind == LinkKind::B2G).count()
+        self.links
+            .iter()
+            .filter(|l| l.kind == LinkKind::B2G)
+            .count()
     }
 
     /// The pairing-key set.
@@ -259,7 +265,14 @@ impl LinkEvaluator {
         let links: Vec<CandidateLink> = if pairs.len() < 64 || workers == 1 {
             let mut out = Vec::new();
             for &(i, j) in &pairs {
-                self.evaluate_pair(&snaps[i as usize], &snaps[j as usize], &bands, &weather, at, &mut out);
+                self.evaluate_pair(
+                    &snaps[i as usize],
+                    &snaps[j as usize],
+                    &bands,
+                    &weather,
+                    at,
+                    &mut out,
+                );
             }
             out
         } else {
@@ -425,12 +438,20 @@ mod tests {
         let mut m = NetworkModel::new(WeatherSource::Itu(ItuSeasonal::tropical_wet()));
         for (i, lon) in [37.0, 39.7].iter().enumerate() {
             let id = PlatformId(i as u32);
-            m.add_platform(id, tssdn_sim::PlatformKind::Balloon, balloon_transceivers(id));
+            m.add_platform(
+                id,
+                tssdn_sim::PlatformKind::Balloon,
+                balloon_transceivers(id),
+            );
             m.report_position(id, fix(0.0, *lon, 18_000.0));
             m.report_power(id, true);
         }
         let gs = PlatformId(2);
-        m.add_platform(gs, tssdn_sim::PlatformKind::GroundStation, gs_transceivers(gs));
+        m.add_platform(
+            gs,
+            tssdn_sim::PlatformKind::GroundStation,
+            gs_transceivers(gs),
+        );
         m.report_position(gs, fix(0.3, 37.0, 1_500.0));
         m.report_power(gs, true);
         m
@@ -482,9 +503,22 @@ mod tests {
         let later_graph = LinkEvaluator::default().evaluate(&m, SimTime::from_mins(10));
         // Ranges of B2B candidates shrink as balloon 0 drifts toward
         // balloon 1.
-        let r0 = now_graph.links.iter().find(|l| l.kind == LinkKind::B2B).expect("b2b").range_m;
-        let r1 = later_graph.links.iter().find(|l| l.kind == LinkKind::B2B).expect("b2b").range_m;
-        assert!(r1 < r0 - 10_000.0, "prediction moved the balloon: {r0} -> {r1}");
+        let r0 = now_graph
+            .links
+            .iter()
+            .find(|l| l.kind == LinkKind::B2B)
+            .expect("b2b")
+            .range_m;
+        let r1 = later_graph
+            .links
+            .iter()
+            .find(|l| l.kind == LinkKind::B2B)
+            .expect("b2b")
+            .range_m;
+        assert!(
+            r1 < r0 - 10_000.0,
+            "prediction moved the balloon: {r0} -> {r1}"
+        );
     }
 
     #[test]
@@ -537,6 +571,9 @@ mod tests {
                 break;
             }
         }
-        assert!(seen_marginal, "no marginal B2G candidates across the range sweep");
+        assert!(
+            seen_marginal,
+            "no marginal B2G candidates across the range sweep"
+        );
     }
 }

@@ -112,42 +112,70 @@ pub fn explain_pair(
             return PairAbsence::Unpowered(p.id);
         }
     }
-    let (Some(pos_a), Some(pos_b)) =
-        (model.predicted_position(a, at), model.predicted_position(b, at))
-    else {
-        return PairAbsence::NoPosition(
-            if model.predicted_position(a, at).is_none() { a } else { b },
-        );
+    let (Some(pos_a), Some(pos_b)) = (
+        model.predicted_position(a, at),
+        model.predicted_position(b, at),
+    ) else {
+        return PairAbsence::NoPosition(if model.predicted_position(a, at).is_none() {
+            a
+        } else {
+            b
+        });
     };
     let range = pos_a.slant_range_m(&pos_b);
     if range > config.max_range_m {
-        return PairAbsence::OutOfRange { range_m: range, limit_m: config.max_range_m };
+        return PairAbsence::OutOfRange {
+            range_m: range,
+            limit_m: config.max_range_m,
+        };
     }
     if !line_of_sight_clear(&pos_a, &pos_b, config.los_clearance_m) {
         return PairAbsence::NoLineOfSight;
     }
     let to_b = PointingSolution::between(&pos_a, &pos_b);
     let to_a = PointingSolution::between(&pos_b, &pos_a);
-    if !pa.transceivers.iter().any(|t| t.can_point_at(&to_b.direction)) {
+    if !pa
+        .transceivers
+        .iter()
+        .any(|t| t.can_point_at(&to_b.direction))
+    {
         return PairAbsence::NoUsableAntenna(a);
     }
-    if !pb.transceivers.iter().any(|t| t.can_point_at(&to_a.direction)) {
+    if !pb
+        .transceivers
+        .iter()
+        .any(|t| t.can_point_at(&to_a.direction))
+    {
         return PairAbsence::NoUsableAntenna(b);
     }
     // RF: best margin across bands/antenna pairings.
     let weather = ModelWeather { model };
     let mut best = f64::NEG_INFINITY;
     let mut count = 0usize;
-    for ta in pa.transceivers.iter().filter(|t| t.can_point_at(&to_b.direction)) {
-        for tb in pb.transceivers.iter().filter(|t| t.can_point_at(&to_a.direction)) {
+    for ta in pa
+        .transceivers
+        .iter()
+        .filter(|t| t.can_point_at(&to_b.direction))
+    {
+        for tb in pb
+            .transceivers
+            .iter()
+            .filter(|t| t.can_point_at(&to_a.direction))
+        {
             for band in &config.bands {
                 let band = RadioParams {
-                    implementation_loss_db: band.implementation_loss_db
-                        + config.model_pessimism_db,
+                    implementation_loss_db: band.implementation_loss_db + config.model_pessimism_db,
                     ..*band
                 };
                 let rep = tssdn_rf::evaluate_link(
-                    &pos_a, &pos_b, &band, &ta.pattern, &tb.pattern, 0.0, 0.0, &weather,
+                    &pos_a,
+                    &pos_b,
+                    &band,
+                    &ta.pattern,
+                    &tb.pattern,
+                    0.0,
+                    0.0,
+                    &weather,
                     at.as_ms(),
                 );
                 best = best.max(rep.margin_db);
@@ -158,7 +186,9 @@ pub fn explain_pair(
         }
     }
     if count == 0 {
-        PairAbsence::RfInfeasible { best_margin_db: best }
+        PairAbsence::RfInfeasible {
+            best_margin_db: best,
+        }
     } else {
         PairAbsence::HasCandidates { count }
     }
@@ -198,13 +228,21 @@ pub fn explain_absence(
         if sel.band != cand.band {
             continue;
         }
-        for (ps, ds) in [(sel.a.platform, sel.pointing_a), (sel.b.platform, sel.pointing_b)] {
-            for (pc, dc) in [(cand.a.platform, cand.pointing_a), (cand.b.platform, cand.pointing_b)]
-            {
+        for (ps, ds) in [
+            (sel.a.platform, sel.pointing_a),
+            (sel.b.platform, sel.pointing_b),
+        ] {
+            for (pc, dc) in [
+                (cand.a.platform, cand.pointing_a),
+                (cand.b.platform, cand.pointing_b),
+            ] {
                 if ps == pc {
                     let sep = ds.angular_distance_deg(&dc);
                     if sep < solver.config.min_beam_separation_deg {
-                        return SelectionAbsence::Interference { with: sel.key(), separation_deg: sep };
+                        return SelectionAbsence::Interference {
+                            with: sel.key(),
+                            separation_deg: sep,
+                        };
                     }
                 }
             }
@@ -261,7 +299,10 @@ mod tests {
                         .collect::<Vec<_>>(),
                 )
             } else {
-                (PlatformKind::Balloon, (0..3).map(|i| Transceiver::balloon(pid, i)).collect())
+                (
+                    PlatformKind::Balloon,
+                    (0..3).map(|i| Transceiver::balloon(pid, i)).collect(),
+                )
             };
             m.add_platform(pid, kind, xs);
             m.report_position(pid, fix(*lat, *lon, *alt));
@@ -274,7 +315,10 @@ mod tests {
     fn explains_power_position_range_and_los() {
         let cfg = EvaluatorConfig::default();
         // Unpowered.
-        let m = model_with(&[(0, 0.0, 36.0, 18_000.0, false), (1, 0.0, 37.0, 18_000.0, true)]);
+        let m = model_with(&[
+            (0, 0.0, 36.0, 18_000.0, false),
+            (1, 0.0, 37.0, 18_000.0, true),
+        ]);
         assert_eq!(
             explain_pair(&m, &cfg, PlatformId(0), PlatformId(1), SimTime::ZERO),
             PairAbsence::Unpowered(PlatformId(0))
@@ -285,7 +329,10 @@ mod tests {
             PairAbsence::NoPosition(PlatformId(9))
         );
         // Out of range (~1100 km).
-        let m = model_with(&[(0, 0.0, 36.0, 18_000.0, true), (1, 0.0, 46.0, 18_000.0, true)]);
+        let m = model_with(&[
+            (0, 0.0, 36.0, 18_000.0, true),
+            (1, 0.0, 46.0, 18_000.0, true),
+        ]);
         match explain_pair(&m, &cfg, PlatformId(0), PlatformId(1), SimTime::ZERO) {
             PairAbsence::OutOfRange { range_m, limit_m } => {
                 assert!(range_m > limit_m);
@@ -299,13 +346,19 @@ mod tests {
             PairAbsence::NoLineOfSight
         );
         // GS–GS.
-        let m = model_with(&[(100, 0.0, 36.0, 1_500.0, true), (101, 0.3, 36.4, 1_500.0, true)]);
+        let m = model_with(&[
+            (100, 0.0, 36.0, 1_500.0, true),
+            (101, 0.3, 36.4, 1_500.0, true),
+        ]);
         assert_eq!(
             explain_pair(&m, &cfg, PlatformId(100), PlatformId(101), SimTime::ZERO),
             PairAbsence::GroundToGround
         );
         // Healthy pair.
-        let m = model_with(&[(0, 0.0, 36.0, 18_000.0, true), (1, 0.0, 37.0, 18_000.0, true)]);
+        let m = model_with(&[
+            (0, 0.0, 36.0, 18_000.0, true),
+            (1, 0.0, 37.0, 18_000.0, true),
+        ]);
         match explain_pair(&m, &cfg, PlatformId(0), PlatformId(1), SimTime::ZERO) {
             PairAbsence::HasCandidates { count } => assert!(count > 0),
             other => panic!("expected HasCandidates, got {other:?}"),
@@ -331,10 +384,22 @@ mod tests {
             min_bitrate_bps: 50_000_000,
             redundancy_group: None,
         }];
-        let gw = |e: PlatformId| if e == ec { vec![PlatformId(100)] } else { vec![] };
+        let gw = |e: PlatformId| {
+            if e == ec {
+                vec![PlatformId(100)]
+            } else {
+                vec![]
+            }
+        };
         let drains = DrainRegistry::new();
-        let plan =
-            solver.solve(&graph, &req, &gw, &Default::default(), &drains, SimTime::ZERO);
+        let plan = solver.solve(
+            &graph,
+            &req,
+            &gw,
+            &Default::default(),
+            &drains,
+            SimTime::ZERO,
+        );
         assert!(!plan.demand_links.is_empty());
 
         // A link in the plan explains as InPlan.
@@ -376,7 +441,14 @@ mod tests {
         // Drained endpoint.
         let mut drains2 = DrainRegistry::new();
         drains2.request(PlatformId(1), DrainMode::Force, SimTime::ZERO, None);
-        let plan2 = solver.solve(&graph, &req, &gw, &Default::default(), &drains2, SimTime::ZERO);
+        let plan2 = solver.solve(
+            &graph,
+            &req,
+            &gw,
+            &Default::default(),
+            &drains2,
+            SimTime::ZERO,
+        );
         let touching_1 = graph
             .links
             .iter()
@@ -405,7 +477,14 @@ mod tests {
             .pair_penalties
             .insert((PlatformId(0), PlatformId(1)), 5.0);
         let drains = DrainRegistry::new();
-        let plan = solver.solve(&graph, &[], &|_| vec![], &Default::default(), &drains, SimTime::ZERO);
+        let plan = solver.solve(
+            &graph,
+            &[],
+            &|_| vec![],
+            &Default::default(),
+            &drains,
+            SimTime::ZERO,
+        );
         let b2b = graph
             .links
             .iter()

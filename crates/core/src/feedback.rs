@@ -210,7 +210,9 @@ mod tests {
         let mut f = FeedbackStats::new();
         f.record_lifetime(p(0), p(1), 100.0, SimTime::ZERO);
         f.record_lifetime(p(0), p(1), 300.0, SimTime::from_secs(1));
-        let m = f.mean_lifetime_s(p(0), p(1), SimTime::from_secs(2)).expect("evidence");
+        let m = f
+            .mean_lifetime_s(p(0), p(1), SimTime::from_secs(2))
+            .expect("evidence");
         assert!((m - 200.0).abs() < 1.0, "got {m}");
         assert!(f.mean_lifetime_s(p(5), p(6), SimTime::ZERO).is_none());
     }

@@ -128,15 +128,24 @@ impl IntentStore {
 
     /// Find the live intent for a pairing key.
     pub fn live_by_key(&self, key: (TransceiverId, TransceiverId)) -> Option<&LinkIntent> {
-        self.intents.values().find(|i| i.is_live() && i.key() == key)
+        self.intents
+            .values()
+            .find(|i| i.is_live() && i.key() == key)
     }
 
     /// Create a new intent in `Desired`.
     pub fn create(&mut self, link: CandidateLink, now: SimTime) -> IntentId {
         let id = IntentId(self.next);
         self.next += 1;
-        self.intents
-            .insert(id, LinkIntent { id, link, created: now, state: LinkIntentState::Desired });
+        self.intents.insert(
+            id,
+            LinkIntent {
+                id,
+                link,
+                created: now,
+                state: LinkIntentState::Desired,
+            },
+        );
         id
     }
 
@@ -196,7 +205,10 @@ mod tests {
     }
 
     fn plan_with(links: Vec<CandidateLink>) -> TopologyPlan {
-        TopologyPlan { demand_links: links, ..Default::default() }
+        TopologyPlan {
+            demand_links: links,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -204,10 +216,26 @@ mod tests {
         let mut s = IntentStore::new();
         let id = s.create(cand(0, 0, 1, 0), SimTime::ZERO);
         assert_eq!(s.get(id).expect("exists").state, LinkIntentState::Desired);
-        s.set_state(id, LinkIntentState::Commanded { tte: SimTime::from_secs(186) });
-        s.set_state(id, LinkIntentState::Established { at: SimTime::from_secs(250) });
+        s.set_state(
+            id,
+            LinkIntentState::Commanded {
+                tte: SimTime::from_secs(186),
+            },
+        );
+        s.set_state(
+            id,
+            LinkIntentState::Established {
+                at: SimTime::from_secs(250),
+            },
+        );
         assert_eq!(s.established().count(), 1);
-        s.set_state(id, LinkIntentState::Ended { at: SimTime::from_secs(900), planned: true });
+        s.set_state(
+            id,
+            LinkIntentState::Ended {
+                at: SimTime::from_secs(900),
+                planned: true,
+            },
+        );
         assert_eq!(s.live().count(), 0);
         assert_eq!(s.all().count(), 1, "history retained");
     }
@@ -233,7 +261,12 @@ mod tests {
     fn diff_withdraws_unplanned_links() {
         let mut s = IntentStore::new();
         let id = s.create(cand(0, 0, 1, 0), SimTime::ZERO);
-        s.set_state(id, LinkIntentState::Established { at: SimTime::from_secs(10) });
+        s.set_state(
+            id,
+            LinkIntentState::Established {
+                at: SimTime::from_secs(10),
+            },
+        );
         let d = s.diff(&plan_with(vec![cand(0, 1, 2, 0)]));
         assert_eq!(d.to_withdraw, vec![id]);
         assert_eq!(d.to_establish.len(), 1);
@@ -243,7 +276,12 @@ mod tests {
     fn diff_skips_already_withdrawing() {
         let mut s = IntentStore::new();
         let id = s.create(cand(0, 0, 1, 0), SimTime::ZERO);
-        s.set_state(id, LinkIntentState::WithdrawRequested { at: SimTime::from_secs(5) });
+        s.set_state(
+            id,
+            LinkIntentState::WithdrawRequested {
+                at: SimTime::from_secs(5),
+            },
+        );
         let d = s.diff(&plan_with(vec![]));
         assert!(d.to_withdraw.is_empty(), "withdrawal already in flight");
     }
@@ -252,11 +290,19 @@ mod tests {
     fn ended_intent_key_can_be_recreated() {
         let mut s = IntentStore::new();
         let id = s.create(cand(0, 0, 1, 0), SimTime::ZERO);
-        s.set_state(id, LinkIntentState::Ended { at: SimTime::from_secs(10), planned: false });
+        s.set_state(
+            id,
+            LinkIntentState::Ended {
+                at: SimTime::from_secs(10),
+                planned: false,
+            },
+        );
         let d = s.diff(&plan_with(vec![cand(0, 0, 1, 0)]));
         assert_eq!(d.to_establish.len(), 1, "retry after unplanned end");
         let id2 = s.create(cand(0, 0, 1, 0), SimTime::from_secs(20));
         assert_ne!(id, id2);
-        assert!(s.live_by_key((cand(0, 0, 1, 0).a, cand(0, 0, 1, 0).b)).is_some());
+        assert!(s
+            .live_by_key((cand(0, 0, 1, 0).a, cand(0, 0, 1, 0).b))
+            .is_some());
     }
 }

@@ -64,7 +64,9 @@ impl std::fmt::Debug for WeatherSource {
         match self {
             WeatherSource::Itu(_) => write!(f, "WeatherSource::Itu"),
             WeatherSource::Forecast(..) => write!(f, "WeatherSource::Forecast"),
-            WeatherSource::GaugesAndForecast { .. } => write!(f, "WeatherSource::GaugesAndForecast"),
+            WeatherSource::GaugesAndForecast { .. } => {
+                write!(f, "WeatherSource::GaugesAndForecast")
+            }
         }
     }
 }
@@ -82,11 +84,20 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// An empty model with the given weather belief.
     pub fn new(weather: WeatherSource) -> Self {
-        NetworkModel { platforms: BTreeMap::new(), weather, gauge_readings: Vec::new() }
+        NetworkModel {
+            platforms: BTreeMap::new(),
+            weather,
+            gauge_readings: Vec::new(),
+        }
     }
 
     /// Register a platform with its transceivers.
-    pub fn add_platform(&mut self, id: PlatformId, kind: PlatformKind, transceivers: Vec<Transceiver>) {
+    pub fn add_platform(
+        &mut self,
+        id: PlatformId,
+        kind: PlatformKind,
+        transceivers: Vec<Transceiver>,
+    ) {
         self.platforms.insert(
             id,
             PlatformInfo {
@@ -117,7 +128,10 @@ impl NetworkModel {
 
     /// Transceiver lookup.
     pub fn transceiver(&self, id: TransceiverId) -> Option<&Transceiver> {
-        self.platforms.get(&id.platform)?.transceivers.get(id.index as usize)
+        self.platforms
+            .get(&id.platform)?
+            .transceivers
+            .get(id.index as usize)
     }
 
     /// Ingest a position report.
@@ -149,16 +163,20 @@ impl NetworkModel {
                 let f = fc.sample(pos, t.as_ms());
                 f.max(itu.sample(pos, t.as_ms()))
             }
-            WeatherSource::GaugesAndForecast { gauges, forecast, backstop } => {
+            WeatherSource::GaugesAndForecast {
+                gauges,
+                forecast,
+                backstop,
+            } => {
                 // Gauge freshness first: a covering gauge overrides
                 // everything for rain rate.
                 for (i, g) in gauges.iter().enumerate() {
                     if g.covers(pos) {
                         if let Some((_, rain, _)) = self.gauge_readings.get(i) {
-                            let cloud =
-                                forecast.sample(pos, t.as_ms()).cloud_lwc_g_m3.max(
-                                    backstop.sample(pos, t.as_ms()).cloud_lwc_g_m3,
-                                );
+                            let cloud = forecast
+                                .sample(pos, t.as_ms())
+                                .cloud_lwc_g_m3
+                                .max(backstop.sample(pos, t.as_ms()).cloud_lwc_g_m3);
                             // Gauges measure at the surface; no rain
                             // above the rain height regardless.
                             let rain = if pos.alt_m < tssdn_rf::rain::RAIN_HEIGHT_M {
@@ -166,7 +184,10 @@ impl NetworkModel {
                             } else {
                                 0.0
                             };
-                            return WeatherSample { rain_mm_h: rain, cloud_lwc_g_m3: cloud };
+                            return WeatherSample {
+                                rain_mm_h: rain,
+                                cloud_lwc_g_m3: cloud,
+                            };
                         }
                     }
                 }
@@ -239,7 +260,9 @@ mod tests {
         let mut m = NetworkModel::new(WeatherSource::Itu(ItuSeasonal::tropical_wet()));
         m.add_platform(PlatformId(0), PlatformKind::Balloon, vec![]);
         m.report_position(PlatformId(0), sample(0, 0, 37.0));
-        let p = m.predicted_position(PlatformId(0), SimTime::from_secs(100)).expect("predicted");
+        let p = m
+            .predicted_position(PlatformId(0), SimTime::from_secs(100))
+            .expect("predicted");
         // 10 m/s for 100 s → ~1 km east.
         let d = GeoPoint::new(0.0, 37.0, 18_000.0).ground_distance_m(&p);
         assert!((d - 1000.0).abs() < 20.0, "got {d}");
@@ -267,7 +290,10 @@ mod tests {
         let m = NetworkModel::new(WeatherSource::Forecast(fc, ItuSeasonal::tropical_wet()));
         let at_cell = m.modelled_weather(&GeoPoint::new(-1.0, 36.8, 500.0), SimTime::from_hours(3));
         let far = m.modelled_weather(&GeoPoint::new(1.5, 39.0, 500.0), SimTime::from_hours(3));
-        assert!(at_cell.rain_mm_h > 20.0, "forecast sees the storm: {at_cell:?}");
+        assert!(
+            at_cell.rain_mm_h > 20.0,
+            "forecast sees the storm: {at_cell:?}"
+        );
         assert!(far.rain_mm_h < 2.0, "background is climatology: {far:?}");
     }
 
@@ -277,8 +303,10 @@ mod tests {
         // A forecast that hallucinates heavy rain everywhere.
         let fc = ForecastView::new(truth, 0.0, 0, 10.0);
         let site = GeoPoint::new(-1.0, 36.8, 1600.0);
-        let gauges =
-            vec![RainGauge { site, representative_radius_m: 30_000.0 }];
+        let gauges = vec![RainGauge {
+            site,
+            representative_radius_m: 30_000.0,
+        }];
         let mut m = NetworkModel::new(WeatherSource::GaugesAndForecast {
             gauges,
             forecast: fc,

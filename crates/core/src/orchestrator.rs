@@ -33,20 +33,19 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 use tssdn_cpl::{CdpiConfig, CdpiEvent, CdpiFrontend, CommandBody};
 use tssdn_dataplane::{
-    BackhaulRequest, DrainRegistry, PrefixAllocator, RouteEntry, RoutingFabric,
+    BackhaulRequest, DrainRegistry, PrefixAllocator, RouteEntry, RouteTable, RoutingFabric,
     TunnelRegistry,
 };
 use tssdn_fault::{ChaosEngine, FaultKind, FaultPlan};
-use tssdn_geo::{line_of_sight_clear, GeoPoint, ObstructionMask, PointingSolution, TrajectorySample};
+use tssdn_geo::{
+    line_of_sight_clear, GeoPoint, ObstructionMask, PointingSolution, TrajectorySample,
+};
 use tssdn_link::{
-    AcqConfig, EndReason, LinkLedger, LinkStateMachine, LinkTransition, Transceiver,
-    TransceiverId,
+    AcqConfig, EndReason, LinkLedger, LinkStateMachine, LinkTransition, Transceiver, TransceiverId,
 };
 use tssdn_manet::{Batman, Harness as ManetHarness};
 use tssdn_rf::{evaluate_link as rf_evaluate, SyntheticWeather};
-use tssdn_sim::{
-    Fleet, FleetConfig, PlatformId, PlatformKind, RngStreams, SimDuration, SimTime,
-};
+use tssdn_sim::{Fleet, FleetConfig, PlatformId, PlatformKind, RngStreams, SimDuration, SimTime};
 use tssdn_telemetry::{AvailabilitySeries, BreakCause, Layer, RouteRecoveryTracker};
 use tssdn_traffic::{TopologyView, TrafficConfig, TrafficEngine};
 
@@ -66,7 +65,10 @@ pub struct SolverPolicy {
 
 impl Default for SolverPolicy {
     fn default() -> Self {
-        SolverPolicy { predictive_withdrawal: true, enactment_feedback: false }
+        SolverPolicy {
+            predictive_withdrawal: true,
+            enactment_feedback: false,
+        }
     }
 }
 
@@ -133,6 +135,17 @@ pub struct OrchestratorConfig {
     /// request weights are touched, and runs are bit-identical to
     /// pre-traffic builds.
     pub traffic: Option<TrafficConfig>,
+    /// Program an edge-disjoint *alternate* forwarding path for each
+    /// backhaul flow whenever the installed topology offers one (the
+    /// redundancy pass frequently does). The traffic engine splits
+    /// each site's bulk load across both paths; if the primary stops
+    /// tracing, traffic fails over to the alternate. Deliberately
+    /// independent of `traffic`: route programming must be identical
+    /// whether or not the engine is on, so traffic stays invisible to
+    /// seeded planning. Off by default — alt programs add route
+    /// command volume, which perturbs control-plane timing in every
+    /// seeded scenario; experiments opt in (E17 A/Bs it).
+    pub multipath_routes: bool,
 }
 
 /// Selectable controller weather beliefs (constructed against the
@@ -188,9 +201,23 @@ impl OrchestratorConfig {
             lora_bootstrap: false,
             fault_plan: FaultPlan::new(),
             traffic: None,
+            multipath_routes: false,
         }
     }
 }
+
+/// Which forwarding plane a pending route program targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathRole {
+    /// The flow's primary source-destination route.
+    Primary,
+    /// The edge-disjoint alternate route (multipath plane).
+    Alt,
+}
+
+/// A route program in flight: the flow, the full node path (EC
+/// included), and which forwarding plane it targets.
+type PendingRouteProgram = ((PlatformId, PlatformId), Vec<PlatformId>, PathRole);
 
 /// End-of-run headline numbers. `PartialEq` so determinism checks can
 /// compare whole summaries across repeated seeded runs.
@@ -282,8 +309,9 @@ pub struct Orchestrator {
     cpl_to_intent: BTreeMap<u64, IntentId>,
     /// Pending establish deliveries: intent → endpoints delivered.
     pending_deliveries: BTreeMap<IntentId, (bool, bool, SimTime)>,
-    /// Pending route programs: cpl intent → (flow, full path w/ EC).
-    pending_routes: BTreeMap<u64, ((PlatformId, PlatformId), Vec<PlatformId>)>,
+    /// Pending route programs: cpl intent → (flow, full path w/ EC,
+    /// which forwarding plane it targets).
+    pending_routes: BTreeMap<u64, PendingRouteProgram>,
     /// When the controller first learned of an unacted topology
     /// change; the event-driven re-solve fires `controller_pipeline`
     /// later.
@@ -296,6 +324,8 @@ pub struct Orchestrator {
     route_version: u64,
     /// Last successfully requested path per flow.
     programmed_paths: BTreeMap<(PlatformId, PlatformId), Vec<PlatformId>>,
+    /// Last successfully requested *alternate* path per flow.
+    programmed_alt_paths: BTreeMap<(PlatformId, PlatformId), Vec<PlatformId>>,
     // --- in-band mesh ---
     manet: ManetHarness<Batman>,
     // --- telemetry ---
@@ -343,36 +373,40 @@ impl Orchestrator {
         let backstop = tssdn_rf::ItuSeasonal::tropical_wet();
         let weather_source = match config.weather_model {
             WeatherModelKind::ItuOnly => WeatherSource::Itu(backstop),
-            WeatherModelKind::WithForecast { position_error_m, timing_error_ms, intensity_scale } => {
-                WeatherSource::Forecast(
-                    tssdn_rf::ForecastView::new(
-                        config.weather_truth.clone(),
-                        position_error_m,
-                        timing_error_ms,
-                        intensity_scale,
-                    ),
-                    backstop,
-                )
-            }
-            WeatherModelKind::WithGauges { position_error_m, timing_error_ms, intensity_scale } => {
-                WeatherSource::GaugesAndForecast {
-                    gauges: fleet
-                        .ground_stations
-                        .iter()
-                        .map(|g| tssdn_rf::RainGauge {
-                            site: g.pos,
-                            representative_radius_m: 40_000.0,
-                        })
-                        .collect(),
-                    forecast: tssdn_rf::ForecastView::new(
-                        config.weather_truth.clone(),
-                        position_error_m,
-                        timing_error_ms,
-                        intensity_scale,
-                    ),
-                    backstop,
-                }
-            }
+            WeatherModelKind::WithForecast {
+                position_error_m,
+                timing_error_ms,
+                intensity_scale,
+            } => WeatherSource::Forecast(
+                tssdn_rf::ForecastView::new(
+                    config.weather_truth.clone(),
+                    position_error_m,
+                    timing_error_ms,
+                    intensity_scale,
+                ),
+                backstop,
+            ),
+            WeatherModelKind::WithGauges {
+                position_error_m,
+                timing_error_ms,
+                intensity_scale,
+            } => WeatherSource::GaugesAndForecast {
+                gauges: fleet
+                    .ground_stations
+                    .iter()
+                    .map(|g| tssdn_rf::RainGauge {
+                        site: g.pos,
+                        representative_radius_m: 40_000.0,
+                    })
+                    .collect(),
+                forecast: tssdn_rf::ForecastView::new(
+                    config.weather_truth.clone(),
+                    position_error_m,
+                    timing_error_ms,
+                    intensity_scale,
+                ),
+                backstop,
+            },
         };
 
         // Controller model: platforms + transceivers. GS masks start
@@ -382,13 +416,15 @@ impl Orchestrator {
         let mut true_masks = BTreeMap::new();
         for (id, kind) in fleet.platform_ids() {
             let transceivers: Vec<Transceiver> = match kind {
-                PlatformKind::Balloon => {
-                    (0..nx).map(|i| Transceiver::balloon_of(id, i, nx)).collect()
-                }
+                PlatformKind::Balloon => (0..nx)
+                    .map(|i| Transceiver::balloon_of(id, i, nx))
+                    .collect(),
                 PlatformKind::GroundStation => {
                     let for_ = tssdn_geo::FieldOfRegard::ground_station(2.0);
                     true_masks.insert(id, for_.mask.clone());
-                    (0..2).map(|i| Transceiver::ground_station(id, i, for_.clone())).collect()
+                    (0..2)
+                        .map(|i| Transceiver::ground_station(id, i, for_.clone()))
+                        .collect()
                 }
             };
             model.add_platform(id, kind, transceivers);
@@ -398,8 +434,9 @@ impl Orchestrator {
         let mut tunnels = TunnelRegistry::new();
         let mut prefixes = PrefixAllocator::loon_default();
         let ec_base = fleet.num_platforms() as u32;
-        let ec_ids: Vec<PlatformId> =
-            (0..config.num_ec).map(|i| PlatformId(ec_base + i as u32)).collect();
+        let ec_ids: Vec<PlatformId> = (0..config.num_ec)
+            .map(|i| PlatformId(ec_base + i as u32))
+            .collect();
         for ec in &ec_ids {
             for gs in &fleet.ground_stations {
                 tunnels.establish(gs.id, *ec, SimTime::ZERO);
@@ -465,6 +502,7 @@ impl Orchestrator {
             dirty_since: None,
             pending_knowledge: Vec::new(),
             programmed_paths: BTreeMap::new(),
+            programmed_alt_paths: BTreeMap::new(),
             manet,
             availability: AvailabilitySeries::new(tssdn_sim::time::MS_PER_DAY),
             recovery: RouteRecoveryTracker::new(),
@@ -524,7 +562,10 @@ impl Orchestrator {
     ) {
         let mut mask = ObstructionMask::clear();
         mask.add_sector(az_start, az_end, max_el);
-        self.soft_obstructions.entry(gs).or_default().push((mask, loss_db));
+        self.soft_obstructions
+            .entry(gs)
+            .or_default()
+            .push((mask, loss_db));
     }
 
     /// Inject or clear a ground-station outage (site power/backhaul
@@ -537,7 +578,8 @@ impl Orchestrator {
     pub fn set_gs_outage(&mut self, gs: PlatformId, down: bool) {
         if down {
             if !self.chaos.gs_dark(gs) {
-                self.chaos.force_start(FaultKind::GsOutage { site: gs }, self.now);
+                self.chaos
+                    .force_start(FaultKind::GsOutage { site: gs }, self.now);
             }
         } else {
             self.chaos.force_clear(
@@ -606,7 +648,10 @@ impl Orchestrator {
             // active fault every knob is at its nominal value and no
             // extra RNG is consumed, so chaos-free runs are untouched.
             self.chaos.advance(self.now);
-            let (scale, drop) = self.chaos.satcom_disturbance(self.now).unwrap_or((1.0, 0.0));
+            let (scale, drop) = self
+                .chaos
+                .satcom_disturbance(self.now)
+                .unwrap_or((1.0, 0.0));
             self.cdpi.satcom.latency_scale = scale;
             self.cdpi.satcom.brownout_drop_prob = drop;
             self.cdpi.chaos = match self.chaos.command_chaos() {
@@ -674,9 +719,18 @@ impl Orchestrator {
                 .count(),
             availability: vec![
                 (Layer::Link, self.availability.overall(Layer::Link)),
-                (Layer::ControlPlane, self.availability.overall(Layer::ControlPlane)),
-                (Layer::DataPlane, self.availability.overall(Layer::DataPlane)),
-                (Layer::DataPlaneStale, self.availability.overall(Layer::DataPlaneStale)),
+                (
+                    Layer::ControlPlane,
+                    self.availability.overall(Layer::ControlPlane),
+                ),
+                (
+                    Layer::DataPlane,
+                    self.availability.overall(Layer::DataPlane),
+                ),
+                (
+                    Layer::DataPlaneStale,
+                    self.availability.overall(Layer::DataPlaneStale),
+                ),
             ],
         }
     }
@@ -691,7 +745,10 @@ impl Orchestrator {
             let pos = self.fleet.position(id);
             // GPS noise on balloon reports (~10 m).
             let (noise_e, noise_n): (f64, f64) = if kind == PlatformKind::Balloon {
-                (self.rng_report.gen_range(-10.0..10.0), self.rng_report.gen_range(-10.0..10.0))
+                (
+                    self.rng_report.gen_range(-10.0..10.0),
+                    self.rng_report.gen_range(-10.0..10.0),
+                )
             } else {
                 (0.0, 0.0)
             };
@@ -718,7 +775,13 @@ impl Orchestrator {
         if let WeatherSource::GaugesAndForecast { gauges, .. } = &self.model.weather {
             let readings: Vec<(GeoPoint, f64, SimTime)> = gauges
                 .iter()
-                .map(|g| (g.site, g.read(&self.config.weather_truth, self.now.as_ms()), self.now))
+                .map(|g| {
+                    (
+                        g.site,
+                        g.read(&self.config.weather_truth, self.now.as_ms()),
+                        self.now,
+                    )
+                })
                 .collect();
             self.model.gauge_readings = readings;
         }
@@ -784,7 +847,12 @@ impl Orchestrator {
         // through them without fully blocking.
         let mut margin = rep.margin_db;
         for (t, dir) in [(a, &p_ab.direction), (b, &p_ba.direction)] {
-            for (mask, loss) in self.soft_obstructions.get(&t.platform).into_iter().flatten() {
+            for (mask, loss) in self
+                .soft_obstructions
+                .get(&t.platform)
+                .into_iter()
+                .flatten()
+            {
                 if mask.blocks(dir) {
                     margin -= loss;
                 }
@@ -802,10 +870,16 @@ impl Orchestrator {
 
     fn handle_cpl_event(&mut self, ev: CdpiEvent) {
         match ev {
-            CdpiEvent::DeliveredToNode { cmd, at: _, channel: _ } => match cmd.body {
+            CdpiEvent::DeliveredToNode {
+                cmd,
+                at: _,
+                channel: _,
+            } => match cmd.body {
                 CommandBody::EstablishLink { intent_id, .. } => {
                     let iid = IntentId(intent_id);
-                    let Some(intent) = self.intents.get(iid) else { return };
+                    let Some(intent) = self.intents.get(iid) else {
+                        return;
+                    };
                     let (end_a, end_b) = (intent.link.a.platform, intent.link.b.platform);
                     let e = self
                         .pending_deliveries
@@ -837,13 +911,19 @@ impl Orchestrator {
                             if i.is_live() {
                                 self.intents.set_state(
                                     iid,
-                                    LinkIntentState::Ended { at: self.now, planned: true },
+                                    LinkIntentState::Ended {
+                                        at: self.now,
+                                        planned: true,
+                                    },
                                 );
                             }
                         }
                     }
                 }
-                CommandBody::SetRoutes { version, entries: _ } => {
+                CommandBody::SetRoutes {
+                    version,
+                    entries: _,
+                } => {
                     // Per-node application: install this node's hops for
                     // the pending program (no global sequencing — the
                     // paper's admitted blackhole window).
@@ -852,16 +932,19 @@ impl Orchestrator {
                         .iter()
                         .find(|(cpl_id, _)| self.cpl_route_dest_matches(**cpl_id, cmd.dest))
                         .map(|(k, v)| (*k, v.clone()));
-                    if let Some((_, (flow, path))) = found {
-                        self.apply_node_routes(cmd.dest, version, flow, &path);
+                    if let Some((_, (flow, path, role))) = found {
+                        self.apply_node_routes(cmd.dest, version, flow, &path, role);
                     }
                 }
             },
             CdpiEvent::IntentConfirmed { intent_id, .. } => {
-                if let Some((flow, path)) = self.pending_routes.remove(&intent_id) {
+                if let Some((flow, path, role)) = self.pending_routes.remove(&intent_id) {
                     // The program is fully applied: clean the flow's
                     // stale entries off nodes that left its path (the
                     // route-deletion commands ride the same program).
+                    // Each forwarding plane cleans only its own
+                    // entries, so an alt program never disturbs the
+                    // primary route and vice versa.
                     let src = self.prefixes.get(flow.0).expect("allocated");
                     let dst = self.prefixes.get(flow.1).expect("allocated");
                     let off_path: Vec<PlatformId> = self
@@ -871,15 +954,32 @@ impl Orchestrator {
                         .filter(|id| !path.contains(id))
                         .collect();
                     for node in off_path {
-                        if let Some(t) = self.fabric.table(node) {
-                            if t.lookup(src, dst).is_some() || t.lookup(dst, src).is_some() {
-                                let t = self.fabric.table_mut(node);
-                                t.remove(src, dst);
-                                t.remove(dst, src);
+                        let Some(t) = self.fabric.table(node) else {
+                            continue;
+                        };
+                        match role {
+                            PathRole::Primary => {
+                                if t.lookup(src, dst).is_some() || t.lookup(dst, src).is_some() {
+                                    let t = self.fabric.table_mut(node);
+                                    t.remove(src, dst);
+                                    t.remove(dst, src);
+                                }
+                            }
+                            PathRole::Alt => {
+                                if t.lookup_alt(src, dst).is_some()
+                                    || t.lookup_alt(dst, src).is_some()
+                                {
+                                    let t = self.fabric.table_mut(node);
+                                    t.remove_alt(src, dst);
+                                    t.remove_alt(dst, src);
+                                }
                             }
                         }
                     }
-                    self.programmed_paths.insert(flow, path);
+                    match role {
+                        PathRole::Primary => self.programmed_paths.insert(flow, path),
+                        PathRole::Alt => self.programmed_alt_paths.insert(flow, path),
+                    };
                 } else if let Some(&iid) = self.cpl_to_intent.get(&intent_id) {
                     // Side-channel confirmation of a link intent whose
                     // establish deliveries never completed (a brownout
@@ -911,8 +1011,13 @@ impl Orchestrator {
                     // Establish commands undeliverable: intent dies.
                     if let Some(i) = self.intents.get(iid) {
                         if i.is_live() && !matches!(i.state, LinkIntentState::Established { .. }) {
-                            self.intents
-                                .set_state(iid, LinkIntentState::Ended { at: self.now, planned: false });
+                            self.intents.set_state(
+                                iid,
+                                LinkIntentState::Ended {
+                                    at: self.now,
+                                    planned: false,
+                                },
+                            );
                             // Close the ledger record.
                             if let Some(m) = self.machines.iter().find(|m| m.intent == iid) {
                                 self.ledger.record_end(
@@ -921,7 +1026,11 @@ impl Orchestrator {
                                     EndReason::CommandUndeliverable,
                                 );
                             } else if let Some(lid) = self.ledger_id_for(iid) {
-                                self.ledger.record_end(lid, self.now, EndReason::CommandUndeliverable);
+                                self.ledger.record_end(
+                                    lid,
+                                    self.now,
+                                    EndReason::CommandUndeliverable,
+                                );
                             }
                             self.pending_deliveries.remove(&iid);
                         }
@@ -936,7 +1045,7 @@ impl Orchestrator {
     fn cpl_route_dest_matches(&self, cpl_id: u64, dest: PlatformId) -> bool {
         self.pending_routes
             .get(&cpl_id)
-            .map(|(_, path)| path.contains(&dest))
+            .map(|(_, path, _)| path.contains(&dest))
             .unwrap_or(false)
     }
 
@@ -954,7 +1063,9 @@ impl Orchestrator {
     }
 
     fn spawn_machine(&mut self, iid: IntentId, tte: SimTime) {
-        let Some(intent) = self.intents.get(iid) else { return };
+        let Some(intent) = self.intents.get(iid) else {
+            return;
+        };
         if !intent.is_live() {
             return;
         }
@@ -1007,12 +1118,7 @@ impl Orchestrator {
     /// How long until the controller learns about an unexpected link
     /// event: fast (telemetry over a surviving in-band connection) or
     /// slow (satcom telemetry cadence) when an endpoint was cut off.
-    fn detection_delay(
-        &self,
-        a: PlatformId,
-        b: PlatformId,
-        _reason: EndReason,
-    ) -> SimDuration {
+    fn detection_delay(&self, a: PlatformId, b: PlatformId, _reason: EndReason) -> SimDuration {
         let inband = |p: PlatformId| {
             self.fleet.kind(p) == PlatformKind::GroundStation
                 || self.cdpi.inband.is_reachable(p, self.now)
@@ -1039,7 +1145,8 @@ impl Orchestrator {
         for (intent, at, planned) in due {
             if let Some(i) = self.intents.get(intent) {
                 if i.is_live() {
-                    self.intents.set_state(intent, LinkIntentState::Ended { at, planned });
+                    self.intents
+                        .set_state(intent, LinkIntentState::Ended { at, planned });
                     self.dirty_since.get_or_insert(self.now);
                 }
             }
@@ -1062,8 +1169,12 @@ impl Orchestrator {
             }
         }
         for (i, tr) in transitions {
-            let (ledger_id, intent, a, b) =
-                (self.machines[i].ledger_id, self.machines[i].intent, self.machines[i].a, self.machines[i].b);
+            let (ledger_id, intent, a, b) = (
+                self.machines[i].ledger_id,
+                self.machines[i].intent,
+                self.machines[i].a,
+                self.machines[i].b,
+            );
             match tr {
                 LinkTransition::EnactStarted { .. } => {}
                 LinkTransition::AttemptStarted { .. } => {
@@ -1075,9 +1186,11 @@ impl Orchestrator {
                     self.ledger.record_attempt(ledger_id);
                 }
                 LinkTransition::Established { at, sidelobe } => {
-                    self.feedback.record_enactment(a.platform, b.platform, true, at);
+                    self.feedback
+                        .record_enactment(a.platform, b.platform, true, at);
                     self.ledger.record_established(ledger_id, at, sidelobe);
-                    self.intents.set_state(intent, LinkIntentState::Established { at });
+                    self.intents
+                        .set_state(intent, LinkIntentState::Established { at });
                     // Mesh edge appears.
                     let q = 0.95;
                     self.manet.set_link(a.platform, b.platform, q);
@@ -1089,18 +1202,24 @@ impl Orchestrator {
                 }
                 LinkTransition::Failed { at, reason } => {
                     if !reason.is_planned() {
-                        self.feedback.record_enactment(a.platform, b.platform, false, at);
+                        self.feedback
+                            .record_enactment(a.platform, b.platform, false, at);
                     }
                     self.ledger.record_end(ledger_id, at, reason);
                     // Enactment failures: the controller learns by
                     // timeout/telemetry after a detection delay.
                     let learn_at = at + self.detection_delay(a.platform, b.platform, reason);
-                    self.pending_knowledge.push((learn_at, intent, at, reason.is_planned()));
+                    self.pending_knowledge
+                        .push((learn_at, intent, at, reason.is_planned()));
                 }
                 LinkTransition::Ended { at, reason } => {
                     if let Some(est) = self.ledger.get(ledger_id).established {
-                        self.feedback
-                            .record_lifetime(a.platform, b.platform, (at - est).as_secs_f64(), at);
+                        self.feedback.record_lifetime(
+                            a.platform,
+                            b.platform,
+                            (at - est).as_secs_f64(),
+                            at,
+                        );
                     }
                     self.ledger.record_end(ledger_id, at, reason);
                     self.manet.remove_link(a.platform, b.platform);
@@ -1115,8 +1234,7 @@ impl Orchestrator {
                             .set_state(intent, LinkIntentState::Ended { at, planned: true });
                         self.dirty_since.get_or_insert(self.now);
                     } else {
-                        let learn_at =
-                            at + self.detection_delay(a.platform, b.platform, reason);
+                        let learn_at = at + self.detection_delay(a.platform, b.platform, reason);
                         self.pending_knowledge.push((learn_at, intent, at, false));
                     }
                 }
@@ -1129,8 +1247,7 @@ impl Orchestrator {
         // LoRa coverage: a balloon within 350 km ground range of any
         // GS site can hear the one-hop bootstrap channel.
         if self.config.lora_bootstrap {
-            let sites: Vec<GeoPoint> =
-                self.fleet.ground_stations.iter().map(|g| g.pos).collect();
+            let sites: Vec<GeoPoint> = self.fleet.ground_stations.iter().map(|g| g.pos).collect();
             for b in 0..self.fleet.balloons.len() as u32 {
                 let id = PlatformId(b);
                 let pos = self.fleet.position(id);
@@ -1154,7 +1271,9 @@ impl Orchestrator {
             }
         }
         // Balloons: reachable when BATMAN routes them to a gateway.
-        let balloons: Vec<PlatformId> = (0..self.fleet.balloons.len() as u32).map(PlatformId).collect();
+        let balloons: Vec<PlatformId> = (0..self.fleet.balloons.len() as u32)
+            .map(PlatformId)
+            .collect();
         for b in balloons {
             let gw = self.manet.protocol().selected_gateway(b);
             let reachable = gw
@@ -1201,7 +1320,9 @@ impl Orchestrator {
     }
 
     fn controller_cycle(&mut self) {
-        let graph = self.evaluator.evaluate(&self.model, self.now + self.config.plan_lead);
+        let graph = self
+            .evaluator
+            .evaluate(&self.model, self.now + self.config.plan_lead);
         self.last_graph = Some(graph.clone());
         self.solve_and_actuate(&graph);
         // Record model-vs-measured samples for established links.
@@ -1239,8 +1360,14 @@ impl Orchestrator {
         };
         let tunnels = &self.tunnels;
         let gw = |ec: PlatformId| tunnels.gateways_to(ec);
-        let plan =
-            self.solver.solve(graph, &self.requests, &gw, &previous, &self.drains, self.now);
+        let plan = self.solver.solve(
+            graph,
+            &self.requests,
+            &gw,
+            &previous,
+            &self.drains,
+            self.now,
+        );
         let diff = self.intents.diff(&plan);
 
         // Radios already committed to a live intent cannot be tasked
@@ -1263,23 +1390,34 @@ impl Orchestrator {
                 vec![
                     (
                         link.a.platform,
-                        CommandBody::EstablishLink { intent_id: iid.0, local: link.a, peer: link.b },
+                        CommandBody::EstablishLink {
+                            intent_id: iid.0,
+                            local: link.a,
+                            peer: link.b,
+                        },
                     ),
                     (
                         link.b.platform,
-                        CommandBody::EstablishLink { intent_id: iid.0, local: link.b, peer: link.a },
+                        CommandBody::EstablishLink {
+                            intent_id: iid.0,
+                            local: link.b,
+                            peer: link.a,
+                        },
                     ),
                 ],
                 self.now,
             );
             self.cpl_to_intent.insert(cpl_id, iid);
-            self.intents.set_state(iid, LinkIntentState::Commanded { tte });
+            self.intents
+                .set_state(iid, LinkIntentState::Commanded { tte });
         }
 
         // Withdraw links the plan no longer wants (policy-gated).
         if self.config.policy.predictive_withdrawal {
             for iid in diff.to_withdraw {
-                let Some(i) = self.intents.get(iid) else { continue };
+                let Some(i) = self.intents.get(iid) else {
+                    continue;
+                };
                 let (pa, pb) = (i.link.a.platform, i.link.b.platform);
                 let (cpl_id, _) = self.cdpi.submit_intent(
                     vec![
@@ -1321,8 +1459,7 @@ impl Orchestrator {
             .filter(|i| {
                 matches!(
                     i.state,
-                    LinkIntentState::Established { .. }
-                        | LinkIntentState::WithdrawRequested { .. }
+                    LinkIntentState::Established { .. } | LinkIntentState::WithdrawRequested { .. }
                 )
             })
             .map(|i| {
@@ -1338,31 +1475,85 @@ impl Orchestrator {
             let Some(path) = Self::route_over(&durable, req.node, &gws) else {
                 continue;
             };
-            let mut full = path;
+            let mut full = path.clone();
             full.push(req.ec);
-            if self.programmed_paths.get(&flow) == Some(&full) {
+            let primary_current = self.programmed_paths.get(&flow) == Some(&full);
+            let primary_pending = self
+                .pending_routes
+                .values()
+                .any(|(f, _, r)| *f == flow && *r == PathRole::Primary);
+            if !primary_current && !primary_pending {
+                self.submit_route_program(flow, full.clone(), PathRole::Primary);
+            }
+
+            if !self.config.multipath_routes {
                 continue;
             }
-            if self.pending_routes.values().any(|(f, _)| *f == flow) {
-                continue; // a program for this flow is in flight
+            // Alternates must never contend with their own primary for
+            // control-plane capacity: during the daily satcom bootstrap
+            // the command queue is the bottleneck, and interleaving alt
+            // programs with fresh primaries measurably delays the
+            // primary data plane coming up. Program the alternate only
+            // once the primary is confirmed-current.
+            if !primary_current || primary_pending {
+                continue;
             }
-            self.route_version += 1;
-            let parts: Vec<(PlatformId, CommandBody)> = full
-                .iter()
-                .filter(|n| !self.ec_ids.contains(n))
-                .map(|n| {
-                    (
-                        *n,
-                        CommandBody::SetRoutes {
-                            version: self.route_version,
-                            entries: full.len() as u16,
-                        },
-                    )
-                })
-                .collect();
-            let (cpl_id, _) = self.cdpi.submit_intent(parts, self.now);
-            self.pending_routes.insert(cpl_id, (flow, full));
+            // Edge-disjoint alternate: drop the primary's radio edges
+            // from the believed-durable set and search again. When
+            // the redundancy pass gave the site a second established
+            // route, this finds it; the traffic engine then splits
+            // the site's bulk load across both planes.
+            let mut reduced = durable.clone();
+            for w in path.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                reduced.remove(&(x.min(y), x.max(y)));
+            }
+            let Some(alt) = Self::route_over(&reduced, req.node, &gws) else {
+                continue;
+            };
+            let mut alt_full = alt;
+            alt_full.push(req.ec);
+            if alt_full == full {
+                continue;
+            }
+            if self.programmed_alt_paths.get(&flow) == Some(&alt_full) {
+                continue;
+            }
+            if self
+                .pending_routes
+                .values()
+                .any(|(f, _, r)| *f == flow && *r == PathRole::Alt)
+            {
+                continue; // an alt program for this flow is in flight
+            }
+            self.submit_route_program(flow, alt_full, PathRole::Alt);
         }
+    }
+
+    /// Submit one SetRoutes program over the control plane and track
+    /// it until confirmation.
+    fn submit_route_program(
+        &mut self,
+        flow: (PlatformId, PlatformId),
+        full: Vec<PlatformId>,
+        role: PathRole,
+    ) {
+        self.route_version += 1;
+        let parts: Vec<(PlatformId, CommandBody)> = full
+            .iter()
+            .filter(|n| !self.ec_ids.contains(n))
+            .map(|n| {
+                (
+                    *n,
+                    CommandBody::SetRoutes {
+                        version: self.route_version,
+                        entries: full.len() as u16,
+                    },
+                )
+            })
+            .collect();
+        let (cpl_id, _) = self.cdpi.submit_intent(parts, self.now);
+        self.pending_routes.insert(cpl_id, (flow, full, role));
     }
 
     fn apply_node_routes(
@@ -1371,23 +1562,56 @@ impl Orchestrator {
         version: u64,
         flow: (PlatformId, PlatformId),
         path: &[PlatformId],
+        role: PathRole,
     ) {
         let src = self.prefixes.get(flow.0).expect("allocated");
         let dst = self.prefixes.get(flow.1).expect("allocated");
-        let Some(idx) = path.iter().position(|n| *n == node) else { return };
+        let Some(idx) = path.iter().position(|n| *n == node) else {
+            return;
+        };
         let t = self.fabric.table_mut(node);
         // Stale-version guard: a reordered or long-delayed SetRoutes
-        // must not clobber a newer program already applied here.
-        if version < t.version {
+        // must not clobber a newer program already applied here. The
+        // guard is per plane — primary and alternate programs are
+        // separate control-plane intents that share the global version
+        // counter, and their commands can land in either order (channel
+        // selection and retry timing differ per intent), so an alt
+        // program arriving first must not make the primary look stale.
+        let applied = match role {
+            PathRole::Primary => t.version,
+            PathRole::Alt => t.alt_version,
+        };
+        if version < applied {
             return;
         }
+        let install = |t: &mut RouteTable, e: RouteEntry| match role {
+            PathRole::Primary => t.install(e),
+            PathRole::Alt => t.install_alt(e),
+        };
         if idx + 1 < path.len() {
-            t.install(RouteEntry { src, dst, next_hop: path[idx + 1] });
+            install(
+                t,
+                RouteEntry {
+                    src,
+                    dst,
+                    next_hop: path[idx + 1],
+                },
+            );
         }
         if idx > 0 {
-            t.install(RouteEntry { src: dst, dst: src, next_hop: path[idx - 1] });
+            install(
+                t,
+                RouteEntry {
+                    src: dst,
+                    dst: src,
+                    next_hop: path[idx - 1],
+                },
+            );
         }
-        t.version = version;
+        match role {
+            PathRole::Primary => t.version = version,
+            PathRole::Alt => t.alt_version = version,
+        }
     }
 
     /// The model's *current* expectation for an established link's
@@ -1451,7 +1675,9 @@ impl Orchestrator {
                     at: self.now,
                     observer,
                     pointing,
-                    modelled_db: self.believed_margin_now(&i.link).unwrap_or(i.link.margin_db),
+                    modelled_db: self
+                        .believed_margin_now(&i.link)
+                        .unwrap_or(i.link.margin_db),
                     measured_db: measured,
                     kind: i.kind(),
                 })
@@ -1480,8 +1706,9 @@ impl Orchestrator {
                     .collect()
             })
             .unwrap_or_default();
-        let balloons: Vec<PlatformId> =
-            (0..self.fleet.balloons.len() as u32).map(PlatformId).collect();
+        let balloons: Vec<PlatformId> = (0..self.fleet.balloons.len() as u32)
+            .map(PlatformId)
+            .collect();
         for b in balloons {
             let eligible = self.effectively_powered(b) && reachable.contains(&b);
             // Link layer: any installed link touches the balloon.
@@ -1504,9 +1731,12 @@ impl Orchestrator {
                     }
                 })
                 .is_some();
-            self.availability.record(b, Layer::Link, eligible, link_up, self.now);
-            self.availability.record(b, Layer::ControlPlane, eligible, control_up, self.now);
-            self.availability.record(b, Layer::DataPlane, eligible, data_up, self.now);
+            self.availability
+                .record(b, Layer::Link, eligible, link_up, self.now);
+            self.availability
+                .record(b, Layer::ControlPlane, eligible, control_up, self.now);
+            self.availability
+                .record(b, Layer::DataPlane, eligible, data_up, self.now);
             // Fail-static: forwarding continues on stale routes while
             // the controller can't reach the node. Tracked as its own
             // layer so soaks can see how much of data-plane uptime was
@@ -1571,14 +1801,37 @@ impl Orchestrator {
         let reachable: std::collections::BTreeSet<PlatformId> = self
             .last_graph
             .as_ref()
-            .map(|g| g.links.iter().flat_map(|l| [l.a.platform, l.b.platform]).collect())
+            .map(|g| {
+                g.links
+                    .iter()
+                    .flat_map(|l| [l.a.platform, l.b.platform])
+                    .collect()
+            })
             .unwrap_or_default();
         for b in (0..self.fleet.balloons.len() as u32).map(PlatformId) {
             if self.effectively_powered(b) && reachable.contains(&b) {
                 view.eligible.insert(b);
             }
-            if let Some(path) = self.active_path(b) {
-                view.paths.insert(b, path);
+            let primary = self.active_path(b);
+            let alt = self.active_alt_path(b);
+            match (primary, alt) {
+                (Some(p), Some(a)) => {
+                    view.paths.insert(b, p.clone());
+                    if a != p {
+                        view.alt_paths.insert(b, a);
+                    }
+                }
+                (Some(p), None) => {
+                    view.paths.insert(b, p);
+                }
+                // Failover promotion: the primary no longer traces but
+                // the redundant plane still does — traffic rides it as
+                // the (sole) forwarding path until the controller
+                // reprograms the primary.
+                (None, Some(a)) => {
+                    view.paths.insert(b, a);
+                }
+                (None, None) => {}
             }
         }
         // Aggregate established machines into per-platform-pair edge
@@ -1587,10 +1840,15 @@ impl Orchestrator {
             if !m.machine.is_established() {
                 continue;
             }
-            let Some(margin) = self.true_margin(m.a, m.b, m.band) else { continue };
+            let Some(margin) = self.true_margin(m.a, m.b, m.band) else {
+                continue;
+            };
             let cap = (tssdn_rf::capacity_mbps(margin) * 1e6) as u64;
             let (x, y) = (m.a.platform, m.b.platform);
-            *view.link_capacity_bps.entry((x.min(y), x.max(y))).or_default() += cap;
+            *view
+                .link_capacity_bps
+                .entry((x.min(y), x.max(y)))
+                .or_default() += cap;
         }
 
         let engine = self.traffic.as_mut().expect("checked above");
@@ -1668,6 +1926,23 @@ impl Orchestrator {
         let dst = self.prefixes.get(ec)?;
         let established = self.physical_up_links();
         self.fabric.trace_flow(src, dst, b, ec, |x, y| {
+            if self.ec_ids.contains(&y) {
+                self.tunnels.connected(x, y)
+            } else {
+                established.contains(&(x.min(y), x.max(y)))
+            }
+        })
+    }
+
+    /// The currently-working *alternate* data-plane path for a
+    /// balloon's flow, if an alt route was programmed and traces
+    /// end-to-end over up links.
+    pub fn active_alt_path(&self, b: PlatformId) -> Option<Vec<PlatformId>> {
+        let ec = self.ec_ids[0];
+        let src = self.prefixes.get(b)?;
+        let dst = self.prefixes.get(ec)?;
+        let established = self.physical_up_links();
+        self.fabric.trace_flow_alt(src, dst, b, ec, |x, y| {
             if self.ec_ids.contains(&y) {
                 self.tunnels.connected(x, y)
             } else {
@@ -1787,16 +2062,25 @@ mod tests {
         assert!(s.intents_created > 0, "controller issued link intents");
         assert!(s.links_established > 0, "some links established: {s:?}");
         let link_av = o.availability.overall(Layer::Link);
-        assert!(link_av.map(|a| a > 0.3).unwrap_or(false), "link layer mostly up: {link_av:?}");
+        assert!(
+            link_av.map(|a| a > 0.3).unwrap_or(false),
+            "link layer mostly up: {link_av:?}"
+        );
         let cp = o.availability.overall(Layer::ControlPlane);
-        assert!(cp.map(|a| a > 0.2).unwrap_or(false), "control plane reachable: {cp:?}");
+        assert!(
+            cp.map(|a| a > 0.2).unwrap_or(false),
+            "control plane reachable: {cp:?}"
+        );
     }
 
     #[test]
     fn traffic_engine_carries_load_once_routes_exist() {
         let mut cfg = OrchestratorConfig::kenya(6, 42);
         cfg.fleet.spawn_radius_m = 150_000.0;
-        cfg.traffic = Some(TrafficConfig { workers: 1, ..TrafficConfig::default() });
+        cfg.traffic = Some(TrafficConfig {
+            workers: 1,
+            ..TrafficConfig::default()
+        });
         let mut o = Orchestrator::new(cfg);
         o.run_until(SimTime::from_hours(12));
         let engine = o.traffic().expect("traffic enabled");
@@ -1820,7 +2104,10 @@ mod tests {
         let o = small();
         assert!(o.traffic().is_none());
         // Static demand weights stay untouched.
-        assert!(o.backhaul_requests().iter().all(|r| r.min_bitrate_bps == o.config.demand_bps));
+        assert!(o
+            .backhaul_requests()
+            .iter()
+            .all(|r| r.min_bitrate_bps == o.config.demand_bps));
     }
 
     #[test]
@@ -1833,6 +2120,71 @@ mod tests {
             "some data-plane availability by noon: {dp:?}"
         );
         assert!(!o.programmed_paths.is_empty(), "paths programmed");
+    }
+
+    #[test]
+    fn multipath_programs_alt_routes_when_redundancy_exists() {
+        let mut cfg = OrchestratorConfig::kenya(6, 42);
+        cfg.fleet.spawn_radius_m = 150_000.0;
+        cfg.multipath_routes = true;
+        let mut o = Orchestrator::new(cfg);
+        o.run_until(SimTime::from_hours(12));
+        assert!(
+            !o.programmed_alt_paths.is_empty(),
+            "edge-disjoint alternates programmed by noon"
+        );
+        // Every alt differs from the primary for the same flow.
+        for (flow, alt) in &o.programmed_alt_paths {
+            assert_ne!(
+                Some(alt),
+                o.programmed_paths.get(flow),
+                "alt distinct for {flow:?}"
+            );
+        }
+        // At least one balloon's alternate actually traces end-to-end.
+        let live = (0..o.fleet.balloons.len() as u32)
+            .map(PlatformId)
+            .filter(|b| o.active_alt_path(*b).is_some())
+            .count();
+        assert!(live > 0, "some alt path traces over up links");
+
+        // With multipath routing off (the default), no alt programs
+        // are issued.
+        let mut off = small();
+        off.run_until(SimTime::from_hours(12));
+        assert!(off.programmed_alt_paths.is_empty());
+        assert!(!off.programmed_paths.is_empty());
+    }
+
+    #[test]
+    fn alt_program_arriving_first_does_not_stale_out_the_primary() {
+        // Primary and alt programs for a flow are separate intents
+        // sharing the global version counter; their commands can be
+        // delivered in either order. An alt install (higher version)
+        // landing first must not make the primary install look stale.
+        let mut o = small();
+        let ec = o.ec_ids[0];
+        let (b, mid) = (PlatformId(0), PlatformId(1));
+        let flow = (b, ec);
+        let path = vec![b, mid, ec];
+        o.apply_node_routes(mid, 2, flow, &path, PathRole::Alt);
+        o.apply_node_routes(mid, 1, flow, &path, PathRole::Primary);
+        let src = o.prefixes.get(b).unwrap();
+        let dst = o.prefixes.get(ec).unwrap();
+        let t = o.fabric.table(mid).expect("table exists");
+        assert_eq!(t.lookup(src, dst), Some(ec), "primary installed");
+        assert_eq!(t.lookup_alt(src, dst), Some(ec), "alt installed");
+        assert_eq!(t.version, 1);
+        assert_eq!(t.alt_version, 2);
+        // And the per-plane guard still rejects genuinely stale
+        // programs within a plane: a lower-versioned primary must not
+        // clobber the newer primary already applied.
+        o.apply_node_routes(b, 3, flow, &path, PathRole::Primary);
+        let direct = vec![b, ec];
+        o.apply_node_routes(b, 2, flow, &direct, PathRole::Primary);
+        let tb = o.fabric.table(b).expect("table exists");
+        assert_eq!(tb.lookup(src, dst), Some(mid), "stale primary dropped");
+        assert_eq!(tb.version, 3);
     }
 
     #[test]
@@ -1875,7 +2227,10 @@ mod tests {
         let errors = o.validator.errors_db(LinkKind::B2B);
         if !errors.is_empty() {
             let med = tssdn_telemetry::percentile(&errors, 50.0).expect("non-empty");
-            assert!(med > 0.0, "pessimistic model ⇒ positive median error, got {med}");
+            assert!(
+                med > 0.0,
+                "pessimistic model ⇒ positive median error, got {med}"
+            );
         }
     }
 

@@ -34,7 +34,10 @@ pub fn solve_reference(
     drains: &DrainRegistry,
     now: SimTime,
 ) -> TopologyPlan {
-    let mut plan = TopologyPlan { at: candidates.at, ..Default::default() };
+    let mut plan = TopologyPlan {
+        at: candidates.at,
+        ..Default::default()
+    };
     let mut viable: Vec<bool> = vec![true; candidates.links.len()];
     // Exclude candidates touching drained nodes outright.
     for (i, l) in candidates.links.iter().enumerate() {
@@ -77,7 +80,13 @@ pub fn solve_reference(
     // Greedy utility iteration (Appendix B).
     loop {
         let (utilities, routes) = estimate_utilities(
-            solver, candidates, requests, gateways_to_ec, previous, &viable, &selected,
+            solver,
+            candidates,
+            requests,
+            gateways_to_ec,
+            previous,
+            &viable,
+            &selected,
         );
         // Highest-utility *unselected* viable candidate; ties break
         // toward higher link margin (more robust choice).
@@ -149,7 +158,10 @@ fn estimate_utilities(
     previous: &BTreeSet<(TransceiverId, TransceiverId)>,
     viable: &[bool],
     selected: &[usize],
-) -> (Vec<f64>, BTreeMap<(PlatformId, PlatformId), Option<Vec<PlatformId>>>) {
+) -> (
+    Vec<f64>,
+    BTreeMap<(PlatformId, PlatformId), Option<Vec<PlatformId>>>,
+) {
     // Platform-level adjacency: edge → (cost, candidate index).
     let mut adj: BTreeMap<PlatformId, Vec<(PlatformId, f64, usize)>> = BTreeMap::new();
     for (i, l) in candidates.links.iter().enumerate() {
@@ -174,8 +186,12 @@ fn estimate_utilities(
         if let Some(m) = solver.pair_penalties.get(&pk) {
             cost *= m;
         }
-        adj.entry(l.a.platform).or_default().push((l.b.platform, cost, i));
-        adj.entry(l.b.platform).or_default().push((l.a.platform, cost, i));
+        adj.entry(l.a.platform)
+            .or_default()
+            .push((l.b.platform, cost, i));
+        adj.entry(l.b.platform)
+            .or_default()
+            .push((l.a.platform, cost, i));
     }
 
     let mut utilities = vec![0.0f64; candidates.links.len()];

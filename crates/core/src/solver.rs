@@ -117,7 +117,11 @@ impl TopologyPlan {
         let (margin_sum, margin_n) = self
             .all_links()
             .fold((0.0f64, 0usize), |(s, n), l| (s + l.margin_db, n + 1));
-        let mean_margin = if margin_n == 0 { 0.0 } else { margin_sum / margin_n as f64 };
+        let mean_margin = if margin_n == 0 {
+            0.0
+        } else {
+            margin_sum / margin_n as f64
+        };
         let marginal_links = self
             .demand_links
             .iter()
@@ -128,7 +132,8 @@ impl TopologyPlan {
         } else {
             self.redundant_links.len() as f64 / satisfied as f64
         };
-        let total = 100.0 * demand_fraction + (mean_margin / 2.0).clamp(0.0, 10.0)
+        let total = 100.0 * demand_fraction
+            + (mean_margin / 2.0).clamp(0.0, 10.0)
             + 10.0 * redundancy_ratio.min(1.0)
             - 2.0 * marginal_links as f64;
         PlanScore {
@@ -190,7 +195,13 @@ impl TopologyPlan {
         }
         for (flow, path) in &self.routes {
             let hops: Vec<String> = path.iter().map(|p| p.to_string()).collect();
-            let _ = writeln!(out, "  3. route {} → {}: {}", flow.0, flow.1, hops.join(" → "));
+            let _ = writeln!(
+                out,
+                "  3. route {} → {}: {}",
+                flow.0,
+                flow.1,
+                hops.join(" → ")
+            );
         }
         out
     }
@@ -225,7 +236,10 @@ pub struct Solver {
 impl Solver {
     /// Solver with the given config.
     pub fn new(config: SolverConfig) -> Self {
-        Solver { config, pair_penalties: BTreeMap::new() }
+        Solver {
+            config,
+            pair_penalties: BTreeMap::new(),
+        }
     }
 
     /// Solve one time slice.
@@ -269,7 +283,10 @@ impl Solver {
         now: SimTime,
     ) -> TopologyPlan {
         let n = candidates.links.len();
-        let mut plan = TopologyPlan { at: candidates.at, ..Default::default() };
+        let mut plan = TopologyPlan {
+            at: candidates.at,
+            ..Default::default()
+        };
         let mut viable: Vec<bool> = vec![true; n];
         // Exclude candidates touching drained nodes outright.
         for (i, l) in candidates.links.iter().enumerate() {
@@ -305,15 +322,12 @@ impl Solver {
             }
             for r in requests {
                 set.insert(r.node);
-                let gws =
-                    gw_cache.entry(r.ec).or_insert_with(|| gateways_to_ec(r.ec));
+                let gws = gw_cache.entry(r.ec).or_insert_with(|| gateways_to_ec(r.ec));
                 set.extend(gws.iter().copied());
             }
             set.into_iter().collect()
         };
-        let idx_of = |p: PlatformId| -> u32 {
-            plats.binary_search(&p).expect("interned") as u32
-        };
+        let idx_of = |p: PlatformId| -> u32 { plats.binary_search(&p).expect("interned") as u32 };
         let np = plats.len();
 
         // Dense adjacency (node → (neighbor, candidate)) plus the
@@ -332,12 +346,21 @@ impl Solver {
             adj[pb as usize].push((pa, i as u32));
             by_tx.entry(l.a).or_default().push(i as u32);
             by_tx.entry(l.b).or_default().push(i as u32);
-            by_platform_band.entry((l.a.platform, l.band)).or_default().push(i as u32);
+            by_platform_band
+                .entry((l.a.platform, l.band))
+                .or_default()
+                .push(i as u32);
             if l.b.platform != l.a.platform {
-                by_platform_band.entry((l.b.platform, l.band)).or_default().push(i as u32);
+                by_platform_band
+                    .entry((l.b.platform, l.band))
+                    .or_default()
+                    .push(i as u32);
             }
         }
-        let conflict_index = ConflictIndex { by_tx, by_platform_band };
+        let conflict_index = ConflictIndex {
+            by_tx,
+            by_platform_band,
+        };
 
         let mut is_selected = vec![false; n];
         let mut selected_order: Vec<usize> = Vec::new();
@@ -351,8 +374,7 @@ impl Solver {
         // dropped when the evaluator no longer offers it at all (the
         // predictive withdrawal of a degrading link) or it conflicts
         // with an already-kept link.
-        let mut incumbents: Vec<usize> =
-            (0..n).filter(|i| viable[*i] && in_previous[*i]).collect();
+        let mut incumbents: Vec<usize> = (0..n).filter(|i| viable[*i] && in_previous[*i]).collect();
         incumbents.sort_by(|x, y| {
             candidates.links[*y]
                 .margin_db
@@ -384,8 +406,12 @@ impl Solver {
         let req_endpoints: Vec<(u32, Vec<u32>)> = requests
             .iter()
             .map(|r| {
-                let gw_set: BTreeSet<PlatformId> =
-                    gw_cache.get(&r.ec).expect("cached").iter().copied().collect();
+                let gw_set: BTreeSet<PlatformId> = gw_cache
+                    .get(&r.ec)
+                    .expect("cached")
+                    .iter()
+                    .copied()
+                    .collect();
                 (idx_of(r.node), gw_set.into_iter().map(idx_of).collect())
             })
             .collect();
@@ -413,7 +439,13 @@ impl Solver {
                     None
                 } else {
                     dijkstra_indexed(
-                        &adj, &viable, &is_selected, &cost_unsel, &cost_sel, *node, gws,
+                        &adj,
+                        &viable,
+                        &is_selected,
+                        &cost_unsel,
+                        &cost_sel,
+                        *node,
+                        gws,
                     )
                 };
                 match found {
@@ -529,10 +561,8 @@ impl Solver {
                 edge_dirty[e as usize] = false;
             }
             let (u, v) = endpoints[best];
-            let dist_u =
-                dijkstra_all(&adj, &viable, &is_selected, &cost_unsel, &cost_sel, u);
-            let dist_v =
-                dijkstra_all(&adj, &viable, &is_selected, &cost_unsel, &cost_sel, v);
+            let dist_u = dijkstra_all(&adj, &viable, &is_selected, &cost_unsel, &cost_sel, u);
+            let dist_v = dijkstra_all(&adj, &viable, &is_selected, &cost_unsel, &cost_sel, v);
             let edge_cost = cost_sel[best];
             for r in 0..nr {
                 if dead[r] || needs_route[r] || route_nodes[r].is_none() {
@@ -558,14 +588,24 @@ impl Solver {
                 }
             }
         }
-        plan.demand_links = selected_order.iter().map(|i| candidates.links[*i]).collect();
+        plan.demand_links = selected_order
+            .iter()
+            .map(|i| candidates.links[*i])
+            .collect();
         let mut used_transceivers: BTreeSet<TransceiverId> = selected_order
             .iter()
             .flat_map(|&i| [candidates.links[i].a, candidates.links[i].b])
             .collect();
 
         // Redundancy pass over idle transceivers.
-        self.add_redundancy(candidates, &mut plan, &mut used_transceivers, &viable, &is_selected, previous);
+        self.add_redundancy(
+            candidates,
+            &mut plan,
+            &mut used_transceivers,
+            &viable,
+            &is_selected,
+            previous,
+        );
         plan
     }
 
@@ -643,8 +683,7 @@ impl Solver {
     /// same platform + same band + beams closer than the separation
     /// minimum.
     pub(crate) fn conflicts(&self, a: &CandidateLink, b: &CandidateLink) -> bool {
-        let shares_transceiver =
-            a.a == b.a || a.a == b.b || a.b == b.a || a.b == b.b;
+        let shares_transceiver = a.a == b.a || a.a == b.b || a.b == b.a || a.b == b.b;
         if shares_transceiver {
             return true;
         }
@@ -727,10 +766,11 @@ impl Solver {
                 .min(degree.get(&ly.b.platform).copied().unwrap_or(9));
             let gx = lx.kind == tssdn_link::LinkKind::B2G;
             let gy = ly.kind == tssdn_link::LinkKind::B2G;
-            ky.cmp(&kx)
-                .then(dx.cmp(&dy))
-                .then(gy.cmp(&gx))
-                .then(ly.margin_db.partial_cmp(&lx.margin_db).expect("finite margins"))
+            ky.cmp(&kx).then(dx.cmp(&dy)).then(gy.cmp(&gx)).then(
+                ly.margin_db
+                    .partial_cmp(&lx.margin_db)
+                    .expect("finite margins"),
+            )
         });
         let mut chosen_keys: Vec<CandidateLink> = Vec::new();
         for i in order {
@@ -745,7 +785,12 @@ impl Solver {
                 continue;
             }
             // Redundant links must not interfere with anything chosen.
-            if plan.demand_links.iter().chain(chosen_keys.iter()).any(|s| self.conflicts(s, l)) {
+            if plan
+                .demand_links
+                .iter()
+                .chain(chosen_keys.iter())
+                .any(|s| self.conflicts(s, l))
+            {
                 continue;
             }
             // Marginal links are not worth burning idle radios on.
@@ -902,7 +947,11 @@ mod tests {
         CandidateLink {
             a: tid(a, ai),
             b: tid(b, bi),
-            kind: if a >= 100 || b >= 100 { LinkKind::B2G } else { LinkKind::B2B },
+            kind: if a >= 100 || b >= 100 {
+                LinkKind::B2G
+            } else {
+                LinkKind::B2B
+            },
             band: 0,
             bitrate_bps: 400_000_000,
             margin_db: margin,
@@ -916,7 +965,10 @@ mod tests {
     }
 
     fn graph(links: Vec<CandidateLink>) -> CandidateGraph {
-        CandidateGraph { at: SimTime::ZERO, links }
+        CandidateGraph {
+            at: SimTime::ZERO,
+            links,
+        }
     }
 
     fn req(node: u32, ec: u32) -> BackhaulRequest {
@@ -1020,7 +1072,11 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(plan.demand_links.len(), 1);
-        assert_eq!(plan.demand_links[0].key(), (tid(0, 1), tid(100, 1)), "incumbent kept");
+        assert_eq!(
+            plan.demand_links[0].key(),
+            (tid(0, 1), tid(100, 1)),
+            "incumbent kept"
+        );
         assert_eq!(plan.kept_links, 1);
     }
 
@@ -1040,7 +1096,10 @@ mod tests {
             &DrainRegistry::new(),
             SimTime::ZERO,
         );
-        let path = plan.routes.get(&(PlatformId(0), PlatformId(200))).expect("routed");
+        let path = plan
+            .routes
+            .get(&(PlatformId(0), PlatformId(200)))
+            .expect("routed");
         assert_eq!(path.len(), 3, "took the 2-hop acceptable path: {path:?}");
     }
 
@@ -1055,7 +1114,11 @@ mod tests {
             &DrainRegistry::new(),
             SimTime::ZERO,
         );
-        assert_eq!(plan.demand_links.len(), 1, "attempted when no acceptable link exists");
+        assert_eq!(
+            plan.demand_links.len(),
+            1,
+            "attempted when no acceptable link exists"
+        );
     }
 
     #[test]
@@ -1078,8 +1141,14 @@ mod tests {
             &drains,
             SimTime::ZERO,
         );
-        let path = plan.routes.get(&(PlatformId(0), PlatformId(200))).expect("routed");
-        assert!(!path.contains(&PlatformId(1)), "drained node avoided: {path:?}");
+        let path = plan
+            .routes
+            .get(&(PlatformId(0), PlatformId(200)))
+            .expect("routed");
+        assert!(
+            !path.contains(&PlatformId(1)),
+            "drained node avoided: {path:?}"
+        );
     }
 
     #[test]
@@ -1119,7 +1188,10 @@ mod tests {
             cand(0, 1, 1, 0, 11.0, LinkQuality::Acceptable),
             cand(1, 1, 100, 1, 10.0, LinkQuality::Acceptable),
         ]);
-        let solver = Solver::new(SolverConfig { redundancy_target: 0.0, ..Default::default() });
+        let solver = Solver::new(SolverConfig {
+            redundancy_target: 0.0,
+            ..Default::default()
+        });
         let plan = solver.solve(
             &g,
             &[req(0, 200)],
@@ -1183,17 +1255,32 @@ mod score_tests {
 
     #[test]
     fn more_demand_satisfied_scores_higher() {
-        let mut a = TopologyPlan { demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)], ..Default::default() };
-        a.routes.insert((PlatformId(0), PlatformId(9)), vec![PlatformId(0), PlatformId(1)]);
+        let mut a = TopologyPlan {
+            demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)],
+            ..Default::default()
+        };
+        a.routes.insert(
+            (PlatformId(0), PlatformId(9)),
+            vec![PlatformId(0), PlatformId(1)],
+        );
         let mut b = a.clone();
-        b.routes.insert((PlatformId(2), PlatformId(9)), vec![PlatformId(2), PlatformId(1)]);
+        b.routes.insert(
+            (PlatformId(2), PlatformId(9)),
+            vec![PlatformId(2), PlatformId(1)],
+        );
         assert!(b.utility_score(4).total > a.utility_score(4).total);
     }
 
     #[test]
     fn marginal_links_cost_score() {
-        let mut a = TopologyPlan { demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)], ..Default::default() };
-        a.routes.insert((PlatformId(0), PlatformId(9)), vec![PlatformId(0), PlatformId(1)]);
+        let mut a = TopologyPlan {
+            demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)],
+            ..Default::default()
+        };
+        a.routes.insert(
+            (PlatformId(0), PlatformId(9)),
+            vec![PlatformId(0), PlatformId(1)],
+        );
         let mut b = a.clone();
         b.demand_links = vec![cand(0, 1, 8.0, LinkQuality::Marginal)];
         assert!(a.utility_score(1).total > b.utility_score(1).total);
@@ -1201,8 +1288,14 @@ mod score_tests {
 
     #[test]
     fn redundancy_raises_score() {
-        let mut a = TopologyPlan { demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)], ..Default::default() };
-        a.routes.insert((PlatformId(0), PlatformId(9)), vec![PlatformId(0), PlatformId(1)]);
+        let mut a = TopologyPlan {
+            demand_links: vec![cand(0, 1, 8.0, LinkQuality::Acceptable)],
+            ..Default::default()
+        };
+        a.routes.insert(
+            (PlatformId(0), PlatformId(9)),
+            vec![PlatformId(0), PlatformId(1)],
+        );
         let mut b = a.clone();
         b.redundant_links = vec![cand(2, 3, 8.0, LinkQuality::Acceptable)];
         assert!(b.utility_score(1).total > a.utility_score(1).total);
@@ -1215,7 +1308,10 @@ mod score_tests {
             redundant_links: vec![cand(2, 3, 6.0, LinkQuality::Acceptable)],
             ..Default::default()
         };
-        plan.routes.insert((PlatformId(0), PlatformId(9)), vec![PlatformId(0), PlatformId(1)]);
+        plan.routes.insert(
+            (PlatformId(0), PlatformId(9)),
+            vec![PlatformId(0), PlatformId(1)],
+        );
         // Currently installed: one link that must be withdrawn, plus
         // the demand link (kept).
         let mut current = BTreeSet::new();

@@ -87,13 +87,23 @@ impl ModelValidator {
 
     /// Error values for one link kind (Figure 10 plots B2B).
     pub fn errors_db(&self, kind: LinkKind) -> Vec<f64> {
-        self.samples.iter().filter(|s| s.kind == kind).map(|s| s.error_db()).collect()
+        self.samples
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.error_db())
+            .collect()
     }
 
     /// Histogram of errors over `[lo, hi)` with `bins` buckets;
     /// returns `(bin_center, count)` pairs. Out-of-range samples clamp
     /// into the edge bins (the paper's "long tails").
-    pub fn error_histogram(&self, kind: LinkKind, lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)> {
+    pub fn error_histogram(
+        &self,
+        kind: LinkKind,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Vec<(f64, usize)> {
         assert!(bins > 0 && hi > lo);
         let width = (hi - lo) / bins as f64;
         let mut counts = vec![0usize; bins];
@@ -146,9 +156,13 @@ impl ModelValidator {
             .iter()
             .filter(|s| s.observer == site && s.kind == LinkKind::B2G)
         {
-            let b = ((tssdn_geo::norm_deg(s.pointing.az_deg) / bin_width_deg) as usize)
-                .min(bins - 1);
-            let slot = if s.at < split { &mut before[b] } else { &mut after[b] };
+            let b =
+                ((tssdn_geo::norm_deg(s.pointing.az_deg) / bin_width_deg) as usize).min(bins - 1);
+            let slot = if s.at < split {
+                &mut before[b]
+            } else {
+                &mut after[b]
+            };
             slot.push(s.error_db());
         }
         let median = |xs: &mut Vec<f64>| -> f64 {
@@ -202,7 +216,8 @@ impl ModelValidator {
         let mut sums = vec![0.0f64; bins];
         let mut counts = vec![0usize; bins];
         for s in &site_samples {
-            let b = ((tssdn_geo::norm_deg(s.pointing.az_deg) / bin_width_deg) as usize).min(bins - 1);
+            let b =
+                ((tssdn_geo::norm_deg(s.pointing.az_deg) / bin_width_deg) as usize).min(bins - 1);
             sums[b] += s.error_db();
             counts[b] += 1;
         }
@@ -256,7 +271,10 @@ mod tests {
     #[test]
     fn error_sign_convention() {
         let s = sample(0.0, 5.0, 9.3, LinkKind::B2B);
-        assert!((s.error_db() - 4.3).abs() < 1e-12, "measured better than modelled is positive");
+        assert!(
+            (s.error_db() - 4.3).abs() < 1e-12,
+            "measured better than modelled is positive"
+        );
     }
 
     #[test]
@@ -300,7 +318,10 @@ mod tests {
         let findings = v.find_stale_obstructions(PlatformId(100), 20.0, 8.0, 4);
         assert!(!findings.is_empty(), "building detected");
         for f in &findings {
-            assert!(f.az_start_deg >= 40.0 - 1e-9 && f.az_end_deg <= 60.0 + 1e-9, "{f:?}");
+            assert!(
+                f.az_start_deg >= 40.0 - 1e-9 && f.az_end_deg <= 60.0 + 1e-9,
+                "{f:?}"
+            );
             assert!(f.mean_error_db < -5.0);
         }
     }
@@ -313,7 +334,9 @@ mod tests {
                 v.record(sample(az as f64, 5.0, 9.5, LinkKind::B2G));
             }
         }
-        assert!(v.find_stale_obstructions(PlatformId(100), 20.0, 8.0, 4).is_empty());
+        assert!(v
+            .find_stale_obstructions(PlatformId(100), 20.0, 8.0, 4)
+            .is_empty());
     }
 
     #[test]
@@ -328,7 +351,10 @@ mod tests {
             }
         }
         let findings = v.find_stale_obstructions(PlatformId(100), 20.0, 8.0, 5);
-        assert!(findings.is_empty(), "single outlier is not a finding: {findings:?}");
+        assert!(
+            findings.is_empty(),
+            "single outlier is not a finding: {findings:?}"
+        );
     }
 
     #[test]
@@ -339,6 +365,8 @@ mod tests {
         for _ in 0..10 {
             v.record(s);
         }
-        assert!(v.find_stale_obstructions(PlatformId(100), 20.0, 8.0, 4).is_empty());
+        assert!(v
+            .find_stale_obstructions(PlatformId(100), 20.0, 8.0, 4)
+            .is_empty());
     }
 }

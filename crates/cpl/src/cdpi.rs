@@ -108,13 +108,26 @@ fn deterministic_jitter_ms(id: CommandId, attempt: u32, max_ms: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub enum CdpiEvent {
     /// A command physically reached its node (enact at its TTE).
-    DeliveredToNode { cmd: Command, at: SimTime, channel: Channel },
+    DeliveredToNode {
+        cmd: Command,
+        at: SimTime,
+        channel: Channel,
+    },
     /// An intent fully confirmed (all commands acked, or success
     /// inferred via the in-band side channel).
-    IntentConfirmed { intent_id: u64, kind: IntentKind, at: SimTime, elapsed: SimDuration },
+    IntentConfirmed {
+        intent_id: u64,
+        kind: IntentKind,
+        at: SimTime,
+        elapsed: SimDuration,
+    },
     /// A command timed out and was retried on a (possibly different)
     /// channel with a fresh TTE.
-    Retried { id: CommandId, attempt: u32, channel: Channel },
+    Retried {
+        id: CommandId,
+        attempt: u32,
+        channel: Channel,
+    },
     /// A command exhausted its attempts.
     Expired { id: CommandId, intent_id: u64 },
 }
@@ -257,7 +270,13 @@ impl CdpiFrontend {
         for (dest, body) in parts {
             let id = CommandId(self.next_cmd);
             self.next_cmd += 1;
-            let cmd = Command { id, dest, body, tte, submitted: now };
+            let cmd = Command {
+                id,
+                dest,
+                body,
+                tte,
+                submitted: now,
+            };
             let channel = self.dispatch(cmd.clone(), now);
             if matches!(channel, Channel::Satcom(_)) {
                 used_satcom = true;
@@ -279,7 +298,13 @@ impl CdpiFrontend {
         }
         self.intents.insert(
             intent_id,
-            IntentState { kind, submitted: now, commands: ids, confirmed: None, used_satcom },
+            IntentState {
+                kind,
+                submitted: now,
+                commands: ids,
+                confirmed: None,
+                used_satcom,
+            },
         );
         (intent_id, tte)
     }
@@ -318,7 +343,12 @@ impl CdpiFrontend {
     /// re-trigger the inference — confirming an intent strips its
     /// commands from the retry machinery, and a command whose delivery
     /// is still in flight (or lost) would then never be retried.
-    pub fn node_connected_inband(&mut self, node: PlatformId, hops: u32, now: SimTime) -> Vec<CdpiEvent> {
+    pub fn node_connected_inband(
+        &mut self,
+        node: PlatformId,
+        hops: u32,
+        now: SimTime,
+    ) -> Vec<CdpiEvent> {
         let was_reachable = self.inband.is_reachable(node, now);
         self.inband.set_reachable(node, hops, now);
         let mut events = Vec::new();
@@ -368,7 +398,12 @@ impl CdpiFrontend {
         for id in st.commands.clone() {
             self.outstanding.remove(&id);
         }
-        Some(CdpiEvent::IntentConfirmed { intent_id, kind: st.kind, at: now, elapsed })
+        Some(CdpiEvent::IntentConfirmed {
+            intent_id,
+            kind: st.kind,
+            at: now,
+            elapsed,
+        })
     }
 
     /// Advance all channels; returns events for the orchestrator.
@@ -482,16 +517,18 @@ impl CdpiFrontend {
             }
         });
         for id in due {
-            let Some(o) = self.outstanding.get_mut(&id) else { continue };
+            let Some(o) = self.outstanding.get_mut(&id) else {
+                continue;
+            };
             o.acked = true;
             let intent_id = o.intent_id;
             let all_acked = self
                 .intents
                 .get(&intent_id)
                 .map(|st| {
-                    st.commands.iter().all(|c| {
-                        self.outstanding.get(c).map(|o| o.acked).unwrap_or(true)
-                    })
+                    st.commands
+                        .iter()
+                        .all(|c| self.outstanding.get(c).map(|o| o.acked).unwrap_or(true))
                 })
                 .unwrap_or(false);
             if all_acked {
@@ -513,7 +550,9 @@ impl CdpiFrontend {
             }
         });
         for id in ready {
-            let Some(o) = self.outstanding.get(&id) else { continue };
+            let Some(o) = self.outstanding.get(&id) else {
+                continue;
+            };
             if o.acked {
                 // Ack raced the backoff: nothing to resend.
                 if let Some(o) = self.outstanding.get_mut(&id) {
@@ -536,7 +575,13 @@ impl CdpiFrontend {
             } else {
                 now + self.config.satcom_tte_margin
             };
-            let cmd = Command { id, dest, body, tte, submitted: now };
+            let cmd = Command {
+                id,
+                dest,
+                body,
+                tte,
+                submitted: now,
+            };
             let channel = self.dispatch(cmd.clone(), now);
             let timeout = self.timeout_for(kind, channel);
             let o = self.outstanding.get_mut(&id).expect("listed");
@@ -550,7 +595,11 @@ impl CdpiFrontend {
                     st.used_satcom = true;
                 }
             }
-            events.push(CdpiEvent::Retried { id, attempt: attempt + 1, channel });
+            events.push(CdpiEvent::Retried {
+                id,
+                attempt: attempt + 1,
+                channel,
+            });
         }
 
         // Timeouts → expire at the attempt cap, otherwise schedule a
@@ -572,7 +621,9 @@ impl CdpiFrontend {
             let attempt = o.attempt;
             let base_ms = self.config.retry_backoff_base.as_ms();
             let cap_ms = self.config.retry_backoff_cap.as_ms();
-            let exp_ms = base_ms.saturating_mul(1u64 << (attempt.saturating_sub(1)).min(16)).min(cap_ms);
+            let exp_ms = base_ms
+                .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(16))
+                .min(cap_ms);
             let jitter_ms = deterministic_jitter_ms(id, attempt, exp_ms / 4 + 1);
             let backoff = SimDuration(exp_ms + jitter_ms);
             let o = self.outstanding.get_mut(&id).expect("listed");
@@ -615,16 +666,20 @@ mod tests {
     fn inband_tte_is_three_seconds() {
         let mut f = frontend();
         f.inband.set_reachable(PlatformId(1), 2, SimTime::ZERO);
-        let (_, tte) =
-            f.submit_intent(vec![(PlatformId(1), establish_body(0, 1, 2))], SimTime::ZERO);
+        let (_, tte) = f.submit_intent(
+            vec![(PlatformId(1), establish_body(0, 1, 2))],
+            SimTime::ZERO,
+        );
         assert_eq!(tte, SimTime::from_secs(3));
     }
 
     #[test]
     fn satcom_tte_is_186_seconds() {
         let mut f = frontend();
-        let (_, tte) =
-            f.submit_intent(vec![(PlatformId(1), establish_body(0, 1, 2))], SimTime::ZERO);
+        let (_, tte) = f.submit_intent(
+            vec![(PlatformId(1), establish_body(0, 1, 2))],
+            SimTime::ZERO,
+        );
         assert_eq!(tte, SimTime::from_secs(186));
     }
 
@@ -649,18 +704,27 @@ mod tests {
         f.inband.loss_prob = 0.0;
         f.inband.set_reachable(PlatformId(1), 2, SimTime::ZERO);
         let (intent, _) = f.submit_intent(
-            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 8 })],
+            vec![(
+                PlatformId(1),
+                CommandBody::SetRoutes {
+                    version: 1,
+                    entries: 8,
+                },
+            )],
             SimTime::ZERO,
         );
         let events = run(&mut f, SimTime::ZERO, SimTime::from_secs(5));
         let confirmed = events.iter().find_map(|e| match e {
-            CdpiEvent::IntentConfirmed { intent_id, elapsed, .. } if *intent_id == intent => {
-                Some(*elapsed)
-            }
+            CdpiEvent::IntentConfirmed {
+                intent_id, elapsed, ..
+            } if *intent_id == intent => Some(*elapsed),
             _ => None,
         });
         let elapsed = confirmed.expect("confirmed quickly");
-        assert!(elapsed.as_secs_f64() < 3.0, "sub-3s route confirm: {elapsed}");
+        assert!(
+            elapsed.as_secs_f64() < 3.0,
+            "sub-3s route confirm: {elapsed}"
+        );
         assert_eq!(f.records().len(), 1);
         assert!(!f.records()[0].used_satcom);
     }
@@ -668,17 +732,25 @@ mod tests {
     #[test]
     fn satcom_link_command_delivers_and_acks() {
         let mut f = frontend();
-        let (intent, _) =
-            f.submit_intent(vec![(PlatformId(1), establish_body(0, 1, 2))], SimTime::ZERO);
+        let (intent, _) = f.submit_intent(
+            vec![(PlatformId(1), establish_body(0, 1, 2))],
+            SimTime::ZERO,
+        );
         let events = run(&mut f, SimTime::ZERO, SimTime::from_mins(20));
         assert!(
-            events.iter().any(|e| matches!(e, CdpiEvent::DeliveredToNode { channel: Channel::Satcom(_), .. })),
+            events.iter().any(|e| matches!(
+                e,
+                CdpiEvent::DeliveredToNode {
+                    channel: Channel::Satcom(_),
+                    ..
+                }
+            )),
             "delivered via satcom"
         );
         let conf = events.iter().find_map(|e| match e {
-            CdpiEvent::IntentConfirmed { intent_id, elapsed, .. } if *intent_id == intent => {
-                Some(*elapsed)
-            }
+            CdpiEvent::IntentConfirmed {
+                intent_id, elapsed, ..
+            } if *intent_id == intent => Some(*elapsed),
             _ => None,
         });
         let elapsed = conf.expect("eventually confirmed: {events:?}");
@@ -692,8 +764,10 @@ mod tests {
     #[test]
     fn side_channel_confirms_before_satcom_ack() {
         let mut f = frontend();
-        let (intent, _) =
-            f.submit_intent(vec![(PlatformId(1), establish_body(0, 1, 2))], SimTime::ZERO);
+        let (intent, _) = f.submit_intent(
+            vec![(PlatformId(1), establish_body(0, 1, 2))],
+            SimTime::ZERO,
+        );
         // Run until the command is delivered over satcom.
         let mut delivered_at = None;
         let mut t = SimTime::ZERO;
@@ -726,14 +800,25 @@ mod tests {
         // Route update but node never reachable in-band; satcom drops
         // it silently; retries exhaust.
         let (intent, _) = f.submit_intent(
-            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 8 })],
+            vec![(
+                PlatformId(1),
+                CommandBody::SetRoutes {
+                    version: 1,
+                    entries: 8,
+                },
+            )],
             SimTime::ZERO,
         );
         let events = run(&mut f, SimTime::ZERO, SimTime::from_mins(30));
-        let retries = events.iter().filter(|e| matches!(e, CdpiEvent::Retried { .. })).count();
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e, CdpiEvent::Retried { .. }))
+            .count();
         assert_eq!(retries as u32, CdpiConfig::default().max_attempts - 1);
         assert!(
-            events.iter().any(|e| matches!(e, CdpiEvent::Expired { intent_id, .. } if *intent_id == intent)),
+            events
+                .iter()
+                .any(|e| matches!(e, CdpiEvent::Expired { intent_id, .. } if *intent_id == intent)),
             "expired after retries"
         );
         assert!(f.records().is_empty(), "never confirmed");
@@ -744,7 +829,13 @@ mod tests {
         let mut f = frontend();
         f.inband.loss_prob = 0.0;
         let (intent, _) = f.submit_intent(
-            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 8 })],
+            vec![(
+                PlatformId(1),
+                CommandBody::SetRoutes {
+                    version: 1,
+                    entries: 8,
+                },
+            )],
             SimTime::ZERO,
         );
         // Node comes up in-band after the first timeout (~13 s).
@@ -762,9 +853,13 @@ mod tests {
             events.extend(f.poll(t));
         }
         assert!(
-            events
-                .iter()
-                .any(|e| matches!(e, CdpiEvent::Retried { channel: Channel::InBand, .. })),
+            events.iter().any(|e| matches!(
+                e,
+                CdpiEvent::Retried {
+                    channel: Channel::InBand,
+                    ..
+                }
+            )),
             "retry switched to in-band: {events:?}"
         );
         assert!(events.iter().any(
@@ -783,10 +878,20 @@ mod tests {
         let mut f = frontend();
         f.inband.loss_prob = 0.0;
         let (_, tte0) = f.submit_intent(
-            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 8 })],
+            vec![(
+                PlatformId(1),
+                CommandBody::SetRoutes {
+                    version: 1,
+                    entries: 8,
+                },
+            )],
             SimTime::ZERO,
         );
-        assert_eq!(tte0, SimTime::from_secs(186), "satcom TTE: node not in-band at submit");
+        assert_eq!(
+            tte0,
+            SimTime::from_secs(186),
+            "satcom TTE: node not in-band at submit"
+        );
         // In-band appears 5 s in — far before the first timeout.
         f.node_connected_inband(PlatformId(1), 2, SimTime::from_secs(5));
         let mut delivered = None;
@@ -806,7 +911,10 @@ mod tests {
             }
         }
         let (cmd, at, channel) = delivered.expect("retry delivered in-band");
-        assert!(matches!(channel, Channel::InBand), "cycled to next-priority channel");
+        assert!(
+            matches!(channel, Channel::InBand),
+            "cycled to next-priority channel"
+        );
         assert!(
             matches!(retried_channels.first(), Some(Channel::InBand)),
             "retry event reports the new channel: {retried_channels:?}"
@@ -817,7 +925,11 @@ mod tests {
         assert!(at > SimTime::from_secs(196), "no early delivery: {at}");
         // Fresh TTE: re-stamped at redispatch from the in-band margin.
         assert!(cmd.tte > tte0, "fresh TTE on retry: {} > {tte0}", cmd.tte);
-        assert!(cmd.tte <= at + SimDuration::from_secs(3), "in-band TTE margin: {}", cmd.tte);
+        assert!(
+            cmd.tte <= at + SimDuration::from_secs(3),
+            "in-band TTE margin: {}",
+            cmd.tte
+        );
     }
 
     /// The first retry waits out the base backoff after the timeout;
@@ -826,7 +938,13 @@ mod tests {
     fn retry_waits_for_backoff_before_redispatch() {
         let mut f = frontend();
         let (_, _) = f.submit_intent(
-            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 8 })],
+            vec![(
+                PlatformId(1),
+                CommandBody::SetRoutes {
+                    version: 1,
+                    entries: 8,
+                },
+            )],
             SimTime::ZERO,
         );
         // Satcom drops route commands; the first timeout fires at
@@ -862,12 +980,20 @@ mod tests {
         f.inband.set_reachable(PlatformId(1), 1, SimTime::ZERO);
         f.chaos.duplicate_prob = 1.0;
         let (intent, _) = f.submit_intent(
-            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 4 })],
+            vec![(
+                PlatformId(1),
+                CommandBody::SetRoutes {
+                    version: 1,
+                    entries: 4,
+                },
+            )],
             SimTime::ZERO,
         );
         let events = run(&mut f, SimTime::ZERO, SimTime::from_secs(10));
-        let delivered =
-            events.iter().filter(|e| matches!(e, CdpiEvent::DeliveredToNode { .. })).count();
+        let delivered = events
+            .iter()
+            .filter(|e| matches!(e, CdpiEvent::DeliveredToNode { .. }))
+            .count();
         assert_eq!(delivered, 1, "the duplicate must not re-execute");
         assert!(f.chaos_duplicated >= 1, "duplication happened");
         assert!(f.dedup_suppressed >= 1, "ledger suppressed the replay");
@@ -886,7 +1012,13 @@ mod tests {
         f.inband.set_reachable(PlatformId(1), 1, SimTime::ZERO);
         f.chaos.corrupt_prob = 1.0;
         let (_, _) = f.submit_intent(
-            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 4 })],
+            vec![(
+                PlatformId(1),
+                CommandBody::SetRoutes {
+                    version: 1,
+                    entries: 4,
+                },
+            )],
             SimTime::ZERO,
         );
         let mut events = Vec::new();
@@ -897,11 +1029,15 @@ mod tests {
             events.extend(f.poll(t));
         }
         assert!(
-            !events.iter().any(|e| matches!(e, CdpiEvent::DeliveredToNode { .. })),
+            !events
+                .iter()
+                .any(|e| matches!(e, CdpiEvent::DeliveredToNode { .. })),
             "corrupted commands never execute"
         );
         assert!(
-            events.iter().any(|e| matches!(e, CdpiEvent::Expired { .. })),
+            events
+                .iter()
+                .any(|e| matches!(e, CdpiEvent::Expired { .. })),
             "attempts exhausted: {events:?}"
         );
         assert!(
@@ -918,9 +1054,13 @@ mod tests {
         let a = deterministic_jitter_ms(CommandId(7), 2, 1250);
         assert_eq!(a, deterministic_jitter_ms(CommandId(7), 2, 1250));
         assert!(a < 1250);
-        let others: Vec<u64> =
-            (8..16).map(|i| deterministic_jitter_ms(CommandId(i), 2, 1250)).collect();
-        assert!(others.iter().any(|o| *o != a), "jitter desynchronizes commands");
+        let others: Vec<u64> = (8..16)
+            .map(|i| deterministic_jitter_ms(CommandId(i), 2, 1250))
+            .collect();
+        assert!(
+            others.iter().any(|o| *o != a),
+            "jitter desynchronizes commands"
+        );
         assert_eq!(deterministic_jitter_ms(CommandId(7), 2, 0), 0);
     }
 
@@ -930,7 +1070,13 @@ mod tests {
         f.inband.loss_prob = 0.0;
         f.inband.set_reachable(PlatformId(1), 1, SimTime::ZERO);
         f.submit_intent(
-            vec![(PlatformId(1), CommandBody::SetRoutes { version: 1, entries: 2 })],
+            vec![(
+                PlatformId(1),
+                CommandBody::SetRoutes {
+                    version: 1,
+                    entries: 2,
+                },
+            )],
             SimTime::ZERO,
         );
         run(&mut f, SimTime::ZERO, SimTime::from_secs(10));

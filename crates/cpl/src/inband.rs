@@ -89,7 +89,9 @@ impl InbandChannel {
     /// Expected one-way delivery latency to `node`, if reachable.
     pub fn estimate_latency(&self, node: PlatformId) -> Option<SimDuration> {
         let hops = *self.reachable.get(&node)?;
-        Some(SimDuration(self.base_latency.as_ms() + self.per_hop_latency.as_ms() * hops as u64))
+        Some(SimDuration(
+            self.base_latency.as_ms() + self.per_hop_latency.as_ms() * hops as u64,
+        ))
     }
 
     /// Send a command. Returns `false` (not queued) when the node is
@@ -140,7 +142,10 @@ mod tests {
         Command {
             id: CommandId(1),
             dest: PlatformId(dest),
-            body: CommandBody::SetRoutes { version: 1, entries: 4 },
+            body: CommandBody::SetRoutes {
+                version: 1,
+                entries: 4,
+            },
             tte: now + SimDuration::from_secs(3),
             submitted: now,
         }
@@ -157,7 +162,10 @@ mod tests {
         let mut c = chan();
         c.set_reachable(PlatformId(5), 3, SimTime::ZERO);
         assert!(c.is_reachable(PlatformId(5), SimTime::from_secs(5)));
-        assert!(!c.is_reachable(PlatformId(5), SimTime::from_secs(15)), "stale heartbeat");
+        assert!(
+            !c.is_reachable(PlatformId(5), SimTime::from_secs(15)),
+            "stale heartbeat"
+        );
         c.set_unreachable(PlatformId(5));
         assert!(!c.is_reachable(PlatformId(5), SimTime::from_secs(1)));
     }

@@ -77,7 +77,8 @@ impl LoraChannel {
             return false;
         }
         let jitter = self.rng.gen_range(0.6..1.4);
-        self.in_flight.push((now + self.latency.mul_f64(jitter), cmd));
+        self.in_flight
+            .push((now + self.latency.mul_f64(jitter), cmd));
         true
     }
 
@@ -139,10 +140,16 @@ mod tests {
         let mut c = chan();
         c.set_covered(PlatformId(5), true);
         let big = Command {
-            body: CommandBody::SetRoutes { version: 1, entries: 40 },
+            body: CommandBody::SetRoutes {
+                version: 1,
+                entries: 40,
+            },
             ..link_cmd(5)
         };
-        assert!(!c.submit(big, SimTime::ZERO), "route tables don't fit LoRa frames");
+        assert!(
+            !c.submit(big, SimTime::ZERO),
+            "route tables don't fit LoRa frames"
+        );
     }
 
     #[test]
@@ -156,7 +163,10 @@ mod tests {
         let LoraOutcome::Delivered { at, .. } = &out[0] else {
             panic!("delivered: {out:?}");
         };
-        assert!(at.as_secs_f64() >= 1.5 && at.as_secs_f64() <= 5.0, "got {at}");
+        assert!(
+            at.as_secs_f64() >= 1.5 && at.as_secs_f64() <= 5.0,
+            "got {at}"
+        );
     }
 
     #[test]

@@ -122,9 +122,16 @@ mod tests {
 
     #[test]
     fn kinds_classify_for_figure_9() {
-        let e = CommandBody::EstablishLink { intent_id: 1, local: tid(0, 0), peer: tid(1, 0) };
+        let e = CommandBody::EstablishLink {
+            intent_id: 1,
+            local: tid(0, 0),
+            peer: tid(1, 0),
+        };
         let t = CommandBody::TeardownLink { intent_id: 1 };
-        let r = CommandBody::SetRoutes { version: 3, entries: 10 };
+        let r = CommandBody::SetRoutes {
+            version: 3,
+            entries: 10,
+        };
         assert_eq!(e.kind(), IntentKind::Link);
         assert_eq!(t.kind(), IntentKind::Link);
         assert_eq!(r.kind(), IntentKind::Route);
@@ -132,17 +139,32 @@ mod tests {
 
     #[test]
     fn route_updates_require_inband() {
-        assert!(CommandBody::SetRoutes { version: 1, entries: 4 }.requires_inband());
+        assert!(CommandBody::SetRoutes {
+            version: 1,
+            entries: 4
+        }
+        .requires_inband());
         assert!(!CommandBody::TeardownLink { intent_id: 9 }.requires_inband());
-        assert!(!CommandBody::EstablishLink { intent_id: 1, local: tid(0, 0), peer: tid(1, 0) }
-            .requires_inband());
+        assert!(!CommandBody::EstablishLink {
+            intent_id: 1,
+            local: tid(0, 0),
+            peer: tid(1, 0)
+        }
+        .requires_inband());
     }
 
     #[test]
     fn sizes_fit_satcom_budget() {
-        let e = CommandBody::EstablishLink { intent_id: 1, local: tid(0, 0), peer: tid(1, 0) };
+        let e = CommandBody::EstablishLink {
+            intent_id: 1,
+            local: tid(0, 0),
+            peer: tid(1, 0),
+        };
         assert!(e.size_bytes() <= 1024, "fits the ~1 KiB satcom slot");
-        let big = CommandBody::SetRoutes { version: 1, entries: 40 };
+        let big = CommandBody::SetRoutes {
+            version: 1,
+            entries: 40,
+        };
         assert!(big.size_bytes() > 900, "route tables are satcom-hostile");
     }
 }

@@ -60,8 +60,10 @@ impl SatcomConfig {
 
     /// Sample a one-way delivery latency.
     pub fn sample_one_way(&self, rng: &mut ChaCha8Rng) -> SimDuration {
-        let (u1, u2): (f64, f64) =
-            (rng.gen_range(f64::MIN_POSITIVE..1.0), rng.gen_range(0.0..1.0));
+        let (u1, u2): (f64, f64) = (
+            rng.gen_range(f64::MIN_POSITIVE..1.0),
+            rng.gen_range(0.0..1.0),
+        );
         let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let variable = (self.mu + self.sigma * g).exp();
         SimDuration(((self.floor_s + variable) * 1000.0) as u64)
@@ -78,9 +80,17 @@ impl SatcomConfig {
 #[derive(Debug, Clone)]
 pub enum SatcomOutcome {
     /// Delivered to the node at `at` (≤ TTE, usable).
-    Delivered { cmd: Command, at: SimTime, provider: u8 },
+    Delivered {
+        cmd: Command,
+        at: SimTime,
+        provider: u8,
+    },
     /// Physically arrived after its TTE; the node discarded it.
-    ArrivedLate { cmd: Command, at: SimTime, provider: u8 },
+    ArrivedLate {
+        cmd: Command,
+        at: SimTime,
+        provider: u8,
+    },
     /// Dropped at the gateway: predicted to miss the TTE.
     DroppedLate { cmd: Command, provider: u8 },
     /// Dropped at the gateway: requires in-band connectivity.
@@ -160,7 +170,11 @@ impl SatcomGateway {
     }
 
     fn ready_at(&self, provider: u8, dest: PlatformId, now: SimTime) -> SimTime {
-        self.next_slot.get(&(provider, dest)).copied().unwrap_or(SimTime::ZERO).max(now)
+        self.next_slot
+            .get(&(provider, dest))
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(now)
     }
 
     /// Submit a command. Returns `false` when dropped immediately
@@ -185,9 +199,17 @@ impl SatcomGateway {
             if self.in_flight[i].arrives <= now {
                 let f = self.in_flight.swap_remove(i);
                 if f.arrives <= f.cmd.tte {
-                    out.push(SatcomOutcome::Delivered { cmd: f.cmd, at: f.arrives, provider: f.provider });
+                    out.push(SatcomOutcome::Delivered {
+                        cmd: f.cmd,
+                        at: f.arrives,
+                        provider: f.provider,
+                    });
                 } else {
-                    out.push(SatcomOutcome::ArrivedLate { cmd: f.cmd, at: f.arrives, provider: f.provider });
+                    out.push(SatcomOutcome::ArrivedLate {
+                        cmd: f.cmd,
+                        at: f.arrives,
+                        provider: f.provider,
+                    });
                 }
             } else {
                 i += 1;
@@ -203,7 +225,8 @@ impl SatcomGateway {
         while let Some(q) = self.queue.pop_front() {
             let provider = (0..self.providers.len() as u8)
                 .min_by_key(|p| {
-                    self.ready_at(*p, q.cmd.dest, now) + self.providers[*p as usize].median_one_way()
+                    self.ready_at(*p, q.cmd.dest, now)
+                        + self.providers[*p as usize].median_one_way()
                 })
                 .expect("providers");
             if self.ready_at(provider, q.cmd.dest, now) > now {
@@ -214,14 +237,18 @@ impl SatcomGateway {
             // Drop rule: predicted (median) arrival after TTE.
             if now + cfg.median_one_way() > q.cmd.tte {
                 self.dropped += 1;
-                out.push(SatcomOutcome::DroppedLate { cmd: q.cmd, provider });
+                out.push(SatcomOutcome::DroppedLate {
+                    cmd: q.cmd,
+                    provider,
+                });
                 continue;
             }
             let mut latency = cfg.sample_one_way(&mut self.rng);
             if self.latency_scale != 1.0 {
                 latency = latency.mul_f64(self.latency_scale.max(1.0));
             }
-            self.next_slot.insert((provider, q.cmd.dest), now + cfg.per_dest_interval);
+            self.next_slot
+                .insert((provider, q.cmd.dest), now + cfg.per_dest_interval);
             // Brownout: the message leaves the gateway but never makes
             // it to the balloon. No outcome is reported — like every
             // other satcom loss, the frontend learns by timeout.
@@ -231,7 +258,11 @@ impl SatcomGateway {
                 continue;
             }
             self.sent += 1;
-            self.in_flight.push(InFlight { arrives: now + latency, cmd: q.cmd, provider });
+            self.in_flight.push(InFlight {
+                arrives: now + latency,
+                cmd: q.cmd,
+                provider,
+            });
         }
         self.queue = requeue;
     }
@@ -286,9 +317,15 @@ mod tests {
         let q = |p: f64| xs[(p * (xs.len() - 1) as f64) as usize];
         assert!(q(0.0) >= 5.0 && q(0.01) < 25.0, "best ≈ floor: {}", q(0.0));
         let median = q(0.5);
-        assert!((30.0..70.0).contains(&median), "one-way median ≈ 43 s, got {median}");
+        assert!(
+            (30.0..70.0).contains(&median),
+            "one-way median ≈ 43 s, got {median}"
+        );
         let p90 = q(0.9);
-        assert!((100.0..300.0).contains(&p90), "one-way p90 ≈ 170 s, got {p90}");
+        assert!(
+            (100.0..300.0).contains(&p90),
+            "one-way p90 ≈ 170 s, got {p90}"
+        );
         let p99 = q(0.99);
         assert!(p99 > 300.0, "minutes-long tail, got {p99}");
     }
@@ -300,7 +337,10 @@ mod tests {
         let cmd = Command {
             id: CommandId(1),
             dest: PlatformId(3),
-            body: CommandBody::SetRoutes { version: 1, entries: 8 },
+            body: CommandBody::SetRoutes {
+                version: 1,
+                entries: 8,
+            },
             tte: SimTime::from_secs(600),
             submitted: SimTime::ZERO,
         };
@@ -335,7 +375,10 @@ mod tests {
         let cmd = link_cmd(1, 3, 10, SimTime::ZERO);
         gw.submit(cmd, SimTime::ZERO, &mut out);
         gw.poll(SimTime::from_secs(1), &mut out);
-        assert!(matches!(out[0], SatcomOutcome::DroppedLate { .. }), "{out:?}");
+        assert!(
+            matches!(out[0], SatcomOutcome::DroppedLate { .. }),
+            "{out:?}"
+        );
     }
 
     #[test]
@@ -361,7 +404,11 @@ mod tests {
         let mut gw = SatcomGateway::new(rng());
         let mut out = Vec::new();
         for d in 0..6u32 {
-            gw.submit(link_cmd(d as u64, d, 3600, SimTime::ZERO), SimTime::ZERO, &mut out);
+            gw.submit(
+                link_cmd(d as u64, d, 3600, SimTime::ZERO),
+                SimTime::ZERO,
+                &mut out,
+            );
         }
         gw.poll(SimTime::from_secs(1), &mut out);
         assert_eq!(gw.sent, 6, "rate limit is per destination");

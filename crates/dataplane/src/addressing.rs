@@ -49,7 +49,11 @@ impl PrefixAllocator {
     /// Allocator over the given /48 (upper 48 bits in the low bits of
     /// `site48`).
     pub fn new(site48: u64) -> Self {
-        PrefixAllocator { site: site48 & 0xFFFF_FFFF_FFFF, assigned: BTreeMap::new(), next_subnet: 0 }
+        PrefixAllocator {
+            site: site48 & 0xFFFF_FFFF_FFFF,
+            assigned: BTreeMap::new(),
+            next_subnet: 0,
+        }
     }
 
     /// A Loon-like documentation allocator (2001:db8:100::/48).
@@ -64,8 +68,13 @@ impl PrefixAllocator {
             return *p;
         }
         let subnet = self.next_subnet;
-        self.next_subnet = self.next_subnet.checked_add(1).expect("subnet space exhausted");
-        let p = NodePrefix { bits: (self.site << 16) | subnet as u64 };
+        self.next_subnet = self
+            .next_subnet
+            .checked_add(1)
+            .expect("subnet space exhausted");
+        let p = NodePrefix {
+            bits: (self.site << 16) | subnet as u64,
+        };
         self.assigned.insert(node, p);
         p
     }

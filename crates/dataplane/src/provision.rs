@@ -65,9 +65,22 @@ impl DrainRegistry {
     }
 
     /// Request a drain of `node`.
-    pub fn request(&mut self, node: PlatformId, mode: DrainMode, now: SimTime, enact_at: Option<SimTime>) {
-        self.drains
-            .insert(node, DrainState { mode, requested: now, enact_at, latched: false });
+    pub fn request(
+        &mut self,
+        node: PlatformId,
+        mode: DrainMode,
+        now: SimTime,
+        enact_at: Option<SimTime>,
+    ) {
+        self.drains.insert(
+            node,
+            DrainState {
+                mode,
+                requested: now,
+                enact_at,
+                latched: false,
+            },
+        );
     }
 
     /// Cancel a drain (maintenance done / aborted).
@@ -99,7 +112,11 @@ impl DrainRegistry {
     /// Whether existing traffic must be evicted from `node` now.
     pub fn evict_traffic(&self, node: PlatformId, now: SimTime) -> bool {
         self.active(node, now)
-            && self.drains.get(&node).map(|d| d.mode == DrainMode::Force).unwrap_or(false)
+            && self
+                .drains
+                .get(&node)
+                .map(|d| d.mode == DrainMode::Force)
+                .unwrap_or(false)
     }
 
     /// Solver cost penalty multiplier for transiting `node`
@@ -164,7 +181,12 @@ mod tests {
     #[test]
     fn scheduled_drain_waits_for_enactment() {
         let mut r = DrainRegistry::new();
-        r.request(pid(1), DrainMode::Opportunistic, SimTime::ZERO, Some(SimTime::from_hours(2)));
+        r.request(
+            pid(1),
+            DrainMode::Opportunistic,
+            SimTime::ZERO,
+            Some(SimTime::from_hours(2)),
+        );
         assert!(!r.active(pid(1), SimTime::from_hours(1)));
         assert!(r.active(pid(1), SimTime::from_hours(3)));
     }
@@ -181,7 +203,9 @@ mod tests {
         // every node to become fully disconnected every night").
         let l = r.update_latches(SimTime::from_hours(20), |_| (0, 0));
         assert_eq!(l, vec![pid(1)]);
-        assert!(r.maintenance_ready(SimTime::from_hours(20)).contains(&pid(1)));
+        assert!(r
+            .maintenance_ready(SimTime::from_hours(20))
+            .contains(&pid(1)));
     }
 
     #[test]
@@ -190,7 +214,10 @@ mod tests {
         r.request(pid(2), DrainMode::Force, SimTime::ZERO, None);
         assert!(r.evict_traffic(pid(2), SimTime::from_secs(1)));
         assert!(r.maintenance_ready(SimTime::from_secs(1)).contains(&pid(2)));
-        assert_eq!(r.transit_penalty(pid(2), SimTime::from_secs(1)), f64::INFINITY);
+        assert_eq!(
+            r.transit_penalty(pid(2), SimTime::from_secs(1)),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -25,23 +25,44 @@ pub struct RouteEntry {
     pub next_hop: PlatformId,
 }
 
-/// A single node's forwarding table.
+/// A single node's forwarding table: the primary source-destination
+/// entries plus a separate alternate-path plane for multipath flows
+/// (kept apart so primary reprogramming/cleanup never collides with
+/// the redundant route).
 #[derive(Debug, Clone, Default)]
 pub struct RouteTable {
     entries: BTreeMap<(NodePrefix, NodePrefix), PlatformId>,
-    /// Version of the last applied route program.
+    alt_entries: BTreeMap<(NodePrefix, NodePrefix), PlatformId>,
+    /// Version of the last applied primary route program.
     pub version: u64,
+    /// Version of the last applied alternate-plane program. Tracked
+    /// separately from `version`: primary and alternate programs for
+    /// the same flow are distinct control-plane intents whose commands
+    /// may arrive in either order, so an alternate install must never
+    /// make a later-arriving primary install look stale (or vice
+    /// versa).
+    pub alt_version: u64,
 }
 
 impl RouteTable {
-    /// Install or replace an entry.
+    /// Install or replace a primary entry.
     pub fn install(&mut self, e: RouteEntry) {
         self.entries.insert((e.src, e.dst), e.next_hop);
     }
 
-    /// Remove the entry for a flow, if present.
+    /// Install or replace an alternate-path entry.
+    pub fn install_alt(&mut self, e: RouteEntry) {
+        self.alt_entries.insert((e.src, e.dst), e.next_hop);
+    }
+
+    /// Remove the primary entry for a flow, if present.
     pub fn remove(&mut self, src: NodePrefix, dst: NodePrefix) {
         self.entries.remove(&(src, dst));
+    }
+
+    /// Remove the alternate-path entry for a flow, if present.
+    pub fn remove_alt(&mut self, src: NodePrefix, dst: NodePrefix) {
+        self.alt_entries.remove(&(src, dst));
     }
 
     /// Exact source-destination lookup — no fallback.
@@ -49,26 +70,48 @@ impl RouteTable {
         self.entries.get(&(src, dst)).copied()
     }
 
-    /// Number of installed entries.
+    /// Exact lookup in the alternate plane — no fallback.
+    pub fn lookup_alt(&self, src: NodePrefix, dst: NodePrefix) -> Option<PlatformId> {
+        self.alt_entries.get(&(src, dst)).copied()
+    }
+
+    /// Number of installed primary entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+    /// Number of installed alternate-path entries.
+    pub fn alt_len(&self) -> usize {
+        self.alt_entries.len()
     }
 
-    /// Drop every entry (node reset / power cycle).
+    /// True when the table is empty (both planes).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.alt_entries.is_empty()
+    }
+
+    /// Drop every entry in both planes (node reset / power cycle).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.alt_entries.clear();
     }
 
-    /// Iterate entries.
+    /// Iterate primary entries.
     pub fn entries(&self) -> impl Iterator<Item = RouteEntry> + '_ {
-        self.entries
-            .iter()
-            .map(|((src, dst), nh)| RouteEntry { src: *src, dst: *dst, next_hop: *nh })
+        self.entries.iter().map(|((src, dst), nh)| RouteEntry {
+            src: *src,
+            dst: *dst,
+            next_hop: *nh,
+        })
+    }
+
+    /// Iterate alternate-path entries.
+    pub fn entries_alt(&self) -> impl Iterator<Item = RouteEntry> + '_ {
+        self.alt_entries.iter().map(|((src, dst), nh)| RouteEntry {
+            src: *src,
+            dst: *dst,
+            next_hop: *nh,
+        })
     }
 }
 
@@ -108,19 +151,58 @@ impl RoutingFabric {
         assert!(path.len() >= 2, "a path needs at least two nodes");
         for w in path.windows(2) {
             let t = self.table_mut(w[0]);
-            t.install(RouteEntry { src, dst, next_hop: w[1] });
+            t.install(RouteEntry {
+                src,
+                dst,
+                next_hop: w[1],
+            });
             t.version = version;
             let t = self.table_mut(w[1]);
-            t.install(RouteEntry { src: dst, dst: src, next_hop: w[0] });
+            t.install(RouteEntry {
+                src: dst,
+                dst: src,
+                next_hop: w[0],
+            });
             t.version = version;
         }
     }
 
-    /// Remove a flow's entries everywhere.
+    /// Program a bidirectional flow's *alternate* path: same entry
+    /// shape as [`Self::program_path`], written into the separate
+    /// alternate plane.
+    pub fn program_path_alt(
+        &mut self,
+        src: NodePrefix,
+        dst: NodePrefix,
+        path: &[PlatformId],
+        version: u64,
+    ) {
+        assert!(path.len() >= 2, "a path needs at least two nodes");
+        for w in path.windows(2) {
+            let t = self.table_mut(w[0]);
+            t.install_alt(RouteEntry {
+                src,
+                dst,
+                next_hop: w[1],
+            });
+            t.alt_version = version;
+            let t = self.table_mut(w[1]);
+            t.install_alt(RouteEntry {
+                src: dst,
+                dst: src,
+                next_hop: w[0],
+            });
+            t.alt_version = version;
+        }
+    }
+
+    /// Remove a flow's entries everywhere (both planes).
     pub fn withdraw_flow(&mut self, src: NodePrefix, dst: NodePrefix) {
         for t in self.tables.values_mut() {
             t.remove(src, dst);
             t.remove(dst, src);
+            t.remove_alt(src, dst);
+            t.remove_alt(dst, src);
         }
     }
 
@@ -129,6 +211,7 @@ impl RoutingFabric {
         if let Some(t) = self.tables.get_mut(&node) {
             t.clear();
             t.version = 0;
+            t.alt_version = 0;
         }
     }
 
@@ -141,7 +224,31 @@ impl RoutingFabric {
         dst: NodePrefix,
         from: PlatformId,
         dst_owner: PlatformId,
+        link_up: impl FnMut(PlatformId, PlatformId) -> bool,
+    ) -> Option<Vec<PlatformId>> {
+        self.trace_plane(src, dst, from, dst_owner, link_up, false)
+    }
+
+    /// [`Self::trace_flow`] over the alternate-path plane.
+    pub fn trace_flow_alt(
+        &self,
+        src: NodePrefix,
+        dst: NodePrefix,
+        from: PlatformId,
+        dst_owner: PlatformId,
+        link_up: impl FnMut(PlatformId, PlatformId) -> bool,
+    ) -> Option<Vec<PlatformId>> {
+        self.trace_plane(src, dst, from, dst_owner, link_up, true)
+    }
+
+    fn trace_plane(
+        &self,
+        src: NodePrefix,
+        dst: NodePrefix,
+        from: PlatformId,
+        dst_owner: PlatformId,
         mut link_up: impl FnMut(PlatformId, PlatformId) -> bool,
+        alt: bool,
     ) -> Option<Vec<PlatformId>> {
         let mut at = from;
         let mut path = vec![at];
@@ -151,7 +258,12 @@ impl RoutingFabric {
             if hops > self.tables.len() + 2 {
                 return None; // loop guard
             }
-            let nh = self.tables.get(&at)?.lookup(src, dst)?;
+            let t = self.tables.get(&at)?;
+            let nh = if alt {
+                t.lookup_alt(src, dst)
+            } else {
+                t.lookup(src, dst)
+            }?;
             if !link_up(at, nh) {
                 return None;
             }
@@ -163,12 +275,13 @@ impl RoutingFabric {
 
     /// Whether any table still routes *through* `node` (drain latch
     /// condition: a drained node must carry no transit entries beyond
-    /// its own flows).
+    /// its own flows). Counts both planes — a drained node must not
+    /// carry alternate-path transit either.
     pub fn routes_via(&self, node: PlatformId) -> usize {
         self.tables
             .iter()
             .filter(|(n, _)| **n != node)
-            .flat_map(|(_, t)| t.entries())
+            .flat_map(|(_, t)| t.entries().chain(t.entries_alt()))
             .filter(|e| e.next_hop == node)
             .count()
     }
@@ -241,8 +354,16 @@ mod tests {
         f.program_path(b0, ec, &[pid(0), pid(5), pid(9)], 3);
         f.reset_node(pid(5));
         assert!(f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true).is_none());
-        assert_eq!(f.table(pid(5)).expect("exists").version, 0, "version reset too");
-        assert_eq!(f.table(pid(0)).expect("exists").version, 3, "others keep state");
+        assert_eq!(
+            f.table(pid(5)).expect("exists").version,
+            0,
+            "version reset too"
+        );
+        assert_eq!(
+            f.table(pid(0)).expect("exists").version,
+            3,
+            "others keep state"
+        );
     }
 
     #[test]
@@ -261,13 +382,69 @@ mod tests {
     }
 
     #[test]
+    fn alt_plane_is_independent_of_primary() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let ec = a.prefix_for(pid(9));
+        f.program_path(b0, ec, &[pid(0), pid(5), pid(9)], 1);
+        f.program_path_alt(b0, ec, &[pid(0), pid(6), pid(9)], 1);
+        // Both planes trace, along different paths.
+        let p = f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true);
+        let alt = f.trace_flow_alt(b0, ec, pid(0), pid(9), |_, _| true);
+        assert_eq!(p, Some(vec![pid(0), pid(5), pid(9)]));
+        assert_eq!(alt, Some(vec![pid(0), pid(6), pid(9)]));
+        let rev = f.trace_flow_alt(ec, b0, pid(9), pid(0), |_, _| true);
+        assert_eq!(rev, Some(vec![pid(9), pid(6), pid(0)]));
+        // Removing the primary leaves the alternate (and vice versa).
+        f.table_mut(pid(0)).remove(b0, ec);
+        assert!(f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true).is_none());
+        assert!(f
+            .trace_flow_alt(b0, ec, pid(0), pid(9), |_, _| true)
+            .is_some());
+        assert_eq!(f.table(pid(0)).expect("exists").alt_len(), 1);
+    }
+
+    #[test]
+    fn alt_plane_respects_link_state_and_withdrawal() {
+        let (mut a, mut f) = setup();
+        let b0 = a.prefix_for(pid(0));
+        let ec = a.prefix_for(pid(9));
+        f.program_path(b0, ec, &[pid(0), pid(5), pid(9)], 1);
+        f.program_path_alt(b0, ec, &[pid(0), pid(6), pid(9)], 1);
+        // Alt trace fails over a down alt link; primary is unaffected.
+        let alt = f.trace_flow_alt(b0, ec, pid(0), pid(9), |x, y| !(x == pid(6) && y == pid(9)));
+        assert_eq!(alt, None);
+        assert!(f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true).is_some());
+        // Withdrawal clears both planes; transit counts include alt.
+        assert_eq!(
+            f.routes_via(pid(6)),
+            2,
+            "alt forward 0→6 plus alt reverse 9→6"
+        );
+        f.withdraw_flow(b0, ec);
+        assert!(f
+            .trace_flow_alt(b0, ec, pid(0), pid(9), |_, _| true)
+            .is_none());
+        assert_eq!(f.routes_via(pid(6)), 0);
+        assert!(f.table(pid(6)).expect("exists").is_empty());
+    }
+
+    #[test]
     fn loop_guard_terminates() {
         let (mut a, mut f) = setup();
         let b0 = a.prefix_for(pid(0));
         let ec = a.prefix_for(pid(9));
         // Manually create a loop 0→5→0.
-        f.table_mut(pid(0)).install(RouteEntry { src: b0, dst: ec, next_hop: pid(5) });
-        f.table_mut(pid(5)).install(RouteEntry { src: b0, dst: ec, next_hop: pid(0) });
+        f.table_mut(pid(0)).install(RouteEntry {
+            src: b0,
+            dst: ec,
+            next_hop: pid(5),
+        });
+        f.table_mut(pid(5)).install(RouteEntry {
+            src: b0,
+            dst: ec,
+            next_hop: pid(0),
+        });
         assert_eq!(f.trace_flow(b0, ec, pid(0), pid(9), |_, _| true), None);
     }
 }

@@ -41,16 +41,22 @@ impl TunnelRegistry {
     /// Establish (or return the existing) tunnel between `gs` and
     /// `ec`.
     pub fn establish(&mut self, gs: PlatformId, ec: PlatformId, now: SimTime) -> TunnelId {
-        if let Some((id, _)) =
-            self.tunnels.iter().find(|(_, t)| t.gs == gs && t.ec == ec)
-        {
+        if let Some((id, _)) = self.tunnels.iter().find(|(_, t)| t.gs == gs && t.ec == ec) {
             let id = *id;
             self.tunnels.get_mut(&id).expect("exists").up = true;
             return id;
         }
         let id = TunnelId(self.next);
         self.next += 1;
-        self.tunnels.insert(id, Tunnel { gs, ec, established_at: now, up: true });
+        self.tunnels.insert(
+            id,
+            Tunnel {
+                gs,
+                ec,
+                established_at: now,
+                up: true,
+            },
+        );
         id
     }
 
@@ -63,17 +69,27 @@ impl TunnelRegistry {
 
     /// Whether an *up* tunnel connects `gs` to `ec`.
     pub fn connected(&self, gs: PlatformId, ec: PlatformId) -> bool {
-        self.tunnels.values().any(|t| t.gs == gs && t.ec == ec && t.up)
+        self.tunnels
+            .values()
+            .any(|t| t.gs == gs && t.ec == ec && t.up)
     }
 
     /// The EC pods reachable from `gs` over up tunnels.
     pub fn ecs_of(&self, gs: PlatformId) -> Vec<PlatformId> {
-        self.tunnels.values().filter(|t| t.gs == gs && t.up).map(|t| t.ec).collect()
+        self.tunnels
+            .values()
+            .filter(|t| t.gs == gs && t.up)
+            .map(|t| t.ec)
+            .collect()
     }
 
     /// The ground stations with an up tunnel to `ec`.
     pub fn gateways_to(&self, ec: PlatformId) -> Vec<PlatformId> {
-        self.tunnels.values().filter(|t| t.ec == ec && t.up).map(|t| t.gs).collect()
+        self.tunnels
+            .values()
+            .filter(|t| t.ec == ec && t.up)
+            .map(|t| t.gs)
+            .collect()
     }
 
     /// Number of provisioned tunnels (up or down).
@@ -107,7 +123,11 @@ mod tests {
         let b = r.establish(pid(100), pid(200), SimTime::from_secs(50));
         assert_eq!(a, b);
         assert_eq!(r.len(), 1);
-        assert_eq!(r.established_at(a), Some(SimTime::ZERO), "original timestamp kept");
+        assert_eq!(
+            r.established_at(a),
+            Some(SimTime::ZERO),
+            "original timestamp kept"
+        );
     }
 
     #[test]
@@ -115,7 +135,10 @@ mod tests {
         let mut r = TunnelRegistry::new();
         r.establish(pid(100), pid(200), SimTime::ZERO);
         assert!(r.connected(pid(100), pid(200)));
-        assert!(!r.connected(pid(101), pid(200)), "not O(n²): other GS has no tunnel");
+        assert!(
+            !r.connected(pid(101), pid(200)),
+            "not O(n²): other GS has no tunnel"
+        );
         assert!(!r.connected(pid(100), pid(201)));
     }
 

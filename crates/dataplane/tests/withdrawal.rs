@@ -20,7 +20,13 @@ const EC: PlatformId = PlatformId(9);
 /// The hop predicate the orchestrator uses: radio edges are up;
 /// the final GS→EC hop is governed by the tunnel registry.
 fn link_up(tunnels: &TunnelRegistry) -> impl Fn(PlatformId, PlatformId) -> bool + '_ {
-    move |x, y| if y == EC { tunnels.connected(x, y) } else { true }
+    move |x, y| {
+        if y == EC {
+            tunnels.connected(x, y)
+        } else {
+            true
+        }
+    }
 }
 
 #[test]
@@ -73,7 +79,10 @@ fn partial_withdrawal_breaks_the_trace_at_the_gap() {
     t.remove(dst, src);
 
     // Source still owns a (stale) entry toward the relay...
-    assert_eq!(fabric.table(B0).expect("programmed").lookup(src, dst), Some(RELAY));
+    assert_eq!(
+        fabric.table(B0).expect("programmed").lookup(src, dst),
+        Some(RELAY)
+    );
     // ...but the end-to-end trace reports the disruption.
     assert_eq!(fabric.trace_flow(src, dst, B0, EC, |_, _| true), None);
 }
@@ -91,7 +100,9 @@ fn tunnel_teardown_disrupts_an_intact_route_program() {
     let tid = tunnels.establish(GS, EC, SimTime::ZERO);
     fabric.program_path(src, dst, &[B0, GS, EC], 1);
 
-    assert!(fabric.trace_flow(src, dst, B0, EC, link_up(&tunnels)).is_some());
+    assert!(fabric
+        .trace_flow(src, dst, B0, EC, link_up(&tunnels))
+        .is_some());
     tunnels.set_down(tid);
     assert_eq!(
         fabric.trace_flow(src, dst, B0, EC, link_up(&tunnels)),

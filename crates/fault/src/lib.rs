@@ -165,13 +165,21 @@ impl FaultPlan {
 
     /// Append a closed window.
     pub fn with(mut self, start: SimTime, duration: SimDuration, kind: FaultKind) -> Self {
-        self.windows.push(FaultWindow { start, end: Some(start + duration), kind });
+        self.windows.push(FaultWindow {
+            start,
+            end: Some(start + duration),
+            kind,
+        });
         self
     }
 
     /// Append an open-ended window (never clears).
     pub fn with_open(mut self, start: SimTime, kind: FaultKind) -> Self {
-        self.windows.push(FaultWindow { start, end: None, kind });
+        self.windows.push(FaultWindow {
+            start,
+            end: None,
+            kind,
+        });
         self
     }
 
@@ -188,7 +196,11 @@ impl FaultPlan {
     /// fixed, so equal `(seed, cfg)` always yields equal plans.
     pub fn generate(seed: u64, cfg: &PlanConfig) -> Self {
         let mut rng = RngStreams::new(seed).stream("fault-plan");
-        let span_ms = cfg.latest.as_ms().saturating_sub(cfg.earliest.as_ms()).max(1);
+        let span_ms = cfg
+            .latest
+            .as_ms()
+            .saturating_sub(cfg.earliest.as_ms())
+            .max(1);
         let n = if cfg.expected_faults == 0 {
             0
         } else {
@@ -203,18 +215,25 @@ impl FaultPlan {
             let (kind, duration) = Self::draw_fault(&mut rng, cfg);
             match duration {
                 Some(d) => {
-                    windows.push(FaultWindow { start, end: Some(start + d), kind });
+                    windows.push(FaultWindow {
+                        start,
+                        end: Some(start + d),
+                        kind,
+                    });
                 }
-                None => windows.push(FaultWindow { start, end: None, kind }),
+                None => windows.push(FaultWindow {
+                    start,
+                    end: None,
+                    kind,
+                }),
             }
         }
         FaultPlan { windows }
     }
 
     fn draw_fault(rng: &mut ChaCha8Rng, cfg: &PlanConfig) -> (FaultKind, Option<SimDuration>) {
-        let mins = |lo: u64, hi: u64, rng: &mut ChaCha8Rng| {
-            SimDuration::from_mins(rng.gen_range(lo..hi))
-        };
+        let mins =
+            |lo: u64, hi: u64, rng: &mut ChaCha8Rng| SimDuration::from_mins(rng.gen_range(lo..hi));
         // Weighted over substrates; every substrate is represented.
         match rng.gen_range(0..6u32) {
             0 if !cfg.gs_ids.is_empty() => {
@@ -247,7 +266,14 @@ impl FaultPlan {
                 } else {
                     (TransceiverFaultMode::RadioReboot, mins(1, 4, rng))
                 };
-                (FaultKind::TransceiverFault { platform, index, mode }, Some(d))
+                (
+                    FaultKind::TransceiverFault {
+                        platform,
+                        index,
+                        mode,
+                    },
+                    Some(d),
+                )
             }
             4 if cfg.n_balloons > 0 => {
                 let balloon = PlatformId(rng.gen_range(0..cfg.n_balloons));
@@ -310,7 +336,11 @@ impl ChaosEngine {
     /// An engine over `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         let states = vec![WindowState::Pending; plan.windows.len()];
-        ChaosEngine { windows: plan.windows, states, log: Vec::new() }
+        ChaosEngine {
+            windows: plan.windows,
+            states,
+            log: Vec::new(),
+        }
     }
 
     /// An engine with no scheduled faults.
@@ -329,10 +359,16 @@ impl ChaosEngine {
                     // transitions (coarse ticks must not skip faults).
                     if w.active_at(now) {
                         self.states[i] = WindowState::Active;
-                        fired.push(FaultTransition::Started { at: w.start, kind: w.kind.clone() });
+                        fired.push(FaultTransition::Started {
+                            at: w.start,
+                            kind: w.kind.clone(),
+                        });
                     } else {
                         self.states[i] = WindowState::Done;
-                        fired.push(FaultTransition::Started { at: w.start, kind: w.kind.clone() });
+                        fired.push(FaultTransition::Started {
+                            at: w.start,
+                            kind: w.kind.clone(),
+                        });
                         fired.push(FaultTransition::Cleared {
                             at: w.end.expect("inactive past window must close"),
                             kind: w.kind.clone(),
@@ -356,7 +392,11 @@ impl ChaosEngine {
     /// Force a fault active now (outside the plan). Used by directed
     /// tests and the orchestrator's legacy `set_gs_outage` shim.
     pub fn force_start(&mut self, kind: FaultKind, now: SimTime) {
-        self.windows.push(FaultWindow { start: now, end: None, kind: kind.clone() });
+        self.windows.push(FaultWindow {
+            start: now,
+            end: None,
+            kind: kind.clone(),
+        });
         self.states.push(WindowState::Active);
         self.log.push(FaultTransition::Started { at: now, kind });
     }
@@ -367,7 +407,10 @@ impl ChaosEngine {
             if self.states[i] == WindowState::Active && pred(&w.kind) {
                 self.states[i] = WindowState::Done;
                 w.end = Some(now);
-                self.log.push(FaultTransition::Cleared { at: now, kind: w.kind.clone() });
+                self.log.push(FaultTransition::Cleared {
+                    at: now,
+                    kind: w.kind.clone(),
+                });
             }
         }
     }
@@ -423,7 +466,11 @@ impl ChaosEngine {
         let mut drop: f64 = 0.0;
         let mut any = false;
         for w in self.active() {
-            if let FaultKind::SatcomBrownout { latency_scale, max_drop_prob } = &w.kind {
+            if let FaultKind::SatcomBrownout {
+                latency_scale,
+                max_drop_prob,
+            } = &w.kind
+            {
                 any = true;
                 scale = scale.max(*latency_scale);
                 let ramp = match w.end {
@@ -443,7 +490,11 @@ impl ChaosEngine {
     pub fn command_chaos(&self) -> Option<(f64, f64, f64)> {
         let mut out: Option<(f64, f64, f64)> = None;
         for w in self.active() {
-            if let FaultKind::CommandChaos { corrupt_prob, duplicate_prob, reorder_prob } = &w.kind
+            if let FaultKind::CommandChaos {
+                corrupt_prob,
+                duplicate_prob,
+                reorder_prob,
+            } = &w.kind
             {
                 let (c, d, r) = out.unwrap_or((0.0, 0.0, 0.0));
                 out = Some((
@@ -514,9 +565,10 @@ mod tests {
         let mut e = ChaosEngine::idle();
         e.force_start(FaultKind::GsOutage { site: gs(9) }, SimTime::from_secs(5));
         assert!(e.gs_dark(gs(9)));
-        e.force_clear(SimTime::from_secs(9), |k| {
-            matches!(k, FaultKind::GsOutage { site } if *site == gs(9))
-        });
+        e.force_clear(
+            SimTime::from_secs(9),
+            |k| matches!(k, FaultKind::GsOutage { site } if *site == gs(9)),
+        );
         assert!(!e.gs_dark(gs(9)));
         assert_eq!(e.log.len(), 2);
     }
@@ -526,14 +578,19 @@ mod tests {
         let plan = FaultPlan::new().with(
             SimTime::from_secs(0),
             SimDuration::from_secs(100),
-            FaultKind::SatcomBrownout { latency_scale: 4.0, max_drop_prob: 0.6 },
+            FaultKind::SatcomBrownout {
+                latency_scale: 4.0,
+                max_drop_prob: 0.6,
+            },
         );
         let mut e = ChaosEngine::new(plan);
         e.advance(SimTime::ZERO);
         let (s0, d0) = e.satcom_disturbance(SimTime::ZERO).expect("active");
         assert_eq!(s0, 4.0);
         assert!(d0 < 1e-9);
-        let (_, d_half) = e.satcom_disturbance(SimTime::from_secs(50)).expect("active");
+        let (_, d_half) = e
+            .satcom_disturbance(SimTime::from_secs(50))
+            .expect("active");
         assert!((d_half - 0.3).abs() < 1e-9, "{d_half}");
         e.advance(SimTime::from_secs(150));
         assert_eq!(e.satcom_disturbance(SimTime::from_secs(150)), None);
@@ -555,7 +612,10 @@ mod tests {
         assert!(e.transceiver_faulted(gs(2), 1));
         assert!(!e.transceiver_faulted(gs(2), 0));
         assert!(!e.transceiver_faulted(gs(3), 1));
-        assert!(!e.platform_dark(gs(2)), "radio fault is not a platform loss");
+        assert!(
+            !e.platform_dark(gs(2)),
+            "radio fault is not a platform loss"
+        );
     }
 
     #[test]
@@ -564,7 +624,9 @@ mod tests {
             .with(
                 SimTime::ZERO,
                 SimDuration::from_secs(60),
-                FaultKind::InbandPartition { nodes: vec![gs(1), gs(4)] },
+                FaultKind::InbandPartition {
+                    nodes: vec![gs(1), gs(4)],
+                },
             )
             .with(
                 SimTime::ZERO,
@@ -594,7 +656,10 @@ mod tests {
         for w in &a.windows {
             assert!(w.start >= cfg.earliest && w.start < cfg.latest);
             assert!(w.end.is_some(), "kenya_daytime disallows permanent loss");
-            if let FaultKind::TransceiverFault { platform, index, .. } = &w.kind {
+            if let FaultKind::TransceiverFault {
+                platform, index, ..
+            } = &w.kind
+            {
                 assert!(platform.0 < 8 && *index < 3);
             }
         }

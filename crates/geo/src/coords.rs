@@ -30,7 +30,11 @@ pub struct GeoPoint {
 impl GeoPoint {
     /// Create a geodetic point.
     pub fn new(lat_deg: f64, lon_deg: f64, alt_m: f64) -> Self {
-        Self { lat_deg, lon_deg, alt_m }
+        Self {
+            lat_deg,
+            lon_deg,
+            alt_m,
+        }
     }
 
     /// Convert to ECEF coordinates.
@@ -54,8 +58,7 @@ impl GeoPoint {
         let lat2 = deg_to_rad(other.lat_deg);
         let dlat = lat2 - lat1;
         let dlon = deg_to_rad(other.lon_deg - self.lon_deg);
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 
@@ -121,8 +124,8 @@ impl Ecef {
         let ep2 = (WGS84_A * WGS84_A - b * b) / (b * b);
         let p = (self.x * self.x + self.y * self.y).sqrt();
         let theta = (self.z * WGS84_A).atan2(p * b);
-        let lat = (self.z + ep2 * b * theta.sin().powi(3))
-            .atan2(p - e2 * WGS84_A * theta.cos().powi(3));
+        let lat =
+            (self.z + ep2 * b * theta.sin().powi(3)).atan2(p - e2 * WGS84_A * theta.cos().powi(3));
         let lon = self.y.atan2(self.x);
         let sin_lat = lat.sin();
         let n = WGS84_A / (1.0 - e2 * sin_lat * sin_lat).sqrt();
@@ -187,7 +190,11 @@ impl Enu {
 mod tests {
     use super::*;
 
-    const NAIROBI: GeoPoint = GeoPoint { lat_deg: -1.286, lon_deg: 36.817, alt_m: 1795.0 };
+    const NAIROBI: GeoPoint = GeoPoint {
+        lat_deg: -1.286,
+        lon_deg: 36.817,
+        alt_m: 1795.0,
+    };
 
     #[test]
     fn ecef_roundtrip_is_stable() {
@@ -244,7 +251,11 @@ mod tests {
     fn enu_eastward_target_has_east_azimuth() {
         let east = NAIROBI.offset(50_000.0, 0.0, 0.0);
         let v = Enu::from_points(&NAIROBI, &east);
-        assert!((v.azimuth_deg() - 90.0).abs() < 0.5, "az {}", v.azimuth_deg());
+        assert!(
+            (v.azimuth_deg() - 90.0).abs() < 0.5,
+            "az {}",
+            v.azimuth_deg()
+        );
         // Earth curvature drops the target below local horizontal.
         assert!(v.elevation_deg() < 0.0);
     }

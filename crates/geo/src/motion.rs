@@ -41,7 +41,10 @@ pub struct Trajectory {
 impl Trajectory {
     /// A trajectory holding at most `capacity` fixes.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { samples: Vec::new(), capacity: capacity.max(2) }
+        Self {
+            samples: Vec::new(),
+            capacity: capacity.max(2),
+        }
     }
 
     /// Record a fix. Fixes must be pushed in non-decreasing time
@@ -133,14 +136,23 @@ pub struct LinearMotion {
 impl LinearMotion {
     /// A platform that never moves (ground stations).
     pub fn stationary(pos: GeoPoint) -> Self {
-        Self { start: pos, start_ms: 0, vel_east_mps: 0.0, vel_north_mps: 0.0, vel_up_mps: 0.0 }
+        Self {
+            start: pos,
+            start_ms: 0,
+            vel_east_mps: 0.0,
+            vel_north_mps: 0.0,
+            vel_up_mps: 0.0,
+        }
     }
 
     /// Position at `t_ms` (clamped to `start_ms` for earlier times).
     pub fn position_at(&self, t_ms: u64) -> GeoPoint {
         let dt = t_ms.saturating_sub(self.start_ms) as f64 / 1000.0;
-        self.start
-            .offset(self.vel_east_mps * dt, self.vel_north_mps * dt, self.vel_up_mps * dt)
+        self.start.offset(
+            self.vel_east_mps * dt,
+            self.vel_north_mps * dt,
+            self.vel_up_mps * dt,
+        )
     }
 
     /// Sample this motion into a [`TrajectorySample`].

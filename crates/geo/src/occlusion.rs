@@ -72,7 +72,9 @@ pub struct ObstructionMask {
 impl ObstructionMask {
     /// A mask with no obstructions.
     pub fn clear() -> Self {
-        Self { sectors: Vec::new() }
+        Self {
+            sectors: Vec::new(),
+        }
     }
 
     /// Add a terrain-style blocked sector (blocks everything from
@@ -157,9 +159,19 @@ mod tests {
 
     #[test]
     fn width_handles_wrap() {
-        let s = ObstructionSector { az_start_deg: 350.0, az_end_deg: 10.0, min_el_deg: -90.0, max_el_deg: 0.0 };
+        let s = ObstructionSector {
+            az_start_deg: 350.0,
+            az_end_deg: 10.0,
+            min_el_deg: -90.0,
+            max_el_deg: 0.0,
+        };
         assert!((s.width_deg() - 20.0).abs() < 1e-9);
-        let t = ObstructionSector { az_start_deg: 10.0, az_end_deg: 40.0, min_el_deg: -90.0, max_el_deg: 0.0 };
+        let t = ObstructionSector {
+            az_start_deg: 10.0,
+            az_end_deg: 40.0,
+            min_el_deg: -90.0,
+            max_el_deg: 0.0,
+        };
         assert!((t.width_deg() - 30.0).abs() < 1e-9);
     }
 

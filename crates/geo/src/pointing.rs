@@ -24,7 +24,10 @@ pub struct AzEl {
 
 impl AzEl {
     pub fn new(az_deg: f64, el_deg: f64) -> Self {
-        Self { az_deg: crate::norm_deg(az_deg), el_deg }
+        Self {
+            az_deg: crate::norm_deg(az_deg),
+            el_deg,
+        }
     }
 
     /// Angular distance between two pointing directions, degrees,
@@ -79,7 +82,11 @@ pub struct FieldOfRegard {
 impl FieldOfRegard {
     /// Loon balloon antenna: full azimuth, nadir to +20° elevation.
     pub fn balloon() -> Self {
-        FieldOfRegard { min_el_deg: -90.0, max_el_deg: 20.0, mask: ObstructionMask::clear() }
+        FieldOfRegard {
+            min_el_deg: -90.0,
+            max_el_deg: 20.0,
+            mask: ObstructionMask::clear(),
+        }
     }
 
     /// A balloon antenna with a bus-occlusion wedge centred on
@@ -103,7 +110,11 @@ impl FieldOfRegard {
     /// minimum elevation (long B2G links need low pointing elevations,
     /// which is exactly where terrain and structures occlude, §2.2).
     pub fn ground_station(min_el_deg: f64) -> Self {
-        FieldOfRegard { min_el_deg, max_el_deg: 90.0, mask: ObstructionMask::clear() }
+        FieldOfRegard {
+            min_el_deg,
+            max_el_deg: 90.0,
+            mask: ObstructionMask::clear(),
+        }
     }
 
     /// True when `dir` lies inside the mechanical limits and is not
@@ -153,7 +164,10 @@ mod tests {
     #[test]
     fn bus_occlusion_blocks_wedge_only() {
         let f = FieldOfRegard::balloon_with_bus_occlusion(180.0, 60.0);
-        assert!(!f.contains(&AzEl::new(180.0, 5.0)), "center of wedge blocked");
+        assert!(
+            !f.contains(&AzEl::new(180.0, 5.0)),
+            "center of wedge blocked"
+        );
         assert!(!f.contains(&AzEl::new(155.0, 0.0)), "edge of wedge blocked");
         assert!(f.contains(&AzEl::new(90.0, 5.0)), "outside wedge clear");
         assert!(f.contains(&AzEl::new(0.0, 5.0)));
@@ -188,6 +202,9 @@ mod tests {
     fn blocked_fraction_matches_wedge_width() {
         let f = FieldOfRegard::balloon_with_bus_occlusion(90.0, 72.0);
         let frac = f.blocked_fraction_at(5.0, 3600);
-        assert!((frac - 0.2).abs() < 0.01, "expected ~20% blocked, got {frac}");
+        assert!(
+            (frac - 0.2).abs() < 0.01,
+            "expected ~20% blocked, got {frac}"
+        );
     }
 }

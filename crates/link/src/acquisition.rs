@@ -156,7 +156,10 @@ impl LinkStateMachine {
 
     /// True when the machine has reached a terminal phase.
     pub fn is_terminal(&self) -> bool {
-        matches!(self.phase, LinkPhase::Failed { .. } | LinkPhase::Ended { .. })
+        matches!(
+            self.phase,
+            LinkPhase::Failed { .. } | LinkPhase::Ended { .. }
+        )
     }
 
     /// Whether the lock is on a side lobe (only meaningful while
@@ -229,7 +232,10 @@ impl LinkStateMachine {
                 if now >= until {
                     let until = now + self.search_duration(rng);
                     self.phase = LinkPhase::Searching { until, attempt: 1 };
-                    Some(LinkTransition::AttemptStarted { at: now, attempt: 1 })
+                    Some(LinkTransition::AttemptStarted {
+                        at: now,
+                        attempt: 1,
+                    })
                 } else {
                     None
                 }
@@ -244,7 +250,10 @@ impl LinkStateMachine {
                 let lock = rf_ok && rng.gen_bool(self.config.search_success_prob);
                 if lock {
                     let sidelobe = rng.gen_bool(self.config.sidelobe_lock_prob);
-                    self.phase = LinkPhase::Established { since: now, sidelobe };
+                    self.phase = LinkPhase::Established {
+                        since: now,
+                        sidelobe,
+                    };
                     self.fade_since = None;
                     Some(LinkTransition::Established { at: now, sidelobe })
                 } else if attempt >= self.config.max_attempts {
@@ -258,7 +267,10 @@ impl LinkStateMachine {
                 } else {
                     let next = attempt + 1;
                     let until = now + self.search_duration(rng);
-                    self.phase = LinkPhase::Searching { until, attempt: next };
+                    self.phase = LinkPhase::Searching {
+                        until,
+                        attempt: next,
+                    };
                     Some(LinkTransition::AttemptFailed { at: now, attempt })
                 }
             }
@@ -269,7 +281,11 @@ impl LinkStateMachine {
                 self.last_poll = Some(now);
                 let infant = now.since(since) < self.config.infant_period;
                 let hazard = self.config.hardware_hazard_per_s
-                    + if infant { self.config.infant_hazard_per_s } else { 0.0 };
+                    + if infant {
+                        self.config.infant_hazard_per_s
+                    } else {
+                        0.0
+                    };
                 let p_drop = 1.0 - (-hazard * dt_s).exp();
                 if p_drop > 0.0 && rng.gen_bool(p_drop.min(1.0)) {
                     // Infant drops are tracking losses; later drops are
@@ -360,9 +376,17 @@ mod tests {
         let mut m = LinkStateMachine::new(SimTime::from_secs(60), 9.0, cfg_deterministic());
         let mut r = rng();
         let trs = drive(&mut m, |_| Some(10.0), SimTime::from_secs(200), &mut r);
-        assert!(matches!(trs[0], LinkTransition::EnactStarted { at } if at == SimTime::from_secs(60)));
+        assert!(
+            matches!(trs[0], LinkTransition::EnactStarted { at } if at == SimTime::from_secs(60))
+        );
         assert!(matches!(trs[1], LinkTransition::AttemptStarted { .. }));
-        assert!(matches!(trs[2], LinkTransition::Established { sidelobe: false, .. }));
+        assert!(matches!(
+            trs[2],
+            LinkTransition::Established {
+                sidelobe: false,
+                ..
+            }
+        ));
         assert!(m.is_established());
         // Established at TTE + slew(9s) + search_min(25s) = 94s.
         if let LinkTransition::Established { at, .. } = trs[2] {
@@ -391,7 +415,10 @@ mod tests {
         assert_eq!(fails, 2, "attempts 1,2 fail then terminal on 3rd");
         assert!(matches!(
             trs.last(),
-            Some(LinkTransition::Failed { reason: EndReason::RfInfeasible, .. })
+            Some(LinkTransition::Failed {
+                reason: EndReason::RfInfeasible,
+                ..
+            })
         ));
     }
 
@@ -402,7 +429,10 @@ mod tests {
         let trs = drive(&mut m, |_| None, SimTime::from_secs(600), &mut r);
         assert!(matches!(
             trs.last(),
-            Some(LinkTransition::Failed { reason: EndReason::RfInfeasible, .. })
+            Some(LinkTransition::Failed {
+                reason: EndReason::RfInfeasible,
+                ..
+            })
         ));
     }
 
@@ -426,7 +456,13 @@ mod tests {
             if m.is_established() {
                 let attempts = trs
                     .iter()
-                    .filter(|t| matches!(t, LinkTransition::AttemptStarted { .. } | LinkTransition::AttemptFailed { .. }))
+                    .filter(|t| {
+                        matches!(
+                            t,
+                            LinkTransition::AttemptStarted { .. }
+                                | LinkTransition::AttemptFailed { .. }
+                        )
+                    })
                     .count();
                 if attempts <= 1 {
                     first += 1;
@@ -473,7 +509,10 @@ mod tests {
         let trs = drive(&mut m, margin, SimTime::from_secs(300), &mut r);
         assert!(matches!(
             trs.last(),
-            Some(LinkTransition::Ended { reason: EndReason::RfFade, .. })
+            Some(LinkTransition::Ended {
+                reason: EndReason::RfFade,
+                ..
+            })
         ));
         // Drop happens ~fade_tolerance after the fade began.
         if let Some(LinkTransition::Ended { at, .. }) = trs.last() {
@@ -509,7 +548,10 @@ mod tests {
         let tr = m.poll(SimTime::from_secs(101), Some(10.0), &mut r);
         assert!(matches!(
             tr,
-            Some(LinkTransition::Ended { reason: EndReason::Withdrawn, .. })
+            Some(LinkTransition::Ended {
+                reason: EndReason::Withdrawn,
+                ..
+            })
         ));
     }
 
@@ -521,7 +563,10 @@ mod tests {
         let tr = m.poll(SimTime::from_secs(1), Some(10.0), &mut r);
         assert!(matches!(
             tr,
-            Some(LinkTransition::Failed { reason: EndReason::Withdrawn, .. })
+            Some(LinkTransition::Failed {
+                reason: EndReason::Withdrawn,
+                ..
+            })
         ));
     }
 
@@ -539,10 +584,15 @@ mod tests {
         // True margin +5 dB: main-lobe would hold easily, side-lobe
         // effective margin is 5−14 = −9 < hold(−3) → drops.
         let trs = drive(&mut m, |_| Some(5.0), SimTime::from_secs(300), &mut r);
-        assert!(trs.iter().any(|t| matches!(t, LinkTransition::Established { sidelobe: true, .. })));
+        assert!(trs
+            .iter()
+            .any(|t| matches!(t, LinkTransition::Established { sidelobe: true, .. })));
         assert!(matches!(
             trs.last(),
-            Some(LinkTransition::Ended { reason: EndReason::RfFade, .. })
+            Some(LinkTransition::Ended {
+                reason: EndReason::RfFade,
+                ..
+            })
         ));
     }
 

@@ -181,7 +181,13 @@ impl LinkLedger {
     }
 
     /// Open a new intent; returns its id.
-    pub fn open(&mut self, a: TransceiverId, b: TransceiverId, kind: LinkKind, now: SimTime) -> u64 {
+    pub fn open(
+        &mut self,
+        a: TransceiverId,
+        b: TransceiverId,
+        kind: LinkKind,
+        now: SimTime,
+    ) -> u64 {
         let intent_id = self.records.len() as u64;
         self.records.push(LinkRecord {
             intent_id,

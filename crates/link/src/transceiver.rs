@@ -118,8 +118,9 @@ mod tests {
 
     #[test]
     fn balloon_antennas_jointly_cover_full_azimuth() {
-        let ts: Vec<Transceiver> =
-            (0..3).map(|i| Transceiver::balloon(PlatformId(0), i)).collect();
+        let ts: Vec<Transceiver> = (0..3)
+            .map(|i| Transceiver::balloon(PlatformId(0), i))
+            .collect();
         for az in (0..360).step_by(5) {
             let dir = AzEl::new(az as f64, 0.0);
             let coverers = ts.iter().filter(|t| t.can_point_at(&dir)).count();
@@ -129,8 +130,9 @@ mod tests {
 
     #[test]
     fn balloon_antennas_have_overlap_but_not_total() {
-        let ts: Vec<Transceiver> =
-            (0..3).map(|i| Transceiver::balloon(PlatformId(0), i)).collect();
+        let ts: Vec<Transceiver> = (0..3)
+            .map(|i| Transceiver::balloon(PlatformId(0), i))
+            .collect();
         let mut multi = 0;
         let mut single = 0;
         for az in (0..360).step_by(2) {

@@ -107,7 +107,10 @@ impl Aodv {
 
     /// Whether `node` holds a live route to `dest`.
     pub fn has_route(&self, node: NodeId, dest: NodeId) -> bool {
-        self.nodes.get(&node).map(|s| s.table.contains_key(&dest)).unwrap_or(false)
+        self.nodes
+            .get(&node)
+            .map(|s| s.table.contains_key(&dest))
+            .unwrap_or(false)
     }
 
     fn install(
@@ -130,7 +133,15 @@ impl Aodv {
             }
         };
         if adopt {
-            st.table.insert(dest, Route { next_hop, hops, dest_seq, updated: now });
+            st.table.insert(
+                dest,
+                Route {
+                    next_hop,
+                    hops,
+                    dest_seq,
+                    updated: now,
+                },
+            );
         }
         let seen = st.last_seq_seen.entry(dest).or_insert(0);
         *seen = (*seen).max(dest_seq);
@@ -157,18 +168,22 @@ impl ManetProtocol for Aodv {
     }
 
     fn on_tick(&mut self, now: SimTime, node: NodeId, ctx: &mut Ctx<AodvMsg>) {
-        let (route_timeout, rreq_interval, neighbor_timeout) =
-            (self.route_timeout, self.rreq_interval, self.neighbor_timeout);
+        let (route_timeout, rreq_interval, neighbor_timeout) = (
+            self.route_timeout,
+            self.rreq_interval,
+            self.neighbor_timeout,
+        );
         let st = self.nodes.get_mut(&node).expect("known node");
 
         // Expire neighbors, then routes that point at dead neighbors
         // or have timed out.
-        st.neighbor_seen.retain(|_, t| now.since(*t) < neighbor_timeout);
+        st.neighbor_seen
+            .retain(|_, t| now.since(*t) < neighbor_timeout);
         let live: Vec<NodeId> = st.neighbor_seen.keys().copied().collect();
-        st.table.retain(|_, r| {
-            now.since(r.updated) < route_timeout && live.contains(&r.next_hop)
-        });
-        st.seen_rreqs.retain(|_, t| now.since(*t) < SimDuration::from_secs(30));
+        st.table
+            .retain(|_, r| now.since(r.updated) < route_timeout && live.contains(&r.next_hop));
+        st.seen_rreqs
+            .retain(|_, t| now.since(*t) < SimDuration::from_secs(30));
 
         // Hello beacon for liveness.
         ctx.broadcast(node, AodvMsg::Hello { from: node }, HELLO_BYTES);
@@ -229,7 +244,14 @@ impl ManetProtocol for Aodv {
 
         match msg {
             AodvMsg::Hello { .. } => {}
-            AodvMsg::Rreq { origin, origin_seq, rreq_id, dest, dest_seq, hops } => {
+            AodvMsg::Rreq {
+                origin,
+                origin_seq,
+                rreq_id,
+                dest,
+                dest_seq,
+                hops,
+            } => {
                 if origin == node {
                     return;
                 }
@@ -250,7 +272,12 @@ impl ManetProtocol for Aodv {
                     ctx.unicast(
                         node,
                         from,
-                        AodvMsg::Rrep { origin, dest, dest_seq: seq, hops: 0 },
+                        AodvMsg::Rrep {
+                            origin,
+                            dest,
+                            dest_seq: seq,
+                            hops: 0,
+                        },
                         RREP_BYTES,
                     );
                 } else {
@@ -268,7 +295,12 @@ impl ManetProtocol for Aodv {
                         ctx.unicast(
                             node,
                             from,
-                            AodvMsg::Rrep { origin, dest, dest_seq: r.dest_seq, hops: r.hops },
+                            AodvMsg::Rrep {
+                                origin,
+                                dest,
+                                dest_seq: r.dest_seq,
+                                hops: r.hops,
+                            },
                             RREP_BYTES,
                         );
                     } else {
@@ -288,7 +320,12 @@ impl ManetProtocol for Aodv {
                     }
                 }
             }
-            AodvMsg::Rrep { origin, dest, dest_seq, hops } => {
+            AodvMsg::Rrep {
+                origin,
+                dest,
+                dest_seq,
+                hops,
+            } => {
                 // Install the forward route toward the destination.
                 self.install(now, node, dest, from, hops + 1, dest_seq);
                 if origin != node {
@@ -302,7 +339,12 @@ impl ManetProtocol for Aodv {
                         ctx.unicast(
                             node,
                             nh,
-                            AodvMsg::Rrep { origin, dest, dest_seq, hops: hops + 1 },
+                            AodvMsg::Rrep {
+                                origin,
+                                dest,
+                                dest_seq,
+                                hops: hops + 1,
+                            },
                             RREP_BYTES,
                         );
                     }
@@ -343,7 +385,13 @@ mod tests {
         h.run_until(SimTime::from_secs(2));
         assert!(!h.route_works(n(3), n(0)), "no route before interest");
         let d = h
-            .measure_convergence(ConvergenceProbe { from: n(3), to: n(0) }, SimTime::from_secs(30))
+            .measure_convergence(
+                ConvergenceProbe {
+                    from: n(3),
+                    to: n(0),
+                },
+                SimTime::from_secs(30),
+            )
             .expect("discovers");
         // One flood normally suffices (~1 s to the next tick + RTT);
         // allow a couple of loss-driven re-floods at 2 s spacing.
@@ -378,7 +426,13 @@ mod tests {
         let via = h.route_path(n(3), n(0)).expect("path")[1];
         h.remove_link(n(3), via);
         let d = h
-            .measure_convergence(ConvergenceProbe { from: n(3), to: n(0) }, SimTime::from_secs(60))
+            .measure_convergence(
+                ConvergenceProbe {
+                    from: n(3),
+                    to: n(0),
+                },
+                SimTime::from_secs(60),
+            )
             .expect("repairs");
         assert!(d.as_secs_f64() <= 15.0, "repaired in {d}");
     }

@@ -146,7 +146,12 @@ impl ManetProtocol for Batman {
         let is_gw = *self.gateways.get(&node).unwrap_or(&false);
         let st = self.nodes.get_mut(&node).expect("known node");
         st.seq += 1;
-        let ogm = Ogm { originator: node, seq: st.seq, tq: 1.0, gateway: is_gw };
+        let ogm = Ogm {
+            originator: node,
+            seq: st.seq,
+            tq: 1.0,
+            gateway: is_gw,
+        };
         ctx.broadcast(node, ogm, OGM_BYTES);
     }
 
@@ -262,7 +267,10 @@ mod tests {
         h.remove_link(n(3), via);
         let d = h
             .measure_convergence(
-                ConvergenceProbe { from: n(3), to: n(0) },
+                ConvergenceProbe {
+                    from: n(3),
+                    to: n(0),
+                },
                 SimTime::from_secs(60),
             )
             .expect("repairs");
@@ -299,7 +307,10 @@ mod tests {
                 via_clean += 1;
             }
         }
-        assert!(via_clean >= 18, "clean 2-hop path dominates: {via_clean}/21");
+        assert!(
+            via_clean >= 18,
+            "clean 2-hop path dominates: {via_clean}/21"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub struct Dsdv {
 impl Dsdv {
     /// Protocol with defaults matched to a 1 s tick.
     pub fn new() -> Self {
-        Dsdv { nodes: BTreeMap::new(), route_timeout: SimDuration::from_secs(5) }
+        Dsdv {
+            nodes: BTreeMap::new(),
+            route_timeout: SimDuration::from_secs(5),
+        }
     }
 
     /// Metric (hop count) of `node`'s route to `dest`, if any.
@@ -83,12 +86,16 @@ impl ManetProtocol for Dsdv {
         // convention: odd numbers flag broken routes; purging plays
         // that role here).
         st.own_seq += 2;
-        let mut entries = vec![DsdvEntry { dest: node, metric: 0, seq: st.own_seq }];
-        entries.extend(
-            st.table
-                .iter()
-                .map(|(d, r)| DsdvEntry { dest: *d, metric: r.metric, seq: r.seq }),
-        );
+        let mut entries = vec![DsdvEntry {
+            dest: node,
+            metric: 0,
+            seq: st.own_seq,
+        }];
+        entries.extend(st.table.iter().map(|(d, r)| DsdvEntry {
+            dest: *d,
+            metric: r.metric,
+            seq: r.seq,
+        }));
         let bytes = HEADER_BYTES + ENTRY_BYTES * entries.len();
         ctx.broadcast(node, DsdvDump { entries }, bytes);
     }
@@ -118,7 +125,15 @@ impl ManetProtocol for Dsdv {
                 }
             };
             if adopt {
-                st.table.insert(e.dest, Route { next_hop: from, metric, seq: e.seq, updated: now });
+                st.table.insert(
+                    e.dest,
+                    Route {
+                        next_hop: from,
+                        metric,
+                        seq: e.seq,
+                        updated: now,
+                    },
+                );
             }
         }
     }
@@ -172,7 +187,11 @@ mod tests {
         h.set_link(n(1), n(2), 0.99);
         h.set_link(n(0), n(2), 0.99);
         h.run_until(SimTime::from_secs(10));
-        assert_eq!(h.protocol().route_metric(n(0), n(2)), Some(1), "direct route wins");
+        assert_eq!(
+            h.protocol().route_metric(n(0), n(2)),
+            Some(1),
+            "direct route wins"
+        );
         assert_eq!(h.route_path(n(0), n(2)), Some(vec![n(0), n(2)]));
     }
 
@@ -187,7 +206,13 @@ mod tests {
         let via = h.route_path(n(3), n(0)).expect("path")[1];
         h.remove_link(n(3), via);
         let d = h
-            .measure_convergence(ConvergenceProbe { from: n(3), to: n(0) }, SimTime::from_secs(60))
+            .measure_convergence(
+                ConvergenceProbe {
+                    from: n(3),
+                    to: n(0),
+                },
+                SimTime::from_secs(60),
+            )
             .expect("repairs");
         assert!(d.as_secs_f64() <= 10.0, "repaired in {d}");
     }

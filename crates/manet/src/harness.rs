@@ -138,7 +138,9 @@ impl<P: ManetProtocol> Harness<P> {
             while let Some(ev) = self.queue.pop_until(self.now) {
                 let Delivery { to, from, msg } = ev.event;
                 // The link may have vanished while the message flew.
-                let Some(q) = self.topo.quality(from, to) else { continue };
+                let Some(q) = self.topo.quality(from, to) else {
+                    continue;
+                };
                 let mut ctx = Ctx::default();
                 self.proto.on_message(self.now, to, from, q, msg, &mut ctx);
                 self.flush(ctx);
@@ -163,12 +165,20 @@ impl<P: ManetProtocol> Harness<P> {
         for (from, target, msg, bytes) in ctx.outbox {
             match target {
                 Some(to) => {
-                    let Some(q) = self.topo.quality(from, to) else { continue };
+                    let Some(q) = self.topo.quality(from, to) else {
+                        continue;
+                    };
                     self.overhead.messages += 1;
                     self.overhead.bytes += bytes as u64;
                     if self.rng.gen_bool(q) {
-                        self.queue
-                            .schedule(self.now + self.hop_latency, Delivery { to, from, msg: msg.clone() });
+                        self.queue.schedule(
+                            self.now + self.hop_latency,
+                            Delivery {
+                                to,
+                                from,
+                                msg: msg.clone(),
+                            },
+                        );
                     }
                 }
                 None => {
@@ -181,8 +191,14 @@ impl<P: ManetProtocol> Harness<P> {
                     }
                     for (to, q) in neighbors {
                         if self.rng.gen_bool(q) {
-                            self.queue
-                                .schedule(self.now + self.hop_latency, Delivery { to, from, msg: msg.clone() });
+                            self.queue.schedule(
+                                self.now + self.hop_latency,
+                                Delivery {
+                                    to,
+                                    from,
+                                    msg: msg.clone(),
+                                },
+                            );
                         }
                     }
                 }

@@ -73,12 +73,18 @@ pub struct Olsr {
 impl Olsr {
     /// Protocol with defaults matched to a 1 s tick.
     pub fn new() -> Self {
-        Olsr { nodes: BTreeMap::new(), hold_time: SimDuration::from_secs(5) }
+        Olsr {
+            nodes: BTreeMap::new(),
+            hold_time: SimDuration::from_secs(5),
+        }
     }
 
     /// The MPR set `node` currently uses (test/diagnostic access).
     pub fn mprs(&self, node: NodeId) -> Vec<NodeId> {
-        self.nodes.get(&node).map(|s| s.mprs.iter().copied().collect()).unwrap_or_default()
+        self.nodes
+            .get(&node)
+            .map(|s| s.mprs.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Greedy MPR selection: cover the whole 2-hop neighborhood with
@@ -109,7 +115,12 @@ impl Olsr {
             let covered: Vec<NodeId> = st
                 .two_hop
                 .get(&best)
-                .map(|two| two.iter().filter(|t| uncovered.contains(t)).copied().collect())
+                .map(|two| {
+                    two.iter()
+                        .filter(|t| uncovered.contains(t))
+                        .copied()
+                        .collect()
+                })
                 .unwrap_or_default();
             if covered.is_empty() {
                 break;
@@ -158,7 +169,11 @@ impl Olsr {
                 if !dist.contains_key(m) {
                     // First hop is either the neighbor itself (from me)
                     // or inherited.
-                    let fh = if n == me { Some(*m) } else { first_hop.get(&n).copied().or(via) };
+                    let fh = if n == me {
+                        Some(*m)
+                    } else {
+                        first_hop.get(&n).copied().or(via)
+                    };
                     heap.push(std::cmp::Reverse((d + 1, *m, fh)));
                 }
             }
@@ -196,7 +211,15 @@ impl ManetProtocol for Olsr {
         let neighbors: Vec<NodeId> = st.neighbors.keys().copied().collect();
         let mprs: Vec<NodeId> = st.mprs.iter().copied().collect();
         let bytes = HELLO_BASE_BYTES + ADDR_BYTES * (neighbors.len() + mprs.len());
-        ctx.broadcast(node, OlsrMsg::Hello { from: node, neighbors, mprs }, bytes);
+        ctx.broadcast(
+            node,
+            OlsrMsg::Hello {
+                from: node,
+                neighbors,
+                mprs,
+            },
+            bytes,
+        );
 
         // TC origination: nodes with selectors advertise them.
         if !st.selectors.is_empty() {
@@ -205,7 +228,12 @@ impl ManetProtocol for Olsr {
             let bytes = TC_BASE_BYTES + ADDR_BYTES * selectors.len();
             ctx.broadcast(
                 node,
-                OlsrMsg::Tc { origin: node, seq: st.own_tc_seq, selectors, hops: 0 },
+                OlsrMsg::Tc {
+                    origin: node,
+                    seq: st.own_tc_seq,
+                    selectors,
+                    hops: 0,
+                },
                 bytes,
             );
         }
@@ -221,7 +249,11 @@ impl ManetProtocol for Olsr {
         ctx: &mut Ctx<OlsrMsg>,
     ) {
         match msg {
-            OlsrMsg::Hello { from: sender, neighbors, mprs } => {
+            OlsrMsg::Hello {
+                from: sender,
+                neighbors,
+                mprs,
+            } => {
                 let st = self.nodes.get_mut(&node).expect("known node");
                 st.neighbors.insert(sender, now);
                 st.two_hop.insert(sender, neighbors);
@@ -231,7 +263,12 @@ impl ManetProtocol for Olsr {
                     st.selectors.remove(&sender);
                 }
             }
-            OlsrMsg::Tc { origin, seq, selectors, hops } => {
+            OlsrMsg::Tc {
+                origin,
+                seq,
+                selectors,
+                hops,
+            } => {
                 if origin == node {
                     return;
                 }
@@ -248,13 +285,22 @@ impl ManetProtocol for Olsr {
                 // seq hasn't been forwarded yet (RFC 3626 default
                 // forwarding rule).
                 let am_relay = st.selectors.contains(&from);
-                let already = st.forwarded_tc.get(&origin).map(|s| *s >= seq).unwrap_or(false);
+                let already = st
+                    .forwarded_tc
+                    .get(&origin)
+                    .map(|s| *s >= seq)
+                    .unwrap_or(false);
                 if am_relay && !already && hops < 32 {
                     st.forwarded_tc.insert(origin, seq);
                     let bytes = TC_BASE_BYTES + ADDR_BYTES * selectors.len();
                     ctx.broadcast(
                         node,
-                        OlsrMsg::Tc { origin, seq, selectors, hops: hops + 1 },
+                        OlsrMsg::Tc {
+                            origin,
+                            seq,
+                            selectors,
+                            hops: hops + 1,
+                        },
                         bytes,
                     );
                 }
@@ -337,7 +383,13 @@ mod tests {
         let via = h.route_path(n(3), n(0)).expect("path")[1];
         h.remove_link(n(3), via);
         let d = h
-            .measure_convergence(ConvergenceProbe { from: n(3), to: n(0) }, SimTime::from_secs(60))
+            .measure_convergence(
+                ConvergenceProbe {
+                    from: n(3),
+                    to: n(0),
+                },
+                SimTime::from_secs(60),
+            )
             .expect("repairs");
         assert!(d.as_secs_f64() <= 12.0, "repaired in {d}");
     }

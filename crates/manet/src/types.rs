@@ -64,7 +64,10 @@ impl Topology {
 
     /// Neighbors of `n` with link qualities.
     pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.edges.get(&n).into_iter().flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
+        self.edges
+            .get(&n)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
     }
 
     /// Quality of the `a`–`b` link, if linked.

@@ -60,7 +60,11 @@ impl AntennaPattern {
         let sidelobe_gain = self.boresight_gain_dbi + self.first_sidelobe_rel_db;
         let envelope = (32.0 - 25.0 * theta.max(1e-3).log10()).min(sidelobe_gain);
         let g = if theta <= first_null {
-            main.max(if theta >= 0.8 * self.beamwidth_deg { sidelobe_gain - 20.0 } else { f64::NEG_INFINITY })
+            main.max(if theta >= 0.8 * self.beamwidth_deg {
+                sidelobe_gain - 20.0
+            } else {
+                f64::NEG_INFINITY
+            })
         } else if theta <= sidelobe_end {
             sidelobe_gain
         } else {
@@ -96,7 +100,10 @@ mod tests {
     fn half_power_at_half_beamwidth() {
         let p = AntennaPattern::e_band_balloon();
         let g = p.gain_dbi(p.beamwidth_deg / 2.0);
-        assert!((g - (50.0 - 12.0)).abs() < 1e-9, "parabolic model: G0-12 at θ3dB, got {g}");
+        assert!(
+            (g - (50.0 - 12.0)).abs() < 1e-9,
+            "parabolic model: G0-12 at θ3dB, got {g}"
+        );
         // −3 dB point is at half of the half-beamwidth × sqrt(1/4)... the
         // conventional −3 dB point in this model sits at θ3dB/2:
         let g3 = p.gain_dbi(p.beamwidth_deg / 4.0);

@@ -42,8 +42,7 @@ pub fn sea_level_gaseous_db_per_km(freq_ghz: f64) -> f64 {
 /// Specific gaseous attenuation at altitude `alt_m`, dB/km.
 pub fn gaseous_db_per_km(freq_ghz: f64, alt_m: f64) -> f64 {
     let h = alt_m.max(0.0);
-    let oxygen =
-        (0.0065 + 0.000_045 * freq_ghz * freq_ghz) * (-h / OXYGEN_SCALE_HEIGHT_M).exp();
+    let oxygen = (0.0065 + 0.000_045 * freq_ghz * freq_ghz) * (-h / OXYGEN_SCALE_HEIGHT_M).exp();
     let vapor = 0.004 * (freq_ghz / 10.0).powf(1.6) * (-h / VAPOR_SCALE_HEIGHT_M).exp();
     oxygen + vapor
 }
@@ -85,7 +84,10 @@ mod tests {
     fn gaseous_attenuation_decays_with_altitude() {
         let sea = gaseous_db_per_km(73.0, 0.0);
         let strat = gaseous_db_per_km(73.0, 18_000.0);
-        assert!(strat < sea / 20.0, "stratosphere is nearly transparent: {strat} vs {sea}");
+        assert!(
+            strat < sea / 20.0,
+            "stratosphere is nearly transparent: {strat} vs {sea}"
+        );
     }
 
     #[test]

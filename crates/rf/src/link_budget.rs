@@ -113,7 +113,10 @@ impl RadioParams {
 
     /// Loon-class E-band high channel (81–86 GHz).
     pub fn e_band_high() -> Self {
-        RadioParams { freq_ghz: 83.5, ..Self::e_band_low() }
+        RadioParams {
+            freq_ghz: 83.5,
+            ..Self::e_band_low()
+        }
     }
 
     /// Receiver noise floor, dBm.
@@ -278,7 +281,14 @@ pub fn evaluate_with_attenuation(
         LinkQuality::Infeasible
     };
 
-    LinkBudgetReport { rx_power_dbm, snr_db, bitrate_bps, margin_db, quality, attenuation }
+    LinkBudgetReport {
+        rx_power_dbm,
+        snr_db,
+        bitrate_bps,
+        margin_db,
+        quality,
+        attenuation,
+    }
 }
 
 #[cfg(test)]
@@ -314,7 +324,11 @@ mod tests {
     #[test]
     fn b2b_at_700km_still_feasible_but_slower() {
         let r = eval_b2b(700.0, &ClearSky);
-        assert_ne!(r.quality, LinkQuality::Infeasible, "paper: max B2B range 700+ km");
+        assert_ne!(
+            r.quality,
+            LinkQuality::Infeasible,
+            "paper: max B2B range 700+ km"
+        );
         let near = eval_b2b(300.0, &ClearSky);
         assert!(r.bitrate_bps < near.bitrate_bps);
     }
@@ -322,7 +336,11 @@ mod tests {
     #[test]
     fn b2b_attenuation_is_weather_free_at_altitude() {
         let r = eval_b2b(500.0, &ClearSky);
-        assert!(r.attenuation.gaseous_db < 1.0, "stratospheric path: {}", r.attenuation.gaseous_db);
+        assert!(
+            r.attenuation.gaseous_db < 1.0,
+            "stratospheric path: {}",
+            r.attenuation.gaseous_db
+        );
         assert_eq!(r.attenuation.rain_db, 0.0);
     }
 
@@ -347,7 +365,11 @@ mod tests {
     #[test]
     fn b2g_maintainable_at_250km() {
         let r = eval_b2g(250.0, &ClearSky);
-        assert_ne!(r.quality, LinkQuality::Infeasible, "paper: maintained to 250+ km");
+        assert_ne!(
+            r.quality,
+            LinkQuality::Infeasible,
+            "paper: maintained to 250+ km"
+        );
     }
 
     #[test]
@@ -370,7 +392,11 @@ mod tests {
         let gs_pat = AntennaPattern::e_band_ground_station();
         let b_pat = AntennaPattern::e_band_balloon();
         let r = evaluate_link(&gs, &b, &p, &gs_pat, &b_pat, 0.0, 0.0, &storm, mid);
-        assert!(r.attenuation.rain_db > 5.0, "rain on path: {:?}", r.attenuation);
+        assert!(
+            r.attenuation.rain_db > 5.0,
+            "rain on path: {:?}",
+            r.attenuation
+        );
         assert!(r.snr_db < clear.snr_db - 5.0);
     }
 
@@ -382,8 +408,15 @@ mod tests {
         let b = balloon_at(36.0 + 300.0 / 111.2);
         let p = RadioParams::e_band_low();
         let mislocked = evaluate_link(
-            &a, &b, &p, &pat, &pat,
-            pat.first_sidelobe_offset_deg(), 0.0, &ClearSky, 0,
+            &a,
+            &b,
+            &p,
+            &pat,
+            &pat,
+            pat.first_sidelobe_offset_deg(),
+            0.0,
+            &ClearSky,
+            0,
         );
         let delta = aligned.rx_power_dbm - mislocked.rx_power_dbm;
         assert!((delta - 14.0).abs() < 0.5, "got {delta}");
@@ -410,14 +443,20 @@ mod tests {
                 }
             }
         }
-        assert!(saw.0 && saw.1 && saw.2, "all three classes observed: {saw:?}");
+        assert!(
+            saw.0 && saw.1 && saw.2,
+            "all three classes observed: {saw:?}"
+        );
     }
 
     #[test]
     fn report_margin_consistent_with_snr() {
         let r = eval_b2b(500.0, &ClearSky);
         assert!((r.margin_db - (r.snr_db - min_usable_snr_db())).abs() < 1e-9);
-        assert!((r.snr_db - (r.rx_power_dbm - RadioParams::e_band_low().noise_floor_dbm())).abs() < 1e-9);
+        assert!(
+            (r.snr_db - (r.rx_power_dbm - RadioParams::e_band_low().noise_floor_dbm())).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -427,9 +466,7 @@ mod tests {
         // (SNR threshold − minimum-usable SNR) and carrying the same
         // rate in Mbps.
         assert_eq!(MCS_CAPACITY_TABLE.len(), BITRATE_TABLE.len());
-        for (&(margin, mbps), &(thr, bps)) in
-            MCS_CAPACITY_TABLE.iter().zip(BITRATE_TABLE.iter())
-        {
+        for (&(margin, mbps), &(thr, bps)) in MCS_CAPACITY_TABLE.iter().zip(BITRATE_TABLE.iter()) {
             assert!((margin - (thr - min_usable_snr_db())).abs() < 1e-12);
             assert!((mbps - bps as f64 / 1e6).abs() < 1e-12);
         }
@@ -442,7 +479,10 @@ mod tests {
         for &(min_margin, mbps) in MCS_CAPACITY_TABLE {
             assert_eq!(capacity_mbps(min_margin), mbps, "at boundary {min_margin}");
             let below = capacity_mbps(min_margin - 1e-9);
-            assert!(below < mbps, "margin {min_margin}-ε must not grant {mbps} Mbps");
+            assert!(
+                below < mbps,
+                "margin {min_margin}-ε must not grant {mbps} Mbps"
+            );
         }
     }
 

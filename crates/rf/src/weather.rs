@@ -74,7 +74,10 @@ impl ItuSeasonal {
     /// shift. (A naive "average rain everywhere" assumption would add
     /// tens of dB and model every long B2G link as dead.)
     pub fn tropical_wet() -> Self {
-        ItuSeasonal { ambient_rain_mm_h: 0.09, ambient_cloud_g_m3: 0.02 }
+        ItuSeasonal {
+            ambient_rain_mm_h: 0.09,
+            ambient_cloud_g_m3: 0.02,
+        }
     }
 }
 
@@ -82,7 +85,11 @@ impl WeatherField for ItuSeasonal {
     fn sample(&self, pos: &GeoPoint, _t_ms: u64) -> WeatherSample {
         // Climatology applies below the rain height / cloud tops only.
         WeatherSample {
-            rain_mm_h: if pos.alt_m < crate::rain::RAIN_HEIGHT_M { self.ambient_rain_mm_h } else { 0.0 },
+            rain_mm_h: if pos.alt_m < crate::rain::RAIN_HEIGHT_M {
+                self.ambient_rain_mm_h
+            } else {
+                0.0
+            },
             cloud_lwc_g_m3: if crate::atmosphere::in_cloud_layer(pos.alt_m) {
                 self.ambient_cloud_g_m3
             } else {
@@ -116,7 +123,8 @@ impl RainCell {
     /// Cell center position at time `t_ms`.
     pub fn center_at(&self, t_ms: u64) -> GeoPoint {
         let dt = t_ms.saturating_sub(self.start_ms) as f64 / 1000.0;
-        self.center.offset(self.vel_east_mps * dt, self.vel_north_mps * dt, 0.0)
+        self.center
+            .offset(self.vel_east_mps * dt, self.vel_north_mps * dt, 0.0)
     }
 
     /// Rain rate contributed by this cell at `pos`/`t_ms`.
@@ -213,8 +221,18 @@ pub struct ForecastView {
 
 impl ForecastView {
     /// Wrap `truth` with the given error parameters.
-    pub fn new(truth: SyntheticWeather, position_error_m: f64, timing_error_ms: i64, intensity_scale: f64) -> Self {
-        Self { truth, position_error_m, timing_error_ms, intensity_scale }
+    pub fn new(
+        truth: SyntheticWeather,
+        position_error_m: f64,
+        timing_error_ms: i64,
+        intensity_scale: f64,
+    ) -> Self {
+        Self {
+            truth,
+            position_error_m,
+            timing_error_ms,
+            intensity_scale,
+        }
     }
 
     /// A perfect forecast of `truth`.
@@ -262,7 +280,8 @@ impl RainGauge {
 
     /// Whether `pos` is close enough for the gauge to speak for it.
     pub fn covers(&self, pos: &GeoPoint) -> bool {
-        self.site.ground_distance_m(&GeoPoint::new(pos.lat_deg, pos.lon_deg, self.site.alt_m))
+        self.site
+            .ground_distance_m(&GeoPoint::new(pos.lat_deg, pos.lon_deg, self.site.alt_m))
             <= self.representative_radius_m
     }
 }
@@ -311,7 +330,10 @@ impl WeatherGrid {
         dt_ms: u64,
         nt: usize,
     ) -> Self {
-        assert!(nlat >= 2 && nlon >= 2 && nalt >= 2 && nt >= 2, "grid needs ≥2 points per axis");
+        assert!(
+            nlat >= 2 && nlon >= 2 && nalt >= 2 && nt >= 2,
+            "grid needs ≥2 points per axis"
+        );
         let mut rain = Vec::with_capacity(nlat * nlon * nalt * nt);
         let mut cloud = Vec::with_capacity(nlat * nlon * nalt * nt);
         for it in 0..nt {
@@ -330,8 +352,20 @@ impl WeatherGrid {
             }
         }
         WeatherGrid {
-            lat0, lon0, dlat, dlon, alt0, dalt, t0_ms, dt_ms,
-            nlat, nlon, nalt, nt, rain, cloud,
+            lat0,
+            lon0,
+            dlat,
+            dlon,
+            alt0,
+            dalt,
+            t0_ms,
+            dt_ms,
+            nlat,
+            nlon,
+            nalt,
+            nt,
+            rain,
+            cloud,
         }
     }
 
@@ -372,7 +406,10 @@ impl WeatherField for WeatherGrid {
                 }
             }
         }
-        WeatherSample { rain_mm_h: rain, cloud_lwc_g_m3: cloud }
+        WeatherSample {
+            rain_mm_h: rain,
+            cloud_lwc_g_m3: cloud,
+        }
     }
 }
 
@@ -432,7 +469,10 @@ mod tests {
         let c = test_cell();
         let p = GeoPoint::new(-1.0, 36.8, 100.0);
         assert_eq!(c.rain_at(&p, c.end_ms + 1), 0.0);
-        let late = RainCell { start_ms: 1000, ..c };
+        let late = RainCell {
+            start_ms: 1000,
+            ..c
+        };
         assert_eq!(late.rain_at(&p, 0), 0.0);
     }
 
@@ -488,8 +528,7 @@ mod tests {
     fn grid_interpolation_close_to_truth_at_grid_scale() {
         let truth = SyntheticWeather::new().with_cell(test_cell());
         let grid = WeatherGrid::build(
-            &truth,
-            -2.0, 0.05, 41, // lat: −2..0 in 0.05° steps (~5.5 km)
+            &truth, -2.0, 0.05, 41, // lat: −2..0 in 0.05° steps (~5.5 km)
             36.0, 0.05, 41, // lon: 36..38
             0.0, 2_000.0, 6, // alt: 0..10 km
             0, 600_000, 37, // time: 0..6 h in 10-min steps
@@ -506,8 +545,7 @@ mod tests {
     fn grid_clamps_outside_box() {
         let truth = SyntheticWeather::new().with_cell(test_cell());
         let grid = WeatherGrid::build(
-            &truth,
-            -2.0, 0.1, 21, 36.0, 0.1, 21, 0.0, 2_000.0, 6, 0, 600_000, 10,
+            &truth, -2.0, 0.1, 21, 36.0, 0.1, 21, 0.0, 2_000.0, 6, 0, 600_000, 10,
         );
         // Far outside the box: clamped sample, finite values.
         let s = grid.sample(&GeoPoint::new(50.0, -120.0, 100.0), 99_999_999_999);

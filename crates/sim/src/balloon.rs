@@ -56,17 +56,15 @@ impl FmsController {
         wind: &WindField,
     ) -> f64 {
         let column = wind.column_at(pos);
-        let dist = pos.ground_distance_m(&GeoPoint::new(
-            target.lat_deg,
-            target.lon_deg,
-            pos.alt_m,
-        ));
+        let dist = pos.ground_distance_m(&GeoPoint::new(target.lat_deg, target.lon_deg, pos.alt_m));
         if dist <= loiter_radius_m {
             // Loiter: slowest wind keeps us near the target longest.
             column
                 .iter()
                 .min_by(|a, b| {
-                    a.1.speed_mps().partial_cmp(&b.1.speed_mps()).expect("finite speeds")
+                    a.1.speed_mps()
+                        .partial_cmp(&b.1.speed_mps())
+                        .expect("finite speeds")
                 })
                 .map(|(alt, _)| *alt)
                 .expect("non-empty column")
@@ -151,8 +149,10 @@ impl Balloon {
 
         let dt_s = dt.as_secs_f64();
         // Vertical motion toward target altitude, rate-limited.
-        let dz = (self.target_alt_m - self.pos.alt_m)
-            .clamp(-self.config.vertical_rate_mps * dt_s, self.config.vertical_rate_mps * dt_s);
+        let dz = (self.target_alt_m - self.pos.alt_m).clamp(
+            -self.config.vertical_rate_mps * dt_s,
+            self.config.vertical_rate_mps * dt_s,
+        );
         // Horizontal drift with the local wind.
         let w = wind.sample(&self.pos);
         self.vel_east_mps = w.east_mps;

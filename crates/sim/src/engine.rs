@@ -55,7 +55,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue starting at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulation time: the timestamp of the last popped
@@ -161,7 +165,9 @@ mod tests {
         assert!(q.pop_until(SimTime::from_secs(15)).is_none());
         assert_eq!(q.len(), 1);
         assert_eq!(
-            q.pop_until(SimTime::from_secs(20) + SimDuration::ZERO).unwrap().event,
+            q.pop_until(SimTime::from_secs(20) + SimDuration::ZERO)
+                .unwrap()
+                .event,
             "b"
         );
     }

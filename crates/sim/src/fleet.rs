@@ -111,9 +111,11 @@ impl Fleet {
             let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             let r = config.spawn_radius_m * rng.gen_range(0.0f64..1.0).sqrt();
             let alt = rng.gen_range(15_200.0..19_800.0);
-            let pos = config
-                .region_center
-                .offset(r * theta.sin(), r * theta.cos(), alt - config.region_center.alt_m);
+            let pos = config.region_center.offset(
+                r * theta.sin(),
+                r * theta.cos(),
+                alt - config.region_center.alt_m,
+            );
             balloons.push(Balloon::new(pos, config.balloon));
             // Stagger initial charge so the fleet doesn't boot in
             // lockstep.
@@ -130,7 +132,14 @@ impl Fleet {
                 pos: *pos,
             })
             .collect();
-        Fleet { balloons, power, ground_stations, wind, config, now: SimTime::ZERO }
+        Fleet {
+            balloons,
+            power,
+            ground_stations,
+            wind,
+            config,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current fleet time.
@@ -241,7 +250,9 @@ mod tests {
     fn balloons_spawn_within_radius() {
         let f = small_fleet(5);
         for b in &f.balloons {
-            let d = b.pos.ground_distance_m(&GeoPoint::new(0.0, 37.5, b.pos.alt_m));
+            let d = b
+                .pos
+                .ground_distance_m(&GeoPoint::new(0.0, 37.5, b.pos.alt_m));
             assert!(d <= 401_000.0, "spawned at {d} m");
         }
     }
@@ -252,7 +263,9 @@ mod tests {
         // At 03:00 all balloons are dark; ground stations stay up.
         f.advance_to(SimTime::from_hours(3));
         assert!(f.payload_powered(PlatformId(8)));
-        let dark = (0..8).filter(|i| !f.payload_powered(PlatformId(*i))).count();
+        let dark = (0..8)
+            .filter(|i| !f.payload_powered(PlatformId(*i)))
+            .count();
         assert_eq!(dark, 8, "all balloons dark at 03:00");
         // At noon the fleet is serving.
         f.advance_to(SimTime::from_hours(12));

@@ -122,7 +122,11 @@ impl PowerSystem {
             let hour = self.last_update.hour_of_day();
             let gen_w = self.config.solar_w(hour);
             let draw_w = self.config.avionics_draw_w
-                + if self.state == PowerState::ServiceOn { self.config.payload_draw_w } else { 0.0 };
+                + if self.state == PowerState::ServiceOn {
+                    self.config.payload_draw_w
+                } else {
+                    0.0
+                };
             self.charge_wh =
                 (self.charge_wh + (gen_w - draw_w) * dt_h).clamp(0.0, self.config.battery_wh);
 
@@ -184,11 +188,20 @@ mod tests {
     fn service_window_is_about_14_hours() {
         let transitions = simulate_transitions();
         // Find an on→off pair on the second day.
-        let ons: Vec<f64> =
-            transitions.iter().filter(|t| t.1 == PowerState::ServiceOn).map(|t| t.0).collect();
-        let offs: Vec<f64> =
-            transitions.iter().filter(|t| t.1 == PowerState::ServiceOff).map(|t| t.0).collect();
-        assert!(!ons.is_empty() && !offs.is_empty(), "payload cycles: {transitions:?}");
+        let ons: Vec<f64> = transitions
+            .iter()
+            .filter(|t| t.1 == PowerState::ServiceOn)
+            .map(|t| t.0)
+            .collect();
+        let offs: Vec<f64> = transitions
+            .iter()
+            .filter(|t| t.1 == PowerState::ServiceOff)
+            .map(|t| t.0)
+            .collect();
+        assert!(
+            !ons.is_empty() && !offs.is_empty(),
+            "payload cycles: {transitions:?}"
+        );
         let on = ons[ons.len() - 1];
         let off = offs[offs.len() - 1];
         let window = if off > on { off - on } else { off + 24.0 - on };
@@ -201,7 +214,10 @@ mod tests {
     #[test]
     fn service_starts_shortly_after_dawn() {
         let transitions = simulate_transitions();
-        let on = transitions.iter().find(|t| t.1 == PowerState::ServiceOn).expect("boots");
+        let on = transitions
+            .iter()
+            .find(|t| t.1 == PowerState::ServiceOn)
+            .expect("boots");
         assert!(
             on.0 >= 6.0 && on.0 <= 9.0,
             "boot shortly after 06:00 dawn, got {:.2}",
@@ -212,9 +228,17 @@ mod tests {
     #[test]
     fn service_extends_into_darkness() {
         let transitions = simulate_transitions();
-        let off = transitions.iter().rev().find(|t| t.1 == PowerState::ServiceOff).expect("shuts down");
+        let off = transitions
+            .iter()
+            .rev()
+            .find(|t| t.1 == PowerState::ServiceOff)
+            .expect("shuts down");
         // "through the first few hours of darkness": off after 18:00 dusk.
-        assert!(off.0 > 18.0 || off.0 < 3.0, "shutdown in darkness, got {:.2}", off.0);
+        assert!(
+            off.0 > 18.0 || off.0 < 3.0,
+            "shutdown in darkness, got {:.2}",
+            off.0
+        );
     }
 
     #[test]
@@ -234,11 +258,18 @@ mod tests {
             p.advance_to(SimTime::from_days(d) + SimDuration::from_hours(12));
             states.push(p.state());
         }
-        assert!(states.iter().all(|s| *s == PowerState::ServiceOn), "on at noon every day");
+        assert!(
+            states.iter().all(|s| *s == PowerState::ServiceOn),
+            "on at noon every day"
+        );
         let mut p2 = PowerSystem::new(PowerConfig::loon_default(), 0.6);
         for d in 2..5u64 {
             p2.advance_to(SimTime::from_days(d) + SimDuration::from_hours(3));
-            assert_eq!(p2.state(), PowerState::ServiceOff, "off at 03:00 every night");
+            assert_eq!(
+                p2.state(),
+                PowerState::ServiceOff,
+                "off at 03:00 every night"
+            );
         }
     }
 }

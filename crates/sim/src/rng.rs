@@ -59,39 +59,70 @@ mod tests {
     fn same_seed_same_stream() {
         let a = RngStreams::new(42);
         let b = RngStreams::new(42);
-        let xs: Vec<u64> = a.stream("winds").sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = b.stream("winds").sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = a
+            .stream("winds")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = b
+            .stream("winds")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 
     #[test]
     fn different_names_different_streams() {
         let f = RngStreams::new(42);
-        let xs: Vec<u64> = f.stream("winds").sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = f.stream("weather").sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = f
+            .stream("winds")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = f
+            .stream("weather")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(xs, ys);
     }
 
     #[test]
     fn different_seeds_different_streams() {
-        let xs: Vec<u64> =
-            RngStreams::new(1).stream("w").sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> =
-            RngStreams::new(2).stream("w").sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = RngStreams::new(1)
+            .stream("w")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = RngStreams::new(2)
+            .stream("w")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(xs, ys);
     }
 
     #[test]
     fn indexed_streams_are_independent() {
         let f = RngStreams::new(7);
-        let a: Vec<u64> =
-            f.indexed_stream("balloon", 0).sample_iter(rand::distributions::Standard).take(4).collect();
-        let b: Vec<u64> =
-            f.indexed_stream("balloon", 1).sample_iter(rand::distributions::Standard).take(4).collect();
+        let a: Vec<u64> = f
+            .indexed_stream("balloon", 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(4)
+            .collect();
+        let b: Vec<u64> = f
+            .indexed_stream("balloon", 1)
+            .sample_iter(rand::distributions::Standard)
+            .take(4)
+            .collect();
         assert_ne!(a, b);
         // And reproducible.
-        let a2: Vec<u64> =
-            f.indexed_stream("balloon", 0).sample_iter(rand::distributions::Standard).take(4).collect();
+        let a2: Vec<u64> = f
+            .indexed_stream("balloon", 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(4)
+            .collect();
         assert_eq!(a, a2);
     }
 }

@@ -195,6 +195,9 @@ mod tests {
     #[test]
     fn mul_f64_clamps_negative() {
         assert_eq!(SimDuration::from_secs(10).mul_f64(-2.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs(10).mul_f64(2.5), SimDuration::from_secs(25));
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(2.5),
+            SimDuration::from_secs(25)
+        );
     }
 }

@@ -210,7 +210,10 @@ mod tests {
         let f = field();
         let h0 = f.layers()[0].prevailing.heading_deg();
         let h2 = f.layers()[2].prevailing.heading_deg();
-        assert!(tssdn_geo::angular_separation_deg(h0, h2) > 30.0, "vertical shear exists");
+        assert!(
+            tssdn_geo::angular_separation_deg(h0, h2) > 30.0,
+            "vertical shear exists"
+        );
     }
 
     #[test]

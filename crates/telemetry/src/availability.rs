@@ -59,13 +59,24 @@ impl AvailabilitySeries {
     /// A series bucketed into windows of `window_ms`.
     pub fn new(window_ms: u64) -> Self {
         assert!(window_ms > 0);
-        AvailabilitySeries { window_ms, buckets: BTreeMap::new(), per_node: BTreeMap::new() }
+        AvailabilitySeries {
+            window_ms,
+            buckets: BTreeMap::new(),
+            per_node: BTreeMap::new(),
+        }
     }
 
     /// Record one probe result. `eligible` marks whether the node was
     /// in its potential-operable window at all; ineligible probes do
     /// not count against availability.
-    pub fn record(&mut self, node: PlatformId, layer: Layer, eligible: bool, up: bool, now: SimTime) {
+    pub fn record(
+        &mut self,
+        node: PlatformId,
+        layer: Layer,
+        eligible: bool,
+        up: bool,
+        now: SimTime,
+    ) {
         if !eligible {
             return;
         }
@@ -177,8 +188,20 @@ mod tests {
     #[test]
     fn per_node_totals() {
         let mut s = AvailabilitySeries::new(DAY_MS);
-        s.record(PlatformId(0), Layer::Link, true, true, SimTime::from_hours(1));
-        s.record(PlatformId(1), Layer::Link, true, false, SimTime::from_hours(1));
+        s.record(
+            PlatformId(0),
+            Layer::Link,
+            true,
+            true,
+            SimTime::from_hours(1),
+        );
+        s.record(
+            PlatformId(1),
+            Layer::Link,
+            true,
+            false,
+            SimTime::from_hours(1),
+        );
         assert_eq!(s.node_overall(PlatformId(0), Layer::Link), Some(1.0));
         assert_eq!(s.node_overall(PlatformId(1), Layer::Link), Some(0.0));
         assert_eq!(s.overall(Layer::Link), Some(0.5));

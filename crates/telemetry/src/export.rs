@@ -32,7 +32,10 @@ pub struct CsvTable {
 impl CsvTable {
     /// A table with the given column names.
     pub fn new(header: &[&str]) -> Self {
-        CsvTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        CsvTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; panics if the arity mismatches the header.
@@ -54,11 +57,23 @@ impl CsvTable {
     /// Render to CSV text.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "{}", self.header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","))
-            .expect("string write");
+        writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+        .expect("string write");
         for r in &self.rows {
-            writeln!(out, "{}", r.iter().map(|c| field(c)).collect::<Vec<_>>().join(","))
-                .expect("string write");
+            writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            )
+            .expect("string write");
         }
         out
     }
@@ -95,7 +110,15 @@ pub fn link_intents_table() -> CsvTable {
 /// Builder for the artifact's `link_reports.csv` (candidate graph).
 pub fn link_reports_table() -> CsvTable {
     CsvTable::new(&[
-        "time_ms", "a", "b", "kind", "band", "bitrate_bps", "margin_db", "quality", "range_m",
+        "time_ms",
+        "a",
+        "b",
+        "kind",
+        "band",
+        "bitrate_bps",
+        "margin_db",
+        "quality",
+        "range_m",
     ])
 }
 
@@ -115,9 +138,54 @@ pub fn push_traffic_site(t: &mut CsvTable, series: &crate::GoodputSeries, site: 
     let events = series.site_events(site);
     t.push(vec![
         site.to_string(),
-        series.site_goodput(site).map_or_else(|| "".into(), |g| format!("{g:.6}")),
+        series
+            .site_goodput(site)
+            .map_or_else(|| "".into(), |g| format!("{g:.6}")),
         events.disruptions.to_string(),
         events.reroutes.to_string(),
+    ]);
+}
+
+/// Builder for the per-window goodput series
+/// (`goodput_windows.csv`): raw offered/delivered volumes plus the
+/// ratio, one row per window.
+pub fn goodput_windows_table() -> CsvTable {
+    CsvTable::new(&["window", "offered_bits", "delivered_bits", "goodput"])
+}
+
+/// Append one window row from a goodput series.
+pub fn push_goodput_window(t: &mut CsvTable, series: &crate::GoodputSeries, window: u64) {
+    let (offered, delivered) = series.window_volume(window);
+    t.push(vec![
+        window.to_string(),
+        offered.to_string(),
+        delivered.to_string(),
+        series
+            .window_goodput(window)
+            .map_or_else(|| "".into(), |g| format!("{g:.6}")),
+    ]);
+}
+
+/// Builder for the per-class goodput totals
+/// (`traffic_classes.csv`).
+pub fn traffic_classes_table() -> CsvTable {
+    CsvTable::new(&["class", "offered_bits", "delivered_bits", "goodput"])
+}
+
+/// Append one service-class row from a goodput series.
+pub fn push_traffic_class(
+    t: &mut CsvTable,
+    series: &crate::GoodputSeries,
+    class: crate::ServiceClass,
+) {
+    let (offered, delivered) = series.class_volume(class);
+    t.push(vec![
+        class.label().to_string(),
+        offered.to_string(),
+        delivered.to_string(),
+        series
+            .class_goodput(class)
+            .map_or_else(|| "".into(), |g| format!("{g:.6}")),
     ]);
 }
 
@@ -152,7 +220,14 @@ mod tests {
     #[test]
     fn backhaul_schema_roundtrip() {
         let mut t = backhaul_table();
-        push_backhaul(&mut t, SimTime::from_secs(60), PlatformId(3), "data", true, false);
+        push_backhaul(
+            &mut t,
+            SimTime::from_secs(60),
+            PlatformId(3),
+            "data",
+            true,
+            false,
+        );
         let csv = t.to_csv();
         assert!(csv.starts_with("time_ms,node,layer,eligible,reachable\n"));
         assert!(csv.contains("60000,p3,data,1,0"));
@@ -160,10 +235,76 @@ mod tests {
 
     #[test]
     fn artifact_tables_have_expected_columns() {
-        assert_eq!(link_intents_table().to_csv().lines().next().expect("header").split(',').count(), 7);
-        assert_eq!(link_reports_table().to_csv().lines().next().expect("header").split(',').count(), 9);
-        assert_eq!(flight_regions_table().to_csv().lines().next().expect("header").split(',').count(), 5);
-        assert_eq!(traffic_table().to_csv().lines().next().expect("header").split(',').count(), 4);
+        assert_eq!(
+            link_intents_table()
+                .to_csv()
+                .lines()
+                .next()
+                .expect("header")
+                .split(',')
+                .count(),
+            7
+        );
+        assert_eq!(
+            link_reports_table()
+                .to_csv()
+                .lines()
+                .next()
+                .expect("header")
+                .split(',')
+                .count(),
+            9
+        );
+        assert_eq!(
+            flight_regions_table()
+                .to_csv()
+                .lines()
+                .next()
+                .expect("header")
+                .split(',')
+                .count(),
+            5
+        );
+        assert_eq!(
+            traffic_table()
+                .to_csv()
+                .lines()
+                .next()
+                .expect("header")
+                .split(',')
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn goodput_window_and_class_tables() {
+        let mut series = crate::GoodputSeries::new(24 * 3600 * 1000);
+        series.record(PlatformId(2), SimTime::from_hours(10), 1_000, 750);
+        series.record_class(
+            crate::ServiceClass::Bulk,
+            SimTime::from_hours(10),
+            1_000,
+            750,
+        );
+        let mut wt = goodput_windows_table();
+        for w in series.windows() {
+            push_goodput_window(&mut wt, &series, w);
+        }
+        assert!(
+            wt.to_csv().contains("0,1000,750,0.750000"),
+            "csv: {}",
+            wt.to_csv()
+        );
+        let mut ct = traffic_classes_table();
+        for c in series.classes() {
+            push_traffic_class(&mut ct, &series, c);
+        }
+        assert!(
+            ct.to_csv().contains("bulk,1000,750,0.750000"),
+            "csv: {}",
+            ct.to_csv()
+        );
     }
 
     #[test]

@@ -69,9 +69,11 @@ impl RouteRecoveryTracker {
     /// `cause` is the co-occurring link event (the orchestrator
     /// correlates within its probe window).
     pub fn broke(&mut self, node: PlatformId, cause: BreakCause, now: SimTime) {
-        self.open
-            .entry(node)
-            .or_insert(OpenBreak { broke_at: now, cause, links_installed_since: false });
+        self.open.entry(node).or_insert(OpenBreak {
+            broke_at: now,
+            cause,
+            links_installed_since: false,
+        });
     }
 
     /// Report that a new link serving `node` was installed (used to
@@ -127,9 +129,7 @@ impl RouteRecoveryTracker {
         if capped.is_empty() {
             return None;
         }
-        Some(
-            capped.iter().filter(|s| !s.needed_new_link).count() as f64 / capped.len() as f64,
-        )
+        Some(capped.iter().filter(|s| !s.needed_new_link).count() as f64 / capped.len() as f64)
     }
 }
 
@@ -194,7 +194,10 @@ mod tests {
         t.recovered(n(9), SimTime::from_secs(20));
         assert_eq!(t.durations_s(BreakCause::Failed, None).len(), 3);
         assert_eq!(t.durations_s(BreakCause::Failed, Some(300.0)).len(), 2);
-        assert_eq!(t.durations_s(BreakCause::Withdrawn, Some(300.0)), vec![20.0]);
+        assert_eq!(
+            t.durations_s(BreakCause::Withdrawn, Some(300.0)),
+            vec![20.0]
+        );
     }
 
     #[test]
@@ -206,6 +209,9 @@ mod tests {
         t.link_installed(n(1));
         t.recovered(n(1), SimTime::from_secs(60));
         assert_eq!(t.fraction_without_new_link(300.0), Some(0.5));
-        assert_eq!(RouteRecoveryTracker::new().fraction_without_new_link(300.0), None);
+        assert_eq!(
+            RouteRecoveryTracker::new().fraction_without_new_link(300.0),
+            None
+        );
     }
 }

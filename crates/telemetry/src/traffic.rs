@@ -19,6 +19,27 @@ struct Volume {
     delivered_bits: u64,
 }
 
+/// Service class of recorded traffic, mirroring the allocator's
+/// strict-priority tiers (kept here so telemetry stays dependency-free
+/// of the traffic crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceClass {
+    /// Fleet control / telemetry backhaul (strict priority).
+    Control,
+    /// User traffic.
+    Bulk,
+}
+
+impl ServiceClass {
+    /// Stable label for CSV export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceClass::Control => "control",
+            ServiceClass::Bulk => "bulk",
+        }
+    }
+}
+
 /// Per-site traffic event totals across a run.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct TrafficEvents {
@@ -39,6 +60,8 @@ pub struct GoodputSeries {
     per_site: BTreeMap<PlatformId, Volume>,
     /// Per-site disruption/reroute event totals.
     events: BTreeMap<PlatformId, TrafficEvents>,
+    /// (class, window index) → volumes, aggregated over sites.
+    class_buckets: BTreeMap<(ServiceClass, u64), Volume>,
 }
 
 impl GoodputSeries {
@@ -50,18 +73,42 @@ impl GoodputSeries {
             buckets: BTreeMap::new(),
             per_site: BTreeMap::new(),
             events: BTreeMap::new(),
+            class_buckets: BTreeMap::new(),
         }
     }
 
     /// Record one site's tick: bits its users offered and bits the
     /// allocator delivered end-to-end over the tick interval.
-    pub fn record(&mut self, site: PlatformId, now: SimTime, offered_bits: u64, delivered_bits: u64) {
+    pub fn record(
+        &mut self,
+        site: PlatformId,
+        now: SimTime,
+        offered_bits: u64,
+        delivered_bits: u64,
+    ) {
         debug_assert!(delivered_bits <= offered_bits);
         let w = now.as_ms() / self.window_ms;
         let v = self.buckets.entry(w).or_default();
         v.offered_bits += offered_bits;
         v.delivered_bits += delivered_bits;
         let v = self.per_site.entry(site).or_default();
+        v.offered_bits += offered_bits;
+        v.delivered_bits += delivered_bits;
+    }
+
+    /// Record one tick's aggregate volume for a service class (the
+    /// traffic engine calls this once per class per tick, summed over
+    /// sites — class accounting is fleet-wide, not per-site).
+    pub fn record_class(
+        &mut self,
+        class: ServiceClass,
+        now: SimTime,
+        offered_bits: u64,
+        delivered_bits: u64,
+    ) {
+        debug_assert!(delivered_bits <= offered_bits);
+        let w = now.as_ms() / self.window_ms;
+        let v = self.class_buckets.entry((class, w)).or_default();
         v.offered_bits += offered_bits;
         v.delivered_bits += delivered_bits;
     }
@@ -149,6 +196,59 @@ impl GoodputSeries {
     pub fn sites(&self) -> Vec<PlatformId> {
         self.per_site.keys().copied().collect()
     }
+
+    /// Service classes seen by this series, in class order.
+    pub fn classes(&self) -> Vec<ServiceClass> {
+        let mut out: Vec<ServiceClass> = self.class_buckets.keys().map(|(c, _)| *c).collect();
+        out.dedup();
+        out
+    }
+
+    /// Whole-run `(offered_bits, delivered_bits)` for one class.
+    pub fn class_volume(&self, class: ServiceClass) -> (u64, u64) {
+        self.class_buckets
+            .iter()
+            .filter(|((c, _), _)| *c == class)
+            .fold((0, 0), |(o, d), (_, v)| {
+                (o + v.offered_bits, d + v.delivered_bits)
+            })
+    }
+
+    /// Whole-run goodput ratio for one class.
+    pub fn class_goodput(&self, class: ServiceClass) -> Option<f64> {
+        let (offered, delivered) = self.class_volume(class);
+        if offered == 0 {
+            None
+        } else {
+            Some(delivered as f64 / offered as f64)
+        }
+    }
+
+    /// Per-window goodput series for one class: `(window, ratio)`.
+    pub fn class_series(&self, class: ServiceClass) -> Vec<(u64, f64)> {
+        self.class_buckets
+            .iter()
+            .filter(|((c, _), v)| *c == class && v.offered_bits > 0)
+            .map(|((_, w), v)| (*w, v.delivered_bits as f64 / v.offered_bits as f64))
+            .collect()
+    }
+
+    /// `(offered_bits, delivered_bits)` totals for one window across
+    /// all sites — the raw volumes behind [`Self::window_goodput`].
+    pub fn window_volume(&self, w: u64) -> (u64, u64) {
+        self.buckets
+            .get(&w)
+            .map_or((0, 0), |v| (v.offered_bits, v.delivered_bits))
+    }
+
+    /// Window indices with any offered traffic, in order.
+    pub fn windows(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .filter(|(_, v)| v.offered_bits > 0)
+            .map(|(w, _)| *w)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +283,34 @@ mod tests {
         assert_eq!(s.window_goodput(0), None);
         assert_eq!(s.overall(), None);
         assert!(s.series().is_empty());
+    }
+
+    #[test]
+    fn class_buckets_track_per_class_goodput() {
+        let mut s = GoodputSeries::new(DAY_MS);
+        s.record_class(ServiceClass::Control, SimTime::from_hours(10), 100, 100);
+        s.record_class(ServiceClass::Bulk, SimTime::from_hours(10), 1_000, 500);
+        s.record_class(ServiceClass::Bulk, SimTime::from_hours(34), 1_000, 250);
+        assert_eq!(s.class_goodput(ServiceClass::Control), Some(1.0));
+        assert_eq!(s.class_goodput(ServiceClass::Bulk), Some(0.375));
+        assert_eq!(s.class_volume(ServiceClass::Bulk), (2_000, 750));
+        assert_eq!(
+            s.class_series(ServiceClass::Bulk),
+            vec![(0, 0.5), (1, 0.25)]
+        );
+        assert_eq!(s.classes(), vec![ServiceClass::Control, ServiceClass::Bulk]);
+        // Class accounting is independent of the site-keyed buckets.
+        assert_eq!(s.overall(), None);
+    }
+
+    #[test]
+    fn window_volumes_expose_raw_bits() {
+        let mut s = GoodputSeries::new(DAY_MS);
+        s.record(PlatformId(0), SimTime::from_hours(10), 100, 80);
+        s.record(PlatformId(1), SimTime::from_hours(11), 50, 50);
+        assert_eq!(s.window_volume(0), (150, 130));
+        assert_eq!(s.window_volume(3), (0, 0));
+        assert_eq!(s.windows(), vec![0]);
     }
 
     #[test]

@@ -1,49 +1,118 @@
-//! Max-min fair-share fluid allocation by progressive filling.
+//! Tiered max-min fair-share fluid allocation by progressive filling.
 //!
 //! Each tick the traffic engine asks: given the forwarding graph the
 //! TS-SDN actually programmed, the instantaneous link capacities from
 //! the ACM table, and the demand each aggregate flow offers, what rate
-//! does each flow get? We answer with the classic water-filling
-//! construction of the max-min fair allocation: raise every active
-//! flow's rate in lockstep, freezing a flow when it reaches its demand
-//! or when some link it crosses saturates. Every iteration freezes at
-//! least one flow, so the loop runs at most `n_flows` rounds.
+//! does each flow get? We answer with the water-filling construction
+//! of the *weighted* max-min fair allocation, extended with a
+//! strict-priority control class: the [`TrafficClass::Control`] flows
+//! are drained to saturation first against the full link capacities,
+//! then the [`TrafficClass::Bulk`] flows fill whatever residual is
+//! left. Within a class, every active flow's rate rises in lockstep
+//! *per unit weight* — a weight-3 flow climbs three bps for every bps
+//! a weight-1 flow gets — freezing a flow when it reaches its demand
+//! or when some link it crosses saturates.
 //!
-//! Two deliberate engineering choices, mirroring the evaluator's
+//! Three deliberate engineering choices, mirroring the evaluator's
 //! contract (`tssdn-core::evaluator`):
 //!
-//! * **Integer arithmetic.** Rates, demands, and capacities are u64
-//!   bps throughout. The per-round increment is
-//!   `min(min_l floor(residual_l / n_active_l), min_f demand_f -
-//!   rate_f)` — every operation is exact, so the result cannot depend
-//!   on summation order and is bit-identical across worker counts.
+//! * **Integer arithmetic.** Rates, demands, capacities, and weights
+//!   are exact integers (u64 bps, u32 weights). The per-round fill
+//!   level is `min(min_l floor(residual_l / W_l), max_f
+//!   ceil(gap_f / w_f))` level units, where `W_l` sums the weights of
+//!   the active flows crossing link `l` — every operation is exact,
+//!   so the result cannot depend on summation order and is
+//!   bit-identical across worker counts.
+//! * **Batch freezing.** The fill level per round is capped by the
+//!   *largest* remaining demand gap (in level units), not the
+//!   smallest, and each flow's increment is clamped to its own gap.
+//!   All flows whose gaps fall inside the chosen delta's tie window
+//!   freeze in a single round, fixing the O(n_flows)-rounds pathology
+//!   of jittered demands on unsaturated links (one freeze per round).
+//!   Because a link consumes at most `W_l` bps per level unit, no
+//!   link can saturate mid-window, so the batched fixpoint is
+//!   byte-identical to the one-freeze-per-round filler — enforced
+//!   against [`crate::reference::allocate_weighted_unbatched`] by
+//!   proptest.
 //! * **Chunk-ordered scoped workers.** The per-round scan over active
 //!   flows fans out across `std::thread::scope` workers in contiguous
-//!   chunks whose partial minima are merged in chunk order; small
+//!   chunks whose partial maxima are merged in chunk order; small
 //!   inputs take a serial path. Worker count changes wall-clock, not
 //!   results.
 //!
-//! Topology (which links each flow crosses) is set once per forwarding
-//! graph via [`FairShareAllocator::set_topology`]; capacity-only
+//! Topology (which links each flow crosses, plus per-flow weight and
+//! class) is set once per forwarding graph via
+//! [`FairShareAllocator::set_flows`] (or the weight-1 bulk-only
+//! shorthand [`FairShareAllocator::set_topology`]); capacity-only
 //! changes (weather fade moving the MCS operating point) reuse the
 //! cached incidence, which is what makes the per-tick recompute
-//! incremental.
+//! incremental. With every flow at weight 1, class Bulk, the output
+//! is bit-identical to the pre-tiering allocator
+//! ([`crate::reference::allocate_reference`], enforced by proptest).
 
-/// A flow's rate is capped by `u64::MAX / 2` to keep `rate + delta`
+/// A flow's rate is capped by `u64::MAX / 2` to keep `rate + inc`
 /// overflow-free without checked arithmetic in the hot loop.
 const DEMAND_CAP_BPS: u64 = u64::MAX / 2;
 
 /// Serial-path threshold, matching the evaluator's small-input cutoff.
 const PARALLEL_THRESHOLD: usize = 64;
 
-/// Max-min fair-share fluid allocator over a cached flow→link
-/// incidence.
+/// Service class of an aggregate flow. `Control` is strict-priority:
+/// the allocator drains all control flows to saturation before bulk
+/// flows see any capacity. Weights apply *within* a class only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// Fleet control / telemetry backhaul: strict priority over bulk.
+    Control,
+    /// User traffic: weighted max-min over the post-control residual.
+    #[default]
+    Bulk,
+}
+
+/// Per-flow allocation spec: the link ids the flow crosses, its
+/// max-min weight (≥ 1; 0 is treated as 1), and its service class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Link ids (each `< n_links`) the flow's forwarding path crosses.
+    /// Empty ⇒ uncongested: the flow gets its full demand.
+    pub links: Vec<u32>,
+    /// Weight within the class; shares scale by weight before the
+    /// integer floor.
+    pub weight: u32,
+    /// Strict-priority class.
+    pub class: TrafficClass,
+}
+
+impl FlowSpec {
+    /// A weight-1 bulk flow — the pre-tiering default.
+    pub fn bulk(links: Vec<u32>) -> Self {
+        FlowSpec {
+            links,
+            weight: 1,
+            class: TrafficClass::Bulk,
+        }
+    }
+
+    /// A weighted flow in the given class.
+    pub fn new(links: Vec<u32>, weight: u32, class: TrafficClass) -> Self {
+        FlowSpec {
+            links,
+            weight,
+            class,
+        }
+    }
+}
+
+/// Weighted, classed max-min fair-share fluid allocator over a cached
+/// flow→link incidence.
 #[derive(Debug, Clone, Default)]
 pub struct FairShareAllocator {
     /// Worker cap for the scan fan-out; `0` means auto
     /// (`available_parallelism().clamp(1, 8)`), `1` forces serial.
     pub workers: usize,
     flow_links: Vec<Vec<u32>>,
+    weights: Vec<u64>,
+    classes: Vec<TrafficClass>,
     n_links: usize,
     signature: u64,
 }
@@ -66,24 +135,70 @@ pub fn incidence_signature(flow_links: &[Vec<u32>], n_links: usize) -> u64 {
     h
 }
 
+/// Deterministic FNV-1a signature of a full flow-spec set (incidence,
+/// weights, classes) — the tiered analogue of [`incidence_signature`].
+pub fn flows_signature(specs: &[FlowSpec], n_links: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(n_links as u64);
+    for spec in specs {
+        mix(0xffff_ffff_ffff_fffe);
+        for &l in &spec.links {
+            mix(l as u64);
+        }
+        mix(0xffff_ffff_ffff_fffd);
+        mix(spec.weight as u64);
+        mix(match spec.class {
+            TrafficClass::Control => 0,
+            TrafficClass::Bulk => 1,
+        });
+    }
+    h
+}
+
 impl FairShareAllocator {
     /// A fresh allocator with `workers` (0 = auto) and no topology.
     pub fn new(workers: usize) -> Self {
-        FairShareAllocator { workers, ..Default::default() }
+        FairShareAllocator {
+            workers,
+            ..Default::default()
+        }
     }
 
-    /// Install the flow→link incidence for the current forwarding
-    /// graph. `flow_links[f]` lists the link ids flow `f` crosses
+    /// Install a weight-1, bulk-only flow→link incidence — the
+    /// pre-tiering interface, kept for callers that don't speak
+    /// weights. `flow_links[f]` lists the link ids flow `f` crosses
     /// (empty ⇒ the flow is uncongested and gets its full demand);
     /// link ids must be `< n_links`.
     pub fn set_topology(&mut self, flow_links: Vec<Vec<u32>>, n_links: usize) {
-        debug_assert!(flow_links.iter().flatten().all(|&l| (l as usize) < n_links));
-        self.signature = incidence_signature(&flow_links, n_links);
-        self.flow_links = flow_links;
+        let specs: Vec<FlowSpec> = flow_links.into_iter().map(FlowSpec::bulk).collect();
+        self.set_flows(specs, n_links);
+    }
+
+    /// Install the full flow-spec set (incidence + weights + classes)
+    /// for the current forwarding graph. Weights of 0 are promoted to
+    /// 1 so the fill level is always well defined.
+    pub fn set_flows(&mut self, specs: Vec<FlowSpec>, n_links: usize) {
+        debug_assert!(specs
+            .iter()
+            .flat_map(|s| &s.links)
+            .all(|&l| (l as usize) < n_links));
+        self.signature = flows_signature(&specs, n_links);
+        self.flow_links = Vec::with_capacity(specs.len());
+        self.weights = Vec::with_capacity(specs.len());
+        self.classes = Vec::with_capacity(specs.len());
+        for spec in specs {
+            self.flow_links.push(spec.links);
+            self.weights.push(spec.weight.max(1) as u64);
+            self.classes.push(spec.class);
+        }
         self.n_links = n_links;
     }
 
-    /// Signature of the cached incidence ([`incidence_signature`]).
+    /// Signature of the cached flow-spec set ([`flows_signature`]).
     pub fn topology_signature(&self) -> u64 {
         self.signature
     }
@@ -97,27 +212,72 @@ impl FairShareAllocator {
         if self.workers != 0 {
             return self.workers;
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 8)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8)
     }
 
-    /// Compute the max-min fair allocation: `demands[f]` and
+    /// Compute the tiered max-min fair allocation: `demands[f]` and
     /// `capacities[l]` in bps, returning the granted rate per flow.
+    /// Control flows fill first against the full capacities; bulk
+    /// flows fill the residual.
     ///
     /// Panics if `demands` / `capacities` disagree with the cached
     /// topology's dimensions.
     pub fn allocate(&self, demands: &[u64], capacities: &[u64]) -> Vec<u64> {
-        assert_eq!(demands.len(), self.flow_links.len(), "demands ≠ topology flows");
-        assert_eq!(capacities.len(), self.n_links, "capacities ≠ topology links");
+        assert_eq!(
+            demands.len(),
+            self.flow_links.len(),
+            "demands ≠ topology flows"
+        );
+        assert_eq!(
+            capacities.len(),
+            self.n_links,
+            "capacities ≠ topology links"
+        );
 
-        let n = demands.len();
-        let mut rates = vec![0u64; n];
+        let mut rates = vec![0u64; demands.len()];
         let mut residual: Vec<u64> = capacities.to_vec();
-        let mut n_active: Vec<u64> = vec![0; self.n_links];
+        let workers = self.resolve_workers();
+        self.fill_class(
+            TrafficClass::Control,
+            demands,
+            &mut rates,
+            &mut residual,
+            workers,
+        );
+        self.fill_class(
+            TrafficClass::Bulk,
+            demands,
+            &mut rates,
+            &mut residual,
+            workers,
+        );
+        rates
+    }
+
+    /// Progressive-fill one class against the current residual
+    /// capacities, mutating `rates` and `residual` in place.
+    fn fill_class(
+        &self,
+        class: TrafficClass,
+        demands: &[u64],
+        rates: &mut [u64],
+        residual: &mut [u64],
+        workers: usize,
+    ) {
+        // Per-link sum of active-flow weights: the bps a link consumes
+        // per unit of fill level.
+        let mut weight_active: Vec<u64> = vec![0; self.n_links];
 
         // Flows with zero demand (or no links at all) resolve
         // immediately; the rest start active.
-        let mut active: Vec<u32> = Vec::with_capacity(n);
+        let mut active: Vec<u32> = Vec::new();
         for (f, links) in self.flow_links.iter().enumerate() {
+            if self.classes[f] != class {
+                continue;
+            }
             let demand = demands[f].min(DEMAND_CAP_BPS);
             if demand == 0 {
                 continue;
@@ -128,77 +288,99 @@ impl FairShareAllocator {
             }
             active.push(f as u32);
             for &l in links {
-                n_active[l as usize] += 1;
+                weight_active[l as usize] += self.weights[f];
             }
         }
 
-        let workers = self.resolve_workers();
         while !active.is_empty() {
-            // Bottleneck share: the least any saturating link can
-            // still grant each of its active flows.
+            // Bottleneck share in level units: the least any
+            // saturating link can still grant per unit of active
+            // weight.
             let link_share = residual
                 .iter()
-                .zip(&n_active)
-                .filter(|(_, &a)| a > 0)
-                .map(|(&r, &a)| r / a)
+                .zip(&weight_active)
+                .filter(|(_, &w)| w > 0)
+                .map(|(&r, &w)| r / w)
                 .min()
                 .unwrap_or(u64::MAX);
 
-            // Demand gap: the least headroom any active flow has left.
-            // Chunk-ordered scoped scan; min is exact, so the merge is
-            // worker-count independent by construction.
-            let demand_gap = min_demand_gap(&active, demands, &rates, workers);
+            // Batch-freeze window: raise the level far enough to
+            // cover the *largest* remaining gap the links allow, so
+            // every demand-bound flow inside the window freezes this
+            // round instead of one per round. Chunk-ordered scoped
+            // scan; max is exact, so the merge is worker-count
+            // independent by construction.
+            let gap_units = max_gap_units(&active, demands, rates, &self.weights, workers);
 
-            let delta = link_share.min(demand_gap);
+            let delta = link_share.min(gap_units);
             if delta > 0 {
                 for &f in &active {
-                    rates[f as usize] += delta;
-                }
-                for (l, r) in residual.iter_mut().enumerate() {
-                    *r -= delta * n_active[l];
+                    let fi = f as usize;
+                    let gap = demands[fi].min(DEMAND_CAP_BPS) - rates[fi];
+                    // Clamp each flow's rise to its own gap; a link
+                    // consumes at most `delta * W_l ≤ residual_l`, so
+                    // the subtraction cannot underflow.
+                    let inc = delta.saturating_mul(self.weights[fi]).min(gap);
+                    rates[fi] += inc;
+                    for &l in &self.flow_links[fi] {
+                        residual[l as usize] -= inc;
+                    }
                 }
             }
 
             // Freeze flows that hit demand or cross a saturated link
-            // (a link that can no longer grant ≥1 bps per active
-            // flow). At least one of the two minima was attained, so
-            // at least one flow freezes per round.
+            // (a link that can no longer grant ≥1 bps per unit of
+            // active weight). The flow attaining the largest gap — or
+            // every flow on the minimizing link — freezes, so each
+            // round makes progress.
             active.retain(|&f| {
                 let fi = f as usize;
                 let done = rates[fi] >= demands[fi].min(DEMAND_CAP_BPS)
                     || self.flow_links[fi].iter().any(|&l| {
                         let li = l as usize;
-                        residual[li] / n_active[li] == 0
+                        residual[li] / weight_active[li] == 0
                     });
                 if done {
                     for &l in &self.flow_links[fi] {
-                        n_active[l as usize] -= 1;
+                        weight_active[l as usize] -= self.weights[fi];
                     }
                 }
                 !done
             });
         }
-        rates
     }
 }
 
-/// Minimum `demand - rate` over the active flows, fanned across scoped
-/// workers in contiguous chunks (serial below [`PARALLEL_THRESHOLD`]).
-fn min_demand_gap(active: &[u32], demands: &[u64], rates: &[u64], workers: usize) -> u64 {
-    let gap = |f: u32| demands[f as usize].min(DEMAND_CAP_BPS) - rates[f as usize];
+/// Maximum `ceil((demand - rate) / weight)` over the active flows,
+/// fanned across scoped workers in contiguous chunks (serial below
+/// [`PARALLEL_THRESHOLD`]).
+fn max_gap_units(
+    active: &[u32],
+    demands: &[u64],
+    rates: &[u64],
+    weights: &[u64],
+    workers: usize,
+) -> u64 {
+    let gap_units = |f: u32| {
+        let fi = f as usize;
+        (demands[fi].min(DEMAND_CAP_BPS) - rates[fi]).div_ceil(weights[fi])
+    };
     if active.len() < PARALLEL_THRESHOLD || workers == 1 {
-        return active.iter().map(|&f| gap(f)).min().unwrap_or(u64::MAX);
+        return active.iter().map(|&f| gap_units(f)).max().unwrap_or(0);
     }
     let chunk_len = active.len().div_ceil(workers);
     let chunks: Vec<&[u32]> = active.chunks(chunk_len).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| s.spawn(move || chunk.iter().map(|&f| gap(f)).min().unwrap_or(u64::MAX)))
+            .map(|chunk| s.spawn(move || chunk.iter().map(|&f| gap_units(f)).max().unwrap_or(0)))
             .collect();
-        // Merge partial minima in chunk order (order is immaterial for
-        // `min`, but keeping it mirrors the evaluator's contract).
-        handles.into_iter().map(|h| h.join().expect("allocator worker panicked")).fold(u64::MAX, u64::min)
+        // Merge partial maxima in chunk order (order is immaterial for
+        // `max`, but keeping it mirrors the evaluator's contract).
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("allocator worker panicked"))
+            .fold(0, u64::max)
     })
 }
 
@@ -245,9 +427,80 @@ mod tests {
     }
 
     #[test]
+    fn weights_scale_shares_within_a_class() {
+        // One 90-bps link, weights 1:2 — the weight-2 flow gets twice
+        // the rate, exactly.
+        let mut a = FairShareAllocator::new(1);
+        a.set_flows(
+            vec![
+                FlowSpec::new(vec![0], 1, TrafficClass::Bulk),
+                FlowSpec::new(vec![0], 2, TrafficClass::Bulk),
+            ],
+            1,
+        );
+        let rates = a.allocate(&[1_000, 1_000], &[90]);
+        assert_eq!(rates, vec![30, 60]);
+    }
+
+    #[test]
+    fn weighted_demand_cap_releases_share_to_peers() {
+        // The weight-3 flow only wants 10; the rest of the 100-bps
+        // link splits 1:1 between the others.
+        let mut a = FairShareAllocator::new(1);
+        a.set_flows(
+            vec![
+                FlowSpec::new(vec![0], 3, TrafficClass::Bulk),
+                FlowSpec::new(vec![0], 1, TrafficClass::Bulk),
+                FlowSpec::new(vec![0], 1, TrafficClass::Bulk),
+            ],
+            1,
+        );
+        let rates = a.allocate(&[10, 1_000, 1_000], &[100]);
+        assert_eq!(rates, vec![10, 45, 45]);
+    }
+
+    #[test]
+    fn control_class_drains_first() {
+        // Control wants 30 of the 100-bps link; bulk splits the 70
+        // that's left. Under saturation by control alone, bulk gets 0.
+        let mut a = FairShareAllocator::new(1);
+        a.set_flows(
+            vec![
+                FlowSpec::new(vec![0], 1, TrafficClass::Control),
+                FlowSpec::new(vec![0], 1, TrafficClass::Bulk),
+                FlowSpec::new(vec![0], 1, TrafficClass::Bulk),
+            ],
+            1,
+        );
+        assert_eq!(a.allocate(&[30, 1_000, 1_000], &[100]), vec![30, 35, 35]);
+        assert_eq!(a.allocate(&[500, 1_000, 1_000], &[100]), vec![100, 0, 0]);
+    }
+
+    #[test]
+    fn batch_freeze_handles_jittered_demands_in_one_pass() {
+        // 100 flows with distinct demands on an unsaturated link: the
+        // pre-batching filler needed ~100 rounds (one freeze each);
+        // the result must still be every flow at its full demand.
+        let n = 100u64;
+        let fl: Vec<Vec<u32>> = (0..n).map(|_| vec![0]).collect();
+        let demands: Vec<u64> = (0..n).map(|f| 1_000 + f * 7).collect();
+        let total: u64 = demands.iter().sum();
+        let a = alloc(fl, 1, 1);
+        let rates = a.allocate(&demands, &[total + 1]);
+        assert_eq!(rates, demands);
+    }
+
+    #[test]
     fn allocation_never_exceeds_capacity_or_demand() {
         // Random-ish but fixed: 6 flows over 3 links.
-        let fl = vec![vec![0], vec![0, 1], vec![1, 2], vec![2], vec![0, 2], vec![1]];
+        let fl = vec![
+            vec![0],
+            vec![0, 1],
+            vec![1, 2],
+            vec![2],
+            vec![0, 2],
+            vec![1],
+        ];
         let demands = [37, 91, 13, 70, 55, 28];
         let caps = [90u64, 60, 50];
         let a = alloc(fl.clone(), 3, 1);
@@ -300,22 +553,40 @@ mod tests {
 
     #[test]
     fn worker_count_is_bit_invisible_at_scale() {
-        // 5000 flows over a 400-link line topology with ragged paths
-        // and demands; every worker count must agree bit-for-bit.
+        // 5000 flows over a 400-link line topology with ragged paths,
+        // demands, weights, and classes; every worker count must agree
+        // bit-for-bit.
         let n_links = 400usize;
-        let mut fl = Vec::with_capacity(5000);
+        let mut specs = Vec::with_capacity(5000);
         for f in 0u64..5000 {
             let start = (f * 7 % n_links as u64) as u32;
             let len = 1 + (f % 5) as u32;
-            fl.push((start..(start + len).min(n_links as u32)).collect::<Vec<u32>>());
+            let links: Vec<u32> = (start..(start + len).min(n_links as u32)).collect();
+            let class = if f % 17 == 0 {
+                TrafficClass::Control
+            } else {
+                TrafficClass::Bulk
+            };
+            specs.push(FlowSpec::new(links, 1 + (f % 4) as u32, class));
         }
-        let demands: Vec<u64> = (0..5000u64).map(|f| 1_000_000 + f * 9_973 % 40_000_000).collect();
-        let caps: Vec<u64> = (0..n_links as u64).map(|l| 200_000_000 + l * 1_000_003 % 800_000_000).collect();
+        let demands: Vec<u64> = (0..5000u64)
+            .map(|f| 1_000_000 + f * 9_973 % 40_000_000)
+            .collect();
+        let caps: Vec<u64> = (0..n_links as u64)
+            .map(|l| 200_000_000 + l * 1_000_003 % 800_000_000)
+            .collect();
 
-        let base = alloc(fl.clone(), n_links, 1).allocate(&demands, &caps);
+        let mut base_alloc = FairShareAllocator::new(1);
+        base_alloc.set_flows(specs.clone(), n_links);
+        let base = base_alloc.allocate(&demands, &caps);
         for workers in [2, 3, 8, 0] {
-            let got = alloc(fl.clone(), n_links, workers).allocate(&demands, &caps);
-            assert_eq!(got, base, "workers={workers} diverged");
+            let mut a = FairShareAllocator::new(workers);
+            a.set_flows(specs.clone(), n_links);
+            assert_eq!(
+                a.allocate(&demands, &caps),
+                base,
+                "workers={workers} diverged"
+            );
         }
     }
 
@@ -325,7 +596,11 @@ mod tests {
         let sig = a.topology_signature();
         let r1 = a.allocate(&[100, 100], &[100]);
         let r2 = a.allocate(&[100, 100], &[60]);
-        assert_eq!(a.topology_signature(), sig, "allocate must not disturb topology");
+        assert_eq!(
+            a.topology_signature(),
+            sig,
+            "allocate must not disturb topology"
+        );
         assert_eq!(r1, vec![50, 50]);
         assert_eq!(r2, vec![30, 30]);
         a.set_topology(vec![vec![0], vec![]], 1);
@@ -339,5 +614,18 @@ mod tests {
         let s1 = incidence_signature(&[vec![0], vec![1]], 2);
         let s2 = incidence_signature(&[vec![0, 1], vec![]], 2);
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn signature_distinguishes_weights_and_classes() {
+        let links = [vec![0u32], vec![1]];
+        let base: Vec<FlowSpec> = links.iter().cloned().map(FlowSpec::bulk).collect();
+        let mut heavier = base.clone();
+        heavier[0].weight = 2;
+        let mut control = base.clone();
+        control[1].class = TrafficClass::Control;
+        let s0 = flows_signature(&base, 2);
+        assert_ne!(s0, flows_signature(&heavier, 2));
+        assert_ne!(s0, flows_signature(&control, 2));
     }
 }

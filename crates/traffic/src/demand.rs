@@ -12,6 +12,7 @@
 //! is consumed after construction, so the demand side can never
 //! perturb the rest of a seeded run.
 
+use crate::allocator::TrafficClass;
 use rand::Rng;
 use tssdn_sim::{PlatformId, RngStreams, SimTime};
 
@@ -39,6 +40,15 @@ pub struct DemandConfig {
     pub floor_fraction: f64,
     /// Local hour of the diurnal peak (evening busy hour).
     pub peak_hour: f64,
+    /// Service-tier max-min weights, cycled across each site's bulk
+    /// flows in flow order (Loon sold tiered service over the shared
+    /// mesh; a weight-4 tier climbs four bps per weight-1 bps under
+    /// contention).
+    pub tier_weights: [u32; 3],
+    /// Steady fleet-control / telemetry backhaul per site, bps, as
+    /// one strict-priority [`TrafficClass::Control`] flow appended
+    /// after the site's bulk flows. 0 disables the control flow.
+    pub control_bps_per_site: u64,
 }
 
 impl Default for DemandConfig {
@@ -49,6 +59,8 @@ impl Default for DemandConfig {
             busy_hour_bps_per_user: 2_500.0,
             floor_fraction: 0.15,
             peak_hour: 20.0,
+            tier_weights: [4, 2, 1],
+            control_bps_per_site: 256_000,
         }
     }
 }
@@ -71,11 +83,15 @@ pub struct AggregateFlow {
     pub id: FlowId,
     /// The site (balloon) whose users this flow aggregates.
     pub site: PlatformId,
-    /// Users aggregated into this flow.
+    /// Users aggregated into this flow (0 for the control flow).
     pub users: u64,
     /// Static per-flow weight (population heterogeneity): seeded at
     /// construction, mean ≈ 1.
     pub weight: f64,
+    /// Integer max-min tier weight handed to the allocator.
+    pub tier_weight: u32,
+    /// Strict-priority service class.
+    pub class: TrafficClass,
 }
 
 /// Deterministic demand generator over a fixed site set.
@@ -90,16 +106,37 @@ impl DemandGenerator {
     /// per-flow weights from the dedicated `"traffic-demand"` stream.
     pub fn new(config: DemandConfig, sites: &[PlatformId], streams: &RngStreams) -> Self {
         let mut rng = streams.stream("traffic-demand");
-        let per_flow_users =
-            (config.users_per_site / config.flows_per_site.max(1) as u64).max(1);
-        let mut flows = Vec::with_capacity(sites.len() * config.flows_per_site);
+        let per_flow_users = (config.users_per_site / config.flows_per_site.max(1) as u64).max(1);
+        let mut flows = Vec::with_capacity(sites.len() * (config.flows_per_site + 1));
         for site in sites {
-            for _ in 0..config.flows_per_site {
+            for t in 0..config.flows_per_site {
                 let id = FlowId(flows.len() as u32);
                 // Heterogeneous cells: some flows aggregate denser
                 // neighbourhoods than others.
                 let weight = rng.gen_range(0.5..1.5);
-                flows.push(AggregateFlow { id, site: *site, users: per_flow_users, weight });
+                let tier_weight = config.tier_weights[t % config.tier_weights.len()].max(1);
+                flows.push(AggregateFlow {
+                    id,
+                    site: *site,
+                    users: per_flow_users,
+                    weight,
+                    tier_weight,
+                    class: TrafficClass::Bulk,
+                });
+            }
+            // The site's fleet-control backhaul: steady, strict
+            // priority, no RNG draw (keeps bulk weights stable when
+            // the control load is reconfigured).
+            if config.control_bps_per_site > 0 {
+                let id = FlowId(flows.len() as u32);
+                flows.push(AggregateFlow {
+                    id,
+                    site: *site,
+                    users: 0,
+                    weight: 1.0,
+                    tier_weight: 1,
+                    class: TrafficClass::Control,
+                });
             }
         }
         DemandGenerator { config, flows }
@@ -115,9 +152,14 @@ impl DemandGenerator {
         &self.flows
     }
 
-    /// Offered load of flow `idx` at `now`, bps.
+    /// Offered load of flow `idx` at `now`, bps. Control flows offer
+    /// a steady [`DemandConfig::control_bps_per_site`]; bulk flows
+    /// ride the diurnal curve.
     pub fn offered_bps(&self, idx: usize, now: SimTime) -> u64 {
         let f = &self.flows[idx];
+        if f.class == TrafficClass::Control {
+            return self.config.control_bps_per_site;
+        }
         let d = self.config.diurnal(now.hour_of_day());
         (f.users as f64 * self.config.busy_hour_bps_per_user * f.weight * d).round() as u64
     }
@@ -145,12 +187,60 @@ mod tests {
     #[test]
     fn population_splits_into_aggregate_flows() {
         let g = gen();
-        assert_eq!(g.flows().len(), 4 * 8);
-        // FlowIds are dense and ordered.
+        // 8 bulk flows + 1 control flow per site.
+        assert_eq!(g.flows().len(), 4 * 9);
+        // FlowIds are dense and ordered; bulk flows carry users,
+        // control flows don't.
         for (i, f) in g.flows().iter().enumerate() {
             assert_eq!(f.id, FlowId(i as u32));
-            assert!(f.users > 0);
+            match f.class {
+                TrafficClass::Bulk => assert!(f.users > 0),
+                TrafficClass::Control => assert_eq!(f.users, 0),
+            }
         }
+        let controls = g
+            .flows()
+            .iter()
+            .filter(|f| f.class == TrafficClass::Control)
+            .count();
+        assert_eq!(controls, 4, "one control flow per site");
+    }
+
+    #[test]
+    fn tier_weights_cycle_and_control_is_steady() {
+        let g = gen();
+        let site0: Vec<_> = g
+            .flows()
+            .iter()
+            .filter(|f| f.site == PlatformId(0))
+            .collect();
+        let tiers: Vec<u32> = site0.iter().map(|f| f.tier_weight).collect();
+        assert_eq!(tiers, vec![4, 2, 1, 4, 2, 1, 4, 2, 1]);
+        // The control flow offers the same load at peak and trough.
+        let ctl = site0
+            .iter()
+            .position(|f| f.class == TrafficClass::Control)
+            .unwrap();
+        let idx = site0[ctl].id.0 as usize;
+        assert_eq!(g.offered_bps(idx, SimTime::from_hours(20)), 256_000);
+        assert_eq!(g.offered_bps(idx, SimTime::from_hours(8)), 256_000);
+        // Disabling the control load removes the flows without
+        // disturbing the bulk weights.
+        let sites: Vec<PlatformId> = (0..4).map(PlatformId).collect();
+        let cfg = DemandConfig {
+            control_bps_per_site: 0,
+            ..DemandConfig::default()
+        };
+        let g0 = DemandGenerator::new(cfg, &sites, &RngStreams::new(7));
+        assert_eq!(g0.flows().len(), 4 * 8);
+        let bulk_w: Vec<f64> = g
+            .flows()
+            .iter()
+            .filter(|f| f.class == TrafficClass::Bulk)
+            .map(|f| f.weight)
+            .collect();
+        let bulk_w0: Vec<f64> = g0.flows().iter().map(|f| f.weight).collect();
+        assert_eq!(bulk_w, bulk_w0);
     }
 
     #[test]
@@ -159,8 +249,14 @@ mod tests {
         let peak = c.diurnal(20.0);
         let night = c.diurnal(8.0); // 12h off-peak: the trough
         assert!((peak - 1.0).abs() < 1e-12, "peak multiplier is 1: {peak}");
-        assert!((night - c.floor_fraction).abs() < 1e-12, "trough hits the floor: {night}");
-        assert!(c.diurnal(17.0) > c.diurnal(11.0), "evening ramps above morning");
+        assert!(
+            (night - c.floor_fraction).abs() < 1e-12,
+            "trough hits the floor: {night}"
+        );
+        assert!(
+            c.diurnal(17.0) > c.diurnal(11.0),
+            "evening ramps above morning"
+        );
     }
 
     #[test]
@@ -176,8 +272,9 @@ mod tests {
         // Different seed, different weights.
         let sites: Vec<PlatformId> = (0..4).map(PlatformId).collect();
         let c = DemandGenerator::new(DemandConfig::default(), &sites, &RngStreams::new(8));
-        let same: bool = (0..a.flows().len())
-            .all(|i| a.offered_bps(i, SimTime::from_hours(19)) == c.offered_bps(i, SimTime::from_hours(19)));
+        let same: bool = (0..a.flows().len()).all(|i| {
+            a.offered_bps(i, SimTime::from_hours(19)) == c.offered_bps(i, SimTime::from_hours(19))
+        });
         assert!(!same, "weights must depend on the seed");
     }
 

@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
 use tssdn_telemetry::GoodputSeries;
 
-use crate::allocator::FairShareAllocator;
+use crate::allocator::{FairShareAllocator, FlowSpec, TrafficClass};
 use crate::demand::{DemandConfig, DemandGenerator};
 
 /// Traffic-engine configuration.
@@ -39,6 +39,10 @@ pub struct TrafficConfig {
     pub feedback_alpha: f64,
     /// Goodput-series bucket width, ms.
     pub window_ms: u64,
+    /// Split each site's bulk traffic across its alternate forwarding
+    /// path (when the view carries one), weighted by bottleneck
+    /// headroom. Control flows always ride the primary path.
+    pub multipath: bool,
 }
 
 impl Default for TrafficConfig {
@@ -50,6 +54,7 @@ impl Default for TrafficConfig {
             feedback: true,
             feedback_alpha: 0.2,
             window_ms: 24 * 3600 * 1000,
+            multipath: true,
         }
     }
 }
@@ -60,6 +65,11 @@ pub struct TopologyView {
     /// Site → the full node path its traffic rides (site → … → EC).
     /// Absent means the site has no programmed data-plane route.
     pub paths: BTreeMap<PlatformId, Vec<PlatformId>>,
+    /// Site → an alternate (edge-disjoint) forwarding path, when the
+    /// redundancy pass gave the site two established routes. Only
+    /// consulted when [`TrafficConfig::multipath`] is on, and only
+    /// for sites that also have a primary path.
+    pub alt_paths: BTreeMap<PlatformId, Vec<PlatformId>>,
     /// Instantaneous capacity of each radio edge, keyed by the
     /// normalized `(min, max)` platform pair. Path edges missing here
     /// are treated as wired at `tunnel_capacity_bps`.
@@ -91,6 +101,13 @@ fn paths_signature(view: &TopologyView) -> u64 {
         }
         mix(u64::MAX);
     }
+    for (site, path) in &view.alt_paths {
+        mix(site.0 as u64 | 1 << 41);
+        for n in path {
+            mix(n.0 as u64);
+        }
+        mix(u64::MAX);
+    }
     h
 }
 
@@ -114,6 +131,9 @@ pub struct TickSummary {
     pub flows_active: usize,
     /// Sites with a programmed path this tick.
     pub sites_with_path: usize,
+    /// Sites whose bulk traffic was split across two forwarding
+    /// paths this tick.
+    pub multipath_sites: usize,
     /// Whether this tick rebuilt the flow→link incidence (false =
     /// capacity-only incremental recompute).
     pub topology_rebuilt: bool,
@@ -131,6 +151,12 @@ pub struct TrafficEngine {
     paths_sig: Option<u64>,
     /// Link-id order of the cached incidence.
     links: Vec<(PlatformId, PlatformId)>,
+    /// Per-site link ids of the primary and alternate paths in the
+    /// cached incidence (alt empty when the site is single-path).
+    site_path_ids: BTreeMap<PlatformId, (Vec<u32>, Vec<u32>)>,
+    /// Demand-flow index → allocator index of its alternate-path
+    /// subflow, when the flow is split this topology.
+    alt_subflow: Vec<Option<u32>>,
     /// Last tick's path per site, for reroute/disruption detection.
     last_paths: BTreeMap<PlatformId, Vec<PlatformId>>,
     /// Last tick's offered load per site (disruptions only count when
@@ -155,6 +181,8 @@ impl TrafficEngine {
             flow_stats: vec![FlowStats::default(); n_flows],
             paths_sig: None,
             links: Vec::new(),
+            site_path_ids: BTreeMap::new(),
+            alt_subflow: Vec::new(),
             last_paths: BTreeMap::new(),
             last_offered: BTreeMap::new(),
             digest_bps: BTreeMap::new(),
@@ -190,30 +218,82 @@ impl TrafficEngine {
     fn rebuild_topology(&mut self, view: &TopologyView) {
         let mut link_ids: BTreeMap<(PlatformId, PlatformId), u32> = BTreeMap::new();
         self.links.clear();
+        self.site_path_ids.clear();
         // Deterministic link-id assignment: first-seen order over the
-        // BTreeMap-ordered site paths.
-        let mut flow_links_per_site: BTreeMap<PlatformId, Vec<u32>> = BTreeMap::new();
-        for (site, path) in &view.paths {
+        // BTreeMap-ordered site paths (primary paths first, then the
+        // alternate paths, so single-path runs keep the pre-multipath
+        // id order).
+        let mut path_ids = |links: &mut Vec<(PlatformId, PlatformId)>, path: &[PlatformId]| {
             let mut ids = Vec::with_capacity(path.len().saturating_sub(1));
             for hop in path.windows(2) {
                 let key = edge_key(hop[0], hop[1]);
                 let next = link_ids.len() as u32;
                 let id = *link_ids.entry(key).or_insert_with(|| {
-                    self.links.push(key);
+                    links.push(key);
                     next
                 });
                 ids.push(id);
             }
-            flow_links_per_site.insert(*site, ids);
+            ids
+        };
+        for (site, path) in &view.paths {
+            let ids = path_ids(&mut self.links, path);
+            self.site_path_ids.insert(*site, (ids, Vec::new()));
+        }
+        if self.config.multipath {
+            for (site, path) in &view.alt_paths {
+                // Alt paths only count for sites that also have a
+                // primary, and only when genuinely distinct.
+                let Some(entry) = self.site_path_ids.get_mut(site) else {
+                    continue;
+                };
+                if view.paths.get(site) == Some(path) {
+                    continue;
+                }
+                entry.1 = path_ids(&mut self.links, path);
+            }
         }
         let n_links = self.links.len();
-        let flow_links: Vec<Vec<u32>> = self
+
+        // One allocator flow per demand flow on its primary path
+        // (indices align with FlowId), plus an appended alt subflow
+        // for each bulk flow whose site is dual-path.
+        let mut specs: Vec<FlowSpec> = self
             .demand
             .flows()
             .iter()
-            .map(|f| flow_links_per_site.get(&f.site).cloned().unwrap_or_default())
+            .map(|f| {
+                let links = self
+                    .site_path_ids
+                    .get(&f.site)
+                    .map(|(p, _)| p.clone())
+                    .unwrap_or_default();
+                FlowSpec::new(links, f.tier_weight, f.class)
+            })
             .collect();
-        self.allocator.set_topology(flow_links, n_links);
+        self.alt_subflow = vec![None; specs.len()];
+        for (fi, f) in self.demand.flows().iter().enumerate() {
+            if f.class != TrafficClass::Bulk {
+                continue;
+            }
+            let Some((_, alt)) = self.site_path_ids.get(&f.site) else {
+                continue;
+            };
+            if alt.is_empty() {
+                continue;
+            }
+            self.alt_subflow[fi] = Some(specs.len() as u32);
+            specs.push(FlowSpec::new(alt.clone(), f.tier_weight, f.class));
+        }
+        self.allocator.set_flows(specs, n_links);
+    }
+
+    /// Bottleneck capacity of a cached path (min over its link ids).
+    fn bottleneck_bps(&self, ids: &[u32], capacities: &[u64]) -> u64 {
+        ids.iter()
+            .map(|&l| capacities[l as usize])
+            .min()
+            .unwrap_or(self.config.tunnel_capacity_bps)
     }
 
     /// Advance one tick of length `dt` ending at `now`: offer demand,
@@ -242,52 +322,94 @@ impl TrafficEngine {
         // sites present zero demand to the allocator (their offered
         // bits still count against goodput when the site is eligible).
         let n_flows = self.demand.flows().len();
+        let n_alloc = self.allocator.n_flows();
+        let capacities: Vec<u64> = self
+            .links
+            .iter()
+            .map(|edge| {
+                view.link_capacity_bps
+                    .get(edge)
+                    .copied()
+                    .unwrap_or(self.config.tunnel_capacity_bps)
+            })
+            .collect();
+
         let mut offered = vec![0u64; n_flows];
-        let mut demands = vec![0u64; n_flows];
+        let mut demands = vec![0u64; n_alloc];
+        let mut multipath_sites: BTreeSet<PlatformId> = BTreeSet::new();
         for f in 0..n_flows {
             let site = self.demand.flows()[f].site;
             if !view.eligible.contains(&site) {
                 continue;
             }
             offered[f] = self.demand.offered_bps(f, now);
-            if view.paths.contains_key(&site) {
-                demands[f] = offered[f];
+            if !view.paths.contains_key(&site) {
+                continue;
+            }
+            match self.alt_subflow[f] {
+                // Dual-path bulk flow: split the offered load across
+                // the primary and alternate paths, weighted by their
+                // instantaneous bottleneck capacities (u128 keeps the
+                // multiply exact).
+                Some(ai) => {
+                    let (p_ids, a_ids) = &self.site_path_ids[&site];
+                    let bp = self.bottleneck_bps(p_ids, &capacities);
+                    let ba = self.bottleneck_bps(a_ids, &capacities);
+                    let d_p = if bp.saturating_add(ba) == 0 {
+                        offered[f]
+                    } else {
+                        ((offered[f] as u128 * bp as u128) / (bp as u128 + ba as u128)) as u64
+                    };
+                    demands[f] = d_p;
+                    demands[ai as usize] = offered[f] - d_p;
+                    if offered[f] > 0 {
+                        multipath_sites.insert(site);
+                    }
+                }
+                None => demands[f] = offered[f],
             }
         }
 
-        let capacities: Vec<u64> = self
-            .links
-            .iter()
-            .map(|edge| {
-                view.link_capacity_bps.get(edge).copied().unwrap_or(self.config.tunnel_capacity_bps)
-            })
-            .collect();
         let rates = self.allocator.allocate(&demands, &capacities);
 
-        // Account bits per flow and per site.
+        // Account bits per flow, per site, and per class (an alt
+        // subflow's rate folds back into its demand flow).
         let dt_ms = dt.as_ms();
         let mut site_offered: BTreeMap<PlatformId, u64> = BTreeMap::new();
         let mut site_delivered: BTreeMap<PlatformId, u64> = BTreeMap::new();
+        let mut class_bits: BTreeMap<TrafficClass, (u64, u64)> = BTreeMap::new();
         let mut total_offered = 0u64;
         let mut total_delivered = 0u64;
         let mut flows_active = 0usize;
         for f in 0..n_flows {
-            let site = self.demand.flows()[f].site;
+            let flow = self.demand.flows()[f];
+            let delivered = match self.alt_subflow[f] {
+                Some(ai) => rates[f] + rates[ai as usize],
+                None => rates[f],
+            };
             self.flow_stats[f].offered_bits += offered[f] * dt_ms / 1000;
-            self.flow_stats[f].delivered_bits += rates[f] * dt_ms / 1000;
+            self.flow_stats[f].delivered_bits += delivered * dt_ms / 1000;
             total_offered += offered[f];
-            total_delivered += rates[f];
-            if demands[f] > 0 {
+            total_delivered += delivered;
+            if offered[f] > 0 && view.paths.contains_key(&flow.site) {
                 flows_active += 1;
             }
             if offered[f] > 0 {
-                *site_offered.entry(site).or_default() += offered[f];
-                *site_delivered.entry(site).or_default() += rates[f];
+                *site_offered.entry(flow.site).or_default() += offered[f];
+                *site_delivered.entry(flow.site).or_default() += delivered;
+                let bits = class_bits.entry(flow.class).or_default();
+                bits.0 += offered[f] * dt_ms / 1000;
+                bits.1 += delivered * dt_ms / 1000;
             }
+        }
+        for (class, &(off_bits, del_bits)) in &class_bits {
+            self.series
+                .record_class(class_label(*class), now, off_bits, del_bits);
         }
         for (site, &off) in &site_offered {
             let del = site_delivered.get(site).copied().unwrap_or(0);
-            self.series.record(*site, now, off * dt_ms / 1000, del * dt_ms / 1000);
+            self.series
+                .record(*site, now, off * dt_ms / 1000, del * dt_ms / 1000);
             // Demand digest: EWMA over the site's measured offered
             // load while in its operable window.
             let alpha = self.config.feedback_alpha;
@@ -305,8 +427,18 @@ impl TrafficEngine {
             delivered_bps: total_delivered,
             flows_active,
             sites_with_path: view.paths.len(),
+            multipath_sites: multipath_sites.len(),
             topology_rebuilt: rebuilt,
         }
+    }
+}
+
+/// Map the allocator's strict-priority class onto the telemetry
+/// series' class key.
+fn class_label(c: TrafficClass) -> tssdn_telemetry::ServiceClass {
+    match c {
+        TrafficClass::Control => tssdn_telemetry::ServiceClass::Control,
+        TrafficClass::Bulk => tssdn_telemetry::ServiceClass::Bulk,
     }
 }
 
@@ -318,7 +450,10 @@ mod tests {
     const EC: PlatformId = PlatformId(101);
 
     fn engine(sites: &[PlatformId]) -> TrafficEngine {
-        let config = TrafficConfig { workers: 1, ..TrafficConfig::default() };
+        let config = TrafficConfig {
+            workers: 1,
+            ..TrafficConfig::default()
+        };
         TrafficEngine::new(config, sites, &RngStreams::new(11))
     }
 
@@ -353,7 +488,11 @@ mod tests {
         let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
         assert!(s.offered_bps > 10_000_000);
         assert!(s.delivered_bps <= 10_000_000);
-        assert!(s.delivered_bps > 9_000_000, "link should run ~full: {}", s.delivered_bps);
+        assert!(
+            s.delivered_bps > 9_000_000,
+            "link should run ~full: {}",
+            s.delivered_bps
+        );
         let g = e.series().overall().expect("offered");
         assert!(g < 0.5, "goodput should reflect the bottleneck: {g}");
     }
@@ -367,7 +506,11 @@ mod tests {
         let s = e.tick(SimTime::from_hours(2), SimDuration::from_mins(1), &view);
         assert_eq!(s.offered_bps, 0);
         assert_eq!(s.delivered_bps, 0);
-        assert_eq!(e.series().overall(), None, "no offered bits, no goodput sample");
+        assert_eq!(
+            e.series().overall(),
+            None,
+            "no offered bits, no goodput sample"
+        );
     }
 
     #[test]
@@ -407,9 +550,15 @@ mod tests {
         e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
         let mut moved = view.clone();
         let relay = PlatformId(7);
-        moved.paths.insert(PlatformId(0), vec![PlatformId(0), relay, GS, EC]);
-        moved.link_capacity_bps.insert(edge_key(PlatformId(0), relay), 1_000_000_000);
-        moved.link_capacity_bps.insert(edge_key(relay, GS), 1_000_000_000);
+        moved
+            .paths
+            .insert(PlatformId(0), vec![PlatformId(0), relay, GS, EC]);
+        moved
+            .link_capacity_bps
+            .insert(edge_key(PlatformId(0), relay), 1_000_000_000);
+        moved
+            .link_capacity_bps
+            .insert(edge_key(relay, GS), 1_000_000_000);
         let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &moved);
         assert!(s.topology_rebuilt);
         let ev = e.series().site_events(PlatformId(0));
@@ -422,11 +571,17 @@ mod tests {
         let sites = [PlatformId(0), PlatformId(1)];
         let mut e = engine(&sites);
         let view = view_for(&sites, 1_000_000_000);
-        assert!(e.tick(SimTime::from_hours(19), SimDuration::from_mins(1), &view).topology_rebuilt);
+        assert!(
+            e.tick(SimTime::from_hours(19), SimDuration::from_mins(1), &view)
+                .topology_rebuilt
+        );
         // Weather fade: same paths, lower capacity.
         let faded = view_for(&sites, 50_000_000);
         let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &faded);
-        assert!(!s.topology_rebuilt, "capacity change must not rebuild incidence");
+        assert!(
+            !s.topology_rebuilt,
+            "capacity change must not rebuild incidence"
+        );
         assert!(s.delivered_bps < s.offered_bps);
     }
 
@@ -442,14 +597,90 @@ mod tests {
         // Off-peak ticks pull the digest down, but smoothly.
         let s2 = e.tick(SimTime::from_hours(32), SimDuration::from_mins(1), &view);
         let w = e.demand_weight_bps(PlatformId(0)).expect("seeded");
-        assert!(w < s.offered_bps && w > s2.offered_bps, "EWMA between peak and trough");
+        assert!(
+            w < s.offered_bps && w > s2.offered_bps,
+            "EWMA between peak and trough"
+        );
+    }
+
+    #[test]
+    fn multipath_split_uses_both_paths() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let gs2 = PlatformId(102);
+        // Primary bottlenecked at 10 Mbps; a second established route
+        // through gs2 adds another 10 Mbps of headroom.
+        let mut view = view_for(&sites, 10_000_000);
+        view.alt_paths
+            .insert(PlatformId(0), vec![PlatformId(0), gs2, EC]);
+        view.link_capacity_bps
+            .insert(edge_key(PlatformId(0), gs2), 10_000_000);
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        assert_eq!(s.multipath_sites, 1);
+        assert!(
+            s.offered_bps > 20_000_000,
+            "peak load exceeds both paths: {}",
+            s.offered_bps
+        );
+        assert!(
+            s.delivered_bps > 19_000_000 && s.delivered_bps <= 20_000_000,
+            "two 10 Mbps paths should carry ~20 Mbps, got {}",
+            s.delivered_bps
+        );
+    }
+
+    #[test]
+    fn multipath_disabled_sticks_to_primary() {
+        let sites = [PlatformId(0)];
+        let config = TrafficConfig {
+            workers: 1,
+            multipath: false,
+            ..TrafficConfig::default()
+        };
+        let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(11));
+        let gs2 = PlatformId(102);
+        let mut view = view_for(&sites, 10_000_000);
+        view.alt_paths
+            .insert(PlatformId(0), vec![PlatformId(0), gs2, EC]);
+        view.link_capacity_bps
+            .insert(edge_key(PlatformId(0), gs2), 10_000_000);
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        assert_eq!(s.multipath_sites, 0);
+        assert!(
+            s.delivered_bps <= 10_000_000,
+            "alt path must be ignored: {}",
+            s.delivered_bps
+        );
+    }
+
+    #[test]
+    fn control_class_rides_out_congestion() {
+        use tssdn_telemetry::ServiceClass;
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        // 2 Mbps of capacity against ~50 Mbps of peak bulk demand:
+        // the strict-priority control flow still gets every bit.
+        let view = view_for(&sites, 2_000_000);
+        e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        assert_eq!(e.series().class_goodput(ServiceClass::Control), Some(1.0));
+        let bulk = e
+            .series()
+            .class_goodput(ServiceClass::Bulk)
+            .expect("bulk offered");
+        assert!(
+            bulk < 0.1,
+            "bulk should be starved at the bottleneck: {bulk}"
+        );
     }
 
     #[test]
     fn ticks_are_deterministic_for_a_seed() {
         let sites = [PlatformId(0), PlatformId(1), PlatformId(2)];
         let run = |workers: usize| {
-            let config = TrafficConfig { workers, ..TrafficConfig::default() };
+            let config = TrafficConfig {
+                workers,
+                ..TrafficConfig::default()
+            };
             let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(42));
             let mut out = Vec::new();
             for h in 0..48u64 {

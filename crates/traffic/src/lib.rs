@@ -9,12 +9,15 @@
 //! * [`demand`] — ground-site user populations with diurnal load
 //!   curves, aggregated so millions of users become thousands of
 //!   fluid flows ([`DemandGenerator`]).
-//! * [`allocator`] — the max-min fair-share progressive-filling
-//!   allocator over the currently-programmed forwarding graph
-//!   ([`FairShareAllocator`]): integer bps arithmetic and
-//!   chunk-ordered scoped workers make the result bit-identical
+//! * [`allocator`] — the tiered max-min fair-share
+//!   progressive-filling allocator over the currently-programmed
+//!   forwarding graph ([`FairShareAllocator`]): per-flow weights, a
+//!   strict-priority [`TrafficClass::Control`] class drained before
+//!   bulk, and a batch-freeze round structure; integer bps arithmetic
+//!   and chunk-ordered scoped workers make the result bit-identical
 //!   across worker counts; capacity-only changes reuse the cached
-//!   flow→link incidence.
+//!   flow→link incidence. [`reference`] keeps the pre-tiering filler
+//!   and an unbatched weighted filler as proptest oracles.
 //! * [`engine`] — the per-tick loop ([`TrafficEngine`]): offer
 //!   demand, allocate over the [`TopologyView`] the orchestrator
 //!   derives from its programmed routes and true link margins
@@ -32,7 +35,10 @@
 pub mod allocator;
 pub mod demand;
 pub mod engine;
+pub mod reference;
 
-pub use allocator::{incidence_signature, FairShareAllocator};
+pub use allocator::{
+    flows_signature, incidence_signature, FairShareAllocator, FlowSpec, TrafficClass,
+};
 pub use demand::{AggregateFlow, DemandConfig, DemandGenerator, FlowId};
 pub use engine::{FlowStats, TickSummary, TopologyView, TrafficConfig, TrafficEngine};

@@ -1,0 +1,252 @@
+//! Reference allocators retained as correctness oracles, mirroring
+//! `tssdn_core::reference` for the planning hot path.
+//!
+//! Two fillers live here:
+//!
+//! * [`allocate_reference`] — the pre-tiering (PR 3) max-min
+//!   progressive filler, kept verbatim (serial path). With every flow
+//!   at weight 1, class Bulk, and a single path, the production
+//!   allocator must match it bit-for-bit — the compatibility gate in
+//!   `tests/traffic_props.rs`.
+//! * [`allocate_weighted_unbatched`] — the weighted, classed filler
+//!   *without* the batch-freeze round structure: the fill level per
+//!   round is capped by the smallest remaining gap, so it freezes
+//!   roughly one demand-bound flow per round. The production
+//!   batch-freeze allocator must produce byte-identical output; the
+//!   two differ only in round count.
+//!
+//! These are deliberately simple and slow; never call them from the
+//! per-tick path.
+
+use crate::allocator::{FlowSpec, TrafficClass};
+
+/// See [`crate::allocator`]: demand cap keeping `rate + delta`
+/// overflow-free.
+const DEMAND_CAP_BPS: u64 = u64::MAX / 2;
+
+/// The pre-tiering progressive filler, verbatim from PR 3 (serial
+/// path): equal weights, no classes, one freeze per saturated link or
+/// minimum demand gap per round.
+pub fn allocate_reference(
+    flow_links: &[Vec<u32>],
+    n_links: usize,
+    demands: &[u64],
+    capacities: &[u64],
+) -> Vec<u64> {
+    assert_eq!(demands.len(), flow_links.len(), "demands ≠ topology flows");
+    assert_eq!(capacities.len(), n_links, "capacities ≠ topology links");
+
+    let n = demands.len();
+    let mut rates = vec![0u64; n];
+    let mut residual: Vec<u64> = capacities.to_vec();
+    let mut n_active: Vec<u64> = vec![0; n_links];
+
+    let mut active: Vec<u32> = Vec::with_capacity(n);
+    for (f, links) in flow_links.iter().enumerate() {
+        let demand = demands[f].min(DEMAND_CAP_BPS);
+        if demand == 0 {
+            continue;
+        }
+        if links.is_empty() {
+            rates[f] = demand;
+            continue;
+        }
+        active.push(f as u32);
+        for &l in links {
+            n_active[l as usize] += 1;
+        }
+    }
+
+    while !active.is_empty() {
+        let link_share = residual
+            .iter()
+            .zip(&n_active)
+            .filter(|(_, &a)| a > 0)
+            .map(|(&r, &a)| r / a)
+            .min()
+            .unwrap_or(u64::MAX);
+
+        let demand_gap = active
+            .iter()
+            .map(|&f| demands[f as usize].min(DEMAND_CAP_BPS) - rates[f as usize])
+            .min()
+            .unwrap_or(u64::MAX);
+
+        let delta = link_share.min(demand_gap);
+        if delta > 0 {
+            for &f in &active {
+                rates[f as usize] += delta;
+            }
+            for (l, r) in residual.iter_mut().enumerate() {
+                *r -= delta * n_active[l];
+            }
+        }
+
+        active.retain(|&f| {
+            let fi = f as usize;
+            let done = rates[fi] >= demands[fi].min(DEMAND_CAP_BPS)
+                || flow_links[fi].iter().any(|&l| {
+                    let li = l as usize;
+                    residual[li] / n_active[li] == 0
+                });
+            if done {
+                for &l in &flow_links[fi] {
+                    n_active[l as usize] -= 1;
+                }
+            }
+            !done
+        });
+    }
+    rates
+}
+
+/// The weighted, classed filler with one-freeze-per-round rounds (no
+/// batch-freeze window): the fill level is `min(link_share,
+/// min_f ceil(gap_f / w_f))`. Byte-identical to
+/// `FairShareAllocator::allocate` on the same specs, just slower.
+pub fn allocate_weighted_unbatched(
+    specs: &[FlowSpec],
+    n_links: usize,
+    demands: &[u64],
+    capacities: &[u64],
+) -> Vec<u64> {
+    assert_eq!(demands.len(), specs.len(), "demands ≠ specs");
+    assert_eq!(capacities.len(), n_links, "capacities ≠ links");
+
+    let mut rates = vec![0u64; specs.len()];
+    let mut residual: Vec<u64> = capacities.to_vec();
+    for class in [TrafficClass::Control, TrafficClass::Bulk] {
+        fill_unbatched(specs, class, demands, &mut rates, &mut residual, n_links);
+    }
+    rates
+}
+
+fn fill_unbatched(
+    specs: &[FlowSpec],
+    class: TrafficClass,
+    demands: &[u64],
+    rates: &mut [u64],
+    residual: &mut [u64],
+    n_links: usize,
+) {
+    let weight = |f: usize| specs[f].weight.max(1) as u64;
+    let mut weight_active: Vec<u64> = vec![0; n_links];
+    let mut active: Vec<u32> = Vec::new();
+    for (f, spec) in specs.iter().enumerate() {
+        if spec.class != class {
+            continue;
+        }
+        let demand = demands[f].min(DEMAND_CAP_BPS);
+        if demand == 0 {
+            continue;
+        }
+        if spec.links.is_empty() {
+            rates[f] = demand;
+            continue;
+        }
+        active.push(f as u32);
+        for &l in &spec.links {
+            weight_active[l as usize] += weight(f);
+        }
+    }
+
+    while !active.is_empty() {
+        let link_share = residual
+            .iter()
+            .zip(&weight_active)
+            .filter(|(_, &w)| w > 0)
+            .map(|(&r, &w)| r / w)
+            .min()
+            .unwrap_or(u64::MAX);
+
+        // One-freeze-per-round: level capped by the *smallest* gap in
+        // level units, so exactly the minimum-gap flow hits demand.
+        let gap_units = active
+            .iter()
+            .map(|&f| {
+                let fi = f as usize;
+                (demands[fi].min(DEMAND_CAP_BPS) - rates[fi]).div_ceil(weight(fi))
+            })
+            .min()
+            .unwrap_or(0);
+
+        let delta = link_share.min(gap_units);
+        if delta > 0 {
+            for &f in &active {
+                let fi = f as usize;
+                let gap = demands[fi].min(DEMAND_CAP_BPS) - rates[fi];
+                let inc = delta.saturating_mul(weight(fi)).min(gap);
+                rates[fi] += inc;
+                for &l in &specs[fi].links {
+                    residual[l as usize] -= inc;
+                }
+            }
+        }
+
+        active.retain(|&f| {
+            let fi = f as usize;
+            let done = rates[fi] >= demands[fi].min(DEMAND_CAP_BPS)
+                || specs[fi].links.iter().any(|&l| {
+                    let li = l as usize;
+                    residual[li] / weight_active[li] == 0
+                });
+            if done {
+                for &l in &specs[fi].links {
+                    weight_active[l as usize] -= weight(fi);
+                }
+            }
+            !done
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::FairShareAllocator;
+
+    #[test]
+    fn reference_matches_textbook_example() {
+        let fl = vec![vec![0], vec![0, 1], vec![0, 1]];
+        let rates = allocate_reference(&fl, 2, &[1_000_000_000; 3], &[100_000_000, 40_000_000]);
+        assert_eq!(rates, vec![60_000_000, 20_000_000, 20_000_000]);
+    }
+
+    #[test]
+    fn production_matches_reference_on_fixed_case() {
+        let fl = vec![
+            vec![0],
+            vec![0, 1],
+            vec![1, 2],
+            vec![2],
+            vec![0, 2],
+            vec![1],
+        ];
+        let demands = [37u64, 91, 13, 70, 55, 28];
+        let caps = [90u64, 60, 50];
+        let mut a = FairShareAllocator::new(1);
+        a.set_topology(fl.clone(), 3);
+        assert_eq!(
+            a.allocate(&demands, &caps),
+            allocate_reference(&fl, 3, &demands, &caps)
+        );
+    }
+
+    #[test]
+    fn unbatched_matches_production_on_weighted_case() {
+        let specs = vec![
+            FlowSpec::new(vec![0], 3, TrafficClass::Control),
+            FlowSpec::new(vec![0, 1], 2, TrafficClass::Bulk),
+            FlowSpec::new(vec![1], 1, TrafficClass::Bulk),
+            FlowSpec::new(vec![0, 1], 1, TrafficClass::Bulk),
+        ];
+        let demands = [40u64, 500, 120, 9];
+        let caps = [200u64, 90];
+        let mut a = FairShareAllocator::new(1);
+        a.set_flows(specs.clone(), 2);
+        assert_eq!(
+            a.allocate(&demands, &caps),
+            allocate_weighted_unbatched(&specs, 2, &demands, &caps)
+        );
+    }
+}

@@ -36,8 +36,7 @@ fn main() -> std::io::Result<()> {
                 .established()
                 .any(|i| i.link.a.platform == id || i.link.b.platform == id);
             let ctrl = o.cdpi.inband.is_reachable(id, now);
-            let data =
-                o.data_plane_status(id) == tssdn_core::orchestrator::DataPlaneStatus::Up;
+            let data = o.data_plane_status(id) == tssdn_core::orchestrator::DataPlaneStatus::Up;
             export::push_backhaul(&mut backhaul, now, id, "link", eligible, link_up);
             export::push_backhaul(&mut backhaul, now, id, "control", eligible, ctrl);
             export::push_backhaul(&mut backhaul, now, id, "data", eligible, data);
@@ -83,7 +82,11 @@ fn main() -> std::io::Result<()> {
                 detail,
             ]
         };
-        intents.push(base("created", r.created, format!("attempts={}", r.attempts)));
+        intents.push(base(
+            "created",
+            r.created,
+            format!("attempts={}", r.attempts),
+        ));
         if let Some(t) = r.established {
             intents.push(base("established", t, format!("sidelobe={}", r.sidelobe)));
         }

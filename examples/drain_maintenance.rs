@@ -45,7 +45,8 @@ fn main() {
     println!(
         "[10:00] draining {victim} (Opportunistic): {live_transit} working paths currently via it",
     );
-    o.drains.request(victim, DrainMode::Opportunistic, o.now(), None);
+    o.drains
+        .request(victim, DrainMode::Opportunistic, o.now(), None);
 
     // Watch the drain progress: the solver stops routing new paths
     // through the node; traffic bleeds off as topology evolves. The
@@ -72,7 +73,11 @@ fn main() {
         println!(
             "[{}] transit via {victim}: {transit:>2}, own links: {own} {}",
             o.now(),
-            if latched_at.is_some() { "→ LATCHED (safe for maintenance)" } else { "" }
+            if latched_at.is_some() {
+                "→ LATCHED (safe for maintenance)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -32,22 +32,23 @@ fn main() {
     o.run_until(SimTime::from_hours(3));
     println!(
         "\n[03:00] payload power: {}/{} balloons; links up: {}",
-        (0..8).filter(|i| o.fleet().payload_powered(PlatformId(*i))).count(),
+        (0..8)
+            .filter(|i| o.fleet().payload_powered(PlatformId(*i)))
+            .count(),
         o.num_balloons(),
         o.intents.established().count()
     );
 
     // Run through dawn and the morning bootstrap, reporting hourly.
-    tssdn_examples::run_with_status(
-        &mut o,
-        SimTime::from_hours(11),
-        SimDuration::from_hours(1),
-    );
+    tssdn_examples::run_with_status(&mut o, SimTime::from_hours(11), SimDuration::from_hours(1));
 
     // Where did we end up?
     println!("\n[11:00] status:");
     println!("  link intents issued:  {}", o.intents.all().count());
-    println!("  links currently up:   {}", o.intents.established().count());
+    println!(
+        "  links currently up:   {}",
+        o.intents.established().count()
+    );
     let in_band = (0..8)
         .filter(|i| o.cdpi.inband.is_reachable(PlatformId(*i), o.now()))
         .count();

@@ -17,8 +17,7 @@
 //! Run with: `cargo run --release -p tssdn-examples --bin why_not`
 
 use tssdn_core::{
-    explain_absence, explain_pair, Orchestrator, OrchestratorConfig, PairAbsence,
-    SelectionAbsence,
+    explain_absence, explain_pair, Orchestrator, OrchestratorConfig, PairAbsence, SelectionAbsence,
 };
 use tssdn_sim::{PlatformId, SimTime};
 
@@ -32,8 +31,7 @@ fn main() {
 
     // Recommendation 3 + 4: the near-term goal state, its intent
     // sequence, and the solution's value metric.
-    let current: std::collections::BTreeSet<_> =
-        o.intents.live().map(|i| i.key()).collect();
+    let current: std::collections::BTreeSet<_> = o.intents.live().map(|i| i.key()).collect();
     let plan = o.last_plan.clone().expect("controller has solved by 10:00");
     println!("{}", plan.render_goal_state(&current, 8));
 
@@ -46,12 +44,9 @@ fn main() {
         for b in (a + 1)..8u32 {
             let (pa, pb) = (PlatformId(a), PlatformId(b));
             // First: does a selected link already serve this pair?
-            let selected = plan
-                .all_links()
-                .any(|l| {
-                    (l.a.platform, l.b.platform) == (pa, pb)
-                        || (l.b.platform, l.a.platform) == (pa, pb)
-                });
+            let selected = plan.all_links().any(|l| {
+                (l.a.platform, l.b.platform) == (pa, pb) || (l.b.platform, l.a.platform) == (pa, pb)
+            });
             if selected {
                 *counts.entry("in plan").or_default() += 1;
                 continue;
@@ -69,13 +64,11 @@ fn main() {
                             (l.a.platform == pa && l.b.platform == pb)
                                 || (l.a.platform == pb && l.b.platform == pa)
                         })
-                        .max_by(|x, y| {
-                            x.margin_db.partial_cmp(&y.margin_db).expect("finite")
-                        })
+                        .max_by(|x, y| x.margin_db.partial_cmp(&y.margin_db).expect("finite"))
                         .map(|l| l.key());
-                    match key.map(|k| {
-                        explain_absence(&solver, &graph, &plan, &o.drains, k, o.now())
-                    }) {
+                    match key
+                        .map(|k| explain_absence(&solver, &graph, &plan, &o.drains, k, o.now()))
+                    {
                         Some(SelectionAbsence::TransceiverBusy { .. }) => "radios busy",
                         Some(SelectionAbsence::Interference { .. }) => "beam interference",
                         Some(SelectionAbsence::NoUtility) => "no demand utility",

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: every PR must pass this clean.
 #
-#   ./scripts/verify.sh          # build + tests + clippy
+#   ./scripts/verify.sh          # fmt + build + tests + clippy
 #
 # The test pass includes the chaos soak (tests/chaos_soak.rs), so a
 # green run certifies the robustness contract too: no stuck intents,
 # bounded post-fault recovery, bit-identical reruns per (seed, plan).
+# CI (.github/workflows/ci.yml) runs exactly this script; keep the
+# two in lockstep by only ever editing the gate here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --release

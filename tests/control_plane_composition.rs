@@ -40,7 +40,11 @@ fn bootstrap_then_upgrade_to_inband() {
         vec![(PlatformId(0), establish_body(0, 0, 100))],
         SimTime::ZERO,
     );
-    assert_eq!(tte0, SimTime::from_secs(186), "satcom TTE for a dark balloon");
+    assert_eq!(
+        tte0,
+        SimTime::from_secs(186),
+        "satcom TTE for a dark balloon"
+    );
 
     // Run until the command is delivered via satcom.
     let mut delivered = None;
@@ -87,7 +91,13 @@ fn bootstrap_then_upgrade_to_inband() {
 
     // Subsequent route programming rides in-band with the short TTE.
     let (_, tte1) = cdpi.submit_intent(
-        vec![(PlatformId(0), CommandBody::SetRoutes { version: 1, entries: 4 })],
+        vec![(
+            PlatformId(0),
+            CommandBody::SetRoutes {
+                version: 1,
+                entries: 4,
+            },
+        )],
         link_up_at,
     );
     assert_eq!(tte1, link_up_at + SimDuration::from_secs(3), "in-band TTE");
@@ -115,11 +125,16 @@ fn manet_repairs_faster_than_satcom_could() {
     mesh.run_until(SimTime::from_secs(15));
     assert!(mesh.route_works(PlatformId(0), PlatformId(100)));
 
-    let via = mesh.route_path(PlatformId(0), PlatformId(100)).expect("path")[1];
+    let via = mesh
+        .route_path(PlatformId(0), PlatformId(100))
+        .expect("path")[1];
     mesh.remove_link(PlatformId(0), via);
     let repaired = mesh
         .measure_convergence(
-            tssdn_manet::ConvergenceProbe { from: PlatformId(0), to: PlatformId(100) },
+            tssdn_manet::ConvergenceProbe {
+                from: PlatformId(0),
+                to: PlatformId(100),
+            },
             SimTime::from_secs(60),
         )
         .expect("repaired");
@@ -138,7 +153,13 @@ fn route_updates_never_ride_satcom() {
     let streams = RngStreams::new(7);
     let mut cdpi = CdpiFrontend::new(CdpiConfig::default(), &streams);
     let (intent, _) = cdpi.submit_intent(
-        vec![(PlatformId(3), CommandBody::SetRoutes { version: 9, entries: 12 })],
+        vec![(
+            PlatformId(3),
+            CommandBody::SetRoutes {
+                version: 9,
+                entries: 12,
+            },
+        )],
         SimTime::ZERO,
     );
     let mut expired = false;

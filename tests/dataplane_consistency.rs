@@ -68,7 +68,11 @@ fn force_drain_evicts_and_cancel_restores() {
                 .filter_map(|b| o.active_path(PlatformId(b)))
                 .any(|p| p.contains(v))
         })
-        .or_else(|| (0..10u32).map(PlatformId).find(|v| o.active_path(*v).is_some()));
+        .or_else(|| {
+            (0..10u32)
+                .map(PlatformId)
+                .find(|v| o.active_path(*v).is_some())
+        });
     let Some(victim) = victim else {
         // Mesh too sparse this seed; nothing to assert.
         return;

@@ -167,13 +167,9 @@ fn obstruction_detection_full_loop() {
     o.run_until(SimTime::from_hours(22));
     // The windowed detector must not fire for sectors that never
     // deteriorated; if it fires, findings must lie in 70–150°.
-    let findings = o.validator.find_new_obstructions(
-        gs0,
-        20.0,
-        6.0,
-        8,
-        SimTime::from_hours(12),
-    );
+    let findings = o
+        .validator
+        .find_new_obstructions(gs0, 20.0, 6.0, 8, SimTime::from_hours(12));
     for f in &findings {
         assert!(
             f.az_end_deg > 90.0 - 20.0 && f.az_start_deg < 130.0 + 20.0,

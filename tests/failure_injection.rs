@@ -83,11 +83,13 @@ fn controller_reroutes_around_a_dark_site() {
     o.run_until(o.now() + SimDuration::from_hours(1));
     let up = (0..12u32)
         .filter(|b| {
-            o.data_plane_status(PlatformId(*b))
-                == tssdn_core::orchestrator::DataPlaneStatus::Up
+            o.data_plane_status(PlatformId(*b)) == tssdn_core::orchestrator::DataPlaneStatus::Up
         })
         .count();
-    assert!(up > 0, "service survives on the remaining gateways: {up}/12 up");
+    assert!(
+        up > 0,
+        "service survives on the remaining gateways: {up}/12 up"
+    );
     // No active path may use the dark site.
     for b in 0..12u32 {
         if let Some(p) = o.active_path(PlatformId(b)) {
@@ -149,9 +151,11 @@ fn total_gateway_blackout_and_recovery() {
     o.run_until(o.now() + SimDuration::from_hours(2));
     let up = (0..8u32)
         .filter(|b| {
-            o.data_plane_status(PlatformId(*b))
-                == tssdn_core::orchestrator::DataPlaneStatus::Up
+            o.data_plane_status(PlatformId(*b)) == tssdn_core::orchestrator::DataPlaneStatus::Up
         })
         .count();
-    assert!(up > 0, "service recovers after restoration ({before:?} avail before)");
+    assert!(
+        up > 0,
+        "service recovers after restoration ({before:?} avail before)"
+    );
 }

@@ -26,7 +26,9 @@ const N_BALLOONS: usize = 5;
 /// GS platform ids for a `kenya(N_BALLOONS)` world (balloons first,
 /// then three ground stations).
 fn gs_ids() -> Vec<PlatformId> {
-    (N_BALLOONS as u32..N_BALLOONS as u32 + 3).map(PlatformId).collect()
+    (N_BALLOONS as u32..N_BALLOONS as u32 + 3)
+        .map(PlatformId)
+        .collect()
 }
 
 fn world(seed: u64, chaos: bool) -> Orchestrator {
@@ -39,8 +41,10 @@ fn world(seed: u64, chaos: bool) -> Orchestrator {
     cfg.solve_interval = SimDuration::from_mins(5);
     cfg.probe_interval = SimDuration::from_secs(30);
     if chaos {
-        cfg.fault_plan =
-            FaultPlan::generate(seed, &PlanConfig::kenya_daytime(N_BALLOONS as u32, gs_ids()));
+        cfg.fault_plan = FaultPlan::generate(
+            seed,
+            &PlanConfig::kenya_daytime(N_BALLOONS as u32, gs_ids()),
+        );
     }
     Orchestrator::new(cfg)
 }
@@ -64,8 +68,9 @@ fn assert_planning_equivalence(o: &Orchestrator) {
     let previous: BTreeSet<_> = o.intents.live().map(|i| i.key()).collect();
     let tunnels = &o.tunnels;
     let gw = |ec: PlatformId| tunnels.gateways_to(ec);
-    let plan =
-        o.solver().solve(&graph, o.backhaul_requests(), &gw, &previous, &o.drains, at);
+    let plan = o
+        .solver()
+        .solve(&graph, o.backhaul_requests(), &gw, &previous, &o.drains, at);
     let plan_ref = solve_reference(
         o.solver(),
         &graph,
@@ -107,8 +112,14 @@ fn run_digest(seed: u64, chaos: bool, gate: bool) -> (String, RunSummary) {
 fn three_day_runs_are_golden_chaos_off() {
     let (d1, s1) = run_digest(20220822, false, true);
     let (d2, s2) = run_digest(20220822, false, false);
-    assert!(d1 == d2, "plan digests diverged between identical chaos-off runs");
-    assert_eq!(s1, s2, "RunSummary diverged between identical chaos-off runs");
+    assert!(
+        d1 == d2,
+        "plan digests diverged between identical chaos-off runs"
+    );
+    assert_eq!(
+        s1, s2,
+        "RunSummary diverged between identical chaos-off runs"
+    );
     assert!(d1.contains("Some("), "runs produced at least one plan");
 }
 
@@ -119,7 +130,13 @@ fn three_day_runs_are_golden_chaos_off() {
 fn three_day_runs_are_golden_chaos_on() {
     let (d1, s1) = run_digest(20220822, true, true);
     let (d2, s2) = run_digest(20220822, true, false);
-    assert!(d1 == d2, "plan digests diverged between identical chaos-on runs");
-    assert_eq!(s1, s2, "RunSummary diverged between identical chaos-on runs");
+    assert!(
+        d1 == d2,
+        "plan digests diverged between identical chaos-on runs"
+    );
+    assert_eq!(
+        s1, s2,
+        "RunSummary diverged between identical chaos-on runs"
+    );
     assert!(d1.contains("Some("), "runs produced at least one plan");
 }

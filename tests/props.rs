@@ -6,7 +6,9 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 use tssdn_core::reference::solve_reference;
 use tssdn_core::{CandidateGraph, CandidateLink, Solver};
-use tssdn_dataplane::{BackhaulRequest, DrainMode, DrainRegistry, PrefixAllocator, RouteEntry, RoutingFabric};
+use tssdn_dataplane::{
+    BackhaulRequest, DrainMode, DrainRegistry, PrefixAllocator, RouteEntry, RoutingFabric,
+};
 use tssdn_geo::{AzEl, GeoPoint, ObstructionMask};
 use tssdn_link::{LinkKind, TransceiverId};
 use tssdn_manet::Topology;

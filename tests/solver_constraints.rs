@@ -22,7 +22,11 @@ fn build_world(seed: u64) -> (Fleet, NetworkModel) {
             PlatformKind::Balloon => (0..3).map(|i| Transceiver::balloon(id, i)).collect(),
             PlatformKind::GroundStation => (0..2)
                 .map(|i| {
-                    Transceiver::ground_station(id, i, tssdn_geo::FieldOfRegard::ground_station(2.0))
+                    Transceiver::ground_station(
+                        id,
+                        i,
+                        tssdn_geo::FieldOfRegard::ground_station(2.0),
+                    )
                 })
                 .collect(),
         };
@@ -82,8 +86,16 @@ fn plans_respect_all_constraints_across_a_drifting_day() {
         // 1. Each transceiver used at most once.
         let mut seen = BTreeSet::new();
         for l in plan.all_links() {
-            assert!(seen.insert(l.a), "transceiver reuse at hour {hour}: {:?}", l.a);
-            assert!(seen.insert(l.b), "transceiver reuse at hour {hour}: {:?}", l.b);
+            assert!(
+                seen.insert(l.a),
+                "transceiver reuse at hour {hour}: {:?}",
+                l.a
+            );
+            assert!(
+                seen.insert(l.b),
+                "transceiver reuse at hour {hour}: {:?}",
+                l.b
+            );
         }
         // 2. No same-band interference within the configured beam
         //    separation on any platform.
@@ -155,7 +167,14 @@ fn hysteresis_dampens_plan_churn() {
     fleet.advance_to(t0);
     sync_model(&fleet, &mut model, t0);
     let g0 = evaluator.evaluate(&model, t0);
-    let p0 = solver.solve(&g0, &requests, &gw, &BTreeSet::new(), &DrainRegistry::new(), t0);
+    let p0 = solver.solve(
+        &g0,
+        &requests,
+        &gw,
+        &BTreeSet::new(),
+        &DrainRegistry::new(),
+        t0,
+    );
     let keys0 = p0.key_set();
 
     let t1 = t0 + tssdn_sim::SimDuration::from_mins(1);
@@ -195,7 +214,14 @@ fn marginal_links_only_used_when_necessary() {
     fleet.advance_to(t);
     sync_model(&fleet, &mut model, t);
     let graph = evaluator.evaluate(&model, t);
-    let plan = solver.solve(&graph, &requests, &gw, &BTreeSet::new(), &DrainRegistry::new(), t);
+    let plan = solver.solve(
+        &graph,
+        &requests,
+        &gw,
+        &BTreeSet::new(),
+        &DrainRegistry::new(),
+        t,
+    );
 
     // Count acceptable candidates per platform pair; a marginal link in
     // the demand plan implies no acceptable candidate tied that pair's
@@ -217,7 +243,10 @@ fn marginal_links_only_used_when_necessary() {
         );
     }
     // Redundant links are never marginal (solver policy).
-    assert!(plan.redundant_links.iter().all(|l| l.quality == LinkQuality::Acceptable));
+    assert!(plan
+        .redundant_links
+        .iter()
+        .all(|l| l.quality == LinkQuality::Acceptable));
 }
 
 #[test]
@@ -233,9 +262,7 @@ fn evaluator_candidate_count_scales_with_fleet_density() {
                 NetworkModel::new(WeatherSource::Itu(tssdn_rf::ItuSeasonal::tropical_wet()));
             for (id, kind) in fleet.platform_ids() {
                 let xs: Vec<Transceiver> = match kind {
-                    PlatformKind::Balloon => {
-                        (0..3).map(|i| Transceiver::balloon(id, i)).collect()
-                    }
+                    PlatformKind::Balloon => (0..3).map(|i| Transceiver::balloon(id, i)).collect(),
                     PlatformKind::GroundStation => (0..2)
                         .map(|i| {
                             Transceiver::ground_station(

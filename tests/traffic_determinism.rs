@@ -26,7 +26,10 @@ fn world(seed: u64, traffic_workers: Option<usize>) -> Orchestrator {
     cfg.tick = SimDuration::from_secs(10);
     cfg.solve_interval = SimDuration::from_mins(5);
     cfg.probe_interval = SimDuration::from_secs(30);
-    cfg.traffic = traffic_workers.map(|workers| TrafficConfig { workers, ..TrafficConfig::default() });
+    cfg.traffic = traffic_workers.map(|workers| TrafficConfig {
+        workers,
+        ..TrafficConfig::default()
+    });
     Orchestrator::new(cfg)
 }
 
@@ -78,11 +81,18 @@ fn goodput_is_identical_across_worker_counts() {
     let serial = traffic_digest(20220822, 1);
     assert!(serial.contains("offered="), "digest has checkpoints");
     // Traffic flowed at some point (otherwise the contract is vacuous).
-    let last = serial.lines().rev().find(|l| l.contains("offered=")).expect("checkpoints");
+    let last = serial
+        .lines()
+        .rev()
+        .find(|l| l.contains("offered="))
+        .expect("checkpoints");
     assert!(!last.contains("offered=0 "), "run carried traffic: {last}");
     for workers in [2, 8, 0] {
         let got = traffic_digest(20220822, workers);
-        assert!(got == serial, "workers={workers} diverged from serial goodput");
+        assert!(
+            got == serial,
+            "workers={workers} diverged from serial goodput"
+        );
     }
 }
 
@@ -106,7 +116,11 @@ fn traffic_without_feedback_is_invisible_to_planning() {
     cfg.tick = SimDuration::from_secs(10);
     cfg.solve_interval = SimDuration::from_mins(5);
     cfg.probe_interval = SimDuration::from_secs(30);
-    cfg.traffic = Some(TrafficConfig { workers: 1, feedback: false, ..TrafficConfig::default() });
+    cfg.traffic = Some(TrafficConfig {
+        workers: 1,
+        feedback: false,
+        ..TrafficConfig::default()
+    });
     let mut on = Orchestrator::new(cfg);
     let end = SimTime::from_hours(24);
     let mut digest_on = String::new();

@@ -1,0 +1,216 @@
+//! Property-based tests for the tiered-service traffic allocator:
+//! fairness within a class, strict priority across classes, and
+//! byte-identity of the batch-freeze production filler against the
+//! slow reference fillers (`tssdn_traffic::reference`).
+
+use proptest::prelude::*;
+use tssdn_traffic::reference::{allocate_reference, allocate_weighted_unbatched};
+use tssdn_traffic::{FairShareAllocator, FlowSpec, TrafficClass};
+
+const N_LINKS: usize = 6;
+
+/// Raw generated flow: (link bitmask over `N_LINKS`, weight, class
+/// pick, demand). Mask 0 models a linkless (wired-tail) flow; class
+/// pick 0 maps to the strict-priority control class (~25%).
+type RawFlow = (u8, u32, u8, u64);
+
+/// Element strategy for one raw flow (mirrors [`RawFlow`]).
+type RawFlowStrategy = (
+    std::ops::Range<u8>,
+    std::ops::Range<u32>,
+    std::ops::Range<u8>,
+    std::ops::Range<u64>,
+);
+
+/// Strategy for one random allocation case.
+fn raw_case() -> (
+    prop::collection::VecStrategy<RawFlowStrategy>,
+    prop::collection::VecStrategy<std::ops::Range<u64>>,
+) {
+    (
+        prop::collection::vec((0u8..64, 1u32..5, 0u8..4, 0u64..50_000), 1..12),
+        prop::collection::vec(0u64..100_000, 6..7),
+    )
+}
+
+fn specs_of(flows: &[RawFlow]) -> Vec<FlowSpec> {
+    flows
+        .iter()
+        .map(|&(mask, w, pick, _)| {
+            let links: Vec<u32> = (0..N_LINKS as u32).filter(|l| mask >> l & 1 == 1).collect();
+            let class = if pick == 0 {
+                TrafficClass::Control
+            } else {
+                TrafficClass::Bulk
+            };
+            FlowSpec::new(links, w, class)
+        })
+        .collect()
+}
+
+fn demands_of(flows: &[RawFlow]) -> Vec<u64> {
+    flows.iter().map(|f| f.3).collect()
+}
+
+fn allocate(specs: &[FlowSpec], demands: &[u64], caps: &[u64]) -> Vec<u64> {
+    let mut a = FairShareAllocator::new(1);
+    a.set_flows(specs.to_vec(), N_LINKS);
+    a.allocate(demands, caps)
+}
+
+proptest! {
+    /// The batch-freeze production filler is byte-identical to the
+    /// one-freeze-per-round reference on arbitrary weighted, classed
+    /// flow sets — the two may only differ in round count.
+    #[test]
+    fn batch_freeze_matches_unbatched_filler(case in raw_case()) {
+        let (flows, caps) = case;
+        let specs = specs_of(&flows);
+        let demands = demands_of(&flows);
+        let fast = allocate(&specs, &demands, &caps);
+        let slow = allocate_weighted_unbatched(&specs, N_LINKS, &demands, &caps);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Compatibility oracle: with every flow at weight 1, class Bulk,
+    /// the tiered allocator collapses to the pre-tiering (PR 3)
+    /// filler bit-for-bit.
+    #[test]
+    fn weight1_bulk_collapses_to_pr3_reference(case in raw_case()) {
+        let (flows, caps) = case;
+        let flow_links: Vec<Vec<u32>> =
+            specs_of(&flows).into_iter().map(|s| s.links).collect();
+        let specs: Vec<FlowSpec> = flow_links.iter().cloned().map(FlowSpec::bulk).collect();
+        let demands = demands_of(&flows);
+        let tiered = allocate(&specs, &demands, &caps);
+        let pr3 = allocate_reference(&flow_links, N_LINKS, &demands, &caps);
+        prop_assert_eq!(tiered, pr3);
+    }
+
+    /// Feasibility: no flow exceeds its demand, no link carries more
+    /// than its capacity, and linkless flows resolve to their demand.
+    #[test]
+    fn allocation_is_feasible(case in raw_case()) {
+        let (flows, caps) = case;
+        let specs = specs_of(&flows);
+        let demands = demands_of(&flows);
+        let rates = allocate(&specs, &demands, &caps);
+        let mut carried = [0u64; N_LINKS];
+        for (f, spec) in specs.iter().enumerate() {
+            prop_assert!(rates[f] <= demands[f], "flow {f} over demand");
+            if spec.links.is_empty() {
+                prop_assert_eq!(rates[f], demands[f], "linkless flow {f} uncapped");
+            }
+            for &l in &spec.links {
+                carried[l as usize] += rates[f];
+            }
+        }
+        for l in 0..N_LINKS {
+            prop_assert!(carried[l] <= caps[l], "link {l}: {} > {}", carried[l], caps[l]);
+        }
+    }
+
+    /// Strict priority: the control class is allocated as if bulk did
+    /// not exist — zeroing all bulk demand changes no control rate.
+    #[test]
+    fn control_rates_ignore_bulk_load(case in raw_case()) {
+        let (flows, caps) = case;
+        let specs = specs_of(&flows);
+        let demands = demands_of(&flows);
+        let with_bulk = allocate(&specs, &demands, &caps);
+        let control_only: Vec<u64> = demands
+            .iter()
+            .zip(&specs)
+            .map(|(&d, s)| if s.class == TrafficClass::Control { d } else { 0 })
+            .collect();
+        let without_bulk = allocate(&specs, &control_only, &caps);
+        for (f, spec) in specs.iter().enumerate() {
+            if spec.class == TrafficClass::Control {
+                prop_assert_eq!(with_bulk[f], without_bulk[f], "control flow {f} perturbed");
+            }
+        }
+    }
+
+    /// Bulk is starved only at saturation: a routed bulk flow that
+    /// offered demand but received nothing must cross a link whose
+    /// final residual cannot fit even one fill-level unit of the
+    /// initially-active bulk weight crossing it.
+    #[test]
+    fn bulk_starves_only_when_a_link_saturates(case in raw_case()) {
+        let (flows, caps) = case;
+        let specs = specs_of(&flows);
+        let demands = demands_of(&flows);
+        let rates = allocate(&specs, &demands, &caps);
+        let mut residual = caps.clone();
+        let mut bulk_weight = [0u64; N_LINKS];
+        for (f, spec) in specs.iter().enumerate() {
+            for &l in &spec.links {
+                residual[l as usize] -= rates[f];
+                if spec.class == TrafficClass::Bulk && demands[f] > 0 {
+                    bulk_weight[l as usize] += spec.weight as u64;
+                }
+            }
+        }
+        for (f, spec) in specs.iter().enumerate() {
+            let starved = spec.class == TrafficClass::Bulk
+                && demands[f] > 0
+                && !spec.links.is_empty()
+                && rates[f] == 0;
+            if starved {
+                let saturated = spec
+                    .links
+                    .iter()
+                    .any(|&l| residual[l as usize] < bulk_weight[l as usize]);
+                prop_assert!(saturated, "flow {f} starved with headroom: {rates:?}");
+            }
+        }
+    }
+
+    /// Within a class, flows sharing an identical link set and both
+    /// held below demand split the bottleneck in proportion to their
+    /// weights, up to the freeze-boundary slack the progressive
+    /// filler allows: when one of the pair freezes on a saturating
+    /// link, the survivor can still collect at most that link's
+    /// residual, which is strictly less than the link's active weight
+    /// sum at the freeze. Hence `|rate_a·w_b − rate_b·w_a|` is
+    /// bounded by `max(w_a, w_b) · Σ_l W_init[l]` over their links.
+    #[test]
+    fn equal_path_flows_split_by_weight(case in raw_case()) {
+        let (flows, caps) = case;
+        let specs = specs_of(&flows);
+        let demands = demands_of(&flows);
+        let rates = allocate(&specs, &demands, &caps);
+        let mut class_weight = [[0u64; 2]; N_LINKS];
+        for (f, spec) in specs.iter().enumerate() {
+            if demands[f] > 0 {
+                for &l in &spec.links {
+                    class_weight[l as usize][spec.class as usize] += spec.weight as u64;
+                }
+            }
+        }
+        for a in 0..specs.len() {
+            for b in (a + 1)..specs.len() {
+                let same = specs[a].class == specs[b].class
+                    && specs[a].links == specs[b].links
+                    && !specs[a].links.is_empty();
+                let below = rates[a] < demands[a] && rates[b] < demands[b];
+                if same && below {
+                    let (wa, wb) = (specs[a].weight as u128, specs[b].weight as u128);
+                    let skew = (rates[a] as u128 * wb).abs_diff(rates[b] as u128 * wa);
+                    let shared_weight: u128 = specs[a]
+                        .links
+                        .iter()
+                        .map(|&l| class_weight[l as usize][specs[a].class as usize] as u128)
+                        .sum();
+                    prop_assert!(
+                        skew <= wa.max(wb) * shared_weight,
+                        "flows {a},{b} off weight ratio beyond freeze slack: \
+                         {:?} vs {:?} (skew {skew})",
+                        (rates[a], specs[a].weight),
+                        (rates[b], specs[b].weight)
+                    );
+                }
+            }
+        }
+    }
+}

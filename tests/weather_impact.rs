@@ -35,9 +35,28 @@ fn storm_at_gs_kills_b2g_but_not_b2b() {
     let gs_pat = AntennaPattern::e_band_ground_station();
     let b_pat = AntennaPattern::e_band_balloon();
 
-    let b2g = evaluate_link(&gs, &balloon_a, &p, &gs_pat, &b_pat, 0.0, 0.0, &storm, MID_STORM_MS);
-    let b2b =
-        evaluate_link(&balloon_a, &balloon_b, &p, &b_pat, &b_pat, 0.0, 0.0, &storm, MID_STORM_MS);
+    let b2g = evaluate_link(
+        &gs,
+        &balloon_a,
+        &p,
+        &gs_pat,
+        &b_pat,
+        0.0,
+        0.0,
+        &storm,
+        MID_STORM_MS,
+    );
+    let b2b = evaluate_link(
+        &balloon_a,
+        &balloon_b,
+        &p,
+        &b_pat,
+        &b_pat,
+        0.0,
+        0.0,
+        &storm,
+        MID_STORM_MS,
+    );
     assert!(
         b2g.attenuation.rain_db > 10.0,
         "B2G path soaked: {:?}",
@@ -55,7 +74,10 @@ fn storm_at_gs_kills_b2g_but_not_b2b() {
 fn gauge_sees_storm_forecast_misplaces_it() {
     let truth = storm_over(-1.0, 36.8);
     let site = GeoPoint::new(-1.0, 36.8, 1_600.0);
-    let gauge = RainGauge { site, representative_radius_m: 30_000.0 };
+    let gauge = RainGauge {
+        site,
+        representative_radius_m: 30_000.0,
+    };
     // A 40 km-displaced forecast: misses the site.
     let forecast = ForecastView::new(truth.clone(), 40_000.0, 0, 1.0);
 
@@ -77,11 +99,18 @@ fn model_weather_stack_prefers_gauges_over_forecast() {
     // Forecast hallucinating 10× intensity; gauge knows better.
     let forecast = ForecastView::new(truth, 0.0, 0, 10.0);
     let mut model = NetworkModel::new(WeatherSource::GaugesAndForecast {
-        gauges: vec![RainGauge { site, representative_radius_m: 30_000.0 }],
+        gauges: vec![RainGauge {
+            site,
+            representative_radius_m: 30_000.0,
+        }],
         forecast,
         backstop: ItuSeasonal::tropical_wet(),
     });
-    model.add_platform(PlatformId(0), tssdn_sim::PlatformKind::Balloon, Vec::<Transceiver>::new());
+    model.add_platform(
+        PlatformId(0),
+        tssdn_sim::PlatformKind::Balloon,
+        Vec::<Transceiver>::new(),
+    );
     // Fresh gauge reading written by the orchestrator.
     model.gauge_readings = vec![(site, 12.0, SimTime::ZERO)];
     let near = model.modelled_weather(&site.offset(5_000.0, 0.0, 0.0), SimTime(MID_STORM_MS));
@@ -90,7 +119,10 @@ fn model_weather_stack_prefers_gauges_over_forecast() {
         "gauge value wins near the site: {near:?}"
     );
     // Far from any gauge, the (inflated) forecast rules.
-    let far = model.modelled_weather(&GeoPoint::new(-1.0, 36.8, 500.0).offset(200_000.0, 0.0, 0.0), SimTime(MID_STORM_MS));
+    let far = model.modelled_weather(
+        &GeoPoint::new(-1.0, 36.8, 500.0).offset(200_000.0, 0.0, 0.0),
+        SimTime(MID_STORM_MS),
+    );
     assert!(near.rain_mm_h < far.rain_mm_h || far.rain_mm_h >= 0.0);
 }
 
@@ -103,7 +135,15 @@ fn attenuation_breakdown_attributes_sources() {
     let b_pat = AntennaPattern::e_band_balloon();
 
     let clear = evaluate_link(
-        &gs, &balloon, &p, &gs_pat, &b_pat, 0.0, 0.0, &tssdn_rf::ClearSky, 0,
+        &gs,
+        &balloon,
+        &p,
+        &gs_pat,
+        &b_pat,
+        0.0,
+        0.0,
+        &tssdn_rf::ClearSky,
+        0,
     );
     assert!(clear.attenuation.fspl_db > 150.0, "FSPL dominates");
     assert!(clear.attenuation.gaseous_db > 1.0, "low path absorbs");
@@ -111,7 +151,15 @@ fn attenuation_breakdown_attributes_sources() {
     assert_eq!(clear.attenuation.moisture_db(), clear.attenuation.cloud_db);
 
     let stormy = evaluate_link(
-        &gs, &balloon, &p, &gs_pat, &b_pat, 0.0, 0.0, &storm_over(-1.0, 36.9), MID_STORM_MS,
+        &gs,
+        &balloon,
+        &p,
+        &gs_pat,
+        &b_pat,
+        0.0,
+        0.0,
+        &storm_over(-1.0, 36.9),
+        MID_STORM_MS,
     );
     assert_eq!(
         stormy.attenuation.fspl_db, clear.attenuation.fspl_db,
@@ -133,8 +181,7 @@ fn attenuation_breakdown_attributes_sources() {
 fn grid_cache_approximates_direct_sampling_through_a_storm() {
     let truth = storm_over(-1.0, 36.8);
     let grid = tssdn_rf::WeatherGrid::build(
-        &truth,
-        -2.0, 0.04, 51, 36.0, 0.04, 51, 0.0, 1_500.0, 8, 0, 600_000, 37,
+        &truth, -2.0, 0.04, 51, 36.0, 0.04, 51, 0.0, 1_500.0, 8, 0, 600_000, 37,
     );
     // Compare rain along a B2G path sampled both ways.
     let mut max_err: f64 = 0.0;

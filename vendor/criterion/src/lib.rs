@@ -69,7 +69,10 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher), budget: Duration) {
-    let mut b = Bencher { result_ns: 0.0, measure_budget: budget };
+    let mut b = Bencher {
+        result_ns: 0.0,
+        measure_budget: budget,
+    };
     f(&mut b);
     println!("{id:<50} {:>12}/iter", fmt_ns(b.result_ns));
 }
@@ -82,7 +85,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Build an id from a name and a displayable parameter.
     pub fn new<P: std::fmt::Display>(function_id: &str, parameter: P) -> Self {
-        BenchmarkId { id: format!("{function_id}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
     }
 }
 
@@ -93,7 +98,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { measure_budget: Duration::from_millis(300) }
+        Criterion {
+            measure_budget: Duration::from_millis(300),
+        }
     }
 }
 
@@ -113,7 +120,10 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), criterion: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
     }
 }
 
@@ -182,7 +192,9 @@ mod tests {
     #[test]
     fn bench_function_measures_something() {
         let mut c = Criterion::default().sample_size(10);
-        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
     }
 
     #[test]

@@ -141,7 +141,10 @@ pub mod collection {
     /// `vec(element, len_range)`: vectors whose length is uniform in
     /// `len_range` and whose elements come from `element`.
     pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
-        assert!(!size.is_empty() || size.start == size.end, "empty size range");
+        assert!(
+            !size.is_empty() || size.start == size.end,
+            "empty size range"
+        );
         VecStrategy { element, size }
     }
 

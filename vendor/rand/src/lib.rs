@@ -119,8 +119,7 @@ pub mod distributions {
         /// Uniform sample from `[low, high)`.
         fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
         /// Uniform sample from `[low, high]`.
-        fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self)
-            -> Self;
+        fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
     }
 
     macro_rules! impl_sample_uniform_int {
@@ -210,7 +209,10 @@ pub trait Rng: RngCore {
 
     /// Bernoulli trial with probability `p` (clamped to [0, 1]).
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
         if p >= 1.0 {
             return true;
         }
@@ -224,7 +226,11 @@ pub trait Rng: RngCore {
         D: Distribution<T>,
         Self: Sized,
     {
-        DistIter { distr, rng: self, _marker: core::marker::PhantomData }
+        DistIter {
+            distr,
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
     }
 }
 
@@ -286,6 +292,9 @@ mod tests {
     fn standard_u64_uses_full_width() {
         let mut r = Counter(9);
         let xs: Vec<u64> = (0..8).map(|_| Standard.sample(&mut r)).collect();
-        assert!(xs.iter().any(|x| *x > u32::MAX as u64), "not stuck in 32 bits: {xs:?}");
+        assert!(
+            xs.iter().any(|x| *x > u32::MAX as u64),
+            "not stuck in 32 bits: {xs:?}"
+        );
     }
 }

@@ -84,7 +84,12 @@ impl SeedableRng for ChaCha8Rng {
         for (i, chunk) in seed.chunks_exact(4).enumerate() {
             key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        ChaCha8Rng { key, counter: 0, block: [0; 16], index: 16 }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
     }
 }
 
