@@ -206,18 +206,18 @@ impl OrchestratorConfig {
     }
 }
 
-/// Which forwarding plane a pending route program targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PathRole {
-    /// The flow's primary source-destination route.
-    Primary,
-    /// The edge-disjoint alternate route (multipath plane).
-    Alt,
-}
-
-/// A route program in flight: the flow, the full node path (EC
-/// included), and which forwarding plane it targets.
-type PendingRouteProgram = ((PlatformId, PlatformId), Vec<PlatformId>, PathRole);
+/// A route program in flight: the flow, its full primary node path
+/// (EC included), and the flow's *complete* desired alternate-plane
+/// state — `Some(path)` to (re)install that alternate, `None` when no
+/// alternate should exist. One program always declares both planes:
+/// alternates ride the primary's SetRoutes intent rather than a
+/// separate one, so they can neither lag the primary through the
+/// satcom bootstrap queue nor survive a plan that dropped them.
+type PendingRouteProgram = (
+    (PlatformId, PlatformId),
+    Vec<PlatformId>,
+    Option<Vec<PlatformId>>,
+);
 
 /// End-of-run headline numbers. `PartialEq` so determinism checks can
 /// compare whole summaries across repeated seeded runs.
@@ -326,6 +326,9 @@ pub struct Orchestrator {
     programmed_paths: BTreeMap<(PlatformId, PlatformId), Vec<PlatformId>>,
     /// Last successfully requested *alternate* path per flow.
     programmed_alt_paths: BTreeMap<(PlatformId, PlatformId), Vec<PlatformId>>,
+    /// Confirmed route programs that carried an alternate alongside
+    /// the primary (one intent, two planes).
+    pub alt_programs_piggybacked: u64,
     // --- in-band mesh ---
     manet: ManetHarness<Batman>,
     // --- telemetry ---
@@ -503,6 +506,7 @@ impl Orchestrator {
             pending_knowledge: Vec::new(),
             programmed_paths: BTreeMap::new(),
             programmed_alt_paths: BTreeMap::new(),
+            alt_programs_piggybacked: 0,
             manet,
             availability: AvailabilitySeries::new(tssdn_sim::time::MS_PER_DAY),
             recovery: RouteRecoveryTracker::new(),
@@ -932,40 +936,50 @@ impl Orchestrator {
                         .iter()
                         .find(|(cpl_id, _)| self.cpl_route_dest_matches(**cpl_id, cmd.dest))
                         .map(|(k, v)| (*k, v.clone()));
-                    if let Some((_, (flow, path, role))) = found {
-                        self.apply_node_routes(cmd.dest, version, flow, &path, role);
+                    if let Some((_, (flow, path, alt))) = found {
+                        self.apply_node_routes(cmd.dest, version, flow, &path, alt.as_deref());
                     }
                 }
             },
             CdpiEvent::IntentConfirmed { intent_id, .. } => {
-                if let Some((flow, path, role)) = self.pending_routes.remove(&intent_id) {
+                if let Some((flow, path, alt)) = self.pending_routes.remove(&intent_id) {
                     // The program is fully applied: clean the flow's
                     // stale entries off nodes that left its path (the
                     // route-deletion commands ride the same program).
                     // Each forwarding plane cleans only its own
-                    // entries, so an alt program never disturbs the
-                    // primary route and vice versa.
+                    // entries, so the alternate half of a program
+                    // never disturbs the primary route and vice
+                    // versa.
                     let src = self.prefixes.get(flow.0).expect("allocated");
                     let dst = self.prefixes.get(flow.1).expect("allocated");
-                    let off_path: Vec<PlatformId> = self
+                    let off_primary: Vec<PlatformId> = self
                         .fleet
                         .platform_ids()
                         .map(|(id, _)| id)
                         .filter(|id| !path.contains(id))
                         .collect();
-                    for node in off_path {
+                    for node in off_primary {
                         let Some(t) = self.fabric.table(node) else {
                             continue;
                         };
-                        match role {
-                            PathRole::Primary => {
-                                if t.lookup(src, dst).is_some() || t.lookup(dst, src).is_some() {
-                                    let t = self.fabric.table_mut(node);
-                                    t.remove(src, dst);
-                                    t.remove(dst, src);
-                                }
-                            }
-                            PathRole::Alt => {
+                        if t.lookup(src, dst).is_some() || t.lookup(dst, src).is_some() {
+                            let t = self.fabric.table_mut(node);
+                            t.remove(src, dst);
+                            t.remove(dst, src);
+                        }
+                    }
+                    match alt {
+                        Some(alt_path) => {
+                            let off_alt: Vec<PlatformId> = self
+                                .fleet
+                                .platform_ids()
+                                .map(|(id, _)| id)
+                                .filter(|id| !alt_path.contains(id))
+                                .collect();
+                            for node in off_alt {
+                                let Some(t) = self.fabric.table(node) else {
+                                    continue;
+                                };
                                 if t.lookup_alt(src, dst).is_some()
                                     || t.lookup_alt(dst, src).is_some()
                                 {
@@ -974,12 +988,20 @@ impl Orchestrator {
                                     t.remove_alt(dst, src);
                                 }
                             }
+                            self.alt_programs_piggybacked += 1;
+                            self.programmed_alt_paths.insert(flow, alt_path);
+                        }
+                        None => {
+                            // Redundancy loss: the plan no longer
+                            // carries an alternate for this flow, so
+                            // withdraw the whole alt plane — a stale
+                            // `lookup_alt` must not forward onto links
+                            // the planner no longer believes in.
+                            self.fabric.withdraw_flow_alt(src, dst);
+                            self.programmed_alt_paths.remove(&flow);
                         }
                     }
-                    match role {
-                        PathRole::Primary => self.programmed_paths.insert(flow, path),
-                        PathRole::Alt => self.programmed_alt_paths.insert(flow, path),
-                    };
+                    self.programmed_paths.insert(flow, path);
                 } else if let Some(&iid) = self.cpl_to_intent.get(&intent_id) {
                     // Side-channel confirmation of a link intent whose
                     // establish deliveries never completed (a brownout
@@ -1045,7 +1067,9 @@ impl Orchestrator {
     fn cpl_route_dest_matches(&self, cpl_id: u64, dest: PlatformId) -> bool {
         self.pending_routes
             .get(&cpl_id)
-            .map(|(_, path, _)| path.contains(&dest))
+            .map(|(_, path, alt)| {
+                path.contains(&dest) || alt.as_ref().is_some_and(|a| a.contains(&dest))
+            })
             .unwrap_or(false)
     }
 
@@ -1477,140 +1501,152 @@ impl Orchestrator {
             };
             let mut full = path.clone();
             full.push(req.ec);
-            let primary_current = self.programmed_paths.get(&flow) == Some(&full);
-            let primary_pending = self
-                .pending_routes
-                .values()
-                .any(|(f, _, r)| *f == flow && *r == PathRole::Primary);
-            if !primary_current && !primary_pending {
-                self.submit_route_program(flow, full.clone(), PathRole::Primary);
-            }
 
-            if !self.config.multipath_routes {
-                continue;
-            }
-            // Alternates must never contend with their own primary for
-            // control-plane capacity: during the daily satcom bootstrap
-            // the command queue is the bottleneck, and interleaving alt
-            // programs with fresh primaries measurably delays the
-            // primary data plane coming up. Program the alternate only
-            // once the primary is confirmed-current.
-            if !primary_current || primary_pending {
-                continue;
-            }
             // Edge-disjoint alternate: drop the primary's radio edges
             // from the believed-durable set and search again. When
             // the redundancy pass gave the site a second established
             // route, this finds it; the traffic engine then splits
-            // the site's bulk load across both planes.
-            let mut reduced = durable.clone();
-            for w in path.windows(2) {
-                let (x, y) = (w[0], w[1]);
-                reduced.remove(&(x.min(y), x.max(y)));
-            }
-            let Some(alt) = Self::route_over(&reduced, req.node, &gws) else {
-                continue;
+            // the site's bulk load across both planes. `None` means
+            // the plan carries no alternate — the program will then
+            // withdraw whatever the alt plane still holds.
+            let desired_alt: Option<Vec<PlatformId>> = if self.config.multipath_routes {
+                let mut reduced = durable.clone();
+                for w in path.windows(2) {
+                    let (x, y) = (w[0], w[1]);
+                    reduced.remove(&(x.min(y), x.max(y)));
+                }
+                Self::route_over(&reduced, req.node, &gws)
+                    .map(|mut alt| {
+                        alt.push(req.ec);
+                        alt
+                    })
+                    .filter(|alt| *alt != full)
+            } else {
+                None
             };
-            let mut alt_full = alt;
-            alt_full.push(req.ec);
-            if alt_full == full {
+
+            let primary_current = self.programmed_paths.get(&flow) == Some(&full);
+            let alt_current = self.programmed_alt_paths.get(&flow) == desired_alt.as_ref();
+            if primary_current && alt_current {
                 continue;
             }
-            if self.programmed_alt_paths.get(&flow) == Some(&alt_full) {
-                continue;
+            if self.pending_routes.values().any(|(f, _, _)| *f == flow) {
+                continue; // a program for this flow is in flight
             }
-            if self
-                .pending_routes
-                .values()
-                .any(|(f, _, r)| *f == flow && *r == PathRole::Alt)
-            {
-                continue; // an alt program for this flow is in flight
-            }
-            self.submit_route_program(flow, alt_full, PathRole::Alt);
+            // One program, two planes: the alternate rides the
+            // primary's SetRoutes intent, so it can never lag the
+            // primary through the satcom bootstrap queue (the old
+            // defer-until-primary-confirmed workaround this replaces
+            // cost an extra solve round of availability per alt).
+            self.submit_route_program(flow, full, desired_alt);
         }
     }
 
-    /// Submit one SetRoutes program over the control plane and track
-    /// it until confirmation.
+    /// Submit one SetRoutes program (primary + complete alt-plane
+    /// state) over the control plane and track it until confirmation.
     fn submit_route_program(
         &mut self,
         flow: (PlatformId, PlatformId),
         full: Vec<PlatformId>,
-        role: PathRole,
+        alt: Option<Vec<PlatformId>>,
     ) {
         self.route_version += 1;
-        let parts: Vec<(PlatformId, CommandBody)> = full
+        let mut targets: Vec<PlatformId> = full
             .iter()
             .filter(|n| !self.ec_ids.contains(n))
+            .copied()
+            .collect();
+        if let Some(alt_path) = &alt {
+            for n in alt_path {
+                if !self.ec_ids.contains(n) && !targets.contains(n) {
+                    targets.push(*n);
+                }
+            }
+        }
+        let entries = (full.len() + alt.as_ref().map_or(0, |a| a.len())) as u16;
+        let parts: Vec<(PlatformId, CommandBody)> = targets
+            .into_iter()
             .map(|n| {
                 (
-                    *n,
+                    n,
                     CommandBody::SetRoutes {
                         version: self.route_version,
-                        entries: full.len() as u16,
+                        entries,
                     },
                 )
             })
             .collect();
         let (cpl_id, _) = self.cdpi.submit_intent(parts, self.now);
-        self.pending_routes.insert(cpl_id, (flow, full, role));
+        self.pending_routes.insert(cpl_id, (flow, full, alt));
     }
 
+    /// Apply one node's share of a combined route program: its primary
+    /// hops (when it sits on the primary path) and its alternate-plane
+    /// state — install hops when it sits on the program's alternate,
+    /// or remove the flow's alt entries when the program carries none.
     fn apply_node_routes(
         &mut self,
         node: PlatformId,
         version: u64,
         flow: (PlatformId, PlatformId),
         path: &[PlatformId],
-        role: PathRole,
+        alt: Option<&[PlatformId]>,
     ) {
         let src = self.prefixes.get(flow.0).expect("allocated");
         let dst = self.prefixes.get(flow.1).expect("allocated");
-        let Some(idx) = path.iter().position(|n| *n == node) else {
-            return;
-        };
-        let t = self.fabric.table_mut(node);
-        // Stale-version guard: a reordered or long-delayed SetRoutes
-        // must not clobber a newer program already applied here. The
-        // guard is per plane — primary and alternate programs are
-        // separate control-plane intents that share the global version
-        // counter, and their commands can land in either order (channel
-        // selection and retry timing differ per intent), so an alt
-        // program arriving first must not make the primary look stale.
-        let applied = match role {
-            PathRole::Primary => t.version,
-            PathRole::Alt => t.alt_version,
-        };
-        if version < applied {
-            return;
-        }
-        let install = |t: &mut RouteTable, e: RouteEntry| match role {
-            PathRole::Primary => t.install(e),
-            PathRole::Alt => t.install_alt(e),
-        };
-        if idx + 1 < path.len() {
-            install(
-                t,
-                RouteEntry {
+        let install_hops = |t: &mut RouteTable, p: &[PlatformId], idx: usize, alt_plane: bool| {
+            let mut install = |e: RouteEntry| {
+                if alt_plane {
+                    t.install_alt(e)
+                } else {
+                    t.install(e)
+                }
+            };
+            if idx + 1 < p.len() {
+                install(RouteEntry {
                     src,
                     dst,
-                    next_hop: path[idx + 1],
-                },
-            );
-        }
-        if idx > 0 {
-            install(
-                t,
-                RouteEntry {
+                    next_hop: p[idx + 1],
+                });
+            }
+            if idx > 0 {
+                install(RouteEntry {
                     src: dst,
                     dst: src,
-                    next_hop: path[idx - 1],
-                },
-            );
+                    next_hop: p[idx - 1],
+                });
+            }
+        };
+        let t = self.fabric.table_mut(node);
+        // Stale-version guards: a reordered or long-delayed SetRoutes
+        // must not clobber a newer program already applied here. The
+        // guard stays per plane even though both planes now ride one
+        // intent: historical tables can carry different per-plane
+        // versions (node resets zero both; older split programs
+        // stamped them independently), so each plane checks and
+        // stamps its own watermark.
+        if let Some(idx) = path.iter().position(|n| *n == node) {
+            if version >= t.version {
+                install_hops(t, path, idx, false);
+                t.version = version;
+            }
         }
-        match role {
-            PathRole::Primary => t.version = version,
-            PathRole::Alt => t.alt_version = version,
+        if version >= t.alt_version {
+            match alt {
+                Some(ap) => {
+                    if let Some(idx) = ap.iter().position(|n| *n == node) {
+                        install_hops(t, ap, idx, true);
+                        t.alt_version = version;
+                    }
+                }
+                None => {
+                    // The program declares "no alternate": this node
+                    // drops whatever it still holds for the flow.
+                    t.remove_alt(src, dst);
+                    t.remove_alt(dst, src);
+                    t.alt_version = version;
+                }
+            }
         }
     }
 
@@ -1951,6 +1987,38 @@ impl Orchestrator {
         })
     }
 
+    /// Flows whose alt plane still holds fabric entries even though
+    /// the controller believes no alternate is programmed and no
+    /// program is in flight that would fix it — i.e. genuinely stale
+    /// alternates the withdrawal pass should have cleaned. Transients
+    /// (an in-flight program) are excluded; the chaos soak asserts
+    /// this settles to empty at end of run.
+    pub fn stale_alt_flows(&self) -> Vec<(PlatformId, PlatformId)> {
+        let mut out = Vec::new();
+        for req in &self.requests {
+            let flow = (req.node, req.ec);
+            if self.programmed_alt_paths.contains_key(&flow) {
+                continue;
+            }
+            if self.pending_routes.values().any(|(f, _, _)| *f == flow) {
+                continue;
+            }
+            let (Some(src), Some(dst)) = (self.prefixes.get(flow.0), self.prefixes.get(flow.1))
+            else {
+                continue;
+            };
+            let lingering = self.fleet.platform_ids().any(|(id, _)| {
+                self.fabric.table(id).is_some_and(|t| {
+                    t.lookup_alt(src, dst).is_some() || t.lookup_alt(dst, src).is_some()
+                })
+            });
+            if lingering {
+                out.push(flow);
+            }
+        }
+        out
+    }
+
     /// Why (or whether) a balloon's data plane is reachable right now —
     /// diagnostic surface for experiments and examples.
     pub fn data_plane_status(&self, b: PlatformId) -> DataPlaneStatus {
@@ -2157,34 +2225,107 @@ mod tests {
     }
 
     #[test]
-    fn alt_program_arriving_first_does_not_stale_out_the_primary() {
-        // Primary and alt programs for a flow are separate intents
-        // sharing the global version counter; their commands can be
-        // delivered in either order. An alt install (higher version)
-        // landing first must not make the primary install look stale.
+    fn combined_program_guards_each_plane_independently() {
+        // Both planes ride one SetRoutes intent now, but commands from
+        // *successive* programs can still land out of order, and
+        // historical tables carry independent per-plane watermarks.
+        // Each plane must check and stamp its own version.
         let mut o = small();
         let ec = o.ec_ids[0];
-        let (b, mid) = (PlatformId(0), PlatformId(1));
+        let (b, mid, other) = (PlatformId(0), PlatformId(1), PlatformId(2));
         let flow = (b, ec);
         let path = vec![b, mid, ec];
-        o.apply_node_routes(mid, 2, flow, &path, PathRole::Alt);
-        o.apply_node_routes(mid, 1, flow, &path, PathRole::Primary);
+        let alt = [b, other, ec];
+        // One program, two planes: each node applies its share.
+        o.apply_node_routes(mid, 2, flow, &path, Some(&alt[..]));
+        o.apply_node_routes(other, 2, flow, &path, Some(&alt[..]));
         let src = o.prefixes.get(b).unwrap();
         let dst = o.prefixes.get(ec).unwrap();
-        let t = o.fabric.table(mid).expect("table exists");
-        assert_eq!(t.lookup(src, dst), Some(ec), "primary installed");
-        assert_eq!(t.lookup_alt(src, dst), Some(ec), "alt installed");
-        assert_eq!(t.version, 1);
-        assert_eq!(t.alt_version, 2);
-        // And the per-plane guard still rejects genuinely stale
-        // programs within a plane: a lower-versioned primary must not
-        // clobber the newer primary already applied.
-        o.apply_node_routes(b, 3, flow, &path, PathRole::Primary);
+        assert_eq!(
+            o.fabric.table(mid).expect("table").lookup(src, dst),
+            Some(ec),
+            "primary installed at its relay"
+        );
+        assert_eq!(
+            o.fabric.table(other).expect("table").lookup_alt(src, dst),
+            Some(ec),
+            "alt installed at its relay"
+        );
+        assert_eq!(o.fabric.table(mid).expect("table").version, 2);
+        assert_eq!(o.fabric.table(other).expect("table").alt_version, 2);
+        // A long-delayed older program carrying no alternate must not
+        // tear the newer alt plane down.
         let direct = vec![b, ec];
-        o.apply_node_routes(b, 2, flow, &direct, PathRole::Primary);
-        let tb = o.fabric.table(b).expect("table exists");
+        o.apply_node_routes(other, 1, flow, &direct, None);
+        assert_eq!(
+            o.fabric.table(other).expect("table").lookup_alt(src, dst),
+            Some(ec),
+            "stale alt-withdrawal dropped"
+        );
+        // Per-plane guard on the source node: a stale program must
+        // clobber neither the newer primary nor the newer alt.
+        o.apply_node_routes(b, 3, flow, &path, Some(&alt[..]));
+        o.apply_node_routes(b, 2, flow, &direct, None);
+        let tb = o.fabric.table(b).expect("table");
         assert_eq!(tb.lookup(src, dst), Some(mid), "stale primary dropped");
+        assert_eq!(
+            tb.lookup_alt(src, dst),
+            Some(other),
+            "stale alt-withdrawal dropped at source"
+        );
         assert_eq!(tb.version, 3);
+        // A *newer* no-alternate program does withdraw the node's alt.
+        o.apply_node_routes(other, 4, flow, &direct, None);
+        let to = o.fabric.table(other).expect("table");
+        assert_eq!(to.lookup_alt(src, dst), None, "newer withdrawal lands");
+        assert_eq!(to.alt_version, 4);
+    }
+
+    #[test]
+    fn redundancy_loss_withdraws_the_alt_plane() {
+        // A confirmed program whose alternate is `None` must wipe the
+        // flow's alt-plane entries fleet-wide — the planner no longer
+        // believes in that path, so `lookup_alt` must stop forwarding
+        // onto it.
+        let mut o = small();
+        let ec = o.ec_ids[0];
+        let (b, mid, other) = (PlatformId(0), PlatformId(1), PlatformId(2));
+        let flow = (b, ec);
+        let src = o.prefixes.get(b).unwrap();
+        let dst = o.prefixes.get(ec).unwrap();
+        let primary = vec![b, mid, ec];
+        let alt = vec![b, other, ec];
+        o.fabric.program_path(src, dst, &primary, 1);
+        o.fabric.program_path_alt(src, dst, &alt, 1);
+        o.programmed_alt_paths.insert(flow, alt.clone());
+        assert!(!o.stale_alt_flows().contains(&flow), "alt is believed-in");
+        // The next plan keeps the flow but drops its alternate.
+        o.pending_routes.insert(99, (flow, primary.clone(), None));
+        o.handle_cpl_event(CdpiEvent::IntentConfirmed {
+            intent_id: 99,
+            kind: tssdn_cpl::IntentKind::Route,
+            at: o.now(),
+            elapsed: SimDuration::from_secs(1),
+        });
+        assert!(
+            o.fabric
+                .trace_flow_alt(src, dst, b, ec, |_, _| true)
+                .is_none(),
+            "alt plane withdrawn end-to-end"
+        );
+        assert!(
+            o.fabric
+                .table(other)
+                .is_none_or(|t| t.lookup_alt(src, dst).is_none()),
+            "relay's alt entry gone"
+        );
+        assert!(!o.programmed_alt_paths.contains_key(&flow));
+        // The primary survives untouched.
+        assert_eq!(
+            o.fabric.trace_flow(src, dst, b, ec, |_, _| true),
+            Some(primary.clone()),
+        );
+        assert!(!o.stale_alt_flows().contains(&flow), "nothing lingers");
     }
 
     #[test]

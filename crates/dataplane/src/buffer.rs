@@ -1,0 +1,315 @@
+//! Bounded store-and-forward buffering — the delay-tolerant plane.
+//!
+//! The paper's data plane fails *static* under control outages: a cut
+//! node keeps forwarding on stale routes. This module extends that
+//! philosophy one step further down: when a flow's route is gone
+//! entirely (primary and alternate), its bits can wait on the
+//! last-known on-path balloon instead of being dropped, and drain once
+//! a route reappears. The production system never had this; it is the
+//! disruption-tolerant axis the Balloon-to-Balloon AdHoc work
+//! motivates for intermittently connected meshes.
+//!
+//! The buffer is strictly bounded in **bytes** and **age**, with a
+//! deterministic eviction order, because determinism is the repo-wide
+//! contract: every operation is exact integer arithmetic over a FIFO
+//! of chunks, so identical call sequences produce identical buffers,
+//! evictions, and drains — bit-for-bit, regardless of worker count.
+//!
+//! Policy (enforced by callers, pinned by proptests):
+//! * only Bulk-class traffic may enter — Control stays fail-fast;
+//! * byte bound: enqueueing past the bound evicts the *oldest* bits
+//!   first (the newest data is the most likely to still be useful to
+//!   a user when connectivity returns);
+//! * age bound: chunks older than `max_age_ms` are dropped by
+//!   [`StoreForwardBuffer::expire`], never delivered;
+//! * drains are FIFO: oldest bits leave first, each carrying its
+//!   enqueue timestamp so telemetry can account age-of-delivery.
+
+use std::collections::VecDeque;
+
+/// One buffered batch of bits for a flow, tagged with its enqueue
+/// time (sim-time milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferedChunk<K> {
+    /// The flow the bits belong to.
+    pub flow: K,
+    /// Simulation time the bits entered the buffer, ms.
+    pub enqueued_ms: u64,
+    /// Bits in the chunk.
+    pub bits: u64,
+}
+
+/// Bits drained from the buffer toward delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainedChunk<K> {
+    /// The flow the bits belong to.
+    pub flow: K,
+    /// Bits delivered from the buffer.
+    pub bits: u64,
+    /// How long the bits waited, ms.
+    pub age_ms: u64,
+}
+
+/// A per-node bounded, age-evicted FIFO store-and-forward buffer.
+///
+/// `K` identifies the flow a chunk belongs to (the traffic engine
+/// uses its dense flow index). Chunks from different flows share one
+/// FIFO per node, so eviction and drain order is global arrival
+/// order — deterministic and starvation-free.
+#[derive(Debug, Clone)]
+pub struct StoreForwardBuffer<K> {
+    max_bits: u64,
+    max_age_ms: u64,
+    chunks: VecDeque<BufferedChunk<K>>,
+    total_bits: u64,
+    queued_bits: u64,
+    drained_bits: u64,
+    evicted_bits: u64,
+}
+
+impl<K: Copy> StoreForwardBuffer<K> {
+    /// An empty buffer bounded at `max_bytes` of payload and
+    /// `max_age_ms` of residency.
+    pub fn new(max_bytes: u64, max_age_ms: u64) -> Self {
+        StoreForwardBuffer {
+            max_bits: max_bytes.saturating_mul(8),
+            max_age_ms,
+            chunks: VecDeque::new(),
+            total_bits: 0,
+            queued_bits: 0,
+            drained_bits: 0,
+            evicted_bits: 0,
+        }
+    }
+
+    /// Bits currently resident.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// The byte bound expressed in bits.
+    pub fn max_bits(&self) -> u64 {
+        self.max_bits
+    }
+
+    /// Lifetime bits accepted into the buffer.
+    pub fn queued_bits(&self) -> u64 {
+        self.queued_bits
+    }
+
+    /// Lifetime bits drained toward delivery.
+    pub fn drained_bits(&self) -> u64 {
+        self.drained_bits
+    }
+
+    /// Lifetime bits evicted (byte bound or age bound).
+    pub fn evicted_bits(&self) -> u64 {
+        self.evicted_bits
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Age of the oldest resident chunk at `now_ms`, if any.
+    pub fn oldest_age_ms(&self, now_ms: u64) -> Option<u64> {
+        self.chunks
+            .front()
+            .map(|c| now_ms.saturating_sub(c.enqueued_ms))
+    }
+
+    /// Queue `bits` for `flow` at `now_ms`, evicting the oldest bits
+    /// as needed to respect the byte bound. Returns the bits evicted.
+    /// Callers must enqueue in nondecreasing `now_ms` order (the FIFO
+    /// doubles as the age order).
+    pub fn enqueue(&mut self, flow: K, now_ms: u64, bits: u64) -> u64 {
+        if bits == 0 || self.max_bits == 0 {
+            self.queued_bits += bits;
+            self.evicted_bits += bits;
+            return bits;
+        }
+        self.queued_bits += bits;
+        self.chunks.push_back(BufferedChunk {
+            flow,
+            enqueued_ms: now_ms,
+            bits,
+        });
+        self.total_bits += bits;
+        let mut evicted = 0u64;
+        while self.total_bits > self.max_bits {
+            let over = self.total_bits - self.max_bits;
+            let front = self.chunks.front_mut().expect("total > 0 implies chunks");
+            if front.bits <= over {
+                evicted += front.bits;
+                self.total_bits -= front.bits;
+                self.chunks.pop_front();
+            } else {
+                front.bits -= over;
+                self.total_bits -= over;
+                evicted += over;
+            }
+        }
+        self.evicted_bits += evicted;
+        evicted
+    }
+
+    /// Drop every chunk older than the age bound at `now_ms`.
+    /// Returns the bits aged out.
+    pub fn expire(&mut self, now_ms: u64) -> u64 {
+        let mut evicted = 0u64;
+        while let Some(front) = self.chunks.front() {
+            if now_ms.saturating_sub(front.enqueued_ms) <= self.max_age_ms {
+                break;
+            }
+            evicted += front.bits;
+            self.total_bits -= front.bits;
+            self.chunks.pop_front();
+        }
+        self.evicted_bits += evicted;
+        evicted
+    }
+
+    /// Drain up to `budget_bits` toward delivery, FIFO. Returns the
+    /// drained chunks with their delivery ages at `now_ms`; a chunk
+    /// that only partially fits keeps its remainder (and its original
+    /// enqueue time) at the front.
+    pub fn drain(&mut self, now_ms: u64, budget_bits: u64) -> Vec<DrainedChunk<K>> {
+        let mut out = Vec::new();
+        let mut budget = budget_bits;
+        while budget > 0 {
+            let Some(front) = self.chunks.front_mut() else {
+                break;
+            };
+            let take = front.bits.min(budget);
+            out.push(DrainedChunk {
+                flow: front.flow,
+                bits: take,
+                age_ms: now_ms.saturating_sub(front.enqueued_ms),
+            });
+            budget -= take;
+            self.total_bits -= take;
+            self.drained_bits += take;
+            if take == front.bits {
+                self.chunks.pop_front();
+            } else {
+                front.bits -= take;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(max_bytes: u64, max_age_ms: u64) -> StoreForwardBuffer<u32> {
+        StoreForwardBuffer::new(max_bytes, max_age_ms)
+    }
+
+    #[test]
+    fn enqueue_accumulates_until_the_byte_bound() {
+        let mut b = buf(10, 1_000); // 80 bits
+        assert_eq!(b.enqueue(0, 0, 50), 0);
+        assert_eq!(b.enqueue(1, 1, 30), 0);
+        assert_eq!(b.total_bits(), 80);
+        // 10 more bits push the oldest 10 out (partial front chunk).
+        assert_eq!(b.enqueue(2, 2, 10), 10);
+        assert_eq!(b.total_bits(), 80);
+        assert_eq!(b.evicted_bits(), 10);
+        // Oldest-first: the front chunk shrank, newer ones intact.
+        let drained = b.drain(2, u64::MAX);
+        assert_eq!(
+            drained.iter().map(|d| (d.flow, d.bits)).collect::<Vec<_>>(),
+            vec![(0, 40), (1, 30), (2, 10)]
+        );
+    }
+
+    #[test]
+    fn oversized_chunk_trims_itself() {
+        let mut b = buf(10, 1_000);
+        assert_eq!(b.enqueue(7, 0, 200), 120);
+        assert_eq!(b.total_bits(), 80);
+        assert_eq!(b.drain(0, u64::MAX)[0].bits, 80);
+    }
+
+    #[test]
+    fn zero_capacity_buffer_evicts_everything() {
+        let mut b = buf(0, 1_000);
+        assert_eq!(b.enqueue(0, 0, 42), 42);
+        assert!(b.is_empty());
+        assert_eq!(b.queued_bits(), 42);
+        assert_eq!(b.evicted_bits(), 42);
+    }
+
+    #[test]
+    fn expire_drops_only_over_age_chunks() {
+        let mut b = buf(1_000, 100);
+        b.enqueue(0, 0, 10);
+        b.enqueue(1, 60, 20);
+        // At t=100 the first chunk is exactly at the bound: kept.
+        assert_eq!(b.expire(100), 0);
+        // At t=101 it is over the bound.
+        assert_eq!(b.expire(101), 10);
+        assert_eq!(b.total_bits(), 20);
+        // At t=161 the second ages out too.
+        assert_eq!(b.expire(161), 20);
+        assert!(b.is_empty());
+        assert_eq!(b.evicted_bits(), 30);
+    }
+
+    #[test]
+    fn drain_is_fifo_with_partial_front_and_age_stamps() {
+        let mut b = buf(1_000, 10_000);
+        b.enqueue(0, 100, 50);
+        b.enqueue(1, 200, 30);
+        let first = b.drain(500, 40);
+        assert_eq!(
+            first,
+            vec![DrainedChunk {
+                flow: 0,
+                bits: 40,
+                age_ms: 400
+            }]
+        );
+        // Remainder keeps its original enqueue time.
+        let rest = b.drain(700, u64::MAX);
+        assert_eq!(
+            rest,
+            vec![
+                DrainedChunk {
+                    flow: 0,
+                    bits: 10,
+                    age_ms: 600
+                },
+                DrainedChunk {
+                    flow: 1,
+                    bits: 30,
+                    age_ms: 500
+                },
+            ]
+        );
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn conservation_holds_across_operations() {
+        let mut b = buf(12, 50); // 96 bits
+        for t in 0..40u64 {
+            b.enqueue((t % 5) as u32, t * 10, 7 + t % 13);
+            if t % 3 == 0 {
+                b.expire(t * 10);
+            }
+            if t % 7 == 0 {
+                b.drain(t * 10, 11);
+            }
+        }
+        assert_eq!(
+            b.queued_bits(),
+            b.drained_bits() + b.evicted_bits() + b.total_bits(),
+            "no bit may leak"
+        );
+        assert!(b.total_bits() <= b.max_bits());
+    }
+}

@@ -16,11 +16,13 @@
 //! solver away from the node, and `Force` evicts traffic immediately.
 
 pub mod addressing;
+pub mod buffer;
 pub mod provision;
 pub mod routing;
 pub mod tunnel;
 
 pub use addressing::{NodePrefix, PrefixAllocator};
+pub use buffer::{BufferedChunk, DrainedChunk, StoreForwardBuffer};
 pub use provision::{BackhaulRequest, DrainMode, DrainRegistry, DrainState};
 pub use routing::{RouteEntry, RouteTable, RoutingFabric};
 pub use tunnel::{TunnelId, TunnelRegistry};

@@ -206,6 +206,19 @@ impl RoutingFabric {
         }
     }
 
+    /// Remove a flow's *alternate-plane* entries everywhere, leaving
+    /// the primary plane untouched. This is the withdrawal pass for
+    /// redundancy loss: the plan kept the flow but dropped its
+    /// alternate, so only the alt plane must be torn down — otherwise
+    /// `lookup_alt` keeps forwarding onto links the planner no longer
+    /// believes in.
+    pub fn withdraw_flow_alt(&mut self, src: NodePrefix, dst: NodePrefix) {
+        for t in self.tables.values_mut() {
+            t.remove_alt(src, dst);
+            t.remove_alt(dst, src);
+        }
+    }
+
     /// Drop all state on one node (power loss).
     pub fn reset_node(&mut self, node: PlatformId) {
         if let Some(t) = self.tables.get_mut(&node) {

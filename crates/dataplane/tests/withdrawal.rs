@@ -112,6 +112,40 @@ fn tunnel_teardown_disrupts_an_intact_route_program() {
 }
 
 #[test]
+fn alt_plane_withdrawal_spares_the_primary() {
+    // Regression: when a plan drops a flow's alternate (redundancy
+    // loss) but keeps the flow, only the alt plane may be torn down.
+    // Before `withdraw_flow_alt` existed the orchestrator had no
+    // alt-only pass at all, so `lookup_alt` kept forwarding onto
+    // links the planner no longer believed in.
+    let mut prefixes = PrefixAllocator::loon_default();
+    let src = prefixes.prefix_for(B0);
+    let dst = prefixes.prefix_for(EC);
+    let alt_relay = PlatformId(6);
+    let mut fabric = RoutingFabric::new();
+    fabric.program_path(src, dst, &[B0, RELAY, GS, EC], 1);
+    fabric.program_path_alt(src, dst, &[B0, alt_relay, GS, EC], 1);
+    assert_eq!(fabric.routes_via(alt_relay), 2, "alt transit in place");
+
+    fabric.withdraw_flow_alt(src, dst);
+
+    // The alt plane is gone in both directions, fleet-wide.
+    assert_eq!(fabric.trace_flow_alt(src, dst, B0, EC, |_, _| true), None);
+    assert_eq!(fabric.trace_flow_alt(dst, src, EC, B0, |_, _| true), None);
+    assert_eq!(
+        fabric.routes_via(alt_relay),
+        0,
+        "no stale alt transit survives the withdrawal"
+    );
+    // The primary still forwards untouched.
+    assert_eq!(
+        fabric.trace_flow(src, dst, B0, EC, |_, _| true),
+        Some(vec![B0, RELAY, GS, EC])
+    );
+    assert!(fabric.trace_flow(dst, src, EC, B0, |_, _| true).is_some());
+}
+
+#[test]
 fn reprogram_after_withdrawal_restores_forwarding_on_the_new_path() {
     // Disruption then recovery: a replacement program over a different
     // relay resumes delivery, and traffic follows the *new* path.

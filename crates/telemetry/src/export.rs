@@ -127,15 +127,27 @@ pub fn flight_regions_table() -> CsvTable {
     CsvTable::new(&["time_ms", "node", "lat_deg", "lon_deg", "alt_m"])
 }
 
-/// Builder for the traffic engine's `traffic.csv` (per-site goodput
-/// and disruption totals from a [`crate::GoodputSeries`]).
+/// Builder for the traffic engine's `traffic.csv` (per-site goodput,
+/// disruption totals, and store-and-forward columns from a
+/// [`crate::GoodputSeries`]). `mean_age_s` is the mean age-of-delivery
+/// of buffered-then-drained bits; empty when nothing drained.
 pub fn traffic_table() -> CsvTable {
-    CsvTable::new(&["site", "goodput", "disruptions", "reroutes"])
+    CsvTable::new(&[
+        "site",
+        "goodput",
+        "disruptions",
+        "reroutes",
+        "buffered_bits",
+        "drained_bits",
+        "evicted_bits",
+        "mean_age_s",
+    ])
 }
 
 /// Append one site summary row from a goodput series.
 pub fn push_traffic_site(t: &mut CsvTable, series: &crate::GoodputSeries, site: PlatformId) {
     let events = series.site_events(site);
+    let buf = series.site_buffer(site);
     t.push(vec![
         site.to_string(),
         series
@@ -143,6 +155,11 @@ pub fn push_traffic_site(t: &mut CsvTable, series: &crate::GoodputSeries, site: 
             .map_or_else(|| "".into(), |g| format!("{g:.6}")),
         events.disruptions.to_string(),
         events.reroutes.to_string(),
+        buf.queued_bits.to_string(),
+        buf.drained_bits.to_string(),
+        buf.evicted_bits.to_string(),
+        buf.mean_age_ms()
+            .map_or_else(|| "".into(), |a| format!("{:.3}", a / 1000.0)),
     ]);
 }
 
@@ -273,7 +290,7 @@ mod tests {
                 .expect("header")
                 .split(',')
                 .count(),
-            4
+            8
         );
     }
 
@@ -312,11 +329,17 @@ mod tests {
         let mut series = crate::GoodputSeries::new(24 * 3600 * 1000);
         series.record(PlatformId(2), SimTime::from_hours(10), 1_000, 750);
         series.record_disruption(PlatformId(2));
+        series.record_buffered(PlatformId(2), 250);
+        series.record_buffer_drained(PlatformId(2), SimTime::from_hours(11), 200, 200 * 1_500);
+        series.record_buffer_evicted(PlatformId(2), 50);
         let mut t = traffic_table();
         push_traffic_site(&mut t, &series, PlatformId(2));
         push_traffic_site(&mut t, &series, PlatformId(3)); // never offered
         let csv = t.to_csv();
-        assert!(csv.contains("p2,0.750000,1,0"), "csv was: {csv}");
-        assert!(csv.contains("p3,,0,0"));
+        assert!(
+            csv.contains("p2,0.950000,1,0,250,200,50,1.500"),
+            "csv was: {csv}"
+        );
+        assert!(csv.contains("p3,,0,0,0,0,0,"));
     }
 }

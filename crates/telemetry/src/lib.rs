@@ -25,4 +25,4 @@ pub mod traffic;
 pub use availability::{AvailabilitySeries, Layer};
 pub use recovery::{BreakCause, RecoverySample, RouteRecoveryTracker};
 pub use stats::{cdf_points, mean, percentile, Summary};
-pub use traffic::{GoodputSeries, ServiceClass, TrafficEvents};
+pub use traffic::{BufferStats, GoodputSeries, ServiceClass, TrafficEvents};

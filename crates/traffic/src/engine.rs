@@ -17,11 +17,40 @@
 //! the paper assigns to the network digest (§3.1).
 
 use std::collections::{BTreeMap, BTreeSet};
+use tssdn_dataplane::StoreForwardBuffer;
 use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
 use tssdn_telemetry::GoodputSeries;
 
 use crate::allocator::{FairShareAllocator, FlowSpec, TrafficClass};
 use crate::demand::{DemandConfig, DemandGenerator};
+
+/// Store-and-forward (delay-tolerant) plane configuration. When a
+/// Bulk flow's site has no programmed route, its offered bits enter a
+/// per-site bounded buffer instead of counting dropped, and drain at
+/// residual link capacity once a route reappears. Control traffic is
+/// never buffered — it stays fail-fast.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreForwardConfig {
+    /// Master switch; off restores the pure drop-on-miss data plane.
+    pub enabled: bool,
+    /// Byte bound per site buffer; oldest bits evict first.
+    pub max_bytes: u64,
+    /// Age bound, ms: bits resident longer than this are dropped.
+    pub max_age_ms: u64,
+}
+
+impl Default for StoreForwardConfig {
+    fn default() -> Self {
+        StoreForwardConfig {
+            enabled: true,
+            // 2 GB ≈ 5 min of a site's ~50 Mbps peak load; enough to
+            // ride a short blackhole window, small enough that a long
+            // outage visibly evicts.
+            max_bytes: 2_000_000_000,
+            max_age_ms: 30 * 60 * 1000,
+        }
+    }
+}
 
 /// Traffic-engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +72,8 @@ pub struct TrafficConfig {
     /// path (when the view carries one), weighted by bottleneck
     /// headroom. Control flows always ride the primary path.
     pub multipath: bool,
+    /// Delay-tolerant buffering for routeless Bulk traffic.
+    pub store_forward: StoreForwardConfig,
 }
 
 impl Default for TrafficConfig {
@@ -55,6 +86,7 @@ impl Default for TrafficConfig {
             feedback_alpha: 0.2,
             window_ms: 24 * 3600 * 1000,
             multipath: true,
+            store_forward: StoreForwardConfig::default(),
         }
     }
 }
@@ -116,8 +148,29 @@ fn paths_signature(view: &TopologyView) -> u64 {
 pub struct FlowStats {
     /// Bits the flow's users offered.
     pub offered_bits: u64,
-    /// Bits delivered end-to-end.
+    /// Bits delivered end-to-end (live allocation plus buffered bits
+    /// that later drained).
     pub delivered_bits: u64,
+    /// Bits that entered the store-and-forward buffer.
+    pub buffered_bits: u64,
+    /// Buffered bits later drained to delivery.
+    pub drained_bits: u64,
+    /// Σ (bits × residency ms) over this flow's drained chunks —
+    /// divide by `drained_bits` for the flow's mean age-of-delivery.
+    pub age_bits_ms: u128,
+}
+
+/// Fleet-wide store-and-forward totals (lifetime, summed over sites).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SnfTotals {
+    /// Bits that entered any site buffer.
+    pub queued_bits: u64,
+    /// Bits drained to delivery after a route reappeared.
+    pub drained_bits: u64,
+    /// Bits evicted by the byte bound or the age bound.
+    pub evicted_bits: u64,
+    /// Bits currently resident across all buffers.
+    pub buffered_bits: u64,
 }
 
 /// One tick's aggregate outcome.
@@ -137,6 +190,14 @@ pub struct TickSummary {
     /// Whether this tick rebuilt the flow→link incidence (false =
     /// capacity-only incremental recompute).
     pub topology_rebuilt: bool,
+    /// Bulk bits queued into store-and-forward buffers this tick.
+    pub snf_queued_bits: u64,
+    /// Buffered bits drained to delivery this tick.
+    pub snf_drained_bits: u64,
+    /// Buffered bits evicted (byte or age bound) this tick.
+    pub snf_evicted_bits: u64,
+    /// Bits resident across all buffers at tick end.
+    pub snf_buffered_bits: u64,
 }
 
 /// Deterministic flow-level traffic engine.
@@ -164,6 +225,9 @@ pub struct TrafficEngine {
     last_offered: BTreeMap<PlatformId, u64>,
     /// EWMA of measured offered load per site — the demand digest.
     digest_bps: BTreeMap<PlatformId, f64>,
+    /// Per-site store-and-forward buffers, keyed by the site balloon
+    /// (the last-known on-path node for every flow of that site).
+    snf: BTreeMap<PlatformId, StoreForwardBuffer<u32>>,
 }
 
 impl TrafficEngine {
@@ -186,6 +250,7 @@ impl TrafficEngine {
             last_paths: BTreeMap::new(),
             last_offered: BTreeMap::new(),
             digest_bps: BTreeMap::new(),
+            snf: BTreeMap::new(),
         }
     }
 
@@ -213,6 +278,20 @@ impl TrafficEngine {
     /// load, bps. `None` until the site has offered traffic.
     pub fn demand_weight_bps(&self, site: PlatformId) -> Option<u64> {
         self.digest_bps.get(&site).map(|w| w.round() as u64)
+    }
+
+    /// Lifetime store-and-forward totals over all site buffers. The
+    /// conservation invariant `queued == drained + evicted +
+    /// buffered` holds at every tick boundary — no bit leaks.
+    pub fn snf_totals(&self) -> SnfTotals {
+        self.snf
+            .values()
+            .fold(SnfTotals::default(), |acc, b| SnfTotals {
+                queued_bits: acc.queued_bits + b.queued_bits(),
+                drained_bits: acc.drained_bits + b.drained_bits(),
+                evicted_bits: acc.evicted_bits + b.evicted_bits(),
+                buffered_bits: acc.buffered_bits + b.total_bits(),
+            })
     }
 
     fn rebuild_topology(&mut self, view: &TopologyView) {
@@ -334,16 +413,52 @@ impl TrafficEngine {
             })
             .collect();
 
+        // Age-evict before this tick's arrivals: bits over the age
+        // bound must never be delivered, even if a route came back.
+        let now_ms = now.as_ms();
+        let dt_ms = dt.as_ms();
+        let mut snf_evicted = 0u64;
+        for (site, buf) in self.snf.iter_mut() {
+            let ev = buf.expire(now_ms);
+            if ev > 0 {
+                snf_evicted += ev;
+                self.series.record_buffer_evicted(*site, ev);
+            }
+        }
+
+        let snf_cfg = self.config.store_forward;
+        let mut snf_queued = 0u64;
         let mut offered = vec![0u64; n_flows];
         let mut demands = vec![0u64; n_alloc];
         let mut multipath_sites: BTreeSet<PlatformId> = BTreeSet::new();
         for f in 0..n_flows {
-            let site = self.demand.flows()[f].site;
+            let flow = self.demand.flows()[f];
+            let site = flow.site;
             if !view.eligible.contains(&site) {
                 continue;
             }
             offered[f] = self.demand.offered_bps(f, now);
             if !view.paths.contains_key(&site) {
+                // Routeless but eligible: Bulk bits wait in the site's
+                // store-and-forward buffer instead of counting
+                // dropped. Control is never buffered — it stays
+                // fail-fast so the control-latency story is untouched.
+                if snf_cfg.enabled && flow.class == TrafficClass::Bulk {
+                    let bits = offered[f] * dt_ms / 1000;
+                    if bits > 0 {
+                        let buf = self.snf.entry(site).or_insert_with(|| {
+                            StoreForwardBuffer::new(snf_cfg.max_bytes, snf_cfg.max_age_ms)
+                        });
+                        let ev = buf.enqueue(f as u32, now_ms, bits);
+                        snf_queued += bits;
+                        snf_evicted += ev;
+                        self.flow_stats[f].buffered_bits += bits;
+                        self.series.record_buffered(site, bits);
+                        if ev > 0 {
+                            self.series.record_buffer_evicted(site, ev);
+                        }
+                    }
+                }
                 continue;
             }
             match self.alt_subflow[f] {
@@ -374,7 +489,6 @@ impl TrafficEngine {
 
         // Account bits per flow, per site, and per class (an alt
         // subflow's rate folds back into its demand flow).
-        let dt_ms = dt.as_ms();
         let mut site_offered: BTreeMap<PlatformId, u64> = BTreeMap::new();
         let mut site_delivered: BTreeMap<PlatformId, u64> = BTreeMap::new();
         let mut class_bits: BTreeMap<TrafficClass, (u64, u64)> = BTreeMap::new();
@@ -397,9 +511,20 @@ impl TrafficEngine {
             if offered[f] > 0 {
                 *site_offered.entry(flow.site).or_default() += offered[f];
                 *site_delivered.entry(flow.site).or_default() += delivered;
-                let bits = class_bits.entry(flow.class).or_default();
-                bits.0 += offered[f] * dt_ms / 1000;
-                bits.1 += delivered * dt_ms / 1000;
+                // The class series measures strict-priority protection
+                // *where a path exists*. A Control flow whose site has
+                // no route this tick is an availability loss (the
+                // site series catches it), not a priority failure —
+                // charging it here made control goodput dip below 1.0
+                // during route flaps even though every routed control
+                // bit was delivered. Bulk stays inclusive: its
+                // routeless bits either buffer or drop, and both
+                // belong in the bulk goodput story.
+                if flow.class != TrafficClass::Control || view.paths.contains_key(&flow.site) {
+                    let bits = class_bits.entry(flow.class).or_default();
+                    bits.0 += offered[f] * dt_ms / 1000;
+                    bits.1 += delivered * dt_ms / 1000;
+                }
             }
         }
         for (class, &(off_bits, del_bits)) in &class_bits {
@@ -419,6 +544,80 @@ impl TrafficEngine {
                 .or_insert(off as f64);
         }
 
+        // Drain stored bits behind the live traffic: whatever
+        // capacity the allocator left on a site's primary path this
+        // tick carries buffered bits toward delivery, oldest first.
+        // Sites drain in id order and each drain debits the shared
+        // residuals, so contention between recovering sites resolves
+        // deterministically.
+        let mut snf_drained = 0u64;
+        if snf_cfg.enabled && !self.snf.is_empty() {
+            let mut residual_bits: Vec<u128> = capacities
+                .iter()
+                .map(|&c| c as u128 * dt_ms as u128 / 1000)
+                .collect();
+            let mut carried = vec![0u64; self.links.len()];
+            for f in 0..n_flows {
+                let site = self.demand.flows()[f].site;
+                let Some((p_ids, a_ids)) = self.site_path_ids.get(&site) else {
+                    continue;
+                };
+                for &l in p_ids {
+                    carried[l as usize] += rates[f];
+                }
+                if let Some(ai) = self.alt_subflow[f] {
+                    for &l in a_ids {
+                        carried[l as usize] += rates[ai as usize];
+                    }
+                }
+            }
+            for (l, r) in residual_bits.iter_mut().enumerate() {
+                *r = r.saturating_sub(carried[l] as u128 * dt_ms as u128 / 1000);
+            }
+            let tunnel_bits = self.config.tunnel_capacity_bps as u128 * dt_ms as u128 / 1000;
+            for (site, buf) in self.snf.iter_mut() {
+                if buf.is_empty() || !view.eligible.contains(site) || !view.paths.contains_key(site)
+                {
+                    continue;
+                }
+                let Some((p_ids, _)) = self.site_path_ids.get(site) else {
+                    continue;
+                };
+                let budget = p_ids
+                    .iter()
+                    .map(|&l| residual_bits[l as usize])
+                    .min()
+                    .unwrap_or(tunnel_bits)
+                    .min(u64::MAX as u128) as u64;
+                if budget == 0 {
+                    continue;
+                }
+                let chunks = buf.drain(now_ms, budget);
+                let mut bits = 0u64;
+                let mut age_bits_ms = 0u128;
+                for c in &chunks {
+                    bits += c.bits;
+                    age_bits_ms += c.bits as u128 * c.age_ms as u128;
+                    let fs = &mut self.flow_stats[c.flow as usize];
+                    fs.delivered_bits += c.bits;
+                    fs.drained_bits += c.bits;
+                    fs.age_bits_ms += c.bits as u128 * c.age_ms as u128;
+                }
+                if bits == 0 {
+                    continue;
+                }
+                snf_drained += bits;
+                for &l in p_ids {
+                    residual_bits[l as usize] =
+                        residual_bits[l as usize].saturating_sub(bits as u128);
+                }
+                self.series
+                    .record_buffer_drained(*site, now, bits, age_bits_ms);
+                self.series
+                    .record_class_drained(tssdn_telemetry::ServiceClass::Bulk, now, bits);
+            }
+        }
+
         self.last_paths = view.paths.clone();
         self.last_offered = site_offered;
 
@@ -429,6 +628,10 @@ impl TrafficEngine {
             sites_with_path: view.paths.len(),
             multipath_sites: multipath_sites.len(),
             topology_rebuilt: rebuilt,
+            snf_queued_bits: snf_queued,
+            snf_drained_bits: snf_drained,
+            snf_evicted_bits: snf_evicted,
+            snf_buffered_bits: self.snf.values().map(|b| b.total_bits()).sum(),
         }
     }
 }
@@ -671,6 +874,160 @@ mod tests {
             bulk < 0.1,
             "bulk should be starved at the bottleneck: {bulk}"
         );
+    }
+
+    #[test]
+    fn routeless_bulk_bits_buffer_and_drain_on_recovery() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let view = view_for(&sites, 1_000_000_000);
+        // Outage tick: eligible, no route. Bulk buffers; Control
+        // never does.
+        let mut dark = view.clone();
+        dark.paths.clear();
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &dark);
+        assert!(s.snf_queued_bits > 0, "bulk queued during the outage");
+        assert_eq!(s.snf_drained_bits, 0);
+        assert_eq!(s.snf_buffered_bits, s.snf_queued_bits - s.snf_evicted_bits);
+        for (f, flow) in e.demand().flows().iter().enumerate() {
+            if flow.class == TrafficClass::Control {
+                assert_eq!(
+                    e.flow_stats()[f].buffered_bits,
+                    0,
+                    "control flow {f} must never buffer"
+                );
+            }
+        }
+        // Recovery tick: the route is back and the fat access link
+        // has headroom — everything buffered drains, with a positive
+        // age-of-delivery.
+        let s2 = e.tick(
+            SimTime::from_hours(20) + SimDuration::from_mins(1),
+            SimDuration::from_mins(1),
+            &view,
+        );
+        assert_eq!(s2.snf_drained_bits, s.snf_buffered_bits);
+        assert_eq!(s2.snf_buffered_bits, 0);
+        let totals = e.snf_totals();
+        assert_eq!(
+            totals.queued_bits,
+            totals.drained_bits + totals.evicted_bits + totals.buffered_bits
+        );
+        let buf = e.series().site_buffer(PlatformId(0));
+        assert!(buf.mean_age_ms().expect("drained") >= 60_000.0 - 1.0);
+        // Drained bits were offered in the outage tick, so delivery
+        // catches back up cumulatively without ever exceeding offered.
+        assert!(e.series().delivered_bits() <= e.series().offered_bits());
+        assert!(
+            e.series().overall().expect("offered") > 0.5,
+            "buffered bits recovered most of the outage loss"
+        );
+    }
+
+    #[test]
+    fn buffering_off_restores_drop_on_miss() {
+        let sites = [PlatformId(0)];
+        let mut config = TrafficConfig {
+            workers: 1,
+            ..TrafficConfig::default()
+        };
+        config.store_forward.enabled = false;
+        let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(11));
+        let mut dark = view_for(&sites, 1_000_000_000);
+        dark.paths.clear();
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &dark);
+        assert_eq!(s.snf_queued_bits, 0);
+        assert_eq!(s.snf_buffered_bits, 0);
+        assert_eq!(e.snf_totals(), SnfTotals::default());
+    }
+
+    #[test]
+    fn buffered_bits_age_out_and_never_deliver() {
+        let sites = [PlatformId(0)];
+        let mut config = TrafficConfig {
+            workers: 1,
+            ..TrafficConfig::default()
+        };
+        config.store_forward.max_age_ms = 5 * 60 * 1000; // 5 min
+        let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(11));
+        let view = view_for(&sites, 1_000_000_000);
+        let mut dark = view.clone();
+        dark.paths.clear();
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &dark);
+        assert!(s.snf_queued_bits > 0);
+        // The route returns only after the age bound has passed.
+        let s2 = e.tick(
+            SimTime::from_hours(20) + SimDuration::from_mins(10),
+            SimDuration::from_mins(1),
+            &view,
+        );
+        assert_eq!(s2.snf_drained_bits, 0, "aged bits must not deliver");
+        assert_eq!(s2.snf_evicted_bits, s.snf_buffered_bits);
+        assert_eq!(s2.snf_buffered_bits, 0);
+        let totals = e.snf_totals();
+        assert_eq!(totals.queued_bits, totals.evicted_bits);
+        assert_eq!(totals.drained_bits, 0);
+    }
+
+    #[test]
+    fn drain_yields_to_live_traffic() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        // Saturated 10 Mbps access link: the allocator fills it with
+        // live traffic at peak, so a backlog cannot drain.
+        let view = view_for(&sites, 10_000_000);
+        let mut dark = view.clone();
+        dark.paths.clear();
+        let s = e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &dark);
+        assert!(s.snf_buffered_bits > 0);
+        let s2 = e.tick(
+            SimTime::from_hours(20) + SimDuration::from_mins(1),
+            SimDuration::from_mins(1),
+            &view,
+        );
+        assert!(
+            s2.delivered_bps >= 9_000_000,
+            "live traffic fills the link: {}",
+            s2.delivered_bps
+        );
+        assert!(
+            s2.snf_drained_bits < s.snf_buffered_bits / 2,
+            "backlog must wait behind live traffic: drained {} of {}",
+            s2.snf_drained_bits,
+            s.snf_buffered_bits
+        );
+        // Once the fade lifts, the same path has headroom and the
+        // backlog moves (capacity-only change: no topology rebuild).
+        let clear = view_for(&sites, 1_000_000_000);
+        let s3 = e.tick(
+            SimTime::from_hours(20) + SimDuration::from_mins(2),
+            SimDuration::from_mins(1),
+            &clear,
+        );
+        assert!(!s3.topology_rebuilt);
+        assert!(s3.snf_drained_bits > 0, "headroom drains the backlog");
+    }
+
+    #[test]
+    fn control_class_is_not_charged_while_routeless() {
+        use tssdn_telemetry::ServiceClass;
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let view = view_for(&sites, 1_000_000_000);
+        e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        // Route flap: control bits offered during the gap are an
+        // availability loss, not a class-priority failure.
+        let mut dark = view.clone();
+        dark.paths.clear();
+        e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &dark);
+        e.tick(SimTime::from_hours(20), SimDuration::from_mins(1), &view);
+        assert_eq!(
+            e.series().class_goodput(ServiceClass::Control),
+            Some(1.0),
+            "routed control bits all delivered, routeless ones uncharged"
+        );
+        // The site series still shows the loss.
+        assert!(e.series().site_goodput(PlatformId(0)).expect("offered") < 1.0);
     }
 
     #[test]

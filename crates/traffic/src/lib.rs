@@ -41,4 +41,7 @@ pub use allocator::{
     flows_signature, incidence_signature, FairShareAllocator, FlowSpec, TrafficClass,
 };
 pub use demand::{AggregateFlow, DemandConfig, DemandGenerator, FlowId};
-pub use engine::{FlowStats, TickSummary, TopologyView, TrafficConfig, TrafficEngine};
+pub use engine::{
+    FlowStats, SnfTotals, StoreForwardConfig, TickSummary, TopologyView, TrafficConfig,
+    TrafficEngine,
+};

@@ -27,3 +27,7 @@ for a in "$@"; do
   if [ "$a" = "--smoke" ]; then traffic_args+=("--smoke"); fi
 done
 cargo run --release -q -p tssdn-bench --bin traffic_scale -- ${traffic_args[@]+"${traffic_args[@]}"}
+
+# E18 store-and-forward A/B: gates on rerun identity, strictly higher
+# bulk delivery with buffering on, and an untouched Control class.
+cargo run --release -q -p tssdn-bench --bin snf_ab -- ${traffic_args[@]+"${traffic_args[@]}"}

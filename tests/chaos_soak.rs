@@ -252,6 +252,100 @@ fn traffic_delivers_under_chaos_and_counts_disruptions() {
     );
 }
 
+/// Multipath + store-and-forward under chaos (E18 riding the E16 plan
+/// family). One soak pins all three PR bugfixes plus the buffering
+/// contract:
+///
+/// * no stale alternate routes survive redundancy loss — the
+///   orchestrator's alt-withdrawal pass leaves `stale_alt_flows()`
+///   empty at end of run;
+/// * alternates ride the primary's combined SetRoutes program — the
+///   piggyback counter fires instead of the old deferral workaround;
+/// * control-class goodput stays ≥ 0.99 whenever the class was
+///   offered at all: routeless windows are availability losses on the
+///   site series, never a priority failure on the class series;
+/// * buffered bulk bits are conserved — every queued bit is drained,
+///   evicted, or still resident (no leaks) — and cumulative delivered
+///   never exceeds offered;
+/// * all of it bit-identical on a rerun.
+#[test]
+fn multipath_snf_soak_holds_bugfix_invariants() {
+    use tssdn_core::TrafficConfig;
+    use tssdn_telemetry::ServiceClass;
+    use tssdn_traffic::SnfTotals;
+
+    let soak = |seed: u64| -> (u64, u64, SnfTotals, u64) {
+        let plan = plan_for(seed);
+        let end = (plan.last_clear().expect("closed windows") + SimDuration::from_hours(1))
+            .max(SimTime::from_hours(14));
+        let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
+        cfg.fleet.spawn_radius_m = 150_000.0;
+        cfg.fault_plan = plan;
+        cfg.multipath_routes = true;
+        cfg.traffic = Some(TrafficConfig::default());
+        let mut o = Orchestrator::new(cfg);
+        o.run_until(end);
+
+        let stale = o.stale_alt_flows();
+        assert!(stale.is_empty(), "seed {seed}: stale alt routes: {stale:?}");
+
+        let e = o.traffic().expect("traffic enabled");
+        let s = e.series();
+        if let Some(g) = s.class_goodput(ServiceClass::Control) {
+            assert!(
+                g >= 0.99,
+                "seed {seed}: control class dipped to {g} despite strict priority"
+            );
+        }
+
+        let t = e.snf_totals();
+        assert_eq!(
+            t.queued_bits,
+            t.drained_bits + t.evicted_bits + t.buffered_bits,
+            "seed {seed}: buffered bits leaked: {t:?}"
+        );
+        assert!(
+            s.delivered_bits() <= s.offered_bits(),
+            "seed {seed}: goodput is a ratio even with drains"
+        );
+        (
+            s.offered_bits(),
+            s.delivered_bits(),
+            t,
+            o.alt_programs_piggybacked,
+        )
+    };
+
+    let mut queued_total = 0u64;
+    let mut piggybacked_total = 0u64;
+    let mut first = None;
+    for seed in [9001u64, 9002, 9003] {
+        let r = soak(seed);
+        assert!(r.0 > 0, "seed {seed}: demand offered");
+        assert!(r.1 > 0, "seed {seed}: bits delivered despite chaos");
+        queued_total += r.2.queued_bits;
+        piggybacked_total += r.3;
+        if seed == 9001 {
+            first = Some(r);
+        }
+    }
+    assert!(
+        queued_total > 0,
+        "some blackhole window should have buffered bulk bits"
+    );
+    assert!(
+        piggybacked_total > 0,
+        "alternates should ride combined SetRoutes programs"
+    );
+
+    // Rerun determinism covers the buffer counters too.
+    assert_eq!(
+        soak(9001),
+        first.expect("seed 9001 ran"),
+        "soak diverged on rerun"
+    );
+}
+
 /// The legacy outage shim routes through the chaos engine: flipping a
 /// site dark and back again leaves a start + clear pair in the log.
 #[test]

@@ -1,0 +1,275 @@
+//! Property-based tests for the store-and-forward plane: the bounded
+//! buffer against a straight-line reference model (byte bound, age
+//! bound, FIFO determinism, bit conservation), and the traffic
+//! engine's buffering policy under arbitrary route flaps (Control
+//! never buffers, cumulative delivered ≤ offered, no leaked bits,
+//! bit-identical reruns).
+
+use proptest::prelude::*;
+use tssdn_dataplane::StoreForwardBuffer;
+use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
+use tssdn_traffic::{TopologyView, TrafficClass, TrafficConfig, TrafficEngine};
+
+// ---------------------------------------------------------------- //
+// Buffer vs reference model                                        //
+// ---------------------------------------------------------------- //
+
+/// One buffer operation: `kind` 0–1 enqueues (biased — buffers spend
+/// most of their life absorbing), 2 expires, 3 drains. `dt` advances
+/// the clock before the operation; `amount` is bits (enqueue) or a
+/// drain budget.
+type RawOp = (u8, u32, u64, u64);
+
+fn ops() -> impl Strategy<Value = Vec<RawOp>> {
+    prop::collection::vec((0u8..4, 0u32..5, 0u64..300, 0u64..200), 1..60)
+}
+
+/// The obviously-correct model: a flat chunk list plus the same
+/// lifetime counters, written with no regard for efficiency.
+struct ModelBuffer {
+    max_bits: u64,
+    max_age_ms: u64,
+    chunks: Vec<(u32, u64, u64)>, // (flow, enqueued_ms, bits)
+    queued: u64,
+    drained: u64,
+    evicted: u64,
+}
+
+impl ModelBuffer {
+    fn new(max_bytes: u64, max_age_ms: u64) -> Self {
+        ModelBuffer {
+            max_bits: max_bytes * 8,
+            max_age_ms,
+            chunks: Vec::new(),
+            queued: 0,
+            drained: 0,
+            evicted: 0,
+        }
+    }
+
+    fn resident(&self) -> u64 {
+        self.chunks.iter().map(|c| c.2).sum()
+    }
+
+    fn enqueue(&mut self, flow: u32, now: u64, bits: u64) {
+        self.queued += bits;
+        if bits == 0 || self.max_bits == 0 {
+            self.evicted += bits;
+            return;
+        }
+        self.chunks.push((flow, now, bits));
+        while self.resident() > self.max_bits {
+            let over = self.resident() - self.max_bits;
+            let front = &mut self.chunks[0];
+            if front.2 <= over {
+                self.evicted += front.2;
+                self.chunks.remove(0);
+            } else {
+                front.2 -= over;
+                self.evicted += over;
+            }
+        }
+    }
+
+    fn expire(&mut self, now: u64) {
+        while let Some(front) = self.chunks.first() {
+            if now.saturating_sub(front.1) <= self.max_age_ms {
+                break;
+            }
+            self.evicted += front.2;
+            self.chunks.remove(0);
+        }
+    }
+
+    fn drain(&mut self, now: u64, mut budget: u64) -> Vec<(u32, u64, u64)> {
+        let mut out = Vec::new();
+        while budget > 0 && !self.chunks.is_empty() {
+            let front = &mut self.chunks[0];
+            let take = front.2.min(budget);
+            out.push((front.0, take, now.saturating_sub(front.1)));
+            budget -= take;
+            self.drained += take;
+            if take == front.2 {
+                self.chunks.remove(0);
+            } else {
+                front.2 -= take;
+            }
+        }
+        out
+    }
+}
+
+proptest! {
+    /// The production buffer is step-for-step identical to the
+    /// reference model on arbitrary op sequences — same drain output
+    /// (flows, bits, ages), same lifetime counters — and it never
+    /// exceeds its byte bound; after an expire, never its age bound.
+    #[test]
+    fn buffer_matches_reference_model(
+        max_bytes in 0u64..64,
+        max_age in 0u64..2_000,
+        raw in ops(),
+    ) {
+        let mut real: StoreForwardBuffer<u32> =
+            StoreForwardBuffer::new(max_bytes, max_age);
+        let mut model = ModelBuffer::new(max_bytes, max_age);
+        let mut now = 0u64;
+        for (kind, flow, dt, amount) in raw {
+            now += dt;
+            match kind {
+                0 | 1 => {
+                    real.enqueue(flow, now, amount);
+                    model.enqueue(flow, now, amount);
+                }
+                2 => {
+                    real.expire(now);
+                    model.expire(now);
+                    // Age bound holds right after an expire pass.
+                    if let Some(age) = real.oldest_age_ms(now) {
+                        prop_assert!(age <= max_age, "over-age chunk kept: {age}");
+                    }
+                }
+                _ => {
+                    let drained: Vec<(u32, u64, u64)> = real
+                        .drain(now, amount)
+                        .into_iter()
+                        .map(|d| (d.flow, d.bits, d.age_ms))
+                        .collect();
+                    prop_assert_eq!(drained, model.drain(now, amount));
+                }
+            }
+            // Byte bound holds after every single operation.
+            prop_assert!(real.total_bits() <= real.max_bits());
+            prop_assert_eq!(real.total_bits(), model.resident());
+        }
+        prop_assert_eq!(real.queued_bits(), model.queued);
+        prop_assert_eq!(real.drained_bits(), model.drained);
+        prop_assert_eq!(real.evicted_bits(), model.evicted);
+        // Conservation: every queued bit is drained, evicted, or
+        // still resident — none leak.
+        prop_assert_eq!(
+            real.queued_bits(),
+            real.drained_bits() + real.evicted_bits() + real.total_bits()
+        );
+    }
+
+    /// Determinism restated at the API level: replaying the same op
+    /// sequence into a fresh buffer reproduces the exact final state.
+    #[test]
+    fn buffer_replay_is_bit_identical(raw in ops()) {
+        let run = |raw: &[RawOp]| {
+            let mut b: StoreForwardBuffer<u32> = StoreForwardBuffer::new(32, 500);
+            let mut now = 0u64;
+            let mut drains: Vec<(u32, u64, u64)> = Vec::new();
+            for &(kind, flow, dt, amount) in raw {
+                now += dt;
+                match kind {
+                    0 | 1 => {
+                        b.enqueue(flow, now, amount);
+                    }
+                    2 => {
+                        b.expire(now);
+                    }
+                    _ => drains.extend(
+                        b.drain(now, amount).iter().map(|d| (d.flow, d.bits, d.age_ms)),
+                    ),
+                }
+            }
+            (b.total_bits(), b.queued_bits(), b.drained_bits(), b.evicted_bits(), drains)
+        };
+        prop_assert_eq!(run(&raw), run(&raw));
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Engine-level policy under arbitrary route flaps                  //
+// ---------------------------------------------------------------- //
+
+const GS: PlatformId = PlatformId(100);
+const EC: PlatformId = PlatformId(101);
+
+fn view_for(sites: &[PlatformId], cap_bps: u64) -> TopologyView {
+    let mut v = TopologyView::default();
+    for &s in sites {
+        v.paths.insert(s, vec![s, GS, EC]);
+        v.link_capacity_bps.insert((s.min(GS), s.max(GS)), cap_bps);
+        v.eligible.insert(s);
+    }
+    v
+}
+
+/// Run one engine over a flap pattern: tick `i` sees a route iff
+/// `flaps[i]`. Returns the cumulative counters the properties check.
+#[allow(clippy::type_complexity)]
+fn flap_run(
+    seed: u64,
+    cap_bps: u64,
+    flaps: &[bool],
+) -> (u64, u64, (u64, u64, u64, u64), Vec<(u64, u64, u128)>) {
+    let config = TrafficConfig {
+        workers: 1,
+        ..TrafficConfig::default()
+    };
+    let sites = [PlatformId(0), PlatformId(1)];
+    let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(seed));
+    let up = view_for(&sites, cap_bps);
+    let mut dark = up.clone();
+    dark.paths.clear();
+    for (i, &routed) in flaps.iter().enumerate() {
+        let now = SimTime::from_hours(18) + SimDuration::from_mins(i as u64);
+        let view = if routed { &up } else { &dark };
+        e.tick(now, SimDuration::from_mins(1), view);
+    }
+    let t = e.snf_totals();
+    let control_stats: Vec<(u64, u64, u128)> = e
+        .demand()
+        .flows()
+        .iter()
+        .zip(e.flow_stats())
+        .filter(|(f, _)| f.class == TrafficClass::Control)
+        .map(|(_, s)| (s.buffered_bits, s.drained_bits, s.age_bits_ms))
+        .collect();
+    (
+        e.series().offered_bits(),
+        e.series().delivered_bits(),
+        (
+            t.queued_bits,
+            t.drained_bits,
+            t.evicted_bits,
+            t.buffered_bits,
+        ),
+        control_stats,
+    )
+}
+
+proptest! {
+    /// Under any outage/recovery pattern: Control flows never touch
+    /// the buffer, cumulative delivered bits never exceed offered,
+    /// queued bits are fully accounted (drained + evicted +
+    /// resident), and the whole run is bit-identical on a rerun.
+    #[test]
+    fn engine_buffering_policy_holds_under_flaps(
+        seed in 0u64..500,
+        cap_mbps in 1u64..200,
+        flaps in prop::collection::vec(prop::bool::ANY, 1..18),
+    ) {
+        let cap = cap_mbps * 1_000_000;
+        let (offered, delivered, totals, control) = flap_run(seed, cap, &flaps);
+        let (queued, drained, evicted, resident) = totals;
+        for (f, &(buffered, drained_f, age)) in control.iter().enumerate() {
+            prop_assert_eq!(buffered, 0, "control flow {f} buffered bits");
+            prop_assert_eq!(drained_f, 0, "control flow {f} drained bits");
+            prop_assert_eq!(age, 0, "control flow {f} has delivery age");
+        }
+        prop_assert!(delivered <= offered, "{delivered} > {offered}");
+        prop_assert_eq!(queued, drained + evicted + resident, "bits leaked");
+        if flaps.iter().any(|r| !r) {
+            prop_assert!(queued > 0, "a routeless tick must buffer bulk bits");
+        }
+        prop_assert_eq!(
+            flap_run(seed, cap, &flaps),
+            (offered, delivered, totals, control),
+            "rerun diverged"
+        );
+    }
+}
