@@ -17,7 +17,8 @@
 //!   the buffer, so the E16 control-latency story is untouched.
 //!
 //! `TSSDN_SEED` shifts the plan family; `--smoke` shrinks the fleet
-//! and plan count for the verify.sh gate.
+//! and plan count for the verify.sh gate; `--out PATH` overrides the
+//! JSON artifact path (default `BENCH_snf_ab.json`).
 
 use tssdn_bench::{scale, seed};
 use tssdn_core::{Orchestrator, OrchestratorConfig, TrafficConfig};
@@ -88,7 +89,14 @@ fn run(plan_seed: u64, n: usize, buffering: bool) -> Outcome {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_snf_ab.json".to_string());
     let n = if smoke {
         4
     } else {
@@ -166,6 +174,23 @@ fn main() {
         if delivery_ok { "HELD" } else { "VIOLATED" },
         if control_ok { "HELD" } else { "VIOLATED" }
     );
+
+    let json = format!(
+        "{{\n  \"bench\": \"snf_ab\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"balloons\": {},\n  \
+         \"plans\": {},\n  \"bulk_delivered_on\": {},\n  \"bulk_delivered_off\": {},\n  \
+         \"drained_on\": {},\n  \"mean_age_s\": {:.3}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        base,
+        n,
+        n_plans,
+        on_bulk,
+        off_bulk,
+        on_drained,
+        mean_age_s,
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
     if !(identity_ok && delivery_ok && control_ok) {
         std::process::exit(1);
     }

@@ -329,6 +329,13 @@ pub struct Orchestrator {
     /// Confirmed route programs that carried an alternate alongside
     /// the primary (one intent, two planes).
     pub alt_programs_piggybacked: u64,
+    /// Standing custody designations for loss-warned balloons
+    /// (doomed holder → custodian), sticky while the warning holds.
+    /// Piggybacked onto the traffic view like the alternate-plane
+    /// programs — no extra control-plane round trip.
+    custody_designations: BTreeMap<PlatformId, PlatformId>,
+    /// Custody designations issued or changed (telemetry).
+    pub custody_intents_issued: u64,
     // --- in-band mesh ---
     manet: ManetHarness<Batman>,
     // --- telemetry ---
@@ -507,6 +514,8 @@ impl Orchestrator {
             programmed_paths: BTreeMap::new(),
             programmed_alt_paths: BTreeMap::new(),
             alt_programs_piggybacked: 0,
+            custody_designations: BTreeMap::new(),
+            custody_intents_issued: 0,
             manet,
             availability: AvailabilitySeries::new(tssdn_sim::time::MS_PER_DAY),
             recovery: RouteRecoveryTracker::new(),
@@ -1848,6 +1857,12 @@ impl Orchestrator {
             if self.effectively_powered(b) && reachable.contains(&b) {
                 view.eligible.insert(b);
             }
+            // A balloon inside an active loss window is gone, not
+            // merely dark: the traffic engine wipes whatever backlog
+            // custody transfer did not move off it in time.
+            if self.chaos.balloon_lost(b) {
+                view.dead.insert(b);
+            }
             let primary = self.active_path(b);
             let alt = self.active_alt_path(b);
             match (primary, alt) {
@@ -1887,8 +1902,72 @@ impl Orchestrator {
                 .or_default() += cap;
         }
 
+        // Custody designation: each loss-warned balloon gets a
+        // custodian to push its backlog toward before the window
+        // lands. Designations are sticky while the warning holds (a
+        // handoff spreads over several ticks at residual rate) and
+        // chosen deterministically: the next hop of a current
+        // forwarding plane when one exists, else the lowest-id linked
+        // balloon that still has a route, else any linked survivor —
+        // during a full ground blackout the bits still move one hop
+        // and drain once routes return.
+        let n_balloons = self.fleet.balloons.len() as u32;
+        let warned: Vec<PlatformId> = (0..n_balloons)
+            .map(PlatformId)
+            .filter(|b| self.chaos.loss_warned(*b, self.now) && !view.dead.contains(b))
+            .collect();
+        self.custody_designations.retain(|b, _| warned.contains(b));
+        for &b in &warned {
+            let viable = |c: PlatformId| {
+                c != b
+                    && c.0 < n_balloons
+                    && !view.dead.contains(&c)
+                    && !self.chaos.loss_warned(c, self.now)
+                    && self.effectively_powered(c)
+            };
+            let linked = |c: PlatformId| view.link_capacity_bps.contains_key(&(b.min(c), b.max(c)));
+            let next_hop = |path: Option<&Vec<PlatformId>>| {
+                path.and_then(|p| p.get(1))
+                    .copied()
+                    .filter(|&c| viable(c) && linked(c))
+            };
+            let neighbors = || {
+                view.link_capacity_bps.keys().filter_map(|&(x, y)| {
+                    if x == b {
+                        Some(y)
+                    } else if y == b {
+                        Some(x)
+                    } else {
+                        None
+                    }
+                })
+            };
+            let pick = self
+                .custody_designations
+                .get(&b)
+                .copied()
+                .filter(|&c| viable(c) && linked(c))
+                .or_else(|| next_hop(view.paths.get(&b)))
+                .or_else(|| next_hop(view.alt_paths.get(&b)))
+                .or_else(|| neighbors().find(|&c| viable(c) && view.paths.contains_key(&c)))
+                .or_else(|| neighbors().find(|&c| viable(c)));
+            if let Some(c) = pick {
+                if self.custody_designations.insert(b, c) != Some(c) {
+                    self.custody_intents_issued += 1;
+                }
+            }
+        }
+        for (&b, &c) in &self.custody_designations {
+            view.custody.insert(b, c);
+        }
+
         let engine = self.traffic.as_mut().expect("checked above");
         engine.tick(self.now, dt, &view);
+    }
+
+    /// Current custody designations (doomed holder → custodian).
+    pub fn custody_designations(&self) -> &BTreeMap<PlatformId, PlatformId> {
+        &self.custody_designations
     }
 
     /// The traffic engine, when `config.traffic` is set.

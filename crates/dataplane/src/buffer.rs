@@ -20,10 +20,28 @@
 //! * byte bound: enqueueing past the bound evicts the *oldest* bits
 //!   first (the newest data is the most likely to still be useful to
 //!   a user when connectivity returns);
-//! * age bound: chunks older than `max_age_ms` are dropped by
-//!   [`StoreForwardBuffer::expire`], never delivered;
+//! * age bound: chunks **at or past** `max_age_ms` are dropped by
+//!   [`StoreForwardBuffer::expire`], never delivered — a chunk
+//!   exactly at the bound is evicted, not drained;
 //! * drains are FIFO: oldest bits leave first, each carrying its
 //!   enqueue timestamp so telemetry can account age-of-delivery.
+//!
+//! Custody transfer extends the state machine: resident bits can be
+//! **extracted** for handoff to another node's buffer
+//! ([`StoreForwardBuffer::extract_custody`]) and **accepted** there
+//! ([`StoreForwardBuffer::accept_custody`]) — or refused, when they
+//! arrive over-age or past the acceptor's free space. Transfers are
+//! a third ledger besides drains and evictions, so per-buffer
+//! conservation becomes:
+//!
+//! ```text
+//! queued + transferred_in == drained + evicted + resident + transferred_out
+//! ```
+//!
+//! Accepted chunks keep their original enqueue stamps and merge into
+//! the acceptor's FIFO in age order, so FIFO-equals-age-order (the
+//! invariant `enqueue`, `expire` and `drain` all rely on) survives
+//! the handoff.
 
 use std::collections::VecDeque;
 
@@ -65,6 +83,8 @@ pub struct StoreForwardBuffer<K> {
     queued_bits: u64,
     drained_bits: u64,
     evicted_bits: u64,
+    transferred_in_bits: u64,
+    transferred_out_bits: u64,
 }
 
 impl<K: Copy> StoreForwardBuffer<K> {
@@ -79,6 +99,8 @@ impl<K: Copy> StoreForwardBuffer<K> {
             queued_bits: 0,
             drained_bits: 0,
             evicted_bits: 0,
+            transferred_in_bits: 0,
+            transferred_out_bits: 0,
         }
     }
 
@@ -102,9 +124,19 @@ impl<K: Copy> StoreForwardBuffer<K> {
         self.drained_bits
     }
 
-    /// Lifetime bits evicted (byte bound or age bound).
+    /// Lifetime bits evicted (byte bound, age bound, or a wipe).
     pub fn evicted_bits(&self) -> u64 {
         self.evicted_bits
+    }
+
+    /// Lifetime bits accepted from another buffer's custody.
+    pub fn transferred_in_bits(&self) -> u64 {
+        self.transferred_in_bits
+    }
+
+    /// Lifetime bits extracted for handoff to another buffer.
+    pub fn transferred_out_bits(&self) -> u64 {
+        self.transferred_out_bits
     }
 
     /// True when nothing is buffered.
@@ -154,12 +186,13 @@ impl<K: Copy> StoreForwardBuffer<K> {
         evicted
     }
 
-    /// Drop every chunk older than the age bound at `now_ms`.
+    /// Drop every chunk at or past the age bound at `now_ms` — a
+    /// chunk exactly at `max_age_ms` is evicted, never delivered.
     /// Returns the bits aged out.
     pub fn expire(&mut self, now_ms: u64) -> u64 {
         let mut evicted = 0u64;
         while let Some(front) = self.chunks.front() {
-            if now_ms.saturating_sub(front.enqueued_ms) <= self.max_age_ms {
+            if now_ms.saturating_sub(front.enqueued_ms) < self.max_age_ms {
                 break;
             }
             evicted += front.bits;
@@ -197,6 +230,115 @@ impl<K: Copy> StoreForwardBuffer<K> {
             }
         }
         out
+    }
+
+    /// Remove up to `budget_bits` of the oldest resident bits for
+    /// handoff to another buffer's custody. FIFO like a drain, but
+    /// accounted as a transfer: the bits leave the resident state
+    /// without counting as drained or evicted. A chunk that only
+    /// partially fits is split; both halves keep the original
+    /// enqueue stamp, so age accounting survives the handoff.
+    pub fn extract_custody(&mut self, budget_bits: u64) -> Vec<BufferedChunk<K>> {
+        let mut out = Vec::new();
+        let mut budget = budget_bits;
+        while budget > 0 {
+            let Some(front) = self.chunks.front_mut() else {
+                break;
+            };
+            let take = front.bits.min(budget);
+            out.push(BufferedChunk {
+                flow: front.flow,
+                enqueued_ms: front.enqueued_ms,
+                bits: take,
+            });
+            budget -= take;
+            self.total_bits -= take;
+            self.transferred_out_bits += take;
+            if take == front.bits {
+                self.chunks.pop_front();
+            } else {
+                front.bits -= take;
+            }
+        }
+        out
+    }
+
+    /// Assume custody of `incoming` chunks at `now_ms`. Returns
+    /// `(accepted_bits, refused_bits)`.
+    ///
+    /// Refusal rules, in order:
+    /// * chunks at or past the age bound on arrival are refused —
+    ///   accepting them would only schedule an eviction;
+    /// * only the free space below the byte bound is offered: a
+    ///   custodian never evicts its own resident bits to make room.
+    ///   Free space goes to the **newest** incoming bits first
+    ///   (mirroring byte-bound eviction, which keeps the newest),
+    ///   with the boundary chunk split if it only partially fits.
+    ///
+    /// Accepted chunks keep their original enqueue stamps and merge
+    /// into the FIFO in age order (resident bits first on ties), so
+    /// FIFO order remains age order.
+    pub fn accept_custody(
+        &mut self,
+        mut incoming: Vec<BufferedChunk<K>>,
+        now_ms: u64,
+    ) -> (u64, u64) {
+        incoming.sort_by_key(|c| c.enqueued_ms);
+        let mut accepted = 0u64;
+        let mut refused = 0u64;
+        let mut fresh: Vec<BufferedChunk<K>> = Vec::new();
+        for c in incoming {
+            if c.bits == 0 {
+                continue;
+            }
+            if now_ms.saturating_sub(c.enqueued_ms) >= self.max_age_ms {
+                refused += c.bits;
+            } else {
+                fresh.push(c);
+            }
+        }
+        let mut room = self.max_bits - self.total_bits;
+        let mut take: VecDeque<BufferedChunk<K>> = VecDeque::new();
+        for mut c in fresh.into_iter().rev() {
+            if room == 0 {
+                refused += c.bits;
+                continue;
+            }
+            if c.bits > room {
+                refused += c.bits - room;
+                c.bits = room;
+            }
+            room -= c.bits;
+            accepted += c.bits;
+            take.push_front(c);
+        }
+        if !take.is_empty() {
+            let mut resident = std::mem::take(&mut self.chunks);
+            let mut merged = VecDeque::with_capacity(resident.len() + take.len());
+            while let (Some(r), Some(t)) = (resident.front(), take.front()) {
+                if r.enqueued_ms <= t.enqueued_ms {
+                    merged.push_back(resident.pop_front().expect("front exists"));
+                } else {
+                    merged.push_back(take.pop_front().expect("front exists"));
+                }
+            }
+            merged.extend(resident);
+            merged.extend(take);
+            self.chunks = merged;
+            self.total_bits += accepted;
+        }
+        self.transferred_in_bits += accepted;
+        (accepted, refused)
+    }
+
+    /// Evict everything resident at once — the node died with its
+    /// backlog. Returns the bits lost; they count as evicted.
+    pub fn wipe(&mut self) -> u64 {
+        let lost = self.total_bits;
+        self.chunks.clear();
+        self.total_bits = 0;
+        self.evicted_bits += lost;
+        lost
     }
 }
 
@@ -244,19 +386,32 @@ mod tests {
     }
 
     #[test]
-    fn expire_drops_only_over_age_chunks() {
+    fn expire_drops_chunks_at_or_past_the_age_bound() {
         let mut b = buf(1_000, 100);
         b.enqueue(0, 0, 10);
         b.enqueue(1, 60, 20);
-        // At t=100 the first chunk is exactly at the bound: kept.
-        assert_eq!(b.expire(100), 0);
-        // At t=101 it is over the bound.
-        assert_eq!(b.expire(101), 10);
+        // At t=99 the first chunk is still under the bound: kept.
+        assert_eq!(b.expire(99), 0);
+        // At t=100 it is exactly at the bound: evicted, not drained.
+        assert_eq!(b.expire(100), 10);
         assert_eq!(b.total_bits(), 20);
-        // At t=161 the second ages out too.
-        assert_eq!(b.expire(161), 20);
+        // At t=160 the second hits the bound too.
+        assert_eq!(b.expire(160), 20);
         assert!(b.is_empty());
         assert_eq!(b.evicted_bits(), 30);
+    }
+
+    #[test]
+    fn chunk_exactly_at_max_age_is_evicted_not_drained() {
+        let mut b = buf(1_000, 100);
+        b.enqueue(0, 50, 40);
+        // The engine always expires before draining within a tick:
+        // at t=150 the chunk is exactly max_age old, so the expire
+        // pass removes it and the drain sees an empty buffer.
+        assert_eq!(b.expire(150), 40);
+        assert!(b.drain(150, u64::MAX).is_empty());
+        assert_eq!(b.drained_bits(), 0);
+        assert_eq!(b.evicted_bits(), 40);
     }
 
     #[test]
@@ -311,5 +466,107 @@ mod tests {
             "no bit may leak"
         );
         assert!(b.total_bits() <= b.max_bits());
+    }
+
+    #[test]
+    fn extract_custody_is_fifo_and_counts_as_transfer() {
+        let mut b = buf(1_000, 10_000);
+        b.enqueue(0, 100, 50);
+        b.enqueue(1, 200, 30);
+        let out = b.extract_custody(60);
+        assert_eq!(
+            out,
+            vec![
+                BufferedChunk {
+                    flow: 0,
+                    enqueued_ms: 100,
+                    bits: 50
+                },
+                BufferedChunk {
+                    flow: 1,
+                    enqueued_ms: 200,
+                    bits: 10
+                },
+            ],
+            "oldest-first, split keeps the stamp"
+        );
+        assert_eq!(b.total_bits(), 20);
+        assert_eq!(b.transferred_out_bits(), 60);
+        assert_eq!(b.drained_bits(), 0);
+        assert_eq!(b.evicted_bits(), 0);
+        // Per-buffer conservation with the transfer ledger.
+        assert_eq!(
+            b.queued_bits() + b.transferred_in_bits(),
+            b.drained_bits() + b.evicted_bits() + b.total_bits() + b.transferred_out_bits()
+        );
+    }
+
+    #[test]
+    fn accept_custody_refuses_overage_and_overflow() {
+        let mut b = buf(10, 100); // 80 bits capacity
+        b.enqueue(9, 150, 30);
+        let incoming = vec![
+            // Exactly max_age old at t=160: refused on arrival.
+            BufferedChunk {
+                flow: 0,
+                enqueued_ms: 60,
+                bits: 10,
+            },
+            BufferedChunk {
+                flow: 1,
+                enqueued_ms: 100,
+                bits: 40,
+            },
+            BufferedChunk {
+                flow: 2,
+                enqueued_ms: 160,
+                bits: 40,
+            },
+        ];
+        let (accepted, refused) = b.accept_custody(incoming, 160);
+        // 50 bits free; the newest 40 fit whole, then 10 of flow 1's
+        // 40 — the rest (30) plus the over-age 10 are refused.
+        assert_eq!((accepted, refused), (50, 40));
+        assert_eq!(b.total_bits(), 80);
+        assert_eq!(b.transferred_in_bits(), 50);
+        // Merge preserves age order across resident and accepted.
+        let order: Vec<(u32, u64, u64)> = b
+            .drain(160, u64::MAX)
+            .iter()
+            .map(|d| (d.flow, d.bits, d.age_ms))
+            .collect();
+        assert_eq!(order, vec![(1, 10, 60), (9, 30, 10), (2, 40, 0)]);
+    }
+
+    #[test]
+    fn accept_custody_never_evicts_resident_bits() {
+        let mut b = buf(10, 1_000);
+        b.enqueue(0, 0, 80); // full
+        let (accepted, refused) = b.accept_custody(
+            vec![BufferedChunk {
+                flow: 1,
+                enqueued_ms: 5,
+                bits: 25,
+            }],
+            10,
+        );
+        assert_eq!((accepted, refused), (0, 25));
+        assert_eq!(b.total_bits(), 80);
+        assert_eq!(b.evicted_bits(), 0);
+    }
+
+    #[test]
+    fn wipe_loses_the_whole_backlog_as_evictions() {
+        let mut b = buf(1_000, 10_000);
+        b.enqueue(0, 0, 50);
+        b.enqueue(1, 10, 30);
+        assert_eq!(b.wipe(), 80);
+        assert!(b.is_empty());
+        assert_eq!(b.evicted_bits(), 80);
+        assert_eq!(b.wipe(), 0, "wiping empty is a no-op");
+        assert_eq!(
+            b.queued_bits() + b.transferred_in_bits(),
+            b.drained_bits() + b.evicted_bits() + b.total_bits() + b.transferred_out_bits()
+        );
     }
 }

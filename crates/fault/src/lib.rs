@@ -84,6 +84,19 @@ pub enum FaultKind {
         /// The lost balloon.
         balloon: PlatformId,
     },
+    /// A balloon loss announced in advance: the platform goes dark at
+    /// the window start exactly like [`FaultKind::BalloonLoss`], but
+    /// the failure is known `lead` ahead of time (battery telemetry
+    /// trending toward brownout, a commanded flight termination).
+    /// During `[start - lead, start)` the control plane can hand off
+    /// custody of any queued store-and-forward bits before the
+    /// platform — and its backlog — vanishes.
+    BalloonLossWarned {
+        /// The doomed balloon.
+        balloon: PlatformId,
+        /// How far before the window start the loss is known.
+        lead: SimDuration,
+    },
     /// Command-channel corruption at the delivery boundary: each
     /// delivered command is independently corrupted (receiver
     /// discards it), duplicated, or delivered out of order.
@@ -132,6 +145,11 @@ pub struct PlanConfig {
     /// Allow open-ended balloon losses (no reboot). Directed soaks
     /// that assert full recovery turn this off.
     pub allow_permanent_loss: bool,
+    /// Allow balloon losses to be drawn as *warned* losses
+    /// ([`FaultKind::BalloonLossWarned`]) half the time. Off by
+    /// default so pre-existing seeded plans are bit-identical: the
+    /// extra RNG draws only happen behind this flag.
+    pub warned_loss: bool,
 }
 
 impl PlanConfig {
@@ -146,6 +164,7 @@ impl PlanConfig {
             gs_ids,
             transceivers_per_balloon: 3,
             allow_permanent_loss: false,
+            warned_loss: false,
         }
     }
 }
@@ -279,6 +298,12 @@ impl FaultPlan {
                 let balloon = PlatformId(rng.gen_range(0..cfg.n_balloons));
                 if cfg.allow_permanent_loss && rng.gen_bool(0.2) {
                     (FaultKind::BalloonLoss { balloon }, None)
+                } else if cfg.warned_loss && rng.gen_bool(0.5) {
+                    let lead = mins(3, 9, rng);
+                    (
+                        FaultKind::BalloonLossWarned { balloon, lead },
+                        Some(mins(5, 20, rng)),
+                    )
                 } else {
                     (FaultKind::BalloonLoss { balloon }, Some(mins(5, 20, rng)))
                 }
@@ -439,6 +464,33 @@ impl ChaosEngine {
         self.active().any(|w| match &w.kind {
             FaultKind::GsOutage { site } => *site == p,
             FaultKind::BalloonLoss { balloon } => *balloon == p,
+            FaultKind::BalloonLossWarned { balloon, .. } => *balloon == p,
+            _ => false,
+        })
+    }
+
+    /// Is this balloon currently *lost* (inside an active loss
+    /// window, warned or abrupt)? Stronger than [`Self::platform_dark`]:
+    /// a lost balloon's queued store-and-forward backlog dies with it,
+    /// whereas a merely-dark platform keeps its buffer.
+    pub fn balloon_lost(&self, p: PlatformId) -> bool {
+        self.active().any(|w| {
+            matches!(&w.kind,
+                FaultKind::BalloonLoss { balloon }
+                | FaultKind::BalloonLossWarned { balloon, .. } if *balloon == p)
+        })
+    }
+
+    /// Is a warned balloon loss pending for `p` at `now` — i.e. is
+    /// `now` inside some window's `[start - lead, start)` warning
+    /// interval? Scans the schedule directly rather than the active
+    /// states: a warning is forecast knowledge, visible before the
+    /// window activates and independent of tick cadence.
+    pub fn loss_warned(&self, p: PlatformId, now: SimTime) -> bool {
+        self.windows.iter().any(|w| match &w.kind {
+            FaultKind::BalloonLossWarned { balloon, lead } if *balloon == p => {
+                now < w.start && w.start.since(now) <= *lead
+            }
             _ => false,
         })
     }
@@ -666,6 +718,68 @@ mod tests {
     }
 
     #[test]
+    fn warned_loss_warns_then_darkens_then_clears() {
+        let start = SimTime::from_mins(100);
+        let plan = FaultPlan::new().with(
+            start,
+            SimDuration::from_mins(10),
+            FaultKind::BalloonLossWarned {
+                balloon: gs(2),
+                lead: SimDuration::from_mins(5),
+            },
+        );
+        let mut e = ChaosEngine::new(plan);
+        // Before the warning interval: nothing.
+        let t0 = SimTime::from_mins(94);
+        assert!(!e.loss_warned(gs(2), t0) && !e.platform_dark(gs(2)));
+        // Inside [start - lead, start): warned but still alive. The
+        // warning needs no `advance` — it is forecast knowledge.
+        let t1 = SimTime::from_mins(95);
+        assert!(e.loss_warned(gs(2), t1));
+        assert!(!e.loss_warned(gs(1), t1), "warning is per-balloon");
+        e.advance(t1);
+        assert!(!e.platform_dark(gs(2)), "warned is not yet dark");
+        // At start: dark, no longer warned.
+        e.advance(start);
+        assert!(!e.loss_warned(gs(2), start));
+        assert!(e.platform_dark(gs(2)));
+        // After the window: recovered.
+        let t2 = SimTime::from_mins(111);
+        e.advance(t2);
+        assert!(!e.platform_dark(gs(2)) && !e.loss_warned(gs(2), t2));
+    }
+
+    #[test]
+    fn warned_losses_are_generated_only_behind_the_flag() {
+        let quiet = PlanConfig {
+            expected_faults: 60,
+            ..PlanConfig::kenya_daytime(8, vec![gs(8), gs(9)])
+        };
+        let warned = PlanConfig {
+            warned_loss: true,
+            ..quiet.clone()
+        };
+        let is_warned = |p: &FaultPlan| {
+            p.windows
+                .iter()
+                .filter(|w| matches!(w.kind, FaultKind::BalloonLossWarned { .. }))
+                .count()
+        };
+        assert_eq!(is_warned(&FaultPlan::generate(11, &quiet)), 0);
+        let p = FaultPlan::generate(11, &warned);
+        assert!(is_warned(&p) > 0, "60 draws must hit a warned loss");
+        for w in &p.windows {
+            if let FaultKind::BalloonLossWarned { lead, .. } = &w.kind {
+                assert!(
+                    *lead >= SimDuration::from_mins(3) && *lead < SimDuration::from_mins(9),
+                    "lead out of range: {lead}"
+                );
+                assert!(w.end.is_some(), "warned losses always reboot here");
+            }
+        }
+    }
+
+    #[test]
     fn generated_seeds_cover_multiple_substrates() {
         let cfg = PlanConfig {
             expected_faults: 40,
@@ -680,6 +794,7 @@ mod tests {
                 FaultKind::InbandPartition { .. } => 2,
                 FaultKind::TransceiverFault { .. } => 3,
                 FaultKind::BalloonLoss { .. } => 4,
+                FaultKind::BalloonLossWarned { .. } => 4,
                 FaultKind::CommandChaos { .. } => 5,
             });
         }

@@ -131,6 +131,9 @@ pub fn flight_regions_table() -> CsvTable {
 /// disruption totals, and store-and-forward columns from a
 /// [`crate::GoodputSeries`]). `mean_age_s` is the mean age-of-delivery
 /// of buffered-then-drained bits; empty when nothing drained.
+/// `peak_resident_bits`/`peak_oldest_age_s` are the site's worst
+/// tick-granularity buffer occupancy (largest backlog, and the oldest
+/// chunk's age at that tick); zero/empty when the buffer stayed empty.
 pub fn traffic_table() -> CsvTable {
     CsvTable::new(&[
         "site",
@@ -141,6 +144,8 @@ pub fn traffic_table() -> CsvTable {
         "drained_bits",
         "evicted_bits",
         "mean_age_s",
+        "peak_resident_bits",
+        "peak_oldest_age_s",
     ])
 }
 
@@ -148,6 +153,7 @@ pub fn traffic_table() -> CsvTable {
 pub fn push_traffic_site(t: &mut CsvTable, series: &crate::GoodputSeries, site: PlatformId) {
     let events = series.site_events(site);
     let buf = series.site_buffer(site);
+    let peak = series.peak_occupancy(site);
     t.push(vec![
         site.to_string(),
         series
@@ -160,6 +166,11 @@ pub fn push_traffic_site(t: &mut CsvTable, series: &crate::GoodputSeries, site: 
         buf.evicted_bits.to_string(),
         buf.mean_age_ms()
             .map_or_else(|| "".into(), |a| format!("{:.3}", a / 1000.0)),
+        peak.map_or(0, |p| p.resident_bits).to_string(),
+        peak.map_or_else(
+            || "".into(),
+            |p| format!("{:.3}", p.oldest_age_ms as f64 / 1000.0),
+        ),
     ]);
 }
 
@@ -290,7 +301,7 @@ mod tests {
                 .expect("header")
                 .split(',')
                 .count(),
-            8
+            10
         );
     }
 
@@ -332,14 +343,16 @@ mod tests {
         series.record_buffered(PlatformId(2), 250);
         series.record_buffer_drained(PlatformId(2), SimTime::from_hours(11), 200, 200 * 1_500);
         series.record_buffer_evicted(PlatformId(2), 50);
+        series.record_buffer_occupancy(PlatformId(2), SimTime::from_hours(10), 250, 2_000);
+        series.record_buffer_occupancy(PlatformId(2), SimTime::from_hours(11), 50, 500);
         let mut t = traffic_table();
         push_traffic_site(&mut t, &series, PlatformId(2));
         push_traffic_site(&mut t, &series, PlatformId(3)); // never offered
         let csv = t.to_csv();
         assert!(
-            csv.contains("p2,0.950000,1,0,250,200,50,1.500"),
+            csv.contains("p2,0.950000,1,0,250,200,50,1.500,250,2.000"),
             "csv was: {csv}"
         );
-        assert!(csv.contains("p3,,0,0,0,0,0,"));
+        assert!(csv.contains("p3,,0,0,0,0,0,,0,"));
     }
 }

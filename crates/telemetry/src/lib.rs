@@ -25,4 +25,6 @@ pub mod traffic;
 pub use availability::{AvailabilitySeries, Layer};
 pub use recovery::{BreakCause, RecoverySample, RouteRecoveryTracker};
 pub use stats::{cdf_points, mean, percentile, Summary};
-pub use traffic::{BufferStats, GoodputSeries, ServiceClass, TrafficEvents};
+pub use traffic::{
+    BufferStats, CustodyStats, GoodputSeries, OccupancySample, ServiceClass, TrafficEvents,
+};

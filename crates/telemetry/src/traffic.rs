@@ -78,6 +78,40 @@ impl BufferStats {
     }
 }
 
+/// Fleet-wide custody-transfer accounting across a run. Custody moves
+/// buffered bits off a platform that is about to die onto a
+/// still-connected neighbor; every handed-off bit ends in exactly one
+/// of accepted / refused / lost, so at any tick boundary
+/// `initiated == accepted + refused + lost + in-transit`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CustodyStats {
+    /// Bits extracted from a doomed platform's buffer for handoff.
+    pub initiated_bits: u64,
+    /// Handed-off bits a custodian accepted into its buffer.
+    pub accepted_bits: u64,
+    /// Handed-off bits the custodian refused (over-age on arrival or
+    /// past its free space) — these are gone.
+    pub refused_bits: u64,
+    /// Handed-off bits whose custodian died while they were in
+    /// transit — gone.
+    pub lost_bits: u64,
+    /// Resident bits wiped because their holder died with no (or an
+    /// incomplete) handoff — the loss custody exists to prevent.
+    pub backlog_lost_bits: u64,
+}
+
+/// One tick's buffer occupancy observation at a site: the resident
+/// backlog and the age of its oldest chunk.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// Sample time, sim ms.
+    pub t_ms: u64,
+    /// Bits resident in the site's buffer at the sample time.
+    pub resident_bits: u64,
+    /// Age of the oldest resident chunk, ms.
+    pub oldest_age_ms: u64,
+}
+
 /// Windowed offered-vs-delivered accumulator, aggregated over sites.
 #[derive(Debug)]
 pub struct GoodputSeries {
@@ -93,6 +127,11 @@ pub struct GoodputSeries {
     class_buckets: BTreeMap<(ServiceClass, u64), Volume>,
     /// Per-site store-and-forward totals across the whole run.
     buffers: BTreeMap<PlatformId, BufferStats>,
+    /// Fleet-wide custody-transfer totals across the whole run.
+    custody: CustodyStats,
+    /// Per-site buffer occupancy samples, one per tick the site had a
+    /// non-empty buffer (absent ticks mean an empty buffer).
+    occupancy: BTreeMap<PlatformId, Vec<OccupancySample>>,
 }
 
 impl GoodputSeries {
@@ -106,6 +145,8 @@ impl GoodputSeries {
             events: BTreeMap::new(),
             class_buckets: BTreeMap::new(),
             buffers: BTreeMap::new(),
+            custody: CustodyStats::default(),
+            occupancy: BTreeMap::new(),
         }
     }
 
@@ -190,6 +231,50 @@ impl GoodputSeries {
             .delivered_bits += bits;
     }
 
+    /// Record bits extracted from a doomed platform for handoff.
+    pub fn record_custody_initiated(&mut self, bits: u64) {
+        self.custody.initiated_bits += bits;
+    }
+
+    /// Record handed-off bits accepted by their custodian.
+    pub fn record_custody_accepted(&mut self, bits: u64) {
+        self.custody.accepted_bits += bits;
+    }
+
+    /// Record handed-off bits refused by their custodian.
+    pub fn record_custody_refused(&mut self, bits: u64) {
+        self.custody.refused_bits += bits;
+    }
+
+    /// Record handed-off bits lost in transit (custodian died).
+    pub fn record_custody_lost(&mut self, bits: u64) {
+        self.custody.lost_bits += bits;
+    }
+
+    /// Record resident bits wiped with their dying holder.
+    pub fn record_backlog_lost(&mut self, bits: u64) {
+        self.custody.backlog_lost_bits += bits;
+    }
+
+    /// Record one tick's buffer occupancy at a site. The engine calls
+    /// this only for non-empty buffers, so absent ticks read as zero.
+    pub fn record_buffer_occupancy(
+        &mut self,
+        site: PlatformId,
+        now: SimTime,
+        resident_bits: u64,
+        oldest_age_ms: u64,
+    ) {
+        self.occupancy
+            .entry(site)
+            .or_default()
+            .push(OccupancySample {
+                t_ms: now.as_ms(),
+                resident_bits,
+                oldest_age_ms,
+            });
+    }
+
     /// Record a path torn down while the site had traffic assigned.
     pub fn record_disruption(&mut self, site: PlatformId) {
         self.events.entry(site).or_default().disruptions += 1;
@@ -264,6 +349,32 @@ impl GoodputSeries {
                 evicted_bits: acc.evicted_bits + b.evicted_bits,
                 age_bits_ms: acc.age_bits_ms + b.age_bits_ms,
             })
+    }
+
+    /// Fleet-wide custody-transfer totals.
+    pub fn custody(&self) -> CustodyStats {
+        self.custody
+    }
+
+    /// The occupancy samples recorded for one site, in time order.
+    pub fn site_occupancy(&self, site: PlatformId) -> &[OccupancySample] {
+        self.occupancy.get(&site).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The peak-occupancy sample for one site: maximum resident bits,
+    /// earliest such tick on ties. `None` if the buffer never held
+    /// bits at a sample point.
+    pub fn peak_occupancy(&self, site: PlatformId) -> Option<OccupancySample> {
+        self.site_occupancy(site)
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                a.resident_bits
+                    .cmp(&b.resident_bits)
+                    // Prefer the earlier sample on equal backlog.
+                    .then(b.t_ms.cmp(&a.t_ms))
+            })
+            .filter(|s| s.resident_bits > 0)
     }
 
     /// Total bits offered across the run.
@@ -441,6 +552,43 @@ mod tests {
         s.record_class_drained(ServiceClass::Bulk, SimTime::from_hours(12), 400);
         assert_eq!(s.class_volume(ServiceClass::Bulk), (1_000, 400));
         assert_eq!(s.class_goodput(ServiceClass::Bulk), Some(0.4));
+    }
+
+    #[test]
+    fn custody_counters_accumulate_fleet_wide() {
+        let mut s = GoodputSeries::new(DAY_MS);
+        s.record_custody_initiated(1_000);
+        s.record_custody_accepted(700);
+        s.record_custody_refused(200);
+        s.record_custody_lost(100);
+        s.record_backlog_lost(5_000);
+        let c = s.custody();
+        assert_eq!(c.initiated_bits, 1_000);
+        assert_eq!(
+            c.initiated_bits,
+            c.accepted_bits + c.refused_bits + c.lost_bits,
+            "every handed-off bit ends in exactly one state"
+        );
+        assert_eq!(c.backlog_lost_bits, 5_000);
+    }
+
+    #[test]
+    fn occupancy_samples_track_backlog_and_peak() {
+        let mut s = GoodputSeries::new(DAY_MS);
+        let site = PlatformId(3);
+        s.record_buffer_occupancy(site, SimTime::from_mins(1), 100, 0);
+        s.record_buffer_occupancy(site, SimTime::from_mins(2), 900, 60_000);
+        s.record_buffer_occupancy(site, SimTime::from_mins(3), 900, 120_000);
+        s.record_buffer_occupancy(site, SimTime::from_mins(4), 400, 30_000);
+        assert_eq!(s.site_occupancy(site).len(), 4);
+        assert_eq!(s.site_occupancy(PlatformId(9)), &[]);
+        // Peak is the max backlog; ties resolve to the earlier tick.
+        let p = s.peak_occupancy(site).expect("non-empty");
+        assert_eq!(
+            (p.t_ms, p.resident_bits, p.oldest_age_ms),
+            (SimTime::from_mins(2).as_ms(), 900, 60_000)
+        );
+        assert_eq!(s.peak_occupancy(PlatformId(9)), None);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! the paper assigns to the network digest (§3.1).
 
 use std::collections::{BTreeMap, BTreeSet};
-use tssdn_dataplane::StoreForwardBuffer;
+use tssdn_dataplane::{BufferedChunk, StoreForwardBuffer};
 use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
 use tssdn_telemetry::GoodputSeries;
 
@@ -35,8 +35,14 @@ pub struct StoreForwardConfig {
     pub enabled: bool,
     /// Byte bound per site buffer; oldest bits evict first.
     pub max_bytes: u64,
-    /// Age bound, ms: bits resident longer than this are dropped.
+    /// Age bound, ms: bits resident this long or longer are dropped.
     pub max_age_ms: u64,
+    /// Custody transfer: when the view designates a custodian for a
+    /// platform about to die, the platform's resident chunks are
+    /// handed over the designated edge (at residual rate, one tick in
+    /// transit) instead of dying with it. Off, a lost holder's
+    /// backlog is wiped — the E19 no-custody arm.
+    pub custody: bool,
 }
 
 impl Default for StoreForwardConfig {
@@ -48,6 +54,7 @@ impl Default for StoreForwardConfig {
             // outage visibly evicts.
             max_bytes: 2_000_000_000,
             max_age_ms: 30 * 60 * 1000,
+            custody: true,
         }
     }
 }
@@ -110,6 +117,17 @@ pub struct TopologyView {
     /// Ineligible sites offer no traffic, mirroring the Figure-6
     /// eligibility rule.
     pub eligible: BTreeSet<PlatformId>,
+    /// Platforms that are dark this tick (balloon loss, site outage).
+    /// A dead platform offers nothing, and any buffer it holds is
+    /// wiped — its backlog dies with it unless custody moved the bits
+    /// off in time.
+    pub dead: BTreeSet<PlatformId>,
+    /// Custody designations from the orchestrator: doomed platform →
+    /// the still-connected neighbor that should assume custody of its
+    /// resident buffered bits. Only honored when
+    /// [`StoreForwardConfig::custody`] is on and the handoff edge has
+    /// capacity in `link_capacity_bps`.
+    pub custody: BTreeMap<PlatformId, PlatformId>,
 }
 
 fn edge_key(a: PlatformId, b: PlatformId) -> (PlatformId, PlatformId) {
@@ -167,10 +185,27 @@ pub struct SnfTotals {
     pub queued_bits: u64,
     /// Bits drained to delivery after a route reappeared.
     pub drained_bits: u64,
-    /// Bits evicted by the byte bound or the age bound.
+    /// Bits gone without delivery: byte-bound and age-bound
+    /// evictions, dead holders' wiped backlogs, and handed-off bits
+    /// refused or lost in transit.
     pub evicted_bits: u64,
     /// Bits currently resident across all buffers.
     pub buffered_bits: u64,
+    /// Bits currently riding a custody handoff between buffers.
+    pub in_transit_bits: u64,
+    /// Lifetime bits extracted from doomed holders for handoff.
+    pub custody_initiated_bits: u64,
+    /// Lifetime handed-off bits accepted by custodians.
+    pub custody_accepted_bits: u64,
+    /// Lifetime handed-off bits refused by custodians (over-age on
+    /// arrival or past free space); counted in `evicted_bits`.
+    pub custody_refused_bits: u64,
+    /// Lifetime handed-off bits whose custodian died in transit;
+    /// counted in `evicted_bits`.
+    pub custody_lost_bits: u64,
+    /// Lifetime resident bits wiped with their dying holder (already
+    /// inside `evicted_bits` via the buffers' own eviction ledgers).
+    pub backlog_lost_bits: u64,
 }
 
 /// One tick's aggregate outcome.
@@ -194,10 +229,23 @@ pub struct TickSummary {
     pub snf_queued_bits: u64,
     /// Buffered bits drained to delivery this tick.
     pub snf_drained_bits: u64,
-    /// Buffered bits evicted (byte or age bound) this tick.
+    /// Buffered bits evicted this tick (byte bound, age bound, or a
+    /// dead holder's wiped backlog).
     pub snf_evicted_bits: u64,
     /// Bits resident across all buffers at tick end.
     pub snf_buffered_bits: u64,
+    /// Resident bits wiped from dead holders' buffers this tick.
+    pub snf_backlog_lost_bits: u64,
+    /// Bits extracted for custody handoff this tick.
+    pub custody_initiated_bits: u64,
+    /// Handed-off bits accepted by custodians this tick.
+    pub custody_accepted_bits: u64,
+    /// Handed-off bits refused by custodians this tick.
+    pub custody_refused_bits: u64,
+    /// Handed-off bits lost to a dead custodian this tick.
+    pub custody_lost_bits: u64,
+    /// Bits in custody transit at tick end.
+    pub snf_in_transit_bits: u64,
 }
 
 /// Deterministic flow-level traffic engine.
@@ -225,9 +273,21 @@ pub struct TrafficEngine {
     last_offered: BTreeMap<PlatformId, u64>,
     /// EWMA of measured offered load per site — the demand digest.
     digest_bps: BTreeMap<PlatformId, f64>,
-    /// Per-site store-and-forward buffers, keyed by the site balloon
-    /// (the last-known on-path node for every flow of that site).
+    /// Per-holder store-and-forward buffers. The holder is normally
+    /// the site balloon that queued the bits (the last-known on-path
+    /// node), but after a custody handoff the custodian holds chunks
+    /// that originated elsewhere — drains always credit the chunk's
+    /// *origin* site via its flow id.
     snf: BTreeMap<PlatformId, StoreForwardBuffer<u32>>,
+    /// Chunks extracted for custody last tick, arriving at their
+    /// custodian this tick: `(destination holder, chunk)`.
+    custody_transit: Vec<(PlatformId, BufferedChunk<u32>)>,
+    /// Lifetime custody ledger (fleet-wide).
+    custody_initiated_total: u64,
+    custody_accepted_total: u64,
+    custody_refused_total: u64,
+    custody_lost_total: u64,
+    backlog_lost_total: u64,
 }
 
 impl TrafficEngine {
@@ -251,6 +311,12 @@ impl TrafficEngine {
             last_offered: BTreeMap::new(),
             digest_bps: BTreeMap::new(),
             snf: BTreeMap::new(),
+            custody_transit: Vec::new(),
+            custody_initiated_total: 0,
+            custody_accepted_total: 0,
+            custody_refused_total: 0,
+            custody_lost_total: 0,
+            backlog_lost_total: 0,
         }
     }
 
@@ -280,18 +346,30 @@ impl TrafficEngine {
         self.digest_bps.get(&site).map(|w| w.round() as u64)
     }
 
-    /// Lifetime store-and-forward totals over all site buffers. The
-    /// conservation invariant `queued == drained + evicted +
-    /// buffered` holds at every tick boundary — no bit leaks.
+    /// Lifetime store-and-forward totals over all holder buffers. The
+    /// extended conservation invariant `queued == drained + evicted +
+    /// buffered + in_transit` holds at every tick boundary — no bit
+    /// leaks, even across custody handoffs (refused and
+    /// lost-in-transit bits fold into `evicted_bits`).
     pub fn snf_totals(&self) -> SnfTotals {
-        self.snf
+        let mut t = self
+            .snf
             .values()
             .fold(SnfTotals::default(), |acc, b| SnfTotals {
                 queued_bits: acc.queued_bits + b.queued_bits(),
                 drained_bits: acc.drained_bits + b.drained_bits(),
                 evicted_bits: acc.evicted_bits + b.evicted_bits(),
                 buffered_bits: acc.buffered_bits + b.total_bits(),
-            })
+                ..acc
+            });
+        t.evicted_bits += self.custody_refused_total + self.custody_lost_total;
+        t.in_transit_bits = self.custody_transit.iter().map(|(_, c)| c.bits).sum();
+        t.custody_initiated_bits = self.custody_initiated_total;
+        t.custody_accepted_bits = self.custody_accepted_total;
+        t.custody_refused_bits = self.custody_refused_total;
+        t.custody_lost_bits = self.custody_lost_total;
+        t.backlog_lost_bits = self.backlog_lost_total;
+        t
     }
 
     fn rebuild_topology(&mut self, view: &TopologyView) {
@@ -413,11 +491,71 @@ impl TrafficEngine {
             })
             .collect();
 
-        // Age-evict before this tick's arrivals: bits over the age
-        // bound must never be delivered, even if a route came back.
         let now_ms = now.as_ms();
         let dt_ms = dt.as_ms();
-        let mut snf_evicted = 0u64;
+        let snf_cfg = self.config.store_forward;
+
+        // Custody arrivals: chunks extracted last tick spent one tick
+        // in transit and are now offered to their custodian, which
+        // accepts what fits (and is not over-age) and refuses the
+        // rest. Bits addressed to a custodian that died in the
+        // meantime are lost in transit.
+        let mut custody_accepted = 0u64;
+        let mut custody_refused = 0u64;
+        let mut custody_lost = 0u64;
+        if !self.custody_transit.is_empty() {
+            let transit = std::mem::take(&mut self.custody_transit);
+            let mut by_dest: BTreeMap<PlatformId, Vec<BufferedChunk<u32>>> = BTreeMap::new();
+            for (to, chunk) in transit {
+                if view.dead.contains(&to) {
+                    custody_lost += chunk.bits;
+                } else {
+                    by_dest.entry(to).or_default().push(chunk);
+                }
+            }
+            for (to, chunks) in by_dest {
+                let buf = self.snf.entry(to).or_insert_with(|| {
+                    StoreForwardBuffer::new(snf_cfg.max_bytes, snf_cfg.max_age_ms)
+                });
+                let (acc, refu) = buf.accept_custody(chunks, now_ms);
+                custody_accepted += acc;
+                custody_refused += refu;
+            }
+            self.custody_accepted_total += custody_accepted;
+            self.custody_refused_total += custody_refused;
+            self.custody_lost_total += custody_lost;
+            if custody_accepted > 0 {
+                self.series.record_custody_accepted(custody_accepted);
+            }
+            if custody_refused > 0 {
+                self.series.record_custody_refused(custody_refused);
+            }
+            if custody_lost > 0 {
+                self.series.record_custody_lost(custody_lost);
+            }
+        }
+
+        // A dead platform's backlog dies with it. This wipe is
+        // exactly the loss custody transfer exists to pre-empt, and
+        // it applies with custody on or off — the no-custody arm of
+        // the E19 A/B pays it in full.
+        let mut backlog_lost = 0u64;
+        for d in &view.dead {
+            if let Some(buf) = self.snf.get_mut(d) {
+                let lost = buf.wipe();
+                if lost > 0 {
+                    backlog_lost += lost;
+                    self.series.record_buffer_evicted(*d, lost);
+                    self.series.record_backlog_lost(lost);
+                }
+            }
+        }
+        self.backlog_lost_total += backlog_lost;
+
+        // Age-evict before this tick's arrivals: bits at or past the
+        // age bound must never be delivered, even if a route came
+        // back.
+        let mut snf_evicted = backlog_lost;
         for (site, buf) in self.snf.iter_mut() {
             let ev = buf.expire(now_ms);
             if ev > 0 {
@@ -425,8 +563,6 @@ impl TrafficEngine {
                 self.series.record_buffer_evicted(*site, ev);
             }
         }
-
-        let snf_cfg = self.config.store_forward;
         let mut snf_queued = 0u64;
         let mut offered = vec![0u64; n_flows];
         let mut demands = vec![0u64; n_alloc];
@@ -434,7 +570,7 @@ impl TrafficEngine {
         for f in 0..n_flows {
             let flow = self.demand.flows()[f];
             let site = flow.site;
-            if !view.eligible.contains(&site) {
+            if !view.eligible.contains(&site) || view.dead.contains(&site) {
                 continue;
             }
             offered[f] = self.demand.offered_bps(f, now);
@@ -551,6 +687,7 @@ impl TrafficEngine {
         // residuals, so contention between recovering sites resolves
         // deterministically.
         let mut snf_drained = 0u64;
+        let mut custody_initiated = 0u64;
         if snf_cfg.enabled && !self.snf.is_empty() {
             let mut residual_bits: Vec<u128> = capacities
                 .iter()
@@ -575,12 +712,15 @@ impl TrafficEngine {
                 *r = r.saturating_sub(carried[l] as u128 * dt_ms as u128 / 1000);
             }
             let tunnel_bits = self.config.tunnel_capacity_bps as u128 * dt_ms as u128 / 1000;
-            for (site, buf) in self.snf.iter_mut() {
-                if buf.is_empty() || !view.eligible.contains(site) || !view.paths.contains_key(site)
+            for (holder, buf) in self.snf.iter_mut() {
+                if buf.is_empty()
+                    || view.dead.contains(holder)
+                    || !view.eligible.contains(holder)
+                    || !view.paths.contains_key(holder)
                 {
                     continue;
                 }
-                let Some((p_ids, _)) = self.site_path_ids.get(site) else {
+                let Some((p_ids, _)) = self.site_path_ids.get(holder) else {
                     continue;
                 };
                 let budget = p_ids
@@ -594,10 +734,16 @@ impl TrafficEngine {
                 }
                 let chunks = buf.drain(now_ms, budget);
                 let mut bits = 0u64;
-                let mut age_bits_ms = 0u128;
+                // Drains credit each chunk's *origin* site (via its
+                // flow id) — after a custody handoff the holder and
+                // the origin differ.
+                let mut by_origin: BTreeMap<PlatformId, (u64, u128)> = BTreeMap::new();
                 for c in &chunks {
                     bits += c.bits;
-                    age_bits_ms += c.bits as u128 * c.age_ms as u128;
+                    let origin = self.demand.flows()[c.flow as usize].site;
+                    let o = by_origin.entry(origin).or_default();
+                    o.0 += c.bits;
+                    o.1 += c.bits as u128 * c.age_ms as u128;
                     let fs = &mut self.flow_stats[c.flow as usize];
                     fs.delivered_bits += c.bits;
                     fs.drained_bits += c.bits;
@@ -611,15 +757,100 @@ impl TrafficEngine {
                     residual_bits[l as usize] =
                         residual_bits[l as usize].saturating_sub(bits as u128);
                 }
-                self.series
-                    .record_buffer_drained(*site, now, bits, age_bits_ms);
+                for (origin, (o_bits, o_age)) in by_origin {
+                    self.series
+                        .record_buffer_drained(origin, now, o_bits, o_age);
+                }
                 self.series
                     .record_class_drained(tssdn_telemetry::ServiceClass::Bulk, now, bits);
+            }
+
+            // Custody extraction: a doomed holder hands its oldest
+            // resident bits toward its designated custodian, at
+            // whatever residual capacity the handoff edge has left
+            // after live traffic and drains — custody never preempts
+            // Control or live Bulk. The bits ride one tick in transit
+            // and are offered to the custodian next tick.
+            if snf_cfg.custody && !view.custody.is_empty() {
+                let link_ids: BTreeMap<(PlatformId, PlatformId), usize> = self
+                    .links
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (*e, i))
+                    .collect();
+                for (&from, &to) in &view.custody {
+                    if view.dead.contains(&from) || view.dead.contains(&to) {
+                        continue;
+                    }
+                    let edge = edge_key(from, to);
+                    // A handoff edge on a programmed path shares that
+                    // path's residual; an off-path edge offers its
+                    // full idle capacity. No capacity entry, no link,
+                    // no transfer.
+                    let budget = match link_ids.get(&edge) {
+                        Some(&l) => residual_bits[l].min(u64::MAX as u128) as u64,
+                        None => (view.link_capacity_bps.get(&edge).copied().unwrap_or(0) as u128
+                            * dt_ms as u128
+                            / 1000)
+                            .min(u64::MAX as u128) as u64,
+                    };
+                    if budget == 0 {
+                        continue;
+                    }
+                    let Some(buf) = self.snf.get_mut(&from) else {
+                        continue;
+                    };
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    let chunks = buf.extract_custody(budget);
+                    let bits: u64 = chunks.iter().map(|c| c.bits).sum();
+                    if bits == 0 {
+                        continue;
+                    }
+                    custody_initiated += bits;
+                    if let Some(&l) = link_ids.get(&edge) {
+                        residual_bits[l] = residual_bits[l].saturating_sub(bits as u128);
+                    }
+                    self.custody_transit
+                        .extend(chunks.into_iter().map(|c| (to, c)));
+                }
+                self.custody_initiated_total += custody_initiated;
+                if custody_initiated > 0 {
+                    self.series.record_custody_initiated(custody_initiated);
+                }
+            }
+        }
+
+        // Tick-granularity occupancy observations: resident backlog
+        // and oldest-chunk age per non-empty holder buffer (absent
+        // ticks read as an empty buffer).
+        if snf_cfg.enabled {
+            for (holder, buf) in &self.snf {
+                if !buf.is_empty() {
+                    let age = buf.oldest_age_ms(now_ms).unwrap_or(0);
+                    self.series
+                        .record_buffer_occupancy(*holder, now, buf.total_bits(), age);
+                }
             }
         }
 
         self.last_paths = view.paths.clone();
         self.last_offered = site_offered;
+
+        // Conservation must hold at every tick boundary, not just at
+        // run end: every queued bit is accounted for as drained,
+        // evicted (incl. refused/lost custody), resident, or riding a
+        // custody transfer.
+        #[cfg(debug_assertions)]
+        {
+            let t = self.snf_totals();
+            debug_assert_eq!(
+                t.queued_bits,
+                t.drained_bits + t.evicted_bits + t.buffered_bits + t.in_transit_bits,
+                "snf conservation violated at t={now}"
+            );
+        }
 
         TickSummary {
             offered_bps: total_offered,
@@ -632,6 +863,12 @@ impl TrafficEngine {
             snf_drained_bits: snf_drained,
             snf_evicted_bits: snf_evicted,
             snf_buffered_bits: self.snf.values().map(|b| b.total_bits()).sum(),
+            snf_backlog_lost_bits: backlog_lost,
+            custody_initiated_bits: custody_initiated,
+            custody_accepted_bits: custody_accepted,
+            custody_refused_bits: custody_refused,
+            custody_lost_bits: custody_lost,
+            snf_in_transit_bits: self.custody_transit.iter().map(|(_, c)| c.bits).sum(),
         }
     }
 }
@@ -1028,6 +1265,256 @@ mod tests {
         );
         // The site series still shows the loss.
         assert!(e.series().site_goodput(PlatformId(0)).expect("offered") < 1.0);
+    }
+
+    /// Build a backlog on site 0 (eligible, routeless), then hand it
+    /// to `custodian` over a dedicated lateral link and kill site 0.
+    /// Returns the engine after the handoff-and-death tick.
+    fn engine_with_custody_handoff(custodian: PlatformId) -> (TrafficEngine, TickSummary) {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let mut dark = view_for(&sites, 1_000_000_000);
+        dark.paths.clear();
+        let t0 = SimTime::from_hours(20);
+        let s = e.tick(t0, SimDuration::from_mins(1), &dark);
+        assert!(s.snf_buffered_bits > 0, "outage tick builds a backlog");
+        // Loss warning: the orchestrator designates a custodian and
+        // the doomed holder pushes its backlog over the lateral link.
+        let mut doomed = dark.clone();
+        doomed.custody.insert(PlatformId(0), custodian);
+        doomed
+            .link_capacity_bps
+            .insert(edge_key(PlatformId(0), custodian), 1_000_000_000);
+        let s1 = e.tick(
+            t0 + SimDuration::from_mins(1),
+            SimDuration::from_mins(1),
+            &doomed,
+        );
+        // The handoff tick queues one more minute of bulk before
+        // extracting, so the whole pre-extraction backlog rides out.
+        assert_eq!(
+            s1.custody_initiated_bits,
+            s.snf_buffered_bits + s1.snf_queued_bits - s1.snf_evicted_bits
+        );
+        assert_eq!(s1.snf_in_transit_bits, s1.custody_initiated_bits);
+        assert_eq!(s1.snf_buffered_bits, 0, "the holder pushed everything");
+        // The balloon dies with the bits in transit; its own buffer
+        // is already empty so the wipe loses nothing.
+        let mut gone = dark.clone();
+        gone.dead.insert(PlatformId(0));
+        let s2 = e.tick(
+            t0 + SimDuration::from_mins(2),
+            SimDuration::from_mins(1),
+            &gone,
+        );
+        assert_eq!(s2.snf_backlog_lost_bits, 0);
+        (e, s2)
+    }
+
+    #[test]
+    fn custody_transfer_rescues_backlog_from_doomed_holder() {
+        let custodian = PlatformId(9);
+        let (mut e, s2) = engine_with_custody_handoff(custodian);
+        assert!(s2.custody_accepted_bits > 0, "custodian took the bits");
+        assert_eq!(s2.custody_refused_bits, 0);
+        assert_eq!(s2.custody_lost_bits, 0);
+        // The custodian gets routed; the rescued bits drain and are
+        // credited to their *origin* site, not the custodian.
+        let mut routed = TopologyView::default();
+        routed.paths.insert(custodian, vec![custodian, GS, EC]);
+        routed
+            .link_capacity_bps
+            .insert(edge_key(custodian, GS), 1_000_000_000);
+        routed.eligible.insert(custodian);
+        routed.dead.insert(PlatformId(0));
+        let s3 = e.tick(
+            SimTime::from_hours(20) + SimDuration::from_mins(3),
+            SimDuration::from_mins(1),
+            &routed,
+        );
+        assert_eq!(s3.snf_drained_bits, s2.custody_accepted_bits);
+        let totals = e.snf_totals();
+        assert_eq!(
+            totals.queued_bits,
+            totals.drained_bits + totals.evicted_bits
+        );
+        assert_eq!(totals.backlog_lost_bits, 0);
+        let origin = e.series().site_buffer(PlatformId(0));
+        assert_eq!(
+            origin.drained_bits, s3.snf_drained_bits,
+            "drains credit the origin site"
+        );
+        assert_eq!(e.series().site_buffer(custodian).drained_bits, 0);
+        assert_eq!(e.series().custody().accepted_bits, s2.custody_accepted_bits);
+    }
+
+    #[test]
+    fn without_custody_the_backlog_dies_with_the_balloon() {
+        let sites = [PlatformId(0)];
+        let mut config = TrafficConfig {
+            workers: 1,
+            ..TrafficConfig::default()
+        };
+        config.store_forward.custody = false;
+        let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(11));
+        let mut dark = view_for(&sites, 1_000_000_000);
+        dark.paths.clear();
+        let t0 = SimTime::from_hours(20);
+        let s = e.tick(t0, SimDuration::from_mins(1), &dark);
+        assert!(s.snf_buffered_bits > 0);
+        // Even with a designation on the view, custody-off ignores it.
+        let mut doomed = dark.clone();
+        doomed.custody.insert(PlatformId(0), PlatformId(9));
+        doomed
+            .link_capacity_bps
+            .insert(edge_key(PlatformId(0), PlatformId(9)), 1_000_000_000);
+        let s1 = e.tick(
+            t0 + SimDuration::from_mins(1),
+            SimDuration::from_mins(1),
+            &doomed,
+        );
+        assert_eq!(s1.custody_initiated_bits, 0);
+        let mut gone = dark.clone();
+        gone.dead.insert(PlatformId(0));
+        let s2 = e.tick(
+            t0 + SimDuration::from_mins(2),
+            SimDuration::from_mins(1),
+            &gone,
+        );
+        assert_eq!(s2.snf_backlog_lost_bits, s1.snf_buffered_bits);
+        let totals = e.snf_totals();
+        assert_eq!(totals.backlog_lost_bits, s2.snf_backlog_lost_bits);
+        assert_eq!(
+            totals.queued_bits,
+            totals.drained_bits + totals.evicted_bits
+        );
+        assert_eq!(
+            e.series().custody().backlog_lost_bits,
+            s2.snf_backlog_lost_bits
+        );
+    }
+
+    #[test]
+    fn custodian_refuses_what_it_cannot_hold() {
+        let sites = [PlatformId(0)];
+        let mut config = TrafficConfig {
+            workers: 1,
+            ..TrafficConfig::default()
+        };
+        // Tiny buffers: the custodian can only hold 1 KB = 8 kbit.
+        config.store_forward.max_bytes = 1_000;
+        let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(11));
+        let mut dark = view_for(&sites, 1_000_000_000);
+        dark.paths.clear();
+        let t0 = SimTime::from_hours(20);
+        let s = e.tick(t0, SimDuration::from_mins(1), &dark);
+        assert!(s.snf_buffered_bits > 0);
+        let mut doomed = dark.clone();
+        doomed.custody.insert(PlatformId(0), PlatformId(9));
+        doomed
+            .link_capacity_bps
+            .insert(edge_key(PlatformId(0), PlatformId(9)), 1_000_000_000);
+        let s1 = e.tick(
+            t0 + SimDuration::from_mins(1),
+            SimDuration::from_mins(1),
+            &doomed,
+        );
+        assert!(s1.custody_initiated_bits > 0);
+        // Seed the custodian with its own full backlog so nothing fits.
+        let mut seeded = StoreForwardBuffer::new(1_000, config.store_forward.max_age_ms);
+        seeded.enqueue(999, t0.as_ms(), 8_000);
+        e.snf.insert(PlatformId(9), seeded);
+        let s2 = e.tick(
+            t0 + SimDuration::from_mins(2),
+            SimDuration::from_mins(1),
+            &dark,
+        );
+        assert_eq!(s2.custody_accepted_bits, 0);
+        assert_eq!(s2.custody_refused_bits, s1.custody_initiated_bits);
+        // Refused bits fold into the fleet eviction ledger; the
+        // invariant still balances (the seeded queue adds 8 kbit to
+        // both sides as resident).
+        let totals = e.snf_totals();
+        assert_eq!(
+            totals.queued_bits,
+            totals.drained_bits + totals.evicted_bits + totals.buffered_bits
+        );
+    }
+
+    #[test]
+    fn bits_in_transit_to_a_dead_custodian_are_lost() {
+        let custodian = PlatformId(9);
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let mut dark = view_for(&sites, 1_000_000_000);
+        dark.paths.clear();
+        let t0 = SimTime::from_hours(20);
+        let s = e.tick(t0, SimDuration::from_mins(1), &dark);
+        let mut doomed = dark.clone();
+        doomed.custody.insert(PlatformId(0), custodian);
+        doomed
+            .link_capacity_bps
+            .insert(edge_key(PlatformId(0), custodian), 1_000_000_000);
+        let s1 = e.tick(
+            t0 + SimDuration::from_mins(1),
+            SimDuration::from_mins(1),
+            &doomed,
+        );
+        assert!(s1.snf_in_transit_bits >= s.snf_buffered_bits);
+        // Both ends die before the handoff lands.
+        let mut gone = dark.clone();
+        gone.dead.insert(PlatformId(0));
+        gone.dead.insert(custodian);
+        let s2 = e.tick(
+            t0 + SimDuration::from_mins(2),
+            SimDuration::from_mins(1),
+            &gone,
+        );
+        assert_eq!(s2.custody_lost_bits, s1.snf_in_transit_bits);
+        assert_eq!(s2.custody_accepted_bits, 0);
+        assert_eq!(s2.snf_in_transit_bits, 0);
+        let totals = e.snf_totals();
+        assert_eq!(totals.custody_lost_bits, s2.custody_lost_bits);
+        assert_eq!(
+            totals.queued_bits,
+            totals.drained_bits + totals.evicted_bits
+        );
+        assert_eq!(e.series().custody().lost_bits, s2.custody_lost_bits);
+    }
+
+    #[test]
+    fn occupancy_series_tracks_backlog_per_tick() {
+        let sites = [PlatformId(0)];
+        let mut e = engine(&sites);
+        let view = view_for(&sites, 1_000_000_000);
+        let mut dark = view.clone();
+        dark.paths.clear();
+        let t0 = SimTime::from_hours(20);
+        let s = e.tick(t0, SimDuration::from_mins(1), &dark);
+        e.tick(
+            t0 + SimDuration::from_mins(1),
+            SimDuration::from_mins(1),
+            &dark,
+        );
+        let occ = e.series().site_occupancy(PlatformId(0)).to_vec();
+        assert_eq!(occ.len(), 2, "one sample per outage tick");
+        assert_eq!(occ[0].resident_bits, s.snf_buffered_bits);
+        assert!(occ[1].resident_bits >= occ[0].resident_bits);
+        assert!(
+            occ[1].oldest_age_ms >= 60_000,
+            "oldest chunk ages across ticks: {}",
+            occ[1].oldest_age_ms
+        );
+        // Drain tick empties the buffer: empty buffers record no
+        // sample, so the series length freezes.
+        e.tick(
+            t0 + SimDuration::from_mins(2),
+            SimDuration::from_mins(1),
+            &view,
+        );
+        assert_eq!(e.series().site_occupancy(PlatformId(0)).len(), 2);
+        let peak = e.series().peak_occupancy(PlatformId(0)).expect("samples");
+        assert_eq!(peak.resident_bits, occ[1].resident_bits);
     }
 
     #[test]

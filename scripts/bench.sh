@@ -1,33 +1,63 @@
 #!/usr/bin/env bash
-# Performance benches: the planning hot path and the traffic
-# allocator, each emitting a JSON artifact.
+# Performance and A/B benches, each emitting a JSON artifact.
 #
-#   ./scripts/bench.sh           # full runs: BENCH_planning.json
-#                                # (25/50/100/100-dispersed fleets) +
-#                                # BENCH_traffic.json (25/50/100-balloon
-#                                # meshes, ≥5k aggregate flows)
-#   ./scripts/bench.sh --smoke   # quick runs, wired into verify.sh:
-#                                # planning writes no file but proves
-#                                # the bit-identity equivalence gate;
-#                                # traffic still writes
-#                                # BENCH_traffic.json (full size
-#                                # ladder, fewer iters)
+#   ./scripts/bench.sh             # full runs: BENCH_planning.json
+#                                  # (25/50/100/100-dispersed fleets),
+#                                  # BENCH_traffic.json (25/50/100-
+#                                  # balloon meshes, ≥5k aggregate
+#                                  # flows), BENCH_snf_ab.json (E18)
+#                                  # and BENCH_custody_ab.json (E19)
+#   ./scripts/bench.sh --smoke     # quick runs, wired into verify.sh:
+#                                  # planning writes no file but proves
+#                                  # the bit-identity equivalence gate;
+#                                  # the other bins still write their
+#                                  # artifacts (full gates, smaller
+#                                  # fleets/iters)
+#   ./scripts/bench.sh --out DIR   # write every artifact under DIR
+#                                  # (created if missing) instead of
+#                                  # the repo root; composes with
+#                                  # --smoke
 #
-# Extra args are passed through to the planning bench (e.g. --out).
+# Every bin gets an explicit --out path — no bin-specific default can
+# silently collide with another's artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run --release -q -p tssdn-bench --bin planning_hot_path -- "$@"
-
-# The traffic bench always records the full 25/50/100 ladder; only the
-# mode flag passes through so a caller's --out never collides with the
-# planning artifact's.
-traffic_args=()
-for a in "$@"; do
-  if [ "$a" = "--smoke" ]; then traffic_args+=("--smoke"); fi
+smoke=""
+out_dir="."
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) smoke="--smoke"; shift ;;
+    --out)
+      [ $# -ge 2 ] || { echo "bench.sh: --out needs a directory" >&2; exit 2; }
+      out_dir="$2"; shift 2 ;;
+    *) echo "bench.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
 done
-cargo run --release -q -p tssdn-bench --bin traffic_scale -- ${traffic_args[@]+"${traffic_args[@]}"}
+mkdir -p "$out_dir"
+
+# Planning: in smoke mode the bench is a pure equivalence gate and
+# writes no artifact unless a destination was chosen explicitly.
+planning_args=(${smoke:+"$smoke"})
+if [ "$out_dir" != "." ] || [ -z "$smoke" ]; then
+  planning_args+=(--out "$out_dir/BENCH_planning.json")
+fi
+cargo run --release -q -p tssdn-bench --bin planning_hot_path -- \
+  ${planning_args[@]+"${planning_args[@]}"}
+
+# The traffic bench always records the full 25/50/100 ladder; smoke
+# only shrinks the iteration count.
+cargo run --release -q -p tssdn-bench --bin traffic_scale -- \
+  ${smoke:+"$smoke"} --out "$out_dir/BENCH_traffic.json"
 
 # E18 store-and-forward A/B: gates on rerun identity, strictly higher
 # bulk delivery with buffering on, and an untouched Control class.
-cargo run --release -q -p tssdn-bench --bin snf_ab -- ${traffic_args[@]+"${traffic_args[@]}"}
+cargo run --release -q -p tssdn-bench --bin snf_ab -- \
+  ${smoke:+"$smoke"} --out "$out_dir/BENCH_snf_ab.json"
+
+# E19 custody-transfer A/B: gates on rerun identity, queued bits
+# surviving a warned balloon loss (strictly more drained, strictly
+# less backlog lost), an untouched Control class, and the extended
+# conservation invariant in both arms.
+cargo run --release -q -p tssdn-bench --bin custody_ab -- \
+  ${smoke:+"$smoke"} --out "$out_dir/BENCH_custody_ab.json"

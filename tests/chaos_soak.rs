@@ -301,7 +301,7 @@ fn multipath_snf_soak_holds_bugfix_invariants() {
         let t = e.snf_totals();
         assert_eq!(
             t.queued_bits,
-            t.drained_bits + t.evicted_bits + t.buffered_bits,
+            t.drained_bits + t.evicted_bits + t.buffered_bits + t.in_transit_bits,
             "seed {seed}: buffered bits leaked: {t:?}"
         );
         assert!(
@@ -344,6 +344,92 @@ fn multipath_snf_soak_holds_bugfix_invariants() {
         first.expect("seed 9001 ran"),
         "soak diverged on rerun"
     );
+}
+
+/// Custody transfer under a directed fault plan (E19's mechanism in
+/// the full closed loop). A 25-minute total ground blackout builds a
+/// backlog on every site; balloon 1 is lost abruptly mid-blackout
+/// (its backlog dies with it — the loss custody exists to prevent),
+/// while balloon 0's loss is *warned* eight minutes ahead, so the
+/// orchestrator designates a custodian and the doomed balloon pushes
+/// its backlog out over a lateral link before the window lands. The
+/// run is stepped in one-minute increments so the engine's per-tick
+/// conservation debug-assert is exercised at a fine grain, and the
+/// whole thing must replay bit-identically.
+#[test]
+fn warned_balloon_loss_hands_custody_of_its_backlog() {
+    use tssdn_core::TrafficConfig;
+
+    let blackout = SimTime::from_hours(10);
+    let directed_plan = || {
+        let mut plan = FaultPlan::new();
+        for gs in gs_ids() {
+            plan = plan.with(
+                blackout,
+                SimDuration::from_mins(25),
+                FaultKind::GsOutage { site: gs },
+            );
+        }
+        plan.with(
+            blackout + SimDuration::from_mins(10),
+            SimDuration::from_mins(30),
+            FaultKind::BalloonLoss {
+                balloon: PlatformId(1),
+            },
+        )
+        .with(
+            blackout + SimDuration::from_mins(20),
+            SimDuration::from_mins(40),
+            FaultKind::BalloonLossWarned {
+                balloon: PlatformId(0),
+                lead: SimDuration::from_mins(8),
+            },
+        )
+    };
+
+    let soak = |seed: u64| {
+        let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
+        cfg.fleet.spawn_radius_m = 150_000.0;
+        cfg.fault_plan = directed_plan();
+        cfg.traffic = Some(TrafficConfig::default());
+        let mut o = Orchestrator::new(cfg);
+        // Fine-grained stepping: the engine debug-asserts the
+        // extended conservation invariant at every tick boundary.
+        let end = SimTime::from_hours(12);
+        while o.now() < end {
+            o.run_until(o.now() + SimDuration::from_mins(1));
+        }
+        let e = o.traffic().expect("traffic enabled");
+        let t = e.snf_totals();
+        assert_eq!(
+            t.queued_bits,
+            t.drained_bits + t.evicted_bits + t.buffered_bits + t.in_transit_bits,
+            "seed {seed}: bits leaked: {t:?}"
+        );
+        (t, o.custody_intents_issued, o.summary())
+    };
+
+    let (t, intents, summary) = soak(31);
+    assert!(
+        t.backlog_lost_bits > 0,
+        "the abrupt loss wipes balloon 1's backlog: {t:?}"
+    );
+    assert!(intents > 0, "the warning produced a custody designation");
+    assert!(
+        t.custody_initiated_bits > 0,
+        "the warned balloon pushed bits out: {t:?}"
+    );
+    assert!(
+        t.custody_accepted_bits > 0,
+        "a custodian took the bits: {t:?}"
+    );
+    assert_eq!(
+        t.custody_initiated_bits,
+        t.custody_accepted_bits + t.custody_refused_bits + t.custody_lost_bits + t.in_transit_bits,
+        "custody ledger closes: {t:?}"
+    );
+    // Rerun determinism covers the custody counters.
+    assert_eq!(soak(31), (t, intents, summary), "soak diverged on rerun");
 }
 
 /// The legacy outage shim routes through the chaos engine: flipping a

@@ -33,6 +33,8 @@ struct ModelBuffer {
     queued: u64,
     drained: u64,
     evicted: u64,
+    transferred_in: u64,
+    transferred_out: u64,
 }
 
 impl ModelBuffer {
@@ -44,6 +46,8 @@ impl ModelBuffer {
             queued: 0,
             drained: 0,
             evicted: 0,
+            transferred_in: 0,
+            transferred_out: 0,
         }
     }
 
@@ -72,8 +76,9 @@ impl ModelBuffer {
     }
 
     fn expire(&mut self, now: u64) {
+        // Inclusive age bound: a chunk exactly at max_age is evicted.
         while let Some(front) = self.chunks.first() {
-            if now.saturating_sub(front.1) <= self.max_age_ms {
+            if now.saturating_sub(front.1) < self.max_age_ms {
                 break;
             }
             self.evicted += front.2;
@@ -96,6 +101,69 @@ impl ModelBuffer {
             }
         }
         out
+    }
+
+    /// Custody extraction: FIFO like a drain, but the chunks keep
+    /// their enqueue stamps and count as transferred-out.
+    fn extract(&mut self, mut budget: u64) -> Vec<(u32, u64, u64)> {
+        let mut out = Vec::new();
+        while budget > 0 && !self.chunks.is_empty() {
+            let front = &mut self.chunks[0];
+            let take = front.2.min(budget);
+            out.push((front.0, front.1, take));
+            budget -= take;
+            self.transferred_out += take;
+            if take == front.2 {
+                self.chunks.remove(0);
+            } else {
+                front.2 -= take;
+            }
+        }
+        out
+    }
+
+    /// Custody acceptance: refuse over-age arrivals, fill the free
+    /// space newest-first (never evicting resident bits, trimming the
+    /// boundary chunk), and keep the queue in enqueue-time order with
+    /// residents ahead of arrivals on ties. Returns (accepted,
+    /// refused).
+    fn accept(&mut self, mut incoming: Vec<(u32, u64, u64)>, now: u64) -> (u64, u64) {
+        incoming.sort_by_key(|c| c.1);
+        let mut refused = 0u64;
+        let mut fresh: Vec<(u32, u64, u64)> = Vec::new();
+        for c in incoming {
+            if c.2 == 0 {
+                continue;
+            }
+            if now.saturating_sub(c.1) >= self.max_age_ms {
+                refused += c.2;
+            } else {
+                fresh.push(c);
+            }
+        }
+        let mut room = self.max_bits - self.resident();
+        let mut accepted = 0u64;
+        let mut taken: Vec<(u32, u64, u64)> = Vec::new();
+        for mut c in fresh.into_iter().rev() {
+            if room == 0 {
+                refused += c.2;
+                continue;
+            }
+            if c.2 > room {
+                refused += c.2 - room;
+                c.2 = room;
+            }
+            room -= c.2;
+            accepted += c.2;
+            taken.push(c);
+        }
+        taken.reverse();
+        // Stable sort: residents are already in stamp order and come
+        // first in the vec, so they win ties against arrivals.
+        self.chunks.extend(taken);
+        self.chunks.sort_by_key(|c| c.1);
+        self.transferred_in += accepted;
+        (accepted, refused)
     }
 }
 
@@ -124,9 +192,10 @@ proptest! {
                 2 => {
                     real.expire(now);
                     model.expire(now);
-                    // Age bound holds right after an expire pass.
+                    // Age bound holds right after an expire pass
+                    // (inclusive: exactly-at-bound chunks are gone).
                     if let Some(age) = real.oldest_age_ms(now) {
-                        prop_assert!(age <= max_age, "over-age chunk kept: {age}");
+                        prop_assert!(age < max_age, "over-age chunk kept: {age}");
                     }
                 }
                 _ => {
@@ -150,6 +219,98 @@ proptest! {
         prop_assert_eq!(
             real.queued_bits(),
             real.drained_bits() + real.evicted_bits() + real.total_bits()
+        );
+    }
+
+    /// A two-buffer custody pipe (extract from A, accept into B)
+    /// tracks the reference model step for step: same accept/refuse
+    /// split, same drain output from the custodian, same ledgers on
+    /// both ends — and the cross-buffer conservation algebra closes:
+    /// everything A queued is drained, evicted, resident, or
+    /// transferred out; everything transferred out is accepted by B
+    /// or refused.
+    #[test]
+    fn custody_handoff_matches_reference_model(
+        max_bytes_a in 0u64..64,
+        max_bytes_b in 0u64..64,
+        max_age in 0u64..2_000,
+        raw in prop::collection::vec((0u8..6, 0u32..5, 0u64..300, 0u64..200), 1..60),
+    ) {
+        let mut real_a: StoreForwardBuffer<u32> =
+            StoreForwardBuffer::new(max_bytes_a, max_age);
+        let mut real_b: StoreForwardBuffer<u32> =
+            StoreForwardBuffer::new(max_bytes_b, max_age);
+        let mut model_a = ModelBuffer::new(max_bytes_a, max_age);
+        let mut model_b = ModelBuffer::new(max_bytes_b, max_age);
+        let mut now = 0u64;
+        let mut refused_total = 0u64;
+        for (kind, flow, dt, amount) in raw {
+            now += dt;
+            match kind {
+                0 | 1 => {
+                    real_a.enqueue(flow, now, amount);
+                    model_a.enqueue(flow, now, amount);
+                }
+                2 => {
+                    real_a.expire(now);
+                    real_b.expire(now);
+                    model_a.expire(now);
+                    model_b.expire(now);
+                }
+                3 => {
+                    let drained: Vec<(u32, u64, u64)> = real_b
+                        .drain(now, amount)
+                        .into_iter()
+                        .map(|d| (d.flow, d.bits, d.age_ms))
+                        .collect();
+                    prop_assert_eq!(drained, model_b.drain(now, amount));
+                }
+                4 => {
+                    let chunks = real_a.extract_custody(amount);
+                    let model_chunks = model_a.extract(amount);
+                    let as_tuples: Vec<(u32, u64, u64)> = chunks
+                        .iter()
+                        .map(|c| (c.flow, c.enqueued_ms, c.bits))
+                        .collect();
+                    prop_assert_eq!(&as_tuples, &model_chunks, "extract diverged");
+                    let (acc, refu) = real_b.accept_custody(chunks, now);
+                    let (m_acc, m_refu) = model_b.accept(model_chunks, now);
+                    prop_assert_eq!((acc, refu), (m_acc, m_refu), "accept diverged");
+                    refused_total += refu;
+                }
+                _ => {
+                    let drained: Vec<(u32, u64, u64)> = real_a
+                        .drain(now, amount)
+                        .into_iter()
+                        .map(|d| (d.flow, d.bits, d.age_ms))
+                        .collect();
+                    prop_assert_eq!(drained, model_a.drain(now, amount));
+                }
+            }
+            prop_assert!(real_a.total_bits() <= real_a.max_bits());
+            prop_assert!(real_b.total_bits() <= real_b.max_bits());
+            prop_assert_eq!(real_a.total_bits(), model_a.resident());
+            prop_assert_eq!(real_b.total_bits(), model_b.resident());
+        }
+        prop_assert_eq!(real_a.transferred_out_bits(), model_a.transferred_out);
+        prop_assert_eq!(real_b.transferred_in_bits(), model_b.transferred_in);
+        // Per-buffer conservation, custody legs included.
+        prop_assert_eq!(
+            real_a.queued_bits(),
+            real_a.drained_bits()
+                + real_a.evicted_bits()
+                + real_a.total_bits()
+                + real_a.transferred_out_bits()
+        );
+        prop_assert_eq!(
+            real_b.transferred_in_bits(),
+            real_b.drained_bits() + real_b.evicted_bits() + real_b.total_bits()
+        );
+        // The pipe itself conserves: A's outflow lands in B or is
+        // refused on arrival — nothing vanishes in between.
+        prop_assert_eq!(
+            real_a.transferred_out_bits(),
+            real_b.transferred_in_bits() + refused_total
         );
     }
 
@@ -242,6 +403,64 @@ fn flap_run(
     )
 }
 
+/// Like [`flap_run`], but a balloon loss lands at tick `kill_at`: on
+/// the tick before it a custodian is designated for site 0 (as the
+/// orchestrator would on a loss warning) over a lateral link, and
+/// from `kill_at` on the site is dead. The custodian keeps a route of
+/// its own whenever the mesh is up, so rescued bits can drain.
+#[allow(clippy::type_complexity)]
+fn custody_flap_run(
+    seed: u64,
+    cap_bps: u64,
+    flaps: &[bool],
+    kill_at: usize,
+    custody_on: bool,
+) -> (u64, u64, (u64, u64, u64, u64, u64), u64) {
+    let mut config = TrafficConfig {
+        workers: 1,
+        ..TrafficConfig::default()
+    };
+    config.store_forward.custody = custody_on;
+    let sites = [PlatformId(0), PlatformId(1)];
+    let custodian = PlatformId(9);
+    let mut e = TrafficEngine::new(config, &sites, &RngStreams::new(seed));
+    for (i, &routed) in flaps.iter().enumerate() {
+        let mut view = view_for(&sites, cap_bps);
+        if !routed {
+            view.paths.clear();
+        } else {
+            view.paths.insert(custodian, vec![custodian, GS, EC]);
+            view.link_capacity_bps
+                .insert((custodian.min(GS), custodian.max(GS)), cap_bps);
+            view.eligible.insert(custodian);
+        }
+        if i + 1 == kill_at {
+            view.custody.insert(PlatformId(0), custodian);
+            view.link_capacity_bps
+                .insert((PlatformId(0), custodian), cap_bps);
+        }
+        if i >= kill_at {
+            view.dead.insert(PlatformId(0));
+            view.eligible.remove(&PlatformId(0));
+        }
+        let now = SimTime::from_hours(18) + SimDuration::from_mins(i as u64);
+        e.tick(now, SimDuration::from_mins(1), &view);
+    }
+    let t = e.snf_totals();
+    (
+        e.series().offered_bits(),
+        e.series().delivered_bits(),
+        (
+            t.queued_bits,
+            t.drained_bits,
+            t.evicted_bits,
+            t.buffered_bits,
+            t.in_transit_bits,
+        ),
+        t.custody_initiated_bits,
+    )
+}
+
 proptest! {
     /// Under any outage/recovery pattern: Control flows never touch
     /// the buffer, cumulative delivered bits never exceed offered,
@@ -269,6 +488,41 @@ proptest! {
         prop_assert_eq!(
             flap_run(seed, cap, &flaps),
             (offered, delivered, totals, control),
+            "rerun diverged"
+        );
+    }
+
+    /// The extended conservation invariant survives an arbitrary
+    /// outage pattern with a mid-run balloon loss, custody on or off:
+    /// `queued == drained + evicted + resident + in_transit` (the
+    /// engine also debug-asserts this at every tick boundary), no bit
+    /// is delivered twice, custody-off never initiates a transfer,
+    /// and the whole run replays bit-identically.
+    #[test]
+    fn custody_conserves_under_flaps_and_loss(
+        seed in 0u64..300,
+        cap_mbps in 1u64..200,
+        flaps in prop::collection::vec(prop::bool::ANY, 2..16),
+        kill_at in 1usize..16,
+        custody_on in prop::bool::ANY,
+    ) {
+        let cap = cap_mbps * 1_000_000;
+        let kill = kill_at.min(flaps.len() - 1).max(1);
+        let out = custody_flap_run(seed, cap, &flaps, kill, custody_on);
+        let (offered, delivered, totals, initiated) = out;
+        let (queued, drained, evicted, resident, transit) = totals;
+        prop_assert!(delivered <= offered, "{delivered} > {offered}");
+        prop_assert_eq!(
+            queued,
+            drained + evicted + resident + transit,
+            "bits leaked across the custody handoff"
+        );
+        if !custody_on {
+            prop_assert_eq!(initiated, 0, "custody-off must never transfer");
+        }
+        prop_assert_eq!(
+            custody_flap_run(seed, cap, &flaps, kill, custody_on),
+            out,
             "rerun diverged"
         );
     }
