@@ -1,39 +1,68 @@
 //! Traffic allocator scaling: max-min progressive filling at
-//! production fleet sizes, ≥5k aggregate flows.
+//! production fleet sizes, from 5k flat flows to one million flows
+//! through the hierarchical site×class aggregate tree.
 //!
 //! Emits `BENCH_traffic.json` with cold (incidence rebuild +
 //! allocate) and warm (capacity-only, cached incidence) p50/p95 wall
-//! times at 25/50/100-balloon meshes. Before timing anything it
-//! asserts the worker-count identity gate: `workers = 1` and auto
-//! produce bit-identical allocations at every size — the same
-//! gate-before-timing contract as `planning_hot_path`.
+//! times at 25/50/100-balloon flat meshes plus a 1000-balloon ×
+//! 1000-flows/site hierarchical tier. Before timing anything it
+//! asserts the gates:
+//!
+//! * worker identity — `workers = 1` and auto produce bit-identical
+//!   allocations at every size (same contract as `planning_hot_path`);
+//! * rerun identity — a reused allocator (recycled scratch buffers)
+//!   reproduces its own first answer byte-for-byte;
+//! * lossless-collapse identity — on the flat ladder, the
+//!   hierarchical allocator under singleton aggregates collapses
+//!   bit-for-bit to the flat answer, so per-class goodput is
+//!   unchanged by construction;
+//! * warm ≤ cold sanity — a capacity-only re-allocation must not be
+//!   slower than a full rebuild (the 50-balloon warm-p95 outlier the
+//!   old per-call heap churn produced).
+//!
+//! Only after every gate passes are the timings recorded.
 //!
 //! Usage:
 //!   traffic_scale [--smoke] [--out PATH]
 //!
-//! `--smoke` cuts iterations, not sizes: the 25/50/100 ladder and the
-//! ≥5k-flow floor hold in both modes, so `BENCH_traffic.json` always
-//! records the acceptance numbers.
+//! `--smoke` cuts iterations, not sizes: the 25/50/100 ladder, the
+//! ≥5k-flow floor, and the million-flow tier hold in both modes, so
+//! `BENCH_traffic.json` always records the acceptance numbers.
 
 use std::time::Instant;
 use tssdn_bench::seed;
 use tssdn_sim::{PlatformId, RngStreams, SimTime};
 use tssdn_telemetry::percentile;
-use tssdn_traffic::{DemandConfig, DemandGenerator, FairShareAllocator, FlowSpec};
+use tssdn_traffic::{
+    AggregateMember, AggregateSpec, DemandConfig, DemandGenerator, FairShareAllocator, FlowSpec,
+    HierarchicalAllocator, TrafficClass,
+};
 
-/// A synthetic mesh: `n` balloons in 3 chains rooted at 3 GSs, each
-/// chain hop shared by every balloon further out — the congestion
-/// shape real topologies produce, with path lengths up to n/3 hops.
-/// Flows carry the generator's tier weights and control class, so the
-/// timed path is the production tiered fill, not the flat one.
+/// Cold p50 budget for the million-flow hierarchical tier, ns.
+const MILLION_FLOW_BUDGET_NS: f64 = 50_000_000.0;
+
+/// Warm p95 may not exceed cold p95 by more than this factor — warm
+/// reuses the cached incidence and the allocator's scratch buffers,
+/// so a slower warm path means a regression (per-call heap churn).
+const WARM_COLD_SLACK: f64 = 1.25;
+
+/// A synthetic mesh: `n` balloons in `n_chains` chains rooted at
+/// `n_chains` GSs, each chain hop shared by every balloon further out
+/// — the congestion shape real topologies produce, with path lengths
+/// up to n/n_chains hops. Flows carry the generator's tier weights
+/// and control class, so the timed path is the production tiered
+/// fill, not the flat one.
 struct Mesh {
     specs: Vec<FlowSpec>,
+    /// The same flows folded into site×class aggregates (demand flows
+    /// are site-major, bulk first, so a key-change walk groups them).
+    groups: Vec<AggregateSpec>,
     n_links: usize,
     demands: Vec<u64>,
     capacities: Vec<u64>,
 }
 
-fn build_mesh(n: usize, flows_per_site: usize) -> Mesh {
+fn build_mesh(n: usize, flows_per_site: usize, n_chains: usize) -> Mesh {
     let sites: Vec<PlatformId> = (0..n as u32).map(PlatformId).collect();
     let demand_cfg = DemandConfig {
         flows_per_site,
@@ -42,21 +71,22 @@ fn build_mesh(n: usize, flows_per_site: usize) -> Mesh {
     let gen = DemandGenerator::new(demand_cfg, &sites, &RngStreams::new(seed()));
 
     // Link ids: balloon i's uplink toward its chain parent. Balloon
-    // i < 3 hangs off GS (i%3); otherwise off balloon i-3. Each chain
-    // also gets one GS→EC tunnel link (ids n..n+3).
-    let n_links = n + 3;
+    // i < n_chains hangs off GS (i % n_chains); otherwise off balloon
+    // i - n_chains. Each chain also gets one GS→EC tunnel link (ids
+    // n..n+n_chains).
+    let n_links = n + n_chains;
     let site_links: Vec<Vec<u32>> = (0..n)
         .map(|i| {
             let mut links = Vec::new();
             let mut at = i;
             loop {
                 links.push(at as u32);
-                if at < 3 {
+                if at < n_chains {
                     break;
                 }
-                at -= 3;
+                at -= n_chains;
             }
-            links.push((n + at % 3) as u32); // GS→EC
+            links.push((n + at % n_chains) as u32); // GS→EC
             links
         })
         .collect();
@@ -72,6 +102,28 @@ fn build_mesh(n: usize, flows_per_site: usize) -> Mesh {
             )
         })
         .collect();
+    // Site×class aggregates over the same population: one node per
+    // (site, class) run of the site-major flow order.
+    let mut groups: Vec<AggregateSpec> = Vec::new();
+    let mut last: Option<(PlatformId, TrafficClass)> = None;
+    for (fi, f) in gen.flows().iter().enumerate() {
+        if last != Some((f.site, f.class)) {
+            groups.push(AggregateSpec {
+                links: site_links[f.site.0 as usize].clone(),
+                class: f.class,
+                members: Vec::new(),
+            });
+            last = Some((f.site, f.class));
+        }
+        groups
+            .last_mut()
+            .expect("group pushed")
+            .members
+            .push(AggregateMember {
+                flow: fi as u32,
+                weight: f.tier_weight,
+            });
+    }
     // Evening-peak demand; deterministic per seed.
     let at = SimTime::from_hours(20);
     let demands: Vec<u64> = (0..gen.flows().len())
@@ -91,6 +143,7 @@ fn build_mesh(n: usize, flows_per_site: usize) -> Mesh {
         .collect();
     Mesh {
         specs,
+        groups,
         n_links,
         demands,
         capacities,
@@ -116,22 +169,28 @@ struct MeshResult {
     balloons: usize,
     flows: usize,
     links: usize,
+    aggregates: usize,
+    allocator: &'static str,
     saturation: f64,
     cold: (f64, f64),
     warm: (f64, f64),
 }
 
-fn run_mesh(n: usize, iters: usize) -> MeshResult {
+/// Flat ladder tier: the per-flow allocator exactly as production
+/// runs it with aggregation off. The recorded `peak_goodput` is the
+/// regression anchor — it must not move across allocator-internal
+/// changes.
+fn run_mesh_flat(n: usize, iters: usize) -> MeshResult {
     // ≥5k aggregate flows at every size.
     let flows_per_site = 5000usize.div_ceil(n);
-    let mesh = build_mesh(n, flows_per_site);
+    let mesh = build_mesh(n, flows_per_site, 3);
     assert!(
         mesh.specs.len() >= 5000,
         "flow floor violated: {}",
         mesh.specs.len()
     );
 
-    // ---- identity gate first: never time a divergent allocator ----
+    // ---- identity gates first: never time a divergent allocator ----
     let mut serial = FairShareAllocator::new(1);
     serial.set_flows(mesh.specs.clone(), mesh.n_links);
     let base = serial.allocate(&mesh.demands, &mesh.capacities);
@@ -141,12 +200,41 @@ fn run_mesh(n: usize, iters: usize) -> MeshResult {
         auto.allocate(&mesh.demands, &mesh.capacities) == base,
         "{n}-balloon mesh: auto-worker allocation diverged from serial"
     );
+    // Rerun identity: the reused allocator (recycled scratch) must
+    // reproduce its own answer bit-for-bit.
+    assert!(
+        auto.allocate(&mesh.demands, &mesh.capacities) == base,
+        "{n}-balloon mesh: re-allocation on reused scratch diverged"
+    );
+    // Lossless-collapse identity: singleton aggregates make the
+    // hierarchical tree a relabeling of the flat problem, so the
+    // distributed rates — and hence per-class goodput — must be
+    // byte-identical to the flat answer.
+    let singleton_groups: Vec<AggregateSpec> = mesh
+        .specs
+        .iter()
+        .enumerate()
+        .map(|(fi, s)| AggregateSpec {
+            links: s.links.clone(),
+            class: s.class,
+            members: vec![AggregateMember {
+                flow: fi as u32,
+                weight: s.weight,
+            }],
+        })
+        .collect();
+    let mut hier = HierarchicalAllocator::new(0);
+    hier.set_aggregates(singleton_groups, mesh.n_links, mesh.specs.len());
+    assert!(
+        hier.allocate(&mesh.demands, &mesh.capacities) == base,
+        "{n}-balloon mesh: singleton hierarchical collapse diverged from flat"
+    );
 
     let delivered: u64 = base.iter().sum();
     let offered: u64 = mesh.demands.iter().sum();
     let saturation = delivered as f64 / offered as f64;
     eprintln!(
-        "  [{n}] {} flows, {} links, goodput at peak {:.3} — identity gate OK",
+        "  [{n}] {} flows, {} links, goodput at peak {:.3} — identity gates OK",
         mesh.specs.len(),
         mesh.n_links,
         saturation
@@ -161,11 +249,88 @@ fn run_mesh(n: usize, iters: usize) -> MeshResult {
     });
     // Warm: capacity-only tick (weather fade) — cached incidence.
     let warm = time_ns(iters, || auto.allocate(&mesh.demands, &mesh.capacities));
+    assert!(
+        warm.1 <= cold.1 * WARM_COLD_SLACK,
+        "{n}-balloon mesh: warm p95 {:.2}ms exceeds cold p95 {:.2}ms × {WARM_COLD_SLACK}",
+        warm.1 / 1e6,
+        cold.1 / 1e6,
+    );
 
     MeshResult {
         balloons: n,
         flows: mesh.specs.len(),
         links: mesh.n_links,
+        aggregates: 0,
+        allocator: "flat",
+        saturation,
+        cold,
+        warm,
+    }
+}
+
+/// Million-flow tier: 1000 sites × 1000 flows/site through the
+/// site×class aggregate tree — the fleet size the flat per-flow fill
+/// cannot hold under the tick budget.
+fn run_mesh_hierarchical(iters: usize) -> MeshResult {
+    let n = 1000;
+    // 999 bulk flows + 1 control flow per site = exactly 1000
+    // flows/site, one million flows fleet-wide.
+    let mesh = build_mesh(n, 999, 25);
+    let n_flows = mesh.specs.len();
+    assert_eq!(n_flows, 1_000_000, "million-flow tier sized wrong");
+    let n_aggs = mesh.groups.len();
+
+    // ---- identity gates first ----
+    let mut serial = HierarchicalAllocator::new(1);
+    serial.set_aggregates(mesh.groups.clone(), mesh.n_links, n_flows);
+    let base = serial.allocate(&mesh.demands, &mesh.capacities);
+    let mut auto = HierarchicalAllocator::new(0);
+    auto.set_aggregates(mesh.groups.clone(), mesh.n_links, n_flows);
+    assert!(
+        auto.allocate(&mesh.demands, &mesh.capacities) == base,
+        "million-flow tier: auto-worker allocation diverged from serial"
+    );
+    assert!(
+        auto.allocate(&mesh.demands, &mesh.capacities) == base,
+        "million-flow tier: re-allocation on reused scratch diverged"
+    );
+
+    let delivered: u64 = base.iter().sum();
+    let offered: u64 = mesh.demands.iter().sum();
+    let saturation = delivered as f64 / offered as f64;
+    eprintln!(
+        "  [{n}] {} flows → {} aggregates, {} links, goodput at peak {:.3} — identity gates OK",
+        n_flows, n_aggs, mesh.n_links, saturation
+    );
+
+    // ---- timings ----
+    // Cold: topology changed — rebuild the aggregate tree + allocate.
+    let cold = time_ns(iters, || {
+        let mut a = HierarchicalAllocator::new(0);
+        a.set_aggregates(mesh.groups.clone(), mesh.n_links, n_flows);
+        a.allocate(&mesh.demands, &mesh.capacities)
+    });
+    // Warm: capacity-only tick — cached tree, recycled scratch.
+    let warm = time_ns(iters, || auto.allocate(&mesh.demands, &mesh.capacities));
+    assert!(
+        cold.0 <= MILLION_FLOW_BUDGET_NS,
+        "million-flow cold p50 {:.2}ms blows the {:.0}ms tick budget",
+        cold.0 / 1e6,
+        MILLION_FLOW_BUDGET_NS / 1e6,
+    );
+    assert!(
+        warm.1 <= cold.1 * WARM_COLD_SLACK,
+        "million-flow tier: warm p95 {:.2}ms exceeds cold p95 {:.2}ms × {WARM_COLD_SLACK}",
+        warm.1 / 1e6,
+        cold.1 / 1e6,
+    );
+
+    MeshResult {
+        balloons: n,
+        flows: n_flows,
+        links: mesh.n_links,
+        aggregates: n_aggs,
+        allocator: "hierarchical",
         saturation,
         cold,
         warm,
@@ -186,23 +351,35 @@ fn main() {
     const SIZES: &[usize] = &[25, 50, 100];
     println!("=== traffic allocator scaling: max-min fill at fleet scale ===");
     println!(
-        "meshes: {SIZES:?} balloons, ≥5k flows each, {iters} iters, {} mode",
+        "meshes: {SIZES:?} balloons flat + 1000-balloon hierarchical (1M flows), \
+         {iters} iters, {} mode",
         if smoke { "smoke" } else { "full" }
     );
 
-    let results: Vec<MeshResult> = SIZES.iter().map(|&n| run_mesh(n, iters)).collect();
+    let mut results: Vec<MeshResult> = SIZES.iter().map(|&n| run_mesh_flat(n, iters)).collect();
+    results.push(run_mesh_hierarchical(iters));
 
     println!();
     println!(
-        "{:>8} {:>8} {:>7} {:>12} {:>12} {:>12} {:>12}",
-        "balloons", "flows", "links", "cold p50", "cold p95", "warm p50", "warm p95"
+        "{:>8} {:>8} {:>7} {:>6} {:>13} {:>12} {:>12} {:>12} {:>12}",
+        "balloons",
+        "flows",
+        "links",
+        "aggs",
+        "allocator",
+        "cold p50",
+        "cold p95",
+        "warm p50",
+        "warm p95"
     );
     for r in &results {
         println!(
-            "{:>8} {:>8} {:>7} {:>11.2}ms {:>11.2}ms {:>11.2}ms {:>11.2}ms",
+            "{:>8} {:>8} {:>7} {:>6} {:>13} {:>11.2}ms {:>11.2}ms {:>11.2}ms {:>11.2}ms",
             r.balloons,
             r.flows,
             r.links,
+            r.aggregates,
+            r.allocator,
             r.cold.0 / 1e6,
             r.cold.1 / 1e6,
             r.warm.0 / 1e6,
@@ -216,10 +393,20 @@ fn main() {
         .map(|r| {
             format!(
                 "    {{\n      \"balloons\": {},\n      \"flows\": {},\n      \"links\": {},\n      \
+                 \"aggregates\": {},\n      \"allocator\": \"{}\",\n      \
                  \"peak_goodput\": {:.4},\n      \
                  \"cold\": {{\"p50_ns\": {:.0}, \"p95_ns\": {:.0}}},\n      \
                  \"warm\": {{\"p50_ns\": {:.0}, \"p95_ns\": {:.0}}}\n    }}",
-                r.balloons, r.flows, r.links, r.saturation, r.cold.0, r.cold.1, r.warm.0, r.warm.1,
+                r.balloons,
+                r.flows,
+                r.links,
+                r.aggregates,
+                r.allocator,
+                r.saturation,
+                r.cold.0,
+                r.cold.1,
+                r.warm.0,
+                r.warm.1,
             )
         })
         .collect();

@@ -128,12 +128,16 @@ pub fn flight_regions_table() -> CsvTable {
 }
 
 /// Builder for the traffic engine's `traffic.csv` (per-site goodput,
-/// disruption totals, and store-and-forward columns from a
-/// [`crate::GoodputSeries`]). `mean_age_s` is the mean age-of-delivery
-/// of buffered-then-drained bits; empty when nothing drained.
-/// `peak_resident_bits`/`peak_oldest_age_s` are the site's worst
-/// tick-granularity buffer occupancy (largest backlog, and the oldest
-/// chunk's age at that tick); zero/empty when the buffer stayed empty.
+/// disruption totals, store-and-forward columns, and per-aggregate
+/// site×class volumes from a [`crate::GoodputSeries`]). `mean_age_s`
+/// is the mean age-of-delivery of buffered-then-drained bits; empty
+/// when nothing drained. `peak_resident_bits`/`peak_oldest_age_s` are
+/// the site's worst tick-granularity buffer occupancy (largest
+/// backlog, and the oldest chunk's age at that tick); zero/empty when
+/// the buffer stayed empty. The four trailing `control_*`/`bulk_*`
+/// columns are the whole-run volumes of the site's two service-class
+/// aggregates — the per-aggregate counters of the hierarchical
+/// allocator's site×class nodes.
 pub fn traffic_table() -> CsvTable {
     CsvTable::new(&[
         "site",
@@ -146,6 +150,10 @@ pub fn traffic_table() -> CsvTable {
         "mean_age_s",
         "peak_resident_bits",
         "peak_oldest_age_s",
+        "control_offered_bits",
+        "control_delivered_bits",
+        "bulk_offered_bits",
+        "bulk_delivered_bits",
     ])
 }
 
@@ -154,6 +162,8 @@ pub fn push_traffic_site(t: &mut CsvTable, series: &crate::GoodputSeries, site: 
     let events = series.site_events(site);
     let buf = series.site_buffer(site);
     let peak = series.peak_occupancy(site);
+    let (ctl_off, ctl_del) = series.site_class_volume(site, crate::ServiceClass::Control);
+    let (blk_off, blk_del) = series.site_class_volume(site, crate::ServiceClass::Bulk);
     t.push(vec![
         site.to_string(),
         series
@@ -171,6 +181,10 @@ pub fn push_traffic_site(t: &mut CsvTable, series: &crate::GoodputSeries, site: 
             || "".into(),
             |p| format!("{:.3}", p.oldest_age_ms as f64 / 1000.0),
         ),
+        ctl_off.to_string(),
+        ctl_del.to_string(),
+        blk_off.to_string(),
+        blk_del.to_string(),
     ]);
 }
 
@@ -301,7 +315,7 @@ mod tests {
                 .expect("header")
                 .split(',')
                 .count(),
-            10
+            14
         );
     }
 
@@ -345,14 +359,17 @@ mod tests {
         series.record_buffer_evicted(PlatformId(2), 50);
         series.record_buffer_occupancy(PlatformId(2), SimTime::from_hours(10), 250, 2_000);
         series.record_buffer_occupancy(PlatformId(2), SimTime::from_hours(11), 50, 500);
+        series.record_site_class(PlatformId(2), crate::ServiceClass::Control, 100, 90);
+        series.record_site_class(PlatformId(2), crate::ServiceClass::Bulk, 900, 660);
+        series.record_site_class_drained(PlatformId(2), crate::ServiceClass::Bulk, 200);
         let mut t = traffic_table();
         push_traffic_site(&mut t, &series, PlatformId(2));
         push_traffic_site(&mut t, &series, PlatformId(3)); // never offered
         let csv = t.to_csv();
         assert!(
-            csv.contains("p2,0.950000,1,0,250,200,50,1.500,250,2.000"),
+            csv.contains("p2,0.950000,1,0,250,200,50,1.500,250,2.000,100,90,900,860"),
             "csv was: {csv}"
         );
-        assert!(csv.contains("p3,,0,0,0,0,0,,0,"));
+        assert!(csv.contains("p3,,0,0,0,0,0,,0,,0,0,0,0"));
     }
 }

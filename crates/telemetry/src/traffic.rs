@@ -125,6 +125,10 @@ pub struct GoodputSeries {
     events: BTreeMap<PlatformId, TrafficEvents>,
     /// (class, window index) → volumes, aggregated over sites.
     class_buckets: BTreeMap<(ServiceClass, u64), Volume>,
+    /// (site, class) → whole-run volumes: the per-aggregate counters
+    /// behind the hierarchical allocator's site×class nodes. One
+    /// entry per aggregate that ever offered traffic.
+    site_class: BTreeMap<(PlatformId, ServiceClass), Volume>,
     /// Per-site store-and-forward totals across the whole run.
     buffers: BTreeMap<PlatformId, BufferStats>,
     /// Fleet-wide custody-transfer totals across the whole run.
@@ -144,6 +148,7 @@ impl GoodputSeries {
             per_site: BTreeMap::new(),
             events: BTreeMap::new(),
             class_buckets: BTreeMap::new(),
+            site_class: BTreeMap::new(),
             buffers: BTreeMap::new(),
             custody: CustodyStats::default(),
             occupancy: BTreeMap::new(),
@@ -184,6 +189,40 @@ impl GoodputSeries {
         let v = self.class_buckets.entry((class, w)).or_default();
         v.offered_bits += offered_bits;
         v.delivered_bits += delivered_bits;
+    }
+
+    /// Record one tick's volume for a (site, class) aggregate — the
+    /// per-aggregate counters the hierarchical allocator's site×class
+    /// nodes export into traffic.csv. Whole-run totals, not windowed.
+    pub fn record_site_class(
+        &mut self,
+        site: PlatformId,
+        class: ServiceClass,
+        offered_bits: u64,
+        delivered_bits: u64,
+    ) {
+        debug_assert!(delivered_bits <= offered_bits);
+        let v = self.site_class.entry((site, class)).or_default();
+        v.offered_bits += offered_bits;
+        v.delivered_bits += delivered_bits;
+    }
+
+    /// Record drained bits on a (site, class) aggregate's delivered
+    /// side (the bits were offered in an earlier tick, when they
+    /// entered the buffer).
+    pub fn record_site_class_drained(&mut self, site: PlatformId, class: ServiceClass, bits: u64) {
+        self.site_class
+            .entry((site, class))
+            .or_default()
+            .delivered_bits += bits;
+    }
+
+    /// Whole-run `(offered_bits, delivered_bits)` for one (site,
+    /// class) aggregate.
+    pub fn site_class_volume(&self, site: PlatformId, class: ServiceClass) -> (u64, u64) {
+        self.site_class
+            .get(&(site, class))
+            .map_or((0, 0), |v| (v.offered_bits, v.delivered_bits))
     }
 
     /// Record Bulk bits entering a site's store-and-forward buffer

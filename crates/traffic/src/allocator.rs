@@ -52,10 +52,19 @@
 
 /// A flow's rate is capped by `u64::MAX / 2` to keep `rate + inc`
 /// overflow-free without checked arithmetic in the hot loop.
-const DEMAND_CAP_BPS: u64 = u64::MAX / 2;
+pub(crate) const DEMAND_CAP_BPS: u64 = u64::MAX / 2;
 
-/// Serial-path threshold, matching the evaluator's small-input cutoff.
-const PARALLEL_THRESHOLD: usize = 64;
+/// Default serial-path threshold for the per-round scan fan-out. A
+/// round's work per flow is one subtraction and one `div_ceil`, so
+/// spawning scoped workers only pays once the active set is genuinely
+/// large; below this the serial scan finishes long before a thread
+/// even starts. Worker count — and therefore this threshold — is
+/// bit-invisible to results (`max` is exact), so the cutoff is purely
+/// a wall-clock knob. The old cutoff of 64 made every 5k-flow bench
+/// round spawn (and join) a full worker set, which is where the
+/// 50-balloon warm-path p95 jitter in BENCH_traffic.json came from on
+/// multi-core hosts.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 65_536;
 
 /// Service class of an aggregate flow. `Control` is strict-priority:
 /// the allocator drains all control flows to saturation before bulk
@@ -105,16 +114,48 @@ impl FlowSpec {
 
 /// Weighted, classed max-min fair-share fluid allocator over a cached
 /// flow→link incidence.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FairShareAllocator {
     /// Worker cap for the scan fan-out; `0` means auto
     /// (`available_parallelism().clamp(1, 8)`), `1` forces serial.
     pub workers: usize,
+    /// Active-set size below which the per-round gap scan stays
+    /// serial ([`DEFAULT_PARALLEL_THRESHOLD`]). Bit-invisible to
+    /// results; tests lower it to force the parallel merge path.
+    pub parallel_threshold: usize,
     flow_links: Vec<Vec<u32>>,
     weights: Vec<u64>,
     classes: Vec<TrafficClass>,
     n_links: usize,
     signature: u64,
+    /// Reusable hot-loop buffers: a capacity-only tick (same topology,
+    /// new capacities) performs no heap allocation beyond first use.
+    scratch: Scratch,
+}
+
+impl Default for FairShareAllocator {
+    fn default() -> Self {
+        FairShareAllocator {
+            workers: 0,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            flow_links: Vec::new(),
+            weights: Vec::new(),
+            classes: Vec::new(),
+            n_links: 0,
+            signature: 0,
+            scratch: Scratch::default(),
+        }
+    }
+}
+
+/// Reusable per-call buffers for [`FairShareAllocator::allocate_into`].
+/// Contents are transient scratch — they carry no state between calls
+/// beyond their capacity.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    residual: Vec<u64>,
+    weight_active: Vec<u64>,
+    active: Vec<u32>,
 }
 
 /// Deterministic FNV-1a signature of a flow→link incidence, so callers
@@ -198,6 +239,46 @@ impl FairShareAllocator {
         self.n_links = n_links;
     }
 
+    /// Install a raw incidence with pre-summed `u64` weights — the
+    /// aggregate-tree entry point used by
+    /// [`crate::aggregate::HierarchicalAllocator`], where a node's
+    /// weight is the sum of its members' weights and can exceed the
+    /// `u32` of a single [`FlowSpec`]. Weights of 0 are promoted to 1.
+    pub(crate) fn set_flows_raw(
+        &mut self,
+        flow_links: Vec<Vec<u32>>,
+        weights: Vec<u64>,
+        classes: Vec<TrafficClass>,
+        n_links: usize,
+    ) {
+        assert_eq!(flow_links.len(), weights.len());
+        assert_eq!(flow_links.len(), classes.len());
+        debug_assert!(flow_links.iter().flatten().all(|&l| (l as usize) < n_links));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(n_links as u64);
+        for (i, links) in flow_links.iter().enumerate() {
+            mix(0xffff_ffff_ffff_fffe);
+            for &l in links {
+                mix(l as u64);
+            }
+            mix(0xffff_ffff_ffff_fffd);
+            mix(weights[i]);
+            mix(match classes[i] {
+                TrafficClass::Control => 0,
+                TrafficClass::Bulk => 1,
+            });
+        }
+        self.signature = h;
+        self.flow_links = flow_links;
+        self.weights = weights.into_iter().map(|w| w.max(1)).collect();
+        self.classes = classes;
+        self.n_links = n_links;
+    }
+
     /// Signature of the cached flow-spec set ([`flows_signature`]).
     pub fn topology_signature(&self) -> u64 {
         self.signature
@@ -225,7 +306,18 @@ impl FairShareAllocator {
     ///
     /// Panics if `demands` / `capacities` disagree with the cached
     /// topology's dimensions.
-    pub fn allocate(&self, demands: &[u64], capacities: &[u64]) -> Vec<u64> {
+    pub fn allocate(&mut self, demands: &[u64], capacities: &[u64]) -> Vec<u64> {
+        let mut rates = Vec::new();
+        self.allocate_into(demands, capacities, &mut rates);
+        rates
+    }
+
+    /// [`allocate`](Self::allocate) into a caller-owned vector. After
+    /// the first call, a capacity-only tick (same topology, fresh
+    /// capacities, reused `rates`) performs zero heap allocation: the
+    /// residual / active-set / per-link-weight buffers live on the
+    /// allocator and are recycled.
+    pub fn allocate_into(&mut self, demands: &[u64], capacities: &[u64], rates: &mut Vec<u64>) {
         assert_eq!(
             demands.len(),
             self.flow_links.len(),
@@ -237,43 +329,70 @@ impl FairShareAllocator {
             "capacities ≠ topology links"
         );
 
-        let mut rates = vec![0u64; demands.len()];
-        let mut residual: Vec<u64> = capacities.to_vec();
+        rates.clear();
+        rates.resize(demands.len(), 0);
         let workers = self.resolve_workers();
-        self.fill_class(
+        let Scratch {
+            residual,
+            weight_active,
+            active,
+        } = &mut self.scratch;
+        residual.clear();
+        residual.extend_from_slice(capacities);
+        weight_active.clear();
+        weight_active.resize(self.n_links, 0);
+        let pass = FillPass {
+            flow_links: &self.flow_links,
+            weights: &self.weights,
+            classes: &self.classes,
+            demands,
+            workers,
+            parallel_threshold: self.parallel_threshold,
+        };
+        pass.fill_class(
             TrafficClass::Control,
-            demands,
-            &mut rates,
-            &mut residual,
-            workers,
+            rates,
+            residual,
+            weight_active,
+            active,
         );
-        self.fill_class(
-            TrafficClass::Bulk,
-            demands,
-            &mut rates,
-            &mut residual,
-            workers,
-        );
-        rates
+        pass.fill_class(TrafficClass::Bulk, rates, residual, weight_active, active);
     }
+}
 
+/// Borrowed view of one allocation call's immutable inputs, split off
+/// from the allocator so [`fill_class`](FillPass::fill_class) can run
+/// against the scratch buffers without aliasing `&mut self`.
+struct FillPass<'a> {
+    flow_links: &'a [Vec<u32>],
+    weights: &'a [u64],
+    classes: &'a [TrafficClass],
+    demands: &'a [u64],
+    workers: usize,
+    parallel_threshold: usize,
+}
+
+impl FillPass<'_> {
     /// Progressive-fill one class against the current residual
     /// capacities, mutating `rates` and `residual` in place.
+    /// `weight_active` must be all-zero on entry (length `n_links`)
+    /// and is restored to all-zero on exit; `active` is transient.
     fn fill_class(
         &self,
         class: TrafficClass,
-        demands: &[u64],
         rates: &mut [u64],
         residual: &mut [u64],
-        workers: usize,
+        weight_active: &mut [u64],
+        active: &mut Vec<u32>,
     ) {
-        // Per-link sum of active-flow weights: the bps a link consumes
-        // per unit of fill level.
-        let mut weight_active: Vec<u64> = vec![0; self.n_links];
+        debug_assert!(weight_active.iter().all(|&w| w == 0));
+        let demands = self.demands;
 
         // Flows with zero demand (or no links at all) resolve
-        // immediately; the rest start active.
-        let mut active: Vec<u32> = Vec::new();
+        // immediately; the rest start active. `weight_active[l]` is
+        // the per-link sum of active-flow weights: the bps link `l`
+        // consumes per unit of fill level.
+        active.clear();
         for (f, links) in self.flow_links.iter().enumerate() {
             if self.classes[f] != class {
                 continue;
@@ -298,7 +417,7 @@ impl FairShareAllocator {
             // weight.
             let link_share = residual
                 .iter()
-                .zip(&weight_active)
+                .zip(weight_active.iter())
                 .filter(|(_, &w)| w > 0)
                 .map(|(&r, &w)| r / w)
                 .min()
@@ -310,11 +429,18 @@ impl FairShareAllocator {
             // round instead of one per round. Chunk-ordered scoped
             // scan; max is exact, so the merge is worker-count
             // independent by construction.
-            let gap_units = max_gap_units(&active, demands, rates, &self.weights, workers);
+            let gap_units = max_gap_units(
+                active,
+                demands,
+                rates,
+                self.weights,
+                self.workers,
+                self.parallel_threshold,
+            );
 
             let delta = link_share.min(gap_units);
             if delta > 0 {
-                for &f in &active {
+                for &f in active.iter() {
                     let fi = f as usize;
                     let gap = demands[fi].min(DEMAND_CAP_BPS) - rates[fi];
                     // Clamp each flow's rise to its own gap; a link
@@ -333,16 +459,18 @@ impl FairShareAllocator {
             // active weight). The flow attaining the largest gap — or
             // every flow on the minimizing link — freezes, so each
             // round makes progress.
+            let flow_links = self.flow_links;
+            let weights = self.weights;
             active.retain(|&f| {
                 let fi = f as usize;
                 let done = rates[fi] >= demands[fi].min(DEMAND_CAP_BPS)
-                    || self.flow_links[fi].iter().any(|&l| {
+                    || flow_links[fi].iter().any(|&l| {
                         let li = l as usize;
                         residual[li] / weight_active[li] == 0
                     });
                 if done {
-                    for &l in &self.flow_links[fi] {
-                        weight_active[l as usize] -= self.weights[fi];
+                    for &l in &flow_links[fi] {
+                        weight_active[l as usize] -= weights[fi];
                     }
                 }
                 !done
@@ -353,19 +481,20 @@ impl FairShareAllocator {
 
 /// Maximum `ceil((demand - rate) / weight)` over the active flows,
 /// fanned across scoped workers in contiguous chunks (serial below
-/// [`PARALLEL_THRESHOLD`]).
+/// `parallel_threshold`).
 fn max_gap_units(
     active: &[u32],
     demands: &[u64],
     rates: &[u64],
     weights: &[u64],
     workers: usize,
+    parallel_threshold: usize,
 ) -> u64 {
     let gap_units = |f: u32| {
         let fi = f as usize;
         (demands[fi].min(DEMAND_CAP_BPS) - rates[fi]).div_ceil(weights[fi])
     };
-    if active.len() < PARALLEL_THRESHOLD || workers == 1 {
+    if active.len() < parallel_threshold || workers == 1 {
         return active.iter().map(|&f| gap_units(f)).max().unwrap_or(0);
     }
     let chunk_len = active.len().div_ceil(workers);
@@ -399,7 +528,7 @@ mod tests {
         // Link 0: 100 Mbps shared by flows 0,1,2; link 1: 40 Mbps
         // shared by flows 1,2. Max-min: flows 1,2 bottleneck at 20
         // each on link 1; flow 0 takes the rest of link 0 → 60.
-        let a = alloc(vec![vec![0], vec![0, 1], vec![0, 1]], 2, 1);
+        let mut a = alloc(vec![vec![0], vec![0, 1], vec![0, 1]], 2, 1);
         let rates = a.allocate(&[1_000_000_000; 3], &[100_000_000, 40_000_000]);
         assert_eq!(rates, vec![60_000_000, 20_000_000, 20_000_000]);
     }
@@ -407,21 +536,21 @@ mod tests {
     #[test]
     fn demand_caps_bind_before_links() {
         // Flow 0 only wants 10; flows 1,2 split the rest of link 0.
-        let a = alloc(vec![vec![0], vec![0], vec![0]], 1, 1);
+        let mut a = alloc(vec![vec![0], vec![0], vec![0]], 1, 1);
         let rates = a.allocate(&[10, 1_000, 1_000], &[100]);
         assert_eq!(rates, vec![10, 45, 45]);
     }
 
     #[test]
     fn linkless_and_zero_demand_flows() {
-        let a = alloc(vec![vec![], vec![0], vec![0]], 1, 1);
+        let mut a = alloc(vec![vec![], vec![0], vec![0]], 1, 1);
         let rates = a.allocate(&[500, 0, 80], &[100]);
         assert_eq!(rates, vec![500, 0, 80]);
     }
 
     #[test]
     fn zero_capacity_link_starves_its_flows() {
-        let a = alloc(vec![vec![0], vec![1]], 2, 1);
+        let mut a = alloc(vec![vec![0], vec![1]], 2, 1);
         let rates = a.allocate(&[100, 100], &[0, 100]);
         assert_eq!(rates, vec![0, 100]);
     }
@@ -485,7 +614,7 @@ mod tests {
         let fl: Vec<Vec<u32>> = (0..n).map(|_| vec![0]).collect();
         let demands: Vec<u64> = (0..n).map(|f| 1_000 + f * 7).collect();
         let total: u64 = demands.iter().sum();
-        let a = alloc(fl, 1, 1);
+        let mut a = alloc(fl, 1, 1);
         let rates = a.allocate(&demands, &[total + 1]);
         assert_eq!(rates, demands);
     }
@@ -503,7 +632,7 @@ mod tests {
         ];
         let demands = [37, 91, 13, 70, 55, 28];
         let caps = [90u64, 60, 50];
-        let a = alloc(fl.clone(), 3, 1);
+        let mut a = alloc(fl.clone(), 3, 1);
         let rates = a.allocate(&demands, &caps);
         for (f, &r) in rates.iter().enumerate() {
             assert!(r <= demands[f], "flow {f} over demand");
@@ -527,7 +656,7 @@ mod tests {
         let fl = vec![vec![0, 1], vec![1], vec![0], vec![0, 1], vec![1]];
         let demands = [200u64, 35, 90, 10, 500];
         let caps = [120u64, 100];
-        let a = alloc(fl.clone(), 2, 1);
+        let mut a = alloc(fl.clone(), 2, 1);
         let rates = a.allocate(&demands, &caps);
         for f in 0..fl.len() {
             if rates[f] >= demands[f] {
@@ -581,11 +710,51 @@ mod tests {
         let base = base_alloc.allocate(&demands, &caps);
         for workers in [2, 3, 8, 0] {
             let mut a = FairShareAllocator::new(workers);
+            // Force the chunked fan-out (5000 < the default serial
+            // cutoff) so the parallel merge path stays under test.
+            a.parallel_threshold = 64;
             a.set_flows(specs.clone(), n_links);
             assert_eq!(
                 a.allocate(&demands, &caps),
                 base,
                 "workers={workers} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh() {
+        // Repeated capacity-only calls on one allocator (recycled
+        // scratch + rates buffers) must match a fresh allocator per
+        // call, and the reused rates vector must be fully overwritten.
+        let specs: Vec<FlowSpec> = (0..200u32)
+            .map(|f| {
+                FlowSpec::new(
+                    vec![f % 7, (f + 3) % 7],
+                    1 + f % 3,
+                    if f % 11 == 0 {
+                        TrafficClass::Control
+                    } else {
+                        TrafficClass::Bulk
+                    },
+                )
+            })
+            .collect();
+        let demands: Vec<u64> = (0..200u64).map(|f| 1_000 + f * 37).collect();
+        let mut reused = FairShareAllocator::new(1);
+        reused.set_flows(specs.clone(), 7);
+        let mut rates = Vec::new();
+        for step in 0..4u64 {
+            let caps: Vec<u64> = (0..7u64)
+                .map(|l| 40_000 + l * 1_000 + step * 13_000)
+                .collect();
+            reused.allocate_into(&demands, &caps, &mut rates);
+            let mut fresh = FairShareAllocator::new(1);
+            fresh.set_flows(specs.clone(), 7);
+            assert_eq!(
+                rates,
+                fresh.allocate(&demands, &caps),
+                "step {step} diverged"
             );
         }
     }

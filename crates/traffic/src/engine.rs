@@ -21,6 +21,7 @@ use tssdn_dataplane::{BufferedChunk, StoreForwardBuffer};
 use tssdn_sim::{PlatformId, RngStreams, SimDuration, SimTime};
 use tssdn_telemetry::GoodputSeries;
 
+use crate::aggregate::{AggregateMember, AggregateSpec, HierarchicalAllocator};
 use crate::allocator::{FairShareAllocator, FlowSpec, TrafficClass};
 use crate::demand::{DemandConfig, DemandGenerator};
 
@@ -79,6 +80,11 @@ pub struct TrafficConfig {
     /// path (when the view carries one), weighted by bottleneck
     /// headroom. Control flows always ride the primary path.
     pub multipath: bool,
+    /// Allocate over per-site × service-class aggregates instead of
+    /// individual flows (the million-flow path; see
+    /// [`crate::aggregate`]). Off restores the flat per-flow
+    /// water-fill.
+    pub hierarchical: bool,
     /// Delay-tolerant buffering for routeless Bulk traffic.
     pub store_forward: StoreForwardConfig,
 }
@@ -93,6 +99,7 @@ impl Default for TrafficConfig {
             feedback_alpha: 0.2,
             window_ms: 24 * 3600 * 1000,
             multipath: true,
+            hierarchical: true,
             store_forward: StoreForwardConfig::default(),
         }
     }
@@ -253,7 +260,18 @@ pub struct TickSummary {
 pub struct TrafficEngine {
     config: TrafficConfig,
     demand: DemandGenerator,
+    /// The flat per-flow allocator (used when
+    /// [`TrafficConfig::hierarchical`] is off).
     allocator: FairShareAllocator,
+    /// The aggregate-tree allocator (used when
+    /// [`TrafficConfig::hierarchical`] is on).
+    hier: HierarchicalAllocator,
+    /// Allocator flow count of the cached topology (demand flows plus
+    /// appended alt subflows).
+    n_alloc: usize,
+    /// Reused per-tick rate vector, so capacity-only ticks make no
+    /// allocator-side heap allocation.
+    rates_buf: Vec<u64>,
     series: GoodputSeries,
     flow_stats: Vec<FlowStats>,
     /// Signature of the paths the cached incidence was built from.
@@ -301,6 +319,9 @@ impl TrafficEngine {
             config,
             demand,
             allocator: FairShareAllocator::new(config.workers),
+            hier: HierarchicalAllocator::new(config.workers),
+            n_alloc: 0,
+            rates_buf: Vec::new(),
             series: GoodputSeries::new(config.window_ms),
             flow_stats: vec![FlowStats::default(); n_flows],
             paths_sig: None,
@@ -412,23 +433,12 @@ impl TrafficEngine {
         }
         let n_links = self.links.len();
 
-        // One allocator flow per demand flow on its primary path
-        // (indices align with FlowId), plus an appended alt subflow
-        // for each bulk flow whose site is dual-path.
-        let mut specs: Vec<FlowSpec> = self
-            .demand
-            .flows()
-            .iter()
-            .map(|f| {
-                let links = self
-                    .site_path_ids
-                    .get(&f.site)
-                    .map(|(p, _)| p.clone())
-                    .unwrap_or_default();
-                FlowSpec::new(links, f.tier_weight, f.class)
-            })
-            .collect();
-        self.alt_subflow = vec![None; specs.len()];
+        // Allocator index space: one flow per demand flow on its
+        // primary path (indices align with FlowId), plus an appended
+        // alt subflow for each bulk flow whose site is dual-path.
+        let n_flows = self.demand.flows().len();
+        self.alt_subflow = vec![None; n_flows];
+        let mut next_alt = n_flows as u32;
         for (fi, f) in self.demand.flows().iter().enumerate() {
             if f.class != TrafficClass::Bulk {
                 continue;
@@ -439,10 +449,91 @@ impl TrafficEngine {
             if alt.is_empty() {
                 continue;
             }
-            self.alt_subflow[fi] = Some(specs.len() as u32);
-            specs.push(FlowSpec::new(alt.clone(), f.tier_weight, f.class));
+            self.alt_subflow[fi] = Some(next_alt);
+            next_alt += 1;
         }
-        self.allocator.set_flows(specs, n_links);
+        self.n_alloc = next_alt as usize;
+
+        if self.config.hierarchical {
+            // Site×class aggregate tree: the flows of one (site,
+            // class, path) triple cross identical links, so each
+            // becomes one aggregate node. Demand flows are site-major
+            // (DemandGenerator order), so a linear key-change walk
+            // yields the groups deterministically; alt subflows form
+            // their own per-site Bulk aggregates over the alternate
+            // path.
+            let mut groups: Vec<AggregateSpec> = Vec::new();
+            let mut last: Option<(PlatformId, TrafficClass)> = None;
+            for (fi, f) in self.demand.flows().iter().enumerate() {
+                if last != Some((f.site, f.class)) {
+                    let links = self
+                        .site_path_ids
+                        .get(&f.site)
+                        .map(|(p, _)| p.clone())
+                        .unwrap_or_default();
+                    groups.push(AggregateSpec {
+                        links,
+                        class: f.class,
+                        members: Vec::new(),
+                    });
+                    last = Some((f.site, f.class));
+                }
+                groups
+                    .last_mut()
+                    .expect("group pushed")
+                    .members
+                    .push(AggregateMember {
+                        flow: fi as u32,
+                        weight: f.tier_weight,
+                    });
+            }
+            let mut last_site: Option<PlatformId> = None;
+            for (fi, f) in self.demand.flows().iter().enumerate() {
+                let Some(ai) = self.alt_subflow[fi] else {
+                    continue;
+                };
+                if last_site != Some(f.site) {
+                    let (_, alt) = &self.site_path_ids[&f.site];
+                    groups.push(AggregateSpec {
+                        links: alt.clone(),
+                        class: TrafficClass::Bulk,
+                        members: Vec::new(),
+                    });
+                    last_site = Some(f.site);
+                }
+                groups
+                    .last_mut()
+                    .expect("group pushed")
+                    .members
+                    .push(AggregateMember {
+                        flow: ai,
+                        weight: f.tier_weight,
+                    });
+            }
+            self.hier.set_aggregates(groups, n_links, self.n_alloc);
+        } else {
+            let mut specs: Vec<FlowSpec> = self
+                .demand
+                .flows()
+                .iter()
+                .map(|f| {
+                    let links = self
+                        .site_path_ids
+                        .get(&f.site)
+                        .map(|(p, _)| p.clone())
+                        .unwrap_or_default();
+                    FlowSpec::new(links, f.tier_weight, f.class)
+                })
+                .collect();
+            for (fi, f) in self.demand.flows().iter().enumerate() {
+                if let Some(ai) = self.alt_subflow[fi] {
+                    debug_assert_eq!(ai as usize, specs.len());
+                    let (_, alt) = &self.site_path_ids[&f.site];
+                    specs.push(FlowSpec::new(alt.clone(), f.tier_weight, f.class));
+                }
+            }
+            self.allocator.set_flows(specs, n_links);
+        }
     }
 
     /// Bottleneck capacity of a cached path (min over its link ids).
@@ -479,7 +570,7 @@ impl TrafficEngine {
         // sites present zero demand to the allocator (their offered
         // bits still count against goodput when the site is eligible).
         let n_flows = self.demand.flows().len();
-        let n_alloc = self.allocator.n_flows();
+        let n_alloc = self.n_alloc;
         let capacities: Vec<u64> = self
             .links
             .iter()
@@ -621,13 +712,21 @@ impl TrafficEngine {
             }
         }
 
-        let rates = self.allocator.allocate(&demands, &capacities);
+        let mut rates = std::mem::take(&mut self.rates_buf);
+        if self.config.hierarchical {
+            self.hier.allocate_into(&demands, &capacities, &mut rates);
+        } else {
+            self.allocator
+                .allocate_into(&demands, &capacities, &mut rates);
+        }
+        let rates = rates;
 
         // Account bits per flow, per site, and per class (an alt
         // subflow's rate folds back into its demand flow).
         let mut site_offered: BTreeMap<PlatformId, u64> = BTreeMap::new();
         let mut site_delivered: BTreeMap<PlatformId, u64> = BTreeMap::new();
         let mut class_bits: BTreeMap<TrafficClass, (u64, u64)> = BTreeMap::new();
+        let mut site_class_bits: BTreeMap<(PlatformId, TrafficClass), (u64, u64)> = BTreeMap::new();
         let mut total_offered = 0u64;
         let mut total_delivered = 0u64;
         let mut flows_active = 0usize;
@@ -660,12 +759,23 @@ impl TrafficEngine {
                     let bits = class_bits.entry(flow.class).or_default();
                     bits.0 += offered[f] * dt_ms / 1000;
                     bits.1 += delivered * dt_ms / 1000;
+                    // Per-aggregate counters: the hierarchical
+                    // allocator's site×class nodes, accounted whether
+                    // or not aggregation is on so the two modes export
+                    // comparable tables.
+                    let sc = site_class_bits.entry((flow.site, flow.class)).or_default();
+                    sc.0 += offered[f] * dt_ms / 1000;
+                    sc.1 += delivered * dt_ms / 1000;
                 }
             }
         }
         for (class, &(off_bits, del_bits)) in &class_bits {
             self.series
                 .record_class(class_label(*class), now, off_bits, del_bits);
+        }
+        for (&(site, class), &(off_bits, del_bits)) in &site_class_bits {
+            self.series
+                .record_site_class(site, class_label(class), off_bits, del_bits);
         }
         for (site, &off) in &site_offered {
             let del = site_delivered.get(site).copied().unwrap_or(0);
@@ -760,6 +870,11 @@ impl TrafficEngine {
                 for (origin, (o_bits, o_age)) in by_origin {
                     self.series
                         .record_buffer_drained(origin, now, o_bits, o_age);
+                    self.series.record_site_class_drained(
+                        origin,
+                        tssdn_telemetry::ServiceClass::Bulk,
+                        o_bits,
+                    );
                 }
                 self.series
                     .record_class_drained(tssdn_telemetry::ServiceClass::Bulk, now, bits);
@@ -837,6 +952,7 @@ impl TrafficEngine {
 
         self.last_paths = view.paths.clone();
         self.last_offered = site_offered;
+        self.rates_buf = rates;
 
         // Conservation must hold at every tick boundary, not just at
         // run end: every queued bit is accounted for as drained,

@@ -16,8 +16,15 @@
 //!   bulk, and a batch-freeze round structure; integer bps arithmetic
 //!   and chunk-ordered scoped workers make the result bit-identical
 //!   across worker counts; capacity-only changes reuse the cached
-//!   flow→link incidence. [`reference`] keeps the pre-tiering filler
-//!   and an unbatched weighted filler as proptest oracles.
+//!   flow→link incidence. [`reference`] keeps the pre-tiering filler,
+//!   an unbatched weighted filler, and a naive hierarchical filler as
+//!   proptest oracles.
+//! * [`aggregate`] — the million-flow path
+//!   ([`HierarchicalAllocator`]): per-site × service-class aggregate
+//!   nodes water-filled exactly over the (much smaller) aggregate
+//!   tree, with each node's grant distributed back to member flows by
+//!   weight in exact u64 arithmetic; bit-identical to the flat
+//!   allocator whenever aggregation is lossless.
 //! * [`engine`] — the per-tick loop ([`TrafficEngine`]): offer
 //!   demand, allocate over the [`TopologyView`] the orchestrator
 //!   derives from its programmed routes and true link margins
@@ -32,11 +39,13 @@
 //! and inputs produce bit-identical goodput regardless of worker
 //! count (enforced by `tests/traffic_determinism.rs`).
 
+pub mod aggregate;
 pub mod allocator;
 pub mod demand;
 pub mod engine;
 pub mod reference;
 
+pub use aggregate::{AggregateMember, AggregateSpec, HierarchicalAllocator};
 pub use allocator::{
     flows_signature, incidence_signature, FairShareAllocator, FlowSpec, TrafficClass,
 };

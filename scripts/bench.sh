@@ -5,7 +5,9 @@
 #                                  # (25/50/100/100-dispersed fleets),
 #                                  # BENCH_traffic.json (25/50/100-
 #                                  # balloon meshes, ≥5k aggregate
-#                                  # flows), BENCH_snf_ab.json (E18)
+#                                  # flows, plus the 1M-flow
+#                                  # hierarchical tier),
+#                                  # BENCH_snf_ab.json (E18)
 #                                  # and BENCH_custody_ab.json (E19)
 #   ./scripts/bench.sh --smoke     # quick runs, wired into verify.sh:
 #                                  # planning writes no file but proves
@@ -45,8 +47,10 @@ fi
 cargo run --release -q -p tssdn-bench --bin planning_hot_path -- \
   ${planning_args[@]+"${planning_args[@]}"}
 
-# The traffic bench always records the full 25/50/100 ladder; smoke
-# only shrinks the iteration count.
+# The traffic bench always records the full 25/50/100 flat ladder
+# plus the 1000-balloon × 1M-flow hierarchical tier (identity,
+# lossless-collapse, tick-budget, and warm≤cold gates in both modes);
+# smoke only shrinks the iteration count.
 cargo run --release -q -p tssdn-bench --bin traffic_scale -- \
   ${smoke:+"$smoke"} --out "$out_dir/BENCH_traffic.json"
 

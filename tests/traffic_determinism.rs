@@ -3,8 +3,11 @@
 //! contract style as `golden_determinism`, extended to the E17
 //! subsystem.
 //!
-//! Three contracts:
+//! Four contracts:
 //!
+//! * **Arm parity** — both allocator arms (hierarchical site×class
+//!   aggregation, the default, and the flat per-flow fill) honor the
+//!   contracts below independently.
 //! * **Worker invisibility** — the max-min allocator fans its scans
 //!   across scoped workers; integer arithmetic plus chunk-ordered
 //!   merges mean `workers = 1` and `workers = 8` (and auto) produce
@@ -21,6 +24,10 @@ use tssdn_sim::{PlatformId, SimDuration, SimTime};
 const N_BALLOONS: usize = 5;
 
 fn world(seed: u64, traffic_workers: Option<usize>) -> Orchestrator {
+    world_with(seed, traffic_workers, true)
+}
+
+fn world_with(seed: u64, traffic_workers: Option<usize>, hierarchical: bool) -> Orchestrator {
     let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
     cfg.fleet.spawn_radius_m = 150_000.0;
     cfg.tick = SimDuration::from_secs(10);
@@ -28,6 +35,7 @@ fn world(seed: u64, traffic_workers: Option<usize>) -> Orchestrator {
     cfg.probe_interval = SimDuration::from_secs(30);
     cfg.traffic = traffic_workers.map(|workers| TrafficConfig {
         workers,
+        hierarchical,
         ..TrafficConfig::default()
     });
     Orchestrator::new(cfg)
@@ -35,8 +43,14 @@ fn world(seed: u64, traffic_workers: Option<usize>) -> Orchestrator {
 
 /// Run one simulated day, appending an hourly traffic checkpoint: the
 /// exact bit totals, per-site events, and demand-digest weights.
+/// `traffic_digest` runs the default (hierarchical, aggregation-on)
+/// engine; `traffic_digest_with` picks the arm.
 fn traffic_digest(seed: u64, workers: usize) -> String {
-    let mut o = world(seed, Some(workers));
+    traffic_digest_with(seed, workers, true)
+}
+
+fn traffic_digest_with(seed: u64, workers: usize, hierarchical: bool) -> String {
+    let mut o = world_with(seed, Some(workers), hierarchical);
     let end = SimTime::from_hours(24);
     let mut digest = String::new();
     while o.now() < end {
@@ -102,6 +116,21 @@ fn goodput_is_identical_across_reruns() {
     let a = traffic_digest(20220822, 1);
     let b = traffic_digest(20220822, 1);
     assert!(a == b, "traffic digests diverged between identical runs");
+}
+
+/// The flat (aggregation-off) arm carries the same determinism
+/// contracts: byte-identical across reruns and worker counts. The two
+/// arms legitimately differ from each other under congestion (the
+/// flat fill's sequential freeze cascade is flow-granular), so this
+/// gates each arm against itself, not against the other.
+#[test]
+fn flat_arm_is_deterministic_across_workers_and_reruns() {
+    let serial = traffic_digest_with(20220822, 1, false);
+    assert!(serial.contains("offered="), "digest has checkpoints");
+    let rerun = traffic_digest_with(20220822, 1, false);
+    assert!(rerun == serial, "flat-arm digests diverged between reruns");
+    let auto = traffic_digest_with(20220822, 0, false);
+    assert!(auto == serial, "flat-arm auto workers diverged from serial");
 }
 
 /// With demand feedback active the solver sees different request

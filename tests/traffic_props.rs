@@ -1,11 +1,21 @@
 //! Property-based tests for the tiered-service traffic allocator:
 //! fairness within a class, strict priority across classes, and
 //! byte-identity of the batch-freeze production filler against the
-//! slow reference fillers (`tssdn_traffic::reference`).
+//! slow reference fillers (`tssdn_traffic::reference`) — plus the
+//! hierarchical site×class aggregation layer's contracts: lossless
+//! collapse to the flat allocator on singleton and uncongested
+//! inputs, byte-identity against the naive hierarchical oracle,
+//! per-link feasibility, and control isolation through the aggregate
+//! tree.
 
 use proptest::prelude::*;
-use tssdn_traffic::reference::{allocate_reference, allocate_weighted_unbatched};
-use tssdn_traffic::{FairShareAllocator, FlowSpec, TrafficClass};
+use tssdn_traffic::reference::{
+    allocate_hierarchical_reference, allocate_reference, allocate_weighted_unbatched,
+};
+use tssdn_traffic::{
+    AggregateMember, AggregateSpec, FairShareAllocator, FlowSpec, HierarchicalAllocator,
+    TrafficClass,
+};
 
 const N_LINKS: usize = 6;
 
@@ -56,6 +66,50 @@ fn allocate(specs: &[FlowSpec], demands: &[u64], caps: &[u64]) -> Vec<u64> {
     let mut a = FairShareAllocator::new(1);
     a.set_flows(specs.to_vec(), N_LINKS);
     a.allocate(demands, caps)
+}
+
+/// Fold the raw flows into aggregates keyed by (link set, class) —
+/// the invariant real site×class aggregation guarantees (members of
+/// one aggregate cross identical links), over arbitrary generated
+/// flow sets.
+fn groups_of(flows: &[RawFlow]) -> Vec<AggregateSpec> {
+    let mut keys: Vec<(u8, TrafficClass)> = Vec::new();
+    let mut groups: Vec<AggregateSpec> = Vec::new();
+    for (fi, &(mask, w, pick, _)) in flows.iter().enumerate() {
+        let class = if pick == 0 {
+            TrafficClass::Control
+        } else {
+            TrafficClass::Bulk
+        };
+        let gi = keys
+            .iter()
+            .position(|&k| k == (mask, class))
+            .unwrap_or_else(|| {
+                keys.push((mask, class));
+                groups.push(AggregateSpec {
+                    links: (0..N_LINKS as u32).filter(|l| mask >> l & 1 == 1).collect(),
+                    class,
+                    members: Vec::new(),
+                });
+                groups.len() - 1
+            });
+        groups[gi].members.push(AggregateMember {
+            flow: fi as u32,
+            weight: w,
+        });
+    }
+    groups
+}
+
+fn allocate_hier(
+    groups: &[AggregateSpec],
+    n_flows: usize,
+    demands: &[u64],
+    caps: &[u64],
+) -> Vec<u64> {
+    let mut h = HierarchicalAllocator::new(1);
+    h.set_aggregates(groups.to_vec(), N_LINKS, n_flows);
+    h.allocate(demands, caps)
 }
 
 proptest! {
@@ -210,6 +264,116 @@ proptest! {
                         (rates[b], specs[b].weight)
                     );
                 }
+            }
+        }
+    }
+
+    /// Lossless collapse, singleton form: with one flow per
+    /// aggregate, the hierarchical tree is a relabeling of the flat
+    /// problem, so the distributed rates are byte-identical to the
+    /// flat allocator on arbitrary inputs — congested or not.
+    #[test]
+    fn singleton_hierarchy_collapses_to_flat(case in raw_case()) {
+        let (flows, caps) = case;
+        let specs = specs_of(&flows);
+        let demands = demands_of(&flows);
+        let singleton: Vec<AggregateSpec> = specs
+            .iter()
+            .enumerate()
+            .map(|(fi, s)| AggregateSpec {
+                links: s.links.clone(),
+                class: s.class,
+                members: vec![AggregateMember { flow: fi as u32, weight: s.weight }],
+            })
+            .collect();
+        let hier = allocate_hier(&singleton, specs.len(), &demands, &caps);
+        let flat = allocate(&specs, &demands, &caps);
+        prop_assert_eq!(hier, flat);
+    }
+
+    /// Lossless collapse, uncongested form: when every link has
+    /// headroom for the full offered load, both the flat and the
+    /// hierarchical allocator grant every flow its exact demand —
+    /// multi-member aggregation loses nothing without contention.
+    #[test]
+    fn uncongested_aggregation_is_lossless(
+        flows in prop::collection::vec((0u8..64, 1u32..5, 0u8..4, 0u64..50_000), 1..12),
+    ) {
+        // ≤12 flows × <50k demand < 600k — 1M bps per link clears it.
+        let caps = vec![1_000_000u64; N_LINKS];
+        let specs = specs_of(&flows);
+        let demands = demands_of(&flows);
+        let groups = groups_of(&flows);
+        let hier = allocate_hier(&groups, specs.len(), &demands, &caps);
+        let flat = allocate(&specs, &demands, &caps);
+        prop_assert_eq!(&hier, &flat);
+        prop_assert_eq!(&hier, &demands);
+    }
+
+    /// The optimized hierarchical allocator (batch-freeze fill,
+    /// recycled scratch) is byte-identical to the naive
+    /// one-freeze-per-round hierarchical oracle on arbitrary grouped
+    /// inputs.
+    #[test]
+    fn hierarchical_matches_naive_reference(case in raw_case()) {
+        let (flows, caps) = case;
+        let demands = demands_of(&flows);
+        let groups = groups_of(&flows);
+        let fast = allocate_hier(&groups, flows.len(), &demands, &caps);
+        let slow = allocate_hierarchical_reference(&groups, N_LINKS, flows.len(), &demands, &caps);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Feasibility through the aggregate tree: no member exceeds its
+    /// demand, and no link carries more than its capacity when each
+    /// member's rate is charged to its aggregate's link set.
+    #[test]
+    fn hierarchical_allocation_is_feasible(case in raw_case()) {
+        let (flows, caps) = case;
+        let demands = demands_of(&flows);
+        let groups = groups_of(&flows);
+        let rates = allocate_hier(&groups, flows.len(), &demands, &caps);
+        let mut carried = [0u64; N_LINKS];
+        for g in &groups {
+            for m in &g.members {
+                let f = m.flow as usize;
+                prop_assert!(rates[f] <= demands[f], "flow {f} over demand");
+                if g.links.is_empty() {
+                    prop_assert_eq!(rates[f], demands[f], "linkless flow {f} uncapped");
+                }
+                for &l in &g.links {
+                    carried[l as usize] += rates[f];
+                }
+            }
+        }
+        for l in 0..N_LINKS {
+            prop_assert!(carried[l] <= caps[l], "link {l}: {} > {}", carried[l], caps[l]);
+        }
+    }
+
+    /// Strict priority survives aggregation: zeroing all bulk demand
+    /// changes no control member's rate — control aggregates are
+    /// filled as if bulk did not exist, and the within-aggregate
+    /// distribution sees the same budget either way.
+    #[test]
+    fn hierarchical_control_ignores_bulk_load(case in raw_case()) {
+        let (flows, caps) = case;
+        let demands = demands_of(&flows);
+        let groups = groups_of(&flows);
+        let with_bulk = allocate_hier(&groups, flows.len(), &demands, &caps);
+        let control_only: Vec<u64> = flows
+            .iter()
+            .enumerate()
+            .map(|(f, &(_, _, pick, _))| if pick == 0 { demands[f] } else { 0 })
+            .collect();
+        let without_bulk = allocate_hier(&groups, flows.len(), &control_only, &caps);
+        for g in &groups {
+            if g.class != TrafficClass::Control {
+                continue;
+            }
+            for m in &g.members {
+                let f = m.flow as usize;
+                prop_assert_eq!(with_bulk[f], without_bulk[f], "control flow {} perturbed", f);
             }
         }
     }
