@@ -20,8 +20,12 @@
 //! `traffic.csv` (per-site), `goodput_windows.csv` (per-window
 //! series), `traffic_classes.csv` (control vs bulk).
 
-use tssdn_bench::{days, seed, standard_config};
-use tssdn_core::{Orchestrator, TrafficConfig};
+use tssdn_bench::{days, seed};
+use tssdn_core::Orchestrator;
+use tssdn_scenario::{
+    DemandSpec, FaultsSpec, FleetSpec, Geography, ScenarioSpec, TrafficSpec, WeatherRegime,
+    WeatherSpec,
+};
 use tssdn_sim::{PlatformId, SimTime};
 use tssdn_telemetry::export::{
     goodput_windows_table, push_goodput_window, push_traffic_class, push_traffic_site,
@@ -29,17 +33,39 @@ use tssdn_telemetry::export::{
 };
 use tssdn_telemetry::Layer;
 
-/// One full scenario run; `multipath` toggles both the controller's
-/// alternate-route programming and the engine's load splitting.
-fn run(num_days: u64, multipath: bool) -> Orchestrator {
-    let mut cfg = standard_config(12, num_days, seed());
-    cfg.fleet.spawn_radius_m = 220_000.0;
-    cfg.multipath_routes = multipath;
-    cfg.traffic = Some(TrafficConfig {
+/// The E17 world as a spec: 12 balloons spread over 220 km, stormy
+/// wet-season afternoons with the production-like gauge belief, the
+/// default diurnal demand model. `multipath` toggles both the
+/// controller's alternate-route programming and the engine's load
+/// splitting (the spec's one flag drives both, as the old hand-built
+/// config did).
+fn spec_for(num_days: u64, multipath: bool) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("fig_goodput_{}", if multipath { "multi" } else { "single" }),
+        seed: seed(),
+        duration_hours: num_days * 24,
         multipath,
-        ..TrafficConfig::default()
-    });
-    let mut o = Orchestrator::new(cfg);
+        fleet: FleetSpec {
+            geography: Geography::Kenya,
+            n_balloons: 12,
+            spawn_radius_km: 220.0,
+        },
+        demand: DemandSpec::default(),
+        weather: WeatherSpec {
+            regime: WeatherRegime::Stormy {
+                intensity: 1.0,
+                days: num_days,
+            },
+            gauges: true,
+        },
+        faults: FaultsSpec::Quiet,
+        traffic: TrafficSpec::default(),
+    }
+}
+
+/// One full scenario run.
+fn run(num_days: u64, multipath: bool) -> Orchestrator {
+    let mut o = spec_for(num_days, multipath).build();
     for d in 1..=num_days {
         o.run_until(SimTime::from_days(d));
         let s = o.traffic().expect("traffic enabled").series();

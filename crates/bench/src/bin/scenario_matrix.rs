@@ -1,0 +1,198 @@
+//! E21 — the scenario matrix: every catalog scenario run to a
+//! scorecard, gated on floors and rerun byte-identity.
+//!
+//! For each entry in the scenario catalog (`tssdn-scenario`) the
+//! runner builds the spec's world twice from scratch, runs both to the
+//! spec's horizon, and renders both scorecards to JSON. Three gates,
+//! any failure exits nonzero:
+//!
+//! * **identity** — the two renderings are byte-identical (the
+//!   determinism contract extended to every scorecard row);
+//! * **floors** — the scorecard meets the entry's `ScorecardFloors`:
+//!   per-scenario service minimums plus the invariant rows (Control
+//!   goodput ≥ 0.99 whenever offered, SNF conservation, custody ledger
+//!   balance, no stale alternate routes);
+//! * **spec round-trip** — the spec survives JSON encode/decode
+//!   losslessly (the artifact on disk reconstructs the same world).
+//!
+//! Artifacts: `<out>/scorecards/<name>.json` (spec + floors +
+//! scorecard per scenario) and `<out>/scorecards/summary.csv` (one row
+//! per scenario).
+//!
+//! Flags: `--smoke` runs the small 3-scenario CI subset; `--only NAME`
+//! runs a single scenario by catalog name; `--out DIR` overrides the
+//! artifact directory (default `artifact_out`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use tssdn_scenario::{catalog, run_scenario, smoke_catalog, CatalogEntry, ScenarioSpec};
+
+/// Re-indent a pretty JSON blob for embedding inside an object.
+fn indent(text: &str, pad: &str) -> String {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut only: Option<String> = None;
+    let mut out_dir = "artifact_out".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--only" => {
+                only = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--only needs a scenario name");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--out" => {
+                out_dir = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a directory");
+                        std::process::exit(2);
+                    })
+                    .clone();
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut entries: Vec<CatalogEntry> = if smoke { smoke_catalog() } else { catalog() };
+    if let Some(name) = &only {
+        let before: Vec<String> = entries.iter().map(|e| e.spec.name.clone()).collect();
+        entries.retain(|e| &e.spec.name == name);
+        if entries.is_empty() {
+            eprintln!(
+                "--only {name}: no such scenario; known: {}",
+                before.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let score_dir = Path::new(&out_dir).join("scorecards");
+    std::fs::create_dir_all(&score_dir).expect("create scorecard dir");
+
+    println!(
+        "# E21: scenario matrix — {} scenario(s), mode {}",
+        entries.len(),
+        if smoke { "smoke" } else { "full" },
+    );
+
+    let mut failed = false;
+    let mut csv = String::new();
+    let _ = writeln!(
+        csv,
+        "{}",
+        tssdn_telemetry::Scorecard::summary_header().join(",")
+    );
+
+    for entry in &entries {
+        let name = &entry.spec.name;
+        print!("{name:<20} ");
+
+        // Round-trip gate: the artifact's spec JSON reconstructs the
+        // same spec (and therefore the same world).
+        let spec_json = entry.spec.to_json();
+        match ScenarioSpec::from_json(&spec_json) {
+            Ok(back) if back == entry.spec => {}
+            Ok(_) => {
+                println!("ROUND-TRIP VIOLATION (decoded spec differs)");
+                failed = true;
+                continue;
+            }
+            Err(e) => {
+                println!("ROUND-TRIP VIOLATION ({e})");
+                failed = true;
+                continue;
+            }
+        }
+
+        // Identity gate: two from-scratch runs render byte-identical
+        // scorecard JSON.
+        let card = run_scenario(&entry.spec);
+        let card_json = card.to_json();
+        let rerun_json = run_scenario(&entry.spec).to_json();
+        let identical = card_json == rerun_json;
+        if !identical {
+            failed = true;
+        }
+
+        // Floor gate.
+        let violations = entry.floors.violations(&card);
+        if !violations.is_empty() {
+            failed = true;
+        }
+
+        println!(
+            "goodput {} ctl {} avail {} disruptions {:>4}  identity {}  floors {}",
+            card.goodput.map_or("-".into(), |g| format!("{g:.3}")),
+            card.control_goodput
+                .map_or("-".into(), |g| format!("{g:.3}")),
+            card.data_availability
+                .map_or("-".into(), |a| format!("{a:.3}")),
+            card.disruptions,
+            if identical { "HELD" } else { "VIOLATED" },
+            if violations.is_empty() {
+                "HELD"
+            } else {
+                "VIOLATED"
+            },
+        );
+        for v in &violations {
+            eprintln!("  FLOOR {name}: {v}");
+        }
+        if !identical {
+            eprintln!("  IDENTITY {name}: rerun scorecard JSON differs");
+        }
+
+        let artifact = format!(
+            "{{\n  \"spec\": {},\n  \"floors\": {},\n  \"scorecard\": {}\n}}\n",
+            indent(&spec_json, "  "),
+            indent(&entry.floors.to_json(), "  "),
+            indent(&card_json, "  "),
+        );
+        let path = score_dir.join(format!("{name}.json"));
+        std::fs::write(&path, artifact).expect("write scorecard artifact");
+
+        let _ = writeln!(csv, "{}", card.summary_row().join(","));
+    }
+
+    let csv_path = score_dir.join("summary.csv");
+    std::fs::write(&csv_path, csv).expect("write summary csv");
+    println!(
+        "wrote {} scorecard(s) + {}",
+        entries.len(),
+        csv_path.display()
+    );
+
+    if failed {
+        eprintln!("scenario matrix FAILED");
+        std::process::exit(1);
+    }
+    println!("scenario matrix: all gates held");
+}

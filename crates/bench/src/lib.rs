@@ -7,10 +7,12 @@
 //! results.
 
 use tssdn_core::{Orchestrator, OrchestratorConfig};
-use tssdn_geo::GeoPoint;
-use tssdn_rf::{RainCell, SyntheticWeather};
-use tssdn_sim::{SimDuration, SimTime};
+use tssdn_sim::SimTime;
 use tssdn_telemetry::{percentile, Summary};
+
+// The wet-season weather truth lives with the scenario builder now;
+// re-exported so existing figure binaries keep compiling unchanged.
+pub use tssdn_scenario::stormy_truth;
 
 /// Standard experiment seed (override with `TSSDN_SEED`).
 pub fn seed() -> u64 {
@@ -32,43 +34,6 @@ pub fn scale() -> f64 {
 /// Scale a day count, with a floor of 1.
 pub fn days(n: u64) -> u64 {
     ((n as f64 * scale()).round() as u64).max(1)
-}
-
-/// A tropical wet-season truth: convective rain cells spawning daily
-/// around the ground stations, drifting east — the weather that makes
-/// B2G links brittle (§2.2, Figure 11).
-pub fn stormy_truth(num_days: u64, intensity: f64) -> SyntheticWeather {
-    let mut w = SyntheticWeather::new();
-    // Deterministic pattern: three cells per afternoon near the GS
-    // sites, staggered in time and space.
-    let sites = [
-        GeoPoint::new(-1.25, 36.6, 0.0),
-        GeoPoint::new(0.05, 37.4, 0.0),
-        GeoPoint::new(-0.45, 39.4, 0.0),
-    ];
-    for day in 0..num_days {
-        for (i, site) in sites.iter().enumerate() {
-            // Afternoon convection: start between 12:00 and 15:00.
-            let start = SimTime::from_days(day)
-                + SimDuration::from_hours(12 + i as u64)
-                + SimDuration::from_mins(13 * (day % 4));
-            let end = start + SimDuration::from_hours(3 + i as u64 % 2);
-            w.add_cell(RainCell {
-                center: site.offset(
-                    -30_000.0 + 12_000.0 * (day % 5) as f64,
-                    8_000.0 * i as f64,
-                    0.0,
-                ),
-                vel_east_mps: 6.0 + i as f64,
-                vel_north_mps: 1.5,
-                radius_m: 14_000.0 + 3_000.0 * (day % 3) as f64,
-                peak_rain_mm_h: 25.0 * intensity + 10.0 * (day % 3) as f64,
-                start_ms: start.as_ms(),
-                end_ms: end.as_ms(),
-            });
-        }
-    }
-    w
 }
 
 /// The standard full-loop scenario most experiments start from:
@@ -152,25 +117,6 @@ pub fn fmt_secs(s: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tssdn_rf::WeatherField;
-
-    #[test]
-    fn stormy_truth_rains_in_the_afternoon() {
-        let w = stormy_truth(2, 1.0);
-        // Near the first site mid-afternoon on day 0.
-        let p = GeoPoint::new(-1.25, 36.7, 500.0);
-        let t = SimTime::from_hours(13) + SimDuration::from_mins(30);
-        let mut any = 0.0f64;
-        // Cells drift; scan a neighbourhood.
-        for dx in -4..=4 {
-            let q = p.offset(dx as f64 * 15_000.0, 0.0, 0.0);
-            any = any.max(w.sample(&q, t.as_ms()).rain_mm_h);
-        }
-        assert!(any > 5.0, "afternoon storm present, got {any}");
-        // Small hours: dry.
-        let night = w.sample(&p, SimTime::from_hours(3).as_ms());
-        assert_eq!(night.rain_mm_h, 0.0);
-    }
 
     #[test]
     fn fmt_secs_matches_paper_style() {

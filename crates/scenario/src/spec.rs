@@ -1,0 +1,824 @@
+//! The declarative scenario spec: one serializable value that fully
+//! determines a simulated world.
+//!
+//! A [`ScenarioSpec`] names everything a run depends on — fleet size
+//! and dispersion, demand-model parameters and surge events, weather
+//! regime, fault plan (seeded or directed), traffic-engine switches —
+//! plus the seed and the simulated horizon. Equal specs build equal
+//! worlds, bit for bit; the JSON form round-trips losslessly (strict
+//! parsing: unknown fields, duplicate keys and out-of-range values
+//! are errors, never silently ignored).
+
+use crate::json::{parse, Json};
+
+/// Where the fleet flies. Only the paper's Kenya-like deployment
+/// exists today; the field is explicit so future geographies extend
+/// the catalog instead of forking it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Geography {
+    /// Three ground stations around (0°, 37.5°E), §2.2.
+    Kenya,
+}
+
+impl Geography {
+    fn tag(&self) -> &'static str {
+        match self {
+            Geography::Kenya => "kenya",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, String> {
+        match s {
+            "kenya" => Ok(Geography::Kenya),
+            other => Err(format!("fleet.geography: unknown geography \"{other}\"")),
+        }
+    }
+}
+
+/// Fleet size and dispersion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Deployment geography.
+    pub geography: Geography,
+    /// Balloons in the fleet.
+    pub n_balloons: u32,
+    /// Spawn-disc radius around the region center, km.
+    pub spawn_radius_km: f64,
+}
+
+/// A demand-surge event: bulk offered load × `multiplier` over the
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurgeSpec {
+    /// Surge onset, hours since sim start.
+    pub start_hour: u64,
+    /// Surge length, hours.
+    pub duration_hours: u64,
+    /// Multiplier on bulk offered load.
+    pub multiplier: f64,
+}
+
+/// Demand-model parameters (the subset of the traffic engine's
+/// `DemandConfig` a scenario varies; the rest keep their defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandSpec {
+    /// Users in one site's eNodeB footprint.
+    pub users_per_site: u64,
+    /// Aggregate flows per site.
+    pub flows_per_site: u32,
+    /// Per-user busy-hour offered load, bps.
+    pub busy_hour_bps_per_user: f64,
+    /// Steady strict-priority control backhaul per site, bps.
+    pub control_bps_per_site: u64,
+    /// Optional surge event.
+    pub surge: Option<SurgeSpec>,
+}
+
+impl Default for DemandSpec {
+    /// Mirrors the traffic engine's `DemandConfig::default`.
+    fn default() -> Self {
+        DemandSpec {
+            users_per_site: 20_000,
+            flows_per_site: 8,
+            busy_hour_bps_per_user: 2_500.0,
+            control_bps_per_site: 256_000,
+            surge: None,
+        }
+    }
+}
+
+/// Weather regimes a scenario can run under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeatherRegime {
+    /// No rain anywhere, ever.
+    Clear,
+    /// The wet-season truth: convective afternoon cells around the
+    /// ground stations (`stormy_truth`), scaled by `intensity`, for
+    /// `days` days.
+    Stormy {
+        /// Peak-rain multiplier (1.0 = the standard storm).
+        intensity: f64,
+        /// Days of storms to schedule.
+        days: u64,
+    },
+}
+
+/// Weather truth + the controller's belief about it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeatherSpec {
+    /// The truth.
+    pub regime: WeatherRegime,
+    /// Run the controller with the production-like belief (forecast +
+    /// GS rain gauges over the ITU backstop) instead of climatology
+    /// only.
+    pub gauges: bool,
+}
+
+/// Transceiver fault flavor (mirrors `tssdn_fault::TransceiverFaultMode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultModeSpec {
+    /// Gimbal stuck off-target (long outage).
+    GimbalStuck,
+    /// Radio reboot (short outage).
+    RadioReboot,
+}
+
+/// One directed fault kind (mirrors `tssdn_fault::FaultKind` with
+/// spec-friendly units).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KindSpec {
+    /// A ground site goes dark. `site` is the absolute platform id
+    /// (ground stations follow balloons in the id space).
+    GsOutage {
+        /// Platform id of the dark site.
+        site: u32,
+    },
+    /// Satcom gateway brownout.
+    SatcomBrownout {
+        /// One-way latency multiplier (≥ 1).
+        latency_scale: f64,
+        /// Silent-drop probability at the end of the ramp.
+        max_drop_prob: f64,
+    },
+    /// Nodes cut off from the controller in-band.
+    InbandPartition {
+        /// The cut-off platform ids.
+        nodes: Vec<u32>,
+    },
+    /// A single radio hardware-faulted.
+    TransceiverFault {
+        /// Owning platform.
+        platform: u32,
+        /// Transceiver index.
+        index: u8,
+        /// What broke.
+        mode: FaultModeSpec,
+    },
+    /// Abrupt balloon loss.
+    BalloonLoss {
+        /// The lost balloon.
+        balloon: u32,
+    },
+    /// Balloon loss with advance warning (custody window).
+    BalloonLossWarned {
+        /// The doomed balloon.
+        balloon: u32,
+        /// Warning lead, minutes.
+        lead_mins: u64,
+    },
+    /// Command-channel chaos probabilities.
+    CommandChaos {
+        /// Corruption probability.
+        corrupt: f64,
+        /// Duplication probability.
+        duplicate: f64,
+        /// Reorder probability.
+        reorder: f64,
+    },
+}
+
+/// One directed fault window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    /// Activation, minutes since sim start.
+    pub start_min: u64,
+    /// Window length, minutes; `None` never clears.
+    pub duration_mins: Option<u64>,
+    /// The fault.
+    pub kind: KindSpec,
+}
+
+/// How the scenario's faults are produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultsSpec {
+    /// No injected faults.
+    Quiet,
+    /// A stochastic plan generated from the scenario seed (the chaos
+    /// soak's plan family, parameters exposed).
+    Seeded {
+        /// Expected fault-window count.
+        expected: u32,
+        /// Faults start no earlier, hours since sim start.
+        earliest_hour: u64,
+        /// Faults start no later, hours since sim start.
+        latest_hour: u64,
+        /// Allow balloon losses to be drawn as warned losses.
+        warned_loss: bool,
+    },
+    /// An explicit schedule (directed tests, blackout days).
+    Directed(Vec<WindowSpec>),
+}
+
+/// Traffic-engine switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// Run the flow-level traffic engine at all.
+    pub enabled: bool,
+    /// Delay-tolerant buffering for routeless Bulk traffic.
+    pub store_forward: bool,
+    /// Custody transfer out of loss-warned balloons.
+    pub custody: bool,
+    /// Per-site buffer byte bound.
+    pub buffer_max_bytes: u64,
+    /// Per-site buffer age bound, minutes.
+    pub buffer_max_age_mins: u64,
+    /// Allocate over site×class aggregates (the million-flow path).
+    pub hierarchical: bool,
+}
+
+impl Default for TrafficSpec {
+    /// Mirrors `TrafficConfig::default` + `StoreForwardConfig::default`.
+    fn default() -> Self {
+        TrafficSpec {
+            enabled: true,
+            store_forward: true,
+            custody: true,
+            buffer_max_bytes: 2_000_000_000,
+            buffer_max_age_mins: 30,
+            hierarchical: true,
+        }
+    }
+}
+
+/// A complete scenario: seed + world + horizon. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Catalog key (also the scorecard filename stem).
+    pub name: String,
+    /// Master world seed.
+    pub seed: u64,
+    /// Simulated horizon, hours.
+    pub duration_hours: u64,
+    /// Program edge-disjoint alternates + engine load splitting.
+    pub multipath: bool,
+    /// Fleet size/dispersion/geography.
+    pub fleet: FleetSpec,
+    /// Demand model.
+    pub demand: DemandSpec,
+    /// Weather truth + belief.
+    pub weather: WeatherSpec,
+    /// Fault plan.
+    pub faults: FaultsSpec,
+    /// Traffic engine switches.
+    pub traffic: TrafficSpec,
+}
+
+fn finite(v: f64, ctx: &str) -> Result<f64, String> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("{ctx}: must be finite, got {v}"))
+    }
+}
+
+fn prob(v: f64, ctx: &str) -> Result<f64, String> {
+    finite(v, ctx)?;
+    if (0.0..=1.0).contains(&v) {
+        Ok(v)
+    } else {
+        Err(format!("{ctx}: probability out of [0, 1]: {v}"))
+    }
+}
+
+impl ScenarioSpec {
+    /// Check every value constraint the builder relies on. Called by
+    /// [`ScenarioSpec::from_json`]; call directly on hand-constructed
+    /// specs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("name: must be non-empty".into());
+        }
+        if self.duration_hours == 0 {
+            return Err("duration_hours: must be ≥ 1".into());
+        }
+        if self.fleet.n_balloons == 0 {
+            return Err("fleet.n_balloons: must be ≥ 1".into());
+        }
+        finite(self.fleet.spawn_radius_km, "fleet.spawn_radius_km")?;
+        if self.fleet.spawn_radius_km <= 0.0 {
+            return Err(format!(
+                "fleet.spawn_radius_km: must be > 0, got {}",
+                self.fleet.spawn_radius_km
+            ));
+        }
+        if self.demand.flows_per_site == 0 {
+            return Err("demand.flows_per_site: must be ≥ 1".into());
+        }
+        finite(
+            self.demand.busy_hour_bps_per_user,
+            "demand.busy_hour_bps_per_user",
+        )?;
+        if self.demand.busy_hour_bps_per_user < 0.0 {
+            return Err("demand.busy_hour_bps_per_user: must be ≥ 0".into());
+        }
+        if let Some(s) = &self.demand.surge {
+            finite(s.multiplier, "demand.surge.multiplier")?;
+            if s.multiplier < 0.0 {
+                return Err("demand.surge.multiplier: must be ≥ 0".into());
+            }
+            if s.duration_hours == 0 {
+                return Err("demand.surge.duration_hours: must be ≥ 1".into());
+            }
+        }
+        if let WeatherRegime::Stormy { intensity, days } = self.weather.regime {
+            finite(intensity, "weather.stormy.intensity")?;
+            if intensity < 0.0 {
+                return Err("weather.stormy.intensity: must be ≥ 0".into());
+            }
+            if days == 0 {
+                return Err("weather.stormy.days: must be ≥ 1".into());
+            }
+        }
+        match &self.faults {
+            FaultsSpec::Quiet => {}
+            FaultsSpec::Seeded {
+                expected,
+                earliest_hour,
+                latest_hour,
+                ..
+            } => {
+                if *expected == 0 {
+                    return Err("faults.seeded.expected: must be ≥ 1".into());
+                }
+                if latest_hour <= earliest_hour {
+                    return Err(format!(
+                        "faults.seeded: latest_hour {latest_hour} must exceed earliest_hour {earliest_hour}"
+                    ));
+                }
+            }
+            FaultsSpec::Directed(windows) => {
+                for (i, w) in windows.iter().enumerate() {
+                    let ctx = format!("faults.directed[{i}]");
+                    if w.duration_mins == Some(0) {
+                        return Err(format!("{ctx}: duration_mins must be ≥ 1 or null"));
+                    }
+                    match &w.kind {
+                        KindSpec::SatcomBrownout {
+                            latency_scale,
+                            max_drop_prob,
+                        } => {
+                            finite(*latency_scale, &format!("{ctx}.latency_scale"))?;
+                            if *latency_scale < 1.0 {
+                                return Err(format!("{ctx}.latency_scale: must be ≥ 1"));
+                            }
+                            prob(*max_drop_prob, &format!("{ctx}.max_drop_prob"))?;
+                        }
+                        KindSpec::InbandPartition { nodes } => {
+                            if nodes.is_empty() {
+                                return Err(format!("{ctx}.nodes: must be non-empty"));
+                            }
+                        }
+                        KindSpec::CommandChaos {
+                            corrupt,
+                            duplicate,
+                            reorder,
+                        } => {
+                            prob(*corrupt, &format!("{ctx}.corrupt"))?;
+                            prob(*duplicate, &format!("{ctx}.duplicate"))?;
+                            prob(*reorder, &format!("{ctx}.reorder"))?;
+                        }
+                        KindSpec::GsOutage { .. }
+                        | KindSpec::TransceiverFault { .. }
+                        | KindSpec::BalloonLoss { .. }
+                        | KindSpec::BalloonLossWarned { .. } => {}
+                    }
+                }
+            }
+        }
+        if self.traffic.buffer_max_bytes == 0 && self.traffic.store_forward {
+            return Err("traffic.buffer_max_bytes: must be ≥ 1 when store_forward is on".into());
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON. [`ScenarioSpec::from_json`] reads it
+    /// back to an equal spec (lossless round trip).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_text()
+    }
+
+    fn to_value(&self) -> Json {
+        let surge = match &self.demand.surge {
+            None => Json::Null,
+            Some(s) => Json::Obj(vec![
+                ("start_hour".into(), Json::U64(s.start_hour)),
+                ("duration_hours".into(), Json::U64(s.duration_hours)),
+                ("multiplier".into(), Json::F64(s.multiplier)),
+            ]),
+        };
+        let regime = match self.weather.regime {
+            WeatherRegime::Clear => Json::Str("clear".into()),
+            WeatherRegime::Stormy { intensity, days } => Json::Obj(vec![(
+                "stormy".into(),
+                Json::Obj(vec![
+                    ("intensity".into(), Json::F64(intensity)),
+                    ("days".into(), Json::U64(days)),
+                ]),
+            )]),
+        };
+        let faults = match &self.faults {
+            FaultsSpec::Quiet => Json::Str("quiet".into()),
+            FaultsSpec::Seeded {
+                expected,
+                earliest_hour,
+                latest_hour,
+                warned_loss,
+            } => Json::Obj(vec![(
+                "seeded".into(),
+                Json::Obj(vec![
+                    ("expected".into(), Json::U64(*expected as u64)),
+                    ("earliest_hour".into(), Json::U64(*earliest_hour)),
+                    ("latest_hour".into(), Json::U64(*latest_hour)),
+                    ("warned_loss".into(), Json::Bool(*warned_loss)),
+                ]),
+            )]),
+            FaultsSpec::Directed(windows) => Json::Obj(vec![(
+                "directed".into(),
+                Json::Arr(windows.iter().map(window_to_value).collect()),
+            )]),
+        };
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("seed".into(), Json::U64(self.seed)),
+            ("duration_hours".into(), Json::U64(self.duration_hours)),
+            ("multipath".into(), Json::Bool(self.multipath)),
+            (
+                "fleet".into(),
+                Json::Obj(vec![
+                    (
+                        "geography".into(),
+                        Json::Str(self.fleet.geography.tag().into()),
+                    ),
+                    ("n_balloons".into(), Json::U64(self.fleet.n_balloons as u64)),
+                    (
+                        "spawn_radius_km".into(),
+                        Json::F64(self.fleet.spawn_radius_km),
+                    ),
+                ]),
+            ),
+            (
+                "demand".into(),
+                Json::Obj(vec![
+                    (
+                        "users_per_site".into(),
+                        Json::U64(self.demand.users_per_site),
+                    ),
+                    (
+                        "flows_per_site".into(),
+                        Json::U64(self.demand.flows_per_site as u64),
+                    ),
+                    (
+                        "busy_hour_bps_per_user".into(),
+                        Json::F64(self.demand.busy_hour_bps_per_user),
+                    ),
+                    (
+                        "control_bps_per_site".into(),
+                        Json::U64(self.demand.control_bps_per_site),
+                    ),
+                    ("surge".into(), surge),
+                ]),
+            ),
+            (
+                "weather".into(),
+                Json::Obj(vec![
+                    ("regime".into(), regime),
+                    ("gauges".into(), Json::Bool(self.weather.gauges)),
+                ]),
+            ),
+            ("faults".into(), faults),
+            (
+                "traffic".into(),
+                Json::Obj(vec![
+                    ("enabled".into(), Json::Bool(self.traffic.enabled)),
+                    (
+                        "store_forward".into(),
+                        Json::Bool(self.traffic.store_forward),
+                    ),
+                    ("custody".into(), Json::Bool(self.traffic.custody)),
+                    (
+                        "buffer_max_bytes".into(),
+                        Json::U64(self.traffic.buffer_max_bytes),
+                    ),
+                    (
+                        "buffer_max_age_mins".into(),
+                        Json::U64(self.traffic.buffer_max_age_mins),
+                    ),
+                    ("hierarchical".into(), Json::Bool(self.traffic.hierarchical)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parse and validate a spec from JSON text. Strict: unknown
+    /// fields, duplicate keys, wrong types and out-of-range values
+    /// are all errors.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let spec = Self::from_value(parse(text)?)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn from_value(v: Json) -> Result<Self, String> {
+        let mut o = v.into_obj("spec")?;
+
+        let name = o.take("name")?.as_str("name")?.to_string();
+        let seed = o.take("seed")?.as_u64("seed")?;
+        let duration_hours = o.take("duration_hours")?.as_u64("duration_hours")?;
+        let multipath = o.take("multipath")?.as_bool("multipath")?;
+
+        let mut f = o.take("fleet")?.into_obj("fleet")?;
+        let fleet = FleetSpec {
+            geography: Geography::from_tag(f.take("geography")?.as_str("fleet.geography")?)?,
+            n_balloons: f.take("n_balloons")?.as_u64("fleet.n_balloons")? as u32,
+            spawn_radius_km: f.take("spawn_radius_km")?.as_f64("fleet.spawn_radius_km")?,
+        };
+        f.finish()?;
+
+        let mut d = o.take("demand")?.into_obj("demand")?;
+        let surge = match d.take("surge")? {
+            Json::Null => None,
+            v => {
+                let mut s = v.into_obj("demand.surge")?;
+                let surge = SurgeSpec {
+                    start_hour: s.take("start_hour")?.as_u64("demand.surge.start_hour")?,
+                    duration_hours: s
+                        .take("duration_hours")?
+                        .as_u64("demand.surge.duration_hours")?,
+                    multiplier: s.take("multiplier")?.as_f64("demand.surge.multiplier")?,
+                };
+                s.finish()?;
+                Some(surge)
+            }
+        };
+        let demand = DemandSpec {
+            users_per_site: d.take("users_per_site")?.as_u64("demand.users_per_site")?,
+            flows_per_site: d.take("flows_per_site")?.as_u64("demand.flows_per_site")? as u32,
+            busy_hour_bps_per_user: d
+                .take("busy_hour_bps_per_user")?
+                .as_f64("demand.busy_hour_bps_per_user")?,
+            control_bps_per_site: d
+                .take("control_bps_per_site")?
+                .as_u64("demand.control_bps_per_site")?,
+            surge,
+        };
+        d.finish()?;
+
+        let mut w = o.take("weather")?.into_obj("weather")?;
+        let regime = match w.take("regime")? {
+            Json::Str(s) if s == "clear" => WeatherRegime::Clear,
+            Json::Str(s) => return Err(format!("weather.regime: unknown regime \"{s}\"")),
+            v => {
+                let mut r = v.into_obj("weather.regime")?;
+                let mut s = r.take("stormy")?.into_obj("weather.regime.stormy")?;
+                r.finish()?;
+                let regime = WeatherRegime::Stormy {
+                    intensity: s.take("intensity")?.as_f64("weather.stormy.intensity")?,
+                    days: s.take("days")?.as_u64("weather.stormy.days")?,
+                };
+                s.finish()?;
+                regime
+            }
+        };
+        let weather = WeatherSpec {
+            regime,
+            gauges: w.take("gauges")?.as_bool("weather.gauges")?,
+        };
+        w.finish()?;
+
+        let faults = match o.take("faults")? {
+            Json::Str(s) if s == "quiet" => FaultsSpec::Quiet,
+            Json::Str(s) => return Err(format!("faults: unknown mode \"{s}\"")),
+            v => {
+                let mut m = v.into_obj("faults")?;
+                if let Some(seeded) = m.take_opt("seeded") {
+                    let mut s = seeded.into_obj("faults.seeded")?;
+                    let out = FaultsSpec::Seeded {
+                        expected: s.take("expected")?.as_u64("faults.seeded.expected")? as u32,
+                        earliest_hour: s
+                            .take("earliest_hour")?
+                            .as_u64("faults.seeded.earliest_hour")?,
+                        latest_hour: s.take("latest_hour")?.as_u64("faults.seeded.latest_hour")?,
+                        warned_loss: s
+                            .take("warned_loss")?
+                            .as_bool("faults.seeded.warned_loss")?,
+                    };
+                    s.finish()?;
+                    m.finish()?;
+                    out
+                } else if let Some(directed) = m.take_opt("directed") {
+                    let windows = directed
+                        .as_arr("faults.directed")?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, w)| window_from_value(w.clone(), i))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    m.finish()?;
+                    FaultsSpec::Directed(windows)
+                } else {
+                    m.finish()?;
+                    return Err(
+                        "faults: expected \"quiet\", {\"seeded\": …} or {\"directed\": …}"
+                            .to_string(),
+                    );
+                }
+            }
+        };
+
+        let mut t = o.take("traffic")?.into_obj("traffic")?;
+        let traffic = TrafficSpec {
+            enabled: t.take("enabled")?.as_bool("traffic.enabled")?,
+            store_forward: t.take("store_forward")?.as_bool("traffic.store_forward")?,
+            custody: t.take("custody")?.as_bool("traffic.custody")?,
+            buffer_max_bytes: t
+                .take("buffer_max_bytes")?
+                .as_u64("traffic.buffer_max_bytes")?,
+            buffer_max_age_mins: t
+                .take("buffer_max_age_mins")?
+                .as_u64("traffic.buffer_max_age_mins")?,
+            hierarchical: t.take("hierarchical")?.as_bool("traffic.hierarchical")?,
+        };
+        t.finish()?;
+
+        o.finish()?;
+        Ok(ScenarioSpec {
+            name,
+            seed,
+            duration_hours,
+            multipath,
+            fleet,
+            demand,
+            weather,
+            faults,
+            traffic,
+        })
+    }
+}
+
+fn window_to_value(w: &WindowSpec) -> Json {
+    let kind = match &w.kind {
+        KindSpec::GsOutage { site } => Json::Obj(vec![(
+            "gs_outage".into(),
+            Json::Obj(vec![("site".into(), Json::U64(*site as u64))]),
+        )]),
+        KindSpec::SatcomBrownout {
+            latency_scale,
+            max_drop_prob,
+        } => Json::Obj(vec![(
+            "satcom_brownout".into(),
+            Json::Obj(vec![
+                ("latency_scale".into(), Json::F64(*latency_scale)),
+                ("max_drop_prob".into(), Json::F64(*max_drop_prob)),
+            ]),
+        )]),
+        KindSpec::InbandPartition { nodes } => Json::Obj(vec![(
+            "inband_partition".into(),
+            Json::Obj(vec![(
+                "nodes".into(),
+                Json::Arr(nodes.iter().map(|n| Json::U64(*n as u64)).collect()),
+            )]),
+        )]),
+        KindSpec::TransceiverFault {
+            platform,
+            index,
+            mode,
+        } => Json::Obj(vec![(
+            "transceiver_fault".into(),
+            Json::Obj(vec![
+                ("platform".into(), Json::U64(*platform as u64)),
+                ("index".into(), Json::U64(*index as u64)),
+                (
+                    "mode".into(),
+                    Json::Str(
+                        match mode {
+                            FaultModeSpec::GimbalStuck => "gimbal_stuck",
+                            FaultModeSpec::RadioReboot => "radio_reboot",
+                        }
+                        .into(),
+                    ),
+                ),
+            ]),
+        )]),
+        KindSpec::BalloonLoss { balloon } => Json::Obj(vec![(
+            "balloon_loss".into(),
+            Json::Obj(vec![("balloon".into(), Json::U64(*balloon as u64))]),
+        )]),
+        KindSpec::BalloonLossWarned { balloon, lead_mins } => Json::Obj(vec![(
+            "balloon_loss_warned".into(),
+            Json::Obj(vec![
+                ("balloon".into(), Json::U64(*balloon as u64)),
+                ("lead_mins".into(), Json::U64(*lead_mins)),
+            ]),
+        )]),
+        KindSpec::CommandChaos {
+            corrupt,
+            duplicate,
+            reorder,
+        } => Json::Obj(vec![(
+            "command_chaos".into(),
+            Json::Obj(vec![
+                ("corrupt".into(), Json::F64(*corrupt)),
+                ("duplicate".into(), Json::F64(*duplicate)),
+                ("reorder".into(), Json::F64(*reorder)),
+            ]),
+        )]),
+    };
+    Json::Obj(vec![
+        ("start_min".into(), Json::U64(w.start_min)),
+        (
+            "duration_mins".into(),
+            match w.duration_mins {
+                Some(d) => Json::U64(d),
+                None => Json::Null,
+            },
+        ),
+        ("kind".into(), kind),
+    ])
+}
+
+fn window_from_value(v: Json, i: usize) -> Result<WindowSpec, String> {
+    let ctx = format!("faults.directed[{i}]");
+    let mut o = v.into_obj(&ctx)?;
+    let start_min = o.take("start_min")?.as_u64(&format!("{ctx}.start_min"))?;
+    let duration_mins = match o.take("duration_mins")? {
+        Json::Null => None,
+        v => Some(v.as_u64(&format!("{ctx}.duration_mins"))?),
+    };
+    let mut k = o.take("kind")?.into_obj(&format!("{ctx}.kind"))?;
+    let kind = if let Some(v) = k.take_opt("gs_outage") {
+        let mut g = v.into_obj(&format!("{ctx}.gs_outage"))?;
+        let kind = KindSpec::GsOutage {
+            site: g.take("site")?.as_u64(&format!("{ctx}.site"))? as u32,
+        };
+        g.finish()?;
+        kind
+    } else if let Some(v) = k.take_opt("satcom_brownout") {
+        let mut b = v.into_obj(&format!("{ctx}.satcom_brownout"))?;
+        let kind = KindSpec::SatcomBrownout {
+            latency_scale: b
+                .take("latency_scale")?
+                .as_f64(&format!("{ctx}.latency_scale"))?,
+            max_drop_prob: b
+                .take("max_drop_prob")?
+                .as_f64(&format!("{ctx}.max_drop_prob"))?,
+        };
+        b.finish()?;
+        kind
+    } else if let Some(v) = k.take_opt("inband_partition") {
+        let mut p = v.into_obj(&format!("{ctx}.inband_partition"))?;
+        let nodes = p
+            .take("nodes")?
+            .as_arr(&format!("{ctx}.nodes"))?
+            .iter()
+            .map(|n| n.as_u64(&format!("{ctx}.nodes[]")).map(|v| v as u32))
+            .collect::<Result<Vec<_>, _>>()?;
+        p.finish()?;
+        KindSpec::InbandPartition { nodes }
+    } else if let Some(v) = k.take_opt("transceiver_fault") {
+        let mut t = v.into_obj(&format!("{ctx}.transceiver_fault"))?;
+        let mode = match t.take("mode")?.as_str(&format!("{ctx}.mode"))? {
+            "gimbal_stuck" => FaultModeSpec::GimbalStuck,
+            "radio_reboot" => FaultModeSpec::RadioReboot,
+            other => return Err(format!("{ctx}.mode: unknown mode \"{other}\"")),
+        };
+        let kind = KindSpec::TransceiverFault {
+            platform: t.take("platform")?.as_u64(&format!("{ctx}.platform"))? as u32,
+            index: t.take("index")?.as_u64(&format!("{ctx}.index"))? as u8,
+            mode,
+        };
+        t.finish()?;
+        kind
+    } else if let Some(v) = k.take_opt("balloon_loss") {
+        let mut b = v.into_obj(&format!("{ctx}.balloon_loss"))?;
+        let kind = KindSpec::BalloonLoss {
+            balloon: b.take("balloon")?.as_u64(&format!("{ctx}.balloon"))? as u32,
+        };
+        b.finish()?;
+        kind
+    } else if let Some(v) = k.take_opt("balloon_loss_warned") {
+        let mut b = v.into_obj(&format!("{ctx}.balloon_loss_warned"))?;
+        let kind = KindSpec::BalloonLossWarned {
+            balloon: b.take("balloon")?.as_u64(&format!("{ctx}.balloon"))? as u32,
+            lead_mins: b.take("lead_mins")?.as_u64(&format!("{ctx}.lead_mins"))?,
+        };
+        b.finish()?;
+        kind
+    } else if let Some(v) = k.take_opt("command_chaos") {
+        let mut c = v.into_obj(&format!("{ctx}.command_chaos"))?;
+        let kind = KindSpec::CommandChaos {
+            corrupt: c.take("corrupt")?.as_f64(&format!("{ctx}.corrupt"))?,
+            duplicate: c.take("duplicate")?.as_f64(&format!("{ctx}.duplicate"))?,
+            reorder: c.take("reorder")?.as_f64(&format!("{ctx}.reorder"))?,
+        };
+        c.finish()?;
+        kind
+    } else {
+        return Err(format!("{ctx}.kind: no recognized fault tag"));
+    };
+    k.finish()?;
+    o.finish()?;
+    Ok(WindowSpec {
+        start_min,
+        duration_mins,
+        kind,
+    })
+}

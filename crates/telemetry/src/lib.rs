@@ -15,15 +15,19 @@
 //! * [`traffic`] — flow-level offered-vs-delivered goodput windows
 //!   and disruption events from the traffic engine: experiment E17.
 //! * [`export`] — CSV writers matching the artifact's table schemas.
+//! * [`scorecard`] — per-scenario service-outcome records with floor
+//!   values, written by the scenario matrix runner: experiment E21.
 
 pub mod availability;
 pub mod export;
 pub mod recovery;
+pub mod scorecard;
 pub mod stats;
 pub mod traffic;
 
 pub use availability::{AvailabilitySeries, Layer};
 pub use recovery::{BreakCause, RecoverySample, RouteRecoveryTracker};
+pub use scorecard::{CustodyScore, Scorecard, ScorecardFloors, SnfScore};
 pub use stats::{cdf_points, mean, percentile, Summary};
 pub use traffic::{
     BufferStats, CustodyStats, GoodputSeries, OccupancySample, ServiceClass, TrafficEvents,

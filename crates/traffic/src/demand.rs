@@ -26,6 +26,29 @@ impl std::fmt::Display for FlowId {
     }
 }
 
+/// A demand-surge window: while `start_ms <= now < end_ms` every
+/// bulk flow's offered load is multiplied by `multiplier` on top of
+/// the diurnal curve (a stadium event, a regional emergency, a viral
+/// broadcast). Control traffic is unaffected — fleet telemetry does
+/// not surge with user demand. Pure configuration, no RNG: surges
+/// perturb offered load only, never the seeded draw order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemandSurge {
+    /// Surge onset, ms since sim start.
+    pub start_ms: u64,
+    /// Surge end (exclusive), ms since sim start.
+    pub end_ms: u64,
+    /// Multiplier on bulk offered load (≥ 0; 1.0 is a no-op).
+    pub multiplier: f64,
+}
+
+impl DemandSurge {
+    /// Is `now` inside the surge window?
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.start_ms <= now.as_ms() && now.as_ms() < self.end_ms
+    }
+}
+
 /// Demand-side configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct DemandConfig {
@@ -49,6 +72,8 @@ pub struct DemandConfig {
     /// one strict-priority [`TrafficClass::Control`] flow appended
     /// after the site's bulk flows. 0 disables the control flow.
     pub control_bps_per_site: u64,
+    /// Optional demand-surge window scaling bulk offered load.
+    pub surge: Option<DemandSurge>,
 }
 
 impl Default for DemandConfig {
@@ -61,6 +86,7 @@ impl Default for DemandConfig {
             peak_hour: 20.0,
             tier_weights: [4, 2, 1],
             control_bps_per_site: 256_000,
+            surge: None,
         }
     }
 }
@@ -161,7 +187,11 @@ impl DemandGenerator {
             return self.config.control_bps_per_site;
         }
         let d = self.config.diurnal(now.hour_of_day());
-        (f.users as f64 * self.config.busy_hour_bps_per_user * f.weight * d).round() as u64
+        let surge = match self.config.surge {
+            Some(s) if s.active_at(now) => s.multiplier,
+            _ => 1.0,
+        };
+        (f.users as f64 * self.config.busy_hour_bps_per_user * f.weight * d * surge).round() as u64
     }
 
     /// Total offered load across a site's flows at `now`, bps.
@@ -241,6 +271,50 @@ mod tests {
             .collect();
         let bulk_w0: Vec<f64> = g0.flows().iter().map(|f| f.weight).collect();
         assert_eq!(bulk_w, bulk_w0);
+    }
+
+    #[test]
+    fn surge_scales_bulk_only_inside_its_window() {
+        let sites: Vec<PlatformId> = (0..2).map(PlatformId).collect();
+        let surge = DemandSurge {
+            start_ms: SimTime::from_hours(10).as_ms(),
+            end_ms: SimTime::from_hours(12).as_ms(),
+            multiplier: 3.0,
+        };
+        let base = DemandGenerator::new(DemandConfig::default(), &sites, &RngStreams::new(7));
+        let surged = DemandGenerator::new(
+            DemandConfig {
+                surge: Some(surge),
+                ..DemandConfig::default()
+            },
+            &sites,
+            &RngStreams::new(7),
+        );
+        let inside = SimTime::from_hours(11);
+        let before = SimTime::from_hours(9);
+        let at_end = SimTime::from_hours(12); // end is exclusive
+        for (i, f) in base.flows().iter().enumerate() {
+            match f.class {
+                TrafficClass::Bulk => {
+                    let b = base.offered_bps(i, inside) as f64;
+                    let s = surged.offered_bps(i, inside) as f64;
+                    assert!((s - 3.0 * b).abs() <= 2.0, "3x inside: {b} vs {s}");
+                }
+                TrafficClass::Control => {
+                    assert_eq!(
+                        base.offered_bps(i, inside),
+                        surged.offered_bps(i, inside),
+                        "control never surges"
+                    );
+                }
+            }
+            assert_eq!(base.offered_bps(i, before), surged.offered_bps(i, before));
+            assert_eq!(base.offered_bps(i, at_end), surged.offered_bps(i, at_end));
+        }
+        // The surge draws no RNG: flow populations are identical.
+        let w: Vec<f64> = base.flows().iter().map(|f| f.weight).collect();
+        let ws: Vec<f64> = surged.flows().iter().map(|f| f.weight).collect();
+        assert_eq!(w, ws);
     }
 
     #[test]

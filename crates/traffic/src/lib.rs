@@ -49,7 +49,7 @@ pub use aggregate::{AggregateMember, AggregateSpec, HierarchicalAllocator};
 pub use allocator::{
     flows_signature, incidence_signature, FairShareAllocator, FlowSpec, TrafficClass,
 };
-pub use demand::{AggregateFlow, DemandConfig, DemandGenerator, FlowId};
+pub use demand::{AggregateFlow, DemandConfig, DemandGenerator, DemandSurge, FlowId};
 pub use engine::{
     FlowStats, SnfTotals, StoreForwardConfig, TickSummary, TopologyView, TrafficConfig,
     TrafficEngine,

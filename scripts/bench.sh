@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Performance and A/B benches, each emitting a JSON artifact.
 #
-#   ./scripts/bench.sh             # full runs: BENCH_planning.json
+#   ./scripts/bench.sh             # full runs: the scenario matrix
+#                                  # (artifact_out/scorecards/*.json +
+#                                  # summary.csv, E21),
+#                                  # BENCH_planning.json
 #                                  # (25/50/100/100-dispersed fleets),
 #                                  # BENCH_traffic.json (25/50/100-
 #                                  # balloon meshes, ≥5k aggregate
@@ -19,6 +22,10 @@
 #                                  # (created if missing) instead of
 #                                  # the repo root; composes with
 #                                  # --smoke
+#   ./scripts/bench.sh --only NAME # run just the scenario matrix,
+#                                  # filtered to the named scenario
+#                                  # (e.g. --only chaos_blackout);
+#                                  # composes with --smoke/--out
 #
 # Every bin gets an explicit --out path — no bin-specific default can
 # silently collide with another's artifact.
@@ -27,16 +34,34 @@ cd "$(dirname "$0")/.."
 
 smoke=""
 out_dir="."
+only=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --smoke) smoke="--smoke"; shift ;;
     --out)
       [ $# -ge 2 ] || { echo "bench.sh: --out needs a directory" >&2; exit 2; }
       out_dir="$2"; shift 2 ;;
+    --only)
+      [ $# -ge 2 ] || { echo "bench.sh: --only needs a scenario name" >&2; exit 2; }
+      only="$2"; shift 2 ;;
     *) echo "bench.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$out_dir"
+
+# Scenario matrix (E21): named end-to-end scenarios with per-scenario
+# scorecards, floor assertions, and a rerun byte-identity gate.
+# Writes <matrix_out>/scorecards/<name>.json + summary.csv; with the
+# default repo-root out dir the scorecards land under artifact_out/
+# next to the figure-bin exports. With --only this is the whole bench
+# run — the scenario filter makes no sense for the other bins.
+matrix_out="$out_dir"
+[ "$out_dir" = "." ] && matrix_out="artifact_out"
+cargo run --release -q -p tssdn-bench --bin scenario_matrix -- \
+  ${smoke:+"$smoke"} ${only:+--only "$only"} --out "$matrix_out"
+if [ -n "$only" ]; then
+  exit 0
+fi
 
 # Planning: in smoke mode the bench is a pure equivalence gate and
 # writes no artifact unless a destination was chosen explicitly.

@@ -23,7 +23,7 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> scripts/bench.sh --smoke (planning + traffic gates)"
+echo "==> scripts/bench.sh --smoke (scenario matrix + planning + traffic gates)"
 ./scripts/bench.sh --smoke
 
 echo "verify: OK"

@@ -15,40 +15,40 @@
 //!   `(seed, plan)` pair;
 //! * a node cut off from the controller reports *fail-static*
 //!   (stale-but-forwarding), not route loss.
+//!
+//! Worlds are built from `ScenarioSpec`s (`tssdn-scenario`) rather
+//! than hand-assembled configs; `spec_builder_matches_hand_built_world`
+//! pins the builder to the old construction bit for bit.
 
 use tssdn_core::orchestrator::DataPlaneStatus;
-use tssdn_core::{LinkIntentState, Orchestrator, OrchestratorConfig, RunSummary};
-use tssdn_fault::{FaultKind, FaultPlan, PlanConfig};
+use tssdn_core::{LinkIntentState, Orchestrator, RunSummary};
+use tssdn_fault::{FaultKind, FaultPlan};
+use tssdn_scenario::{chaos_soak_spec, FaultsSpec, KindSpec, ScenarioSpec, WindowSpec};
 use tssdn_sim::{PlatformId, SimDuration, SimTime};
 use tssdn_telemetry::Layer;
 
 const N_BALLOONS: usize = 6;
 
-/// GS platform ids for a `kenya(N_BALLOONS)` world (balloons first,
-/// then three ground stations).
-fn gs_ids() -> Vec<PlatformId> {
-    (N_BALLOONS as u32..N_BALLOONS as u32 + 3)
-        .map(PlatformId)
-        .collect()
+/// The soak's base world as a spec: `kenya(6)` at 150 km with the
+/// `kenya_daytime` seeded fault family; traffic and multipath off.
+fn base_spec(seed: u64) -> ScenarioSpec {
+    chaos_soak_spec("chaos_soak", seed)
+}
+
+/// A soak world with no injected faults.
+fn quiet_world(seed: u64) -> Orchestrator {
+    let mut spec = base_spec(seed);
+    spec.faults = FaultsSpec::Quiet;
+    spec.build()
 }
 
 fn plan_for(seed: u64) -> FaultPlan {
-    FaultPlan::generate(
-        seed,
-        &PlanConfig::kenya_daytime(N_BALLOONS as u32, gs_ids()),
-    )
-}
-
-fn soak_world(seed: u64, plan: FaultPlan) -> Orchestrator {
-    let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
-    cfg.fleet.spawn_radius_m = 150_000.0;
-    cfg.fault_plan = plan;
-    Orchestrator::new(cfg)
+    base_spec(seed).fault_plan()
 }
 
 /// Run one seeded plan to `end`, returning the summary.
-fn soak_run(seed: u64, plan: FaultPlan, end: SimTime) -> (RunSummary, Orchestrator) {
-    let mut o = soak_world(seed, plan);
+fn soak_run(seed: u64, end: SimTime) -> (RunSummary, Orchestrator) {
+    let mut o = base_spec(seed).build();
     o.run_until(end);
     (o.summary(), o)
 }
@@ -67,6 +67,58 @@ fn stuck_intents(o: &Orchestrator) -> Vec<String> {
         .collect()
 }
 
+/// The spec builder reproduces the old hand-assembled soak world bit
+/// for bit: same `RunSummary`, same chaos log, same traffic counters.
+/// This pinned the migration before the copy-pasted construction was
+/// deleted — if the builder ever drifts from `kenya(n)` + spawn-radius
+/// + `kenya_daytime`, this is the test that says so.
+#[test]
+fn spec_builder_matches_hand_built_world() {
+    use tssdn_core::{OrchestratorConfig, TrafficConfig};
+    use tssdn_fault::PlanConfig;
+
+    let seed = 9001u64;
+    let end = SimTime::from_hours(14);
+
+    // The old construction, verbatim.
+    let gs_ids: Vec<PlatformId> = (N_BALLOONS as u32..N_BALLOONS as u32 + 3)
+        .map(PlatformId)
+        .collect();
+    let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
+    cfg.fleet.spawn_radius_m = 150_000.0;
+    cfg.fault_plan =
+        FaultPlan::generate(seed, &PlanConfig::kenya_daytime(N_BALLOONS as u32, gs_ids));
+    cfg.multipath_routes = true;
+    cfg.traffic = Some(TrafficConfig::default());
+    let mut old = Orchestrator::new(cfg);
+    old.run_until(end);
+
+    // The spec equivalent.
+    let mut spec = base_spec(seed);
+    spec.multipath = true;
+    spec.traffic.enabled = true;
+    let mut new = spec.build();
+    new.run_until(end);
+
+    assert_eq!(old.summary(), new.summary(), "RunSummary diverged");
+    assert_eq!(old.chaos.log, new.chaos.log, "chaos log diverged");
+    let so = old.traffic().expect("traffic enabled").series();
+    let sn = new.traffic().expect("traffic enabled").series();
+    assert_eq!(
+        (
+            so.offered_bits(),
+            so.delivered_bits(),
+            so.total_disruptions()
+        ),
+        (
+            sn.offered_bits(),
+            sn.delivered_bits(),
+            sn.total_disruptions()
+        ),
+        "traffic counters diverged"
+    );
+}
+
 /// Five seeded plans: the run completes, the chaos engine fired every
 /// scheduled window, and no intent is permanently stuck.
 #[test]
@@ -77,7 +129,7 @@ fn seeded_plans_soak_clean() {
         let n_windows = plan.windows.len();
         let last_clear = plan.last_clear().expect("closed windows exist");
         let end = (last_clear + SimDuration::from_hours(1)).max(SimTime::from_hours(14));
-        let (summary, o) = soak_run(seed, plan, end);
+        let (summary, o) = soak_run(seed, end);
 
         // Every scheduled window opened (and, where closed, cleared).
         let started = o
@@ -105,8 +157,8 @@ fn seeded_plans_soak_clean() {
 fn repeated_runs_are_bit_identical() {
     for seed in [9001u64, 9004] {
         let end = SimTime::from_hours(14);
-        let (s1, o1) = soak_run(seed, plan_for(seed), end);
-        let (s2, o2) = soak_run(seed, plan_for(seed), end);
+        let (s1, o1) = soak_run(seed, end);
+        let (s2, o2) = soak_run(seed, end);
         assert_eq!(s1, s2, "seed {seed}: RunSummary differs between runs");
         assert_eq!(
             o1.ledger.records().len(),
@@ -141,7 +193,7 @@ fn service_recovers_after_the_last_fault_clears() {
     let plan = plan_for(seed);
     let last_clear = plan.last_clear().expect("closed windows");
     let end = (last_clear + SimDuration::from_hours(1)).max(SimTime::from_hours(14));
-    let (_, o) = soak_run(seed, plan, end);
+    let (_, o) = soak_run(seed, end);
     let up = (0..N_BALLOONS as u32)
         .filter(|b| o.data_plane_status(PlatformId(*b)) == DataPlaneStatus::Up)
         .count();
@@ -165,7 +217,7 @@ fn service_recovers_after_the_last_fault_clears() {
 fn partitioned_node_reports_fail_static() {
     let mut found = false;
     for seed in [501u64, 502, 503] {
-        let mut o = soak_world(seed, FaultPlan::new());
+        let mut o = quiet_world(seed);
         o.run_until(SimTime::from_hours(11));
         let programmed: Vec<PlatformId> = (0..N_BALLOONS as u32)
             .map(PlatformId)
@@ -215,17 +267,13 @@ fn partitioned_node_reports_fail_static() {
 /// delivered-bits / disruption totals are bit-identical on a rerun.
 #[test]
 fn traffic_delivers_under_chaos_and_counts_disruptions() {
-    use tssdn_core::TrafficConfig;
-
     let traffic_soak = |seed: u64| {
-        let plan = plan_for(seed);
-        let end = (plan.last_clear().expect("closed windows") + SimDuration::from_hours(1))
-            .max(SimTime::from_hours(14));
-        let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
-        cfg.fleet.spawn_radius_m = 150_000.0;
-        cfg.fault_plan = plan;
-        cfg.traffic = Some(TrafficConfig::default());
-        let mut o = Orchestrator::new(cfg);
+        let mut spec = base_spec(seed);
+        spec.traffic.enabled = true;
+        let end = (spec.fault_plan().last_clear().expect("closed windows")
+            + SimDuration::from_hours(1))
+        .max(SimTime::from_hours(14));
+        let mut o = spec.build();
         o.run_until(end);
         let s = o.traffic().expect("traffic enabled").series();
         (s.offered_bits(), s.delivered_bits(), s.total_disruptions())
@@ -270,20 +318,17 @@ fn traffic_delivers_under_chaos_and_counts_disruptions() {
 /// * all of it bit-identical on a rerun.
 #[test]
 fn multipath_snf_soak_holds_bugfix_invariants() {
-    use tssdn_core::TrafficConfig;
     use tssdn_telemetry::ServiceClass;
     use tssdn_traffic::SnfTotals;
 
     let soak = |seed: u64| -> (u64, u64, SnfTotals, u64) {
-        let plan = plan_for(seed);
-        let end = (plan.last_clear().expect("closed windows") + SimDuration::from_hours(1))
-            .max(SimTime::from_hours(14));
-        let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
-        cfg.fleet.spawn_radius_m = 150_000.0;
-        cfg.fault_plan = plan;
-        cfg.multipath_routes = true;
-        cfg.traffic = Some(TrafficConfig::default());
-        let mut o = Orchestrator::new(cfg);
+        let mut spec = base_spec(seed);
+        spec.multipath = true;
+        spec.traffic.enabled = true;
+        let end = (spec.fault_plan().last_clear().expect("closed windows")
+            + SimDuration::from_hours(1))
+        .max(SimTime::from_hours(14));
+        let mut o = spec.build();
         o.run_until(end);
 
         let stale = o.stale_alt_flows();
@@ -358,41 +403,36 @@ fn multipath_snf_soak_holds_bugfix_invariants() {
 /// whole thing must replay bit-identically.
 #[test]
 fn warned_balloon_loss_hands_custody_of_its_backlog() {
-    use tssdn_core::TrafficConfig;
-
-    let blackout = SimTime::from_hours(10);
-    let directed_plan = || {
-        let mut plan = FaultPlan::new();
-        for gs in gs_ids() {
-            plan = plan.with(
-                blackout,
-                SimDuration::from_mins(25),
-                FaultKind::GsOutage { site: gs },
-            );
-        }
-        plan.with(
-            blackout + SimDuration::from_mins(10),
-            SimDuration::from_mins(30),
-            FaultKind::BalloonLoss {
-                balloon: PlatformId(1),
+    let blackout_min = 10 * 60u64;
+    let directed = || {
+        let mut windows: Vec<WindowSpec> = (N_BALLOONS as u32..N_BALLOONS as u32 + 3)
+            .map(|site| WindowSpec {
+                start_min: blackout_min,
+                duration_mins: Some(25),
+                kind: KindSpec::GsOutage { site },
+            })
+            .collect();
+        windows.push(WindowSpec {
+            start_min: blackout_min + 10,
+            duration_mins: Some(30),
+            kind: KindSpec::BalloonLoss { balloon: 1 },
+        });
+        windows.push(WindowSpec {
+            start_min: blackout_min + 20,
+            duration_mins: Some(40),
+            kind: KindSpec::BalloonLossWarned {
+                balloon: 0,
+                lead_mins: 8,
             },
-        )
-        .with(
-            blackout + SimDuration::from_mins(20),
-            SimDuration::from_mins(40),
-            FaultKind::BalloonLossWarned {
-                balloon: PlatformId(0),
-                lead: SimDuration::from_mins(8),
-            },
-        )
+        });
+        FaultsSpec::Directed(windows)
     };
 
     let soak = |seed: u64| {
-        let mut cfg = OrchestratorConfig::kenya(N_BALLOONS, seed);
-        cfg.fleet.spawn_radius_m = 150_000.0;
-        cfg.fault_plan = directed_plan();
-        cfg.traffic = Some(TrafficConfig::default());
-        let mut o = Orchestrator::new(cfg);
+        let mut spec = base_spec(seed);
+        spec.faults = directed();
+        spec.traffic.enabled = true;
+        let mut o = spec.build();
         // Fine-grained stepping: the engine debug-asserts the
         // extended conservation invariant at every tick boundary.
         let end = SimTime::from_hours(12);
@@ -436,8 +476,8 @@ fn warned_balloon_loss_hands_custody_of_its_backlog() {
 /// site dark and back again leaves a start + clear pair in the log.
 #[test]
 fn gs_outage_shim_is_logged_by_the_engine() {
-    let mut o = soak_world(77, FaultPlan::new());
-    let gs = gs_ids()[0];
+    let mut o = quiet_world(77);
+    let gs = base_spec(77).gs_ids()[0];
     o.run_until(SimTime::from_hours(9));
     o.set_gs_outage(gs, true);
     assert!(o.chaos.gs_dark(gs));

@@ -1,0 +1,326 @@
+//! Property-based tests for the scenario layer: the `ScenarioSpec`
+//! JSON codec round-trips losslessly over arbitrary specs (floats to
+//! the bit, every enum arm, weird names), strict parsing rejects
+//! unknown/invalid input loudly, and building + running the same spec
+//! twice renders byte-identical scorecard JSON.
+
+use proptest::prelude::*;
+use tssdn_scenario::{
+    run_scenario, DemandSpec, FaultsSpec, FleetSpec, Geography, KindSpec, ScenarioSpec, SurgeSpec,
+    TrafficSpec, WeatherRegime, WeatherSpec, WindowSpec,
+};
+
+// ---------------------------------------------------------------- //
+// Lossless serde round trip                                        //
+// ---------------------------------------------------------------- //
+
+/// Build one directed-fault window from raw generated parts.
+fn window_from_parts(
+    (start_min, duration, kind_sel, id, lead): (u64, Option<u64>, u8, u32, u64),
+    (p, q, r): (f64, f64, f64),
+) -> WindowSpec {
+    let kind = match kind_sel {
+        0 => KindSpec::GsOutage { site: id },
+        1 => KindSpec::SatcomBrownout {
+            latency_scale: 1.0 + q,
+            max_drop_prob: p,
+        },
+        2 => KindSpec::InbandPartition {
+            nodes: vec![id, id + 1],
+        },
+        3 => KindSpec::TransceiverFault {
+            platform: id,
+            index: (id % 3) as u8,
+            mode: if lead % 2 == 0 {
+                tssdn_scenario::FaultModeSpec::GimbalStuck
+            } else {
+                tssdn_scenario::FaultModeSpec::RadioReboot
+            },
+        },
+        4 => KindSpec::BalloonLoss { balloon: id },
+        5 => KindSpec::BalloonLossWarned {
+            balloon: id,
+            lead_mins: 1 + lead,
+        },
+        _ => KindSpec::CommandChaos {
+            corrupt: p,
+            duplicate: r,
+            reorder: p * r,
+        },
+    };
+    WindowSpec {
+        start_min,
+        duration_mins: duration.map(|d| 1 + d),
+        kind,
+    }
+}
+
+proptest! {
+    /// Encode → strict decode returns an equal spec, for arbitrary
+    /// specs across every enum arm. Float fields must survive to the
+    /// bit (the codec uses shortest-round-trip formatting), u64 seeds
+    /// must not widen through f64.
+    #[test]
+    fn spec_json_round_trips_losslessly(
+        core in (1u64..u64::MAX, 1u64..72, 1u32..24, 10.0f64..600.0, 0u8..3),
+        demand in (
+            100u64..200_000,
+            1u32..16,
+            1.0f64..20_000.0,
+            0u64..2_000_000,
+            prop::option::of((0u64..40, 1u64..12, 0.0f64..8.0)),
+        ),
+        weather in (prop::bool::ANY, 0.0f64..3.0, 1u64..5, prop::bool::ANY),
+        fault_sel in (0u8..3, 1u32..10, 0u64..12, 13u64..25, prop::bool::ANY),
+        windows in prop::collection::vec(
+            (
+                (0u64..2000, prop::option::of(0u64..240), 0u8..7, 0u32..16, 0u64..60),
+                (0.0f64..1.0, 0.0f64..9.0, 0.0f64..1.0),
+            ),
+            0..5,
+        ),
+        traffic in (
+            prop::bool::ANY,
+            prop::bool::ANY,
+            prop::bool::ANY,
+            1u64..u64::MAX,
+            1u64..240,
+            prop::bool::ANY,
+        ),
+    ) {
+        let (seed, duration_hours, n_balloons, spawn_radius_km, name_sel) = core;
+        let (users, flows, bps, control_bps, surge) = demand;
+        let (stormy, intensity, days, gauges) = weather;
+        let (faults_kind, expected, earliest, latest, warned) = fault_sel;
+
+        let spec = ScenarioSpec {
+            name: match name_sel {
+                0 => "prop".into(),
+                1 => "we\"ird\\name\n".into(),
+                _ => "uni≈code🎈".into(),
+            },
+            seed,
+            duration_hours,
+            multipath: gauges ^ warned,
+            fleet: FleetSpec {
+                geography: Geography::Kenya,
+                n_balloons,
+                spawn_radius_km,
+            },
+            demand: DemandSpec {
+                users_per_site: users,
+                flows_per_site: flows,
+                busy_hour_bps_per_user: bps,
+                control_bps_per_site: control_bps,
+                surge: surge.map(|(start_hour, dur, mult)| SurgeSpec {
+                    start_hour,
+                    duration_hours: dur,
+                    multiplier: mult,
+                }),
+            },
+            weather: WeatherSpec {
+                regime: if stormy {
+                    WeatherRegime::Stormy { intensity, days }
+                } else {
+                    WeatherRegime::Clear
+                },
+                gauges,
+            },
+            faults: match faults_kind {
+                0 => FaultsSpec::Quiet,
+                1 => FaultsSpec::Seeded {
+                    expected,
+                    earliest_hour: earliest,
+                    latest_hour: latest,
+                    warned_loss: warned,
+                },
+                _ => FaultsSpec::Directed(
+                    windows.into_iter().map(|(a, b)| window_from_parts(a, b)).collect(),
+                ),
+            },
+            traffic: TrafficSpec {
+                enabled: traffic.0,
+                store_forward: traffic.1,
+                custody: traffic.2,
+                buffer_max_bytes: traffic.3,
+                buffer_max_age_mins: traffic.4,
+                hierarchical: traffic.5,
+            },
+        };
+        prop_assert!(spec.validate().is_ok(), "generated spec invalid: {:?}", spec.validate());
+
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text)
+            .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}\n{text}")))?;
+        prop_assert_eq!(&back, &spec);
+        // And the rendering itself is a fixpoint: encode(decode(x)) == x.
+        prop_assert_eq!(back.to_json(), text);
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Strict parsing: invalid specs are rejected loudly                //
+// ---------------------------------------------------------------- //
+
+fn baseline_json() -> String {
+    tssdn_scenario::chaos_soak_spec("strict", 7).to_json()
+}
+
+#[test]
+fn unknown_fields_are_rejected_at_every_level() {
+    let good = baseline_json();
+    assert!(ScenarioSpec::from_json(&good).is_ok());
+
+    // Top level.
+    let top = good.replacen("\"seed\":", "\"sneed\": 1,\n  \"seed\":", 1);
+    let err = ScenarioSpec::from_json(&top).expect_err("unknown top-level field");
+    assert!(err.contains("unknown field"), "{err}");
+
+    // Nested object.
+    let nested = good.replacen(
+        "\"n_balloons\":",
+        "\"n_ballons\": 9,\n    \"n_balloons\":",
+        1,
+    );
+    let err = ScenarioSpec::from_json(&nested).expect_err("unknown nested field");
+    assert!(err.contains("unknown field"), "{err}");
+}
+
+#[test]
+fn missing_and_mistyped_fields_are_rejected() {
+    let good = baseline_json();
+
+    let missing = good.replacen("  \"multipath\": false,\n", "", 1);
+    assert!(ScenarioSpec::from_json(&missing).is_err(), "missing field");
+
+    let mistyped = good.replacen("\"seed\": 7", "\"seed\": \"7\"", 1);
+    let err = ScenarioSpec::from_json(&mistyped).expect_err("string seed");
+    assert!(err.contains("seed"), "{err}");
+
+    let negative = good.replacen("\"seed\": 7", "\"seed\": -7", 1);
+    assert!(ScenarioSpec::from_json(&negative).is_err(), "negative u64");
+}
+
+#[test]
+fn duplicate_keys_are_rejected() {
+    let dup = baseline_json().replacen("\"seed\": 7,", "\"seed\": 7,\n  \"seed\": 8,", 1);
+    let err = ScenarioSpec::from_json(&dup).expect_err("duplicate key");
+    assert!(err.contains("duplicate"), "{err}");
+}
+
+#[test]
+fn out_of_range_values_are_rejected_by_validate() {
+    let mut spec = tssdn_scenario::chaos_soak_spec("strict", 7);
+    spec.fleet.spawn_radius_km = 0.0;
+    assert!(spec.validate().is_err(), "zero spawn radius");
+
+    let mut spec = tssdn_scenario::chaos_soak_spec("strict", 7);
+    spec.faults = FaultsSpec::Seeded {
+        expected: 3,
+        earliest_hour: 10,
+        latest_hour: 10,
+        warned_loss: false,
+    };
+    assert!(spec.validate().is_err(), "empty fault window span");
+
+    let mut spec = tssdn_scenario::chaos_soak_spec("strict", 7);
+    spec.faults = FaultsSpec::Directed(vec![WindowSpec {
+        start_min: 0,
+        duration_mins: Some(5),
+        kind: KindSpec::SatcomBrownout {
+            latency_scale: 2.0,
+            max_drop_prob: 1.5,
+        },
+    }]);
+    let err = spec.validate().expect_err("probability > 1");
+    assert!(err.contains("probability"), "{err}");
+
+    // And the same violations arrive through the JSON path too.
+    let text = spec.to_json();
+    assert!(ScenarioSpec::from_json(&text).is_err());
+}
+
+#[test]
+fn unknown_enum_tags_are_rejected() {
+    let bad_geo = baseline_json().replacen("\"kenya\"", "\"atlantis\"", 1);
+    let err = ScenarioSpec::from_json(&bad_geo).expect_err("unknown geography");
+    assert!(err.contains("atlantis"), "{err}");
+
+    let bad_regime = baseline_json().replacen("\"regime\": \"clear\"", "\"regime\": \"hail\"", 1);
+    let err = ScenarioSpec::from_json(&bad_regime).expect_err("unknown regime");
+    assert!(err.contains("hail"), "{err}");
+}
+
+// ---------------------------------------------------------------- //
+// Build + run determinism: scorecard JSON verbatim                 //
+// ---------------------------------------------------------------- //
+
+/// A deliberately small world so the double-run stays cheap.
+fn tiny_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "tiny".into(),
+        seed,
+        duration_hours: 11,
+        multipath: true,
+        fleet: FleetSpec {
+            geography: Geography::Kenya,
+            n_balloons: 3,
+            spawn_radius_km: 120.0,
+        },
+        demand: DemandSpec::default(),
+        weather: WeatherSpec {
+            regime: WeatherRegime::Clear,
+            gauges: false,
+        },
+        faults: FaultsSpec::Quiet,
+        traffic: TrafficSpec::default(),
+    }
+}
+
+/// Building and running the same spec twice — two worlds from
+/// scratch — must render byte-identical scorecard JSON, including a
+/// directed custody scenario whose counters depend on the full
+/// store-and-forward machinery.
+#[test]
+fn running_the_same_spec_twice_is_byte_identical() {
+    let mut custody = tiny_spec(23);
+    custody.name = "tiny_custody".into();
+    custody.faults = FaultsSpec::Directed(vec![
+        WindowSpec {
+            start_min: 570,
+            duration_mins: Some(20),
+            kind: KindSpec::GsOutage { site: 3 },
+        },
+        WindowSpec {
+            start_min: 570,
+            duration_mins: Some(20),
+            kind: KindSpec::GsOutage { site: 4 },
+        },
+        WindowSpec {
+            start_min: 570,
+            duration_mins: Some(20),
+            kind: KindSpec::GsOutage { site: 5 },
+        },
+        WindowSpec {
+            start_min: 585,
+            duration_mins: Some(30),
+            kind: KindSpec::BalloonLossWarned {
+                balloon: 0,
+                lead_mins: 8,
+            },
+        },
+    ]);
+
+    for spec in [tiny_spec(7), custody] {
+        let a = run_scenario(&spec).to_json();
+        let b = run_scenario(&spec).to_json();
+        assert_eq!(a, b, "{}: scorecard JSON diverged between runs", spec.name);
+        // The JSON really carries the run: sanity-check a couple of
+        // substantive rows made it out.
+        assert!(a.contains("\"offered_bits\""), "{a}");
+        assert!(
+            a.contains(&format!("\"seed\": {}", spec.seed)),
+            "seed row present"
+        );
+    }
+}
